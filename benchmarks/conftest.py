@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (table or figure), asserts
+the expected qualitative shape, writes the numeric series to ``results/``
+and reports wall-clock timing through pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full execution of a heavy experiment driver."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

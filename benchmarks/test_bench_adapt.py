@@ -1,0 +1,32 @@
+"""Benchmark: the Adapt mechanism study (the paper's declared future work).
+
+Expected shape (asserted): with a wide dead band the collaborative optimum
+(rho = 0) is stable; narrow bands plus cheaters ratchet obedient peers'
+rho upward and degrade the average online time -- the degeneration toward
+MFCD that Sec. 4.3 predicts.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import adapt_study
+
+
+def test_bench_adapt_study(benchmark, results_dir):
+    result = run_once(benchmark, adapt_study.run)
+    fluid = [r for r in result.rows if r[0] == "fluid"]
+    by_key = {(r[1], r[2], r[3]): r for r in fluid}
+    for p in (0.9, 0.3):
+        wide_honest = by_key[(p, 1.0, 0.0)]
+        assert wide_honest[4] == 0.0  # rho stays at the optimum
+        narrow_cheated = by_key[(p, 0.05, 0.5)]
+        assert narrow_cheated[4] > 0.5  # obedient rho ratchets up
+        assert narrow_cheated[5] > wide_honest[5]  # and performance degrades
+    sim = [r for r in result.rows if r[0] == "sim"]
+    assert sim, "simulation rows missing"
+    honest = next(r for r in sim if r[3] == 0.0)
+    cheated = next(r for r in sim if r[3] == 0.5)
+    assert cheated[5] > honest[5]
+    result.write_csv(results_dir)
+    print()
+    print(result.rendered)

@@ -1,0 +1,48 @@
+"""Ablation benchmark: seed-unchoke policies and super-seeding.
+
+How much do the seed-side choking details (which the fluid models fold
+into eta) matter for a flash crowd?  Each variant runs the same
+30-peer/100-chunk crowd; the assertion is deliberately loose -- policies
+shift the download time by tens of percent, not orders of magnitude, which
+is precisely why a single scalar eta per regime is a workable abstraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chunks import ChunkSwarmConfig, measure_eta
+
+VARIANTS = {
+    "random": {},
+    "round_robin": {"seed_unchoke": "round_robin"},
+    "fastest": {"seed_unchoke": "fastest"},
+    "super_seeding": {"super_seeding": True},
+}
+
+_RESULTS: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_bench_choking_variants(benchmark, variant):
+    options = VARIANTS[variant]
+
+    def run():
+        times = []
+        for seed in (1, 2):
+            m = measure_eta(
+                n_peers=30,
+                config=ChunkSwarmConfig(n_chunks=100, **options),
+                seed=seed,
+            )
+            times.append(m.mean_download_time)
+        return float(np.mean(times))
+
+    mean_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[variant] = mean_time
+    benchmark.extra_info["mean_download_time"] = round(mean_time, 2)
+    # All variants must complete in the same order of magnitude as the
+    # baseline (the whole point of the eta abstraction).
+    if "random" in _RESULTS:
+        assert 0.4 < mean_time / _RESULTS["random"] < 2.5

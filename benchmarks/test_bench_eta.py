@@ -1,0 +1,36 @@
+"""Benchmark: measuring eta with the chunk-level swarm (extension).
+
+Expected shape (asserted): effective eta increases with the chunk count
+(the Qiu--Srikant direction) and decreases with the flash-crowd size (the
+Izal-et-al direction the paper's eta = 0.5 comes from); seeds stay far
+better utilised than downloaders throughout.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import eta_measurement
+
+
+def test_bench_eta_measurement(benchmark, results_dir):
+    result = run_once(benchmark, eta_measurement.run)
+    chunk_rows = sorted(
+        (r for r in result.rows if r[0] == "chunks"), key=lambda r: r[1]
+    )
+    etas = [r[2] for r in chunk_rows]
+    assert etas[-1] > etas[0] + 0.2, "eta must grow materially with chunk count"
+    peer_rows = sorted(
+        (r for r in result.rows if r[0] == "peers"), key=lambda r: r[1]
+    )
+    assert peer_rows[-1][2] < peer_rows[0][2], "eta must fall with crowd size"
+    for row in result.rows:
+        if row[0] in ("chunks", "peers", "open"):
+            assert row[3] > row[2], "seeds should be better utilised than downloaders"
+    # Fewer unchoke slots concentrate bandwidth: chunks complete sooner and
+    # spread faster, so eta falls as the slot count grows.
+    slot_rows = sorted((r for r in result.rows if r[0] == "slots"), key=lambda r: r[1])
+    etas = [r[2] for r in slot_rows]
+    assert all(a > b for a, b in zip(etas, etas[1:]))
+    result.write_csv(results_dir)
+    print()
+    print(result.rendered)

@@ -1,0 +1,97 @@
+"""Benchmarks: the extension experiments (flash crowd, sensitivity, mix).
+
+Each regenerates its artifact, asserts the expected qualitative shape and
+writes the series to ``results/``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    concurrency,
+    fairness,
+    flashcrowd,
+    heterogeneity,
+    lifetime,
+    sensitivity,
+)
+
+
+def test_bench_flashcrowd(benchmark, results_dir):
+    result = run_once(benchmark, flashcrowd.run)
+    t95 = {
+        (r[0], None if isinstance(r[1], float) and math.isnan(r[1]) else r[1]): r[3]
+        for r in result.rows
+    }
+    # Collaboration accelerates the drain monotonically in (1 - rho).
+    assert t95[("CMFSD", 0.0)] < t95[("CMFSD", 0.5)] < t95[("CMFSD", 1.0)]
+    assert t95[("CMFSD", 0.0)] < t95[("MFCD", None)]
+    result.write_csv(results_dir)
+    print()
+    print(result.rendered)
+
+
+def test_bench_sensitivity(benchmark, results_dir):
+    result = run_once(benchmark, sensitivity.run)
+    for row in result.rows:
+        if row[0] == "eta" and row[1] < 1.0:
+            assert row[6] > 1.0 and row[7] > 1.0
+        if row[0] == "eta" and row[1] == 1.0:
+            assert abs(row[6] - 1.0) < 1e-9 and abs(row[7] - 1.0) < 1e-9
+        if row[0] == "gamma":
+            assert row[6] > 1.0 and row[7] > 1.0
+    result.write_csv(results_dir)
+    print()
+    print(result.rendered)
+
+
+def test_bench_concurrency(benchmark, results_dir):
+    result = run_once(benchmark, concurrency.run)
+    for p in {r[0] for r in result.rows}:
+        online = [r[2] for r in result.rows if r[0] == p]
+        assert all(a <= b + 1e-12 for a, b in zip(online, online[1:]))
+        assert abs(online[0] - 80.0) < 1e-9  # m = 1 is MTSD
+    result.write_csv(results_dir)
+    print()
+    print(result.rendered)
+
+
+def test_bench_fairness(benchmark, results_dir):
+    result = run_once(benchmark, fairness.run)
+    for row in result.rows:
+        if row[1] in ("MTSD", "MTCD"):
+            assert abs(row[3] - 1.0) < 1e-9
+    for p in {r[0] for r in result.rows}:
+        j = [r[3] for r in result.rows if r[1] == "CMFSD" and r[0] == p]
+        assert all(a <= b + 1e-12 for a, b in zip(j, j[1:]))
+    result.write_csv(results_dir)
+    result.write_figures(results_dir)
+    print()
+    print(result.rendered)
+
+
+def test_bench_lifetime(benchmark, results_dir):
+    result = run_once(benchmark, lifetime.run)
+    alive = [r[2] for r in result.rows if r[0] == "CMFSD"]
+    assert all(a <= b + 1e-9 for a, b in zip(alive, alive[1:]))  # rho up, lifetime up
+    for row in result.rows:
+        assert row[5] > 0.9  # offered load eventually served
+    result.write_csv(results_dir)
+    result.write_figures(results_dir)
+    print()
+    print(result.rendered)
+
+
+def test_bench_heterogeneity(benchmark, results_dir):
+    result = run_once(benchmark, heterogeneity.run)
+    means = [r[4] for r in result.rows]
+    assert all(a > b for a, b in zip(means, means[1:]))
+    for row in result.rows:
+        assert row[1] > row[2]  # dsl slower than cable everywhere
+    result.write_csv(results_dir)
+    print()
+    print(result.rendered)

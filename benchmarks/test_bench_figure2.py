@@ -1,0 +1,23 @@
+"""Benchmark: Figure 2 -- MTCD vs MTSD average online time per file.
+
+Expected shape (asserted): MTSD flat at 80; MTCD monotone increasing from
+~80 at p -> 0 to 98 at p = 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure2
+
+
+def test_bench_figure2(benchmark, results_dir):
+    result = benchmark(figure2.run)
+    mtcd = np.asarray(result.column("mtcd_online_per_file"))
+    mtsd = np.asarray(result.column("mtsd_online_per_file"))
+    np.testing.assert_allclose(mtsd, 80.0, rtol=1e-9)
+    assert np.all(np.diff(mtcd) > 0)
+    assert abs(mtcd[-1] - 98.0) < 1e-9
+    result.write_csv(results_dir)
+    print()
+    print(result.rendered)

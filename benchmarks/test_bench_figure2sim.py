@@ -1,0 +1,27 @@
+"""Benchmark: Figure 2 with the discrete-event simulation overlay.
+
+Expected shape (asserted): every simulated download-time point lands on
+its fluid curve within 8%; MTSD online points match the flat 80; MTCD
+online points sit at most a few percent above their curve.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure2sim
+
+
+def test_bench_figure2sim(benchmark, results_dir):
+    result = run_once(benchmark, figure2sim.run)
+    for row in result.rows:
+        p, scheme, fluid_online, sim_online, fluid_dl, sim_dl = row
+        assert abs(sim_dl - fluid_dl) / fluid_dl < 0.08, f"{scheme} p={p}"
+        if scheme == "MTSD":
+            assert abs(sim_online - fluid_online) / fluid_online < 0.08
+        else:
+            assert sim_online < 1.12 * fluid_online
+            assert sim_online > 0.95 * fluid_online
+    result.write_csv(results_dir)
+    result.write_figures(results_dir)
+    print()
+    print(result.rendered)

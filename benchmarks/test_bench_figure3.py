@@ -1,0 +1,31 @@
+"""Benchmark: Figure 3 -- per-class times under MTCD and MTSD.
+
+Expected shape (asserted): MTCD online time per file decreases with class;
+download time per file is class-independent in both schemes; at p=0.1 the
+class-1/class-10 crossover against MTSD appears; at p=1.0 MTCD loses for
+every class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure3
+
+
+def test_bench_figure3(benchmark, results_dir):
+    result = benchmark(figure3.run)
+    for p in (0.1, 1.0):
+        online = [r[2] for r in result.rows if r[0] == p]
+        download = [r[3] for r in result.rows if r[0] == p]
+        assert all(a > b for a, b in zip(online, online[1:]))
+        np.testing.assert_allclose(download, download[0])
+    rows_01 = [r for r in result.rows if r[0] == 0.1]
+    assert rows_01[0][2] > rows_01[0][4]  # class 1: MTCD worse than MTSD
+    assert rows_01[-1][2] < rows_01[-1][4]  # class 10: MTCD better
+    for r in result.rows:
+        if r[0] == 1.0:
+            assert r[2] > r[4] and r[3] > r[5]
+    result.write_csv(results_dir)
+    print()
+    print(result.rendered)

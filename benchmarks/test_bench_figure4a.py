@@ -1,0 +1,31 @@
+"""Benchmark: Figure 4(a) -- CMFSD online time per file over (p, rho).
+
+One Eq.-(5) steady-state solve per grid point (10 x 11 grid).  Expected
+shape (asserted): monotone in rho for every p; the rho=0 vs rho=1 gain
+grows with p; rho=1 coincides with MFCD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure4a
+
+
+def test_bench_figure4a(benchmark, results_dir):
+    result = run_once(benchmark, figure4a.run)
+    p_values = sorted({row[0] for row in result.rows})
+    gains = []
+    for p in p_values:
+        series = [(row[1], row[2]) for row in result.rows if row[0] == p]
+        series.sort()
+        values = [v for _, v in series]
+        assert all(a < b for a, b in zip(values, values[1:])), f"not monotone at p={p}"
+        gains.append(values[-1] / values[0])
+        mfcd = next(row[3] for row in result.rows if row[0] == p and row[1] == 1.0)
+        assert abs(values[-1] - mfcd) < 1e-6 * mfcd
+    assert gains[-1] > gains[0] > 1.0  # improvement grows with correlation
+    result.write_csv(results_dir)
+    print()
+    print(result.rendered)

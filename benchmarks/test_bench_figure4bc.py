@@ -1,0 +1,27 @@
+"""Benchmark: Figures 4(b)/(c) -- per-class CMFSD vs MFCD.
+
+Expected shape (asserted): at p=0.9, CMFSD with rho=0.1 beats MFCD for
+every class; class-1 peers always have the shortest download time per file
+(the scheme's unfairness); at p=0.1 with rho=0.9 the largest class ends up
+worse than MFCD (the Sec.-4.3 "sacrifice").
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure4bc
+
+
+def test_bench_figure4bc(benchmark, results_dir):
+    result = run_once(benchmark, figure4bc.run)
+    for row in result.rows:
+        if row[0] == 0.9:
+            assert row[2] < row[6], f"class {row[1]}: rho=0.1 should beat MFCD"
+    for p in (0.9, 0.1):
+        downloads = [row[3] for row in result.rows if row[0] == p]
+        assert downloads[0] == min(downloads)
+    row10 = next(r for r in result.rows if r[0] == 0.1 and r[1] == 10)
+    assert row10[4] > row10[6]
+    result.write_csv(results_dir)
+    print()
+    print(result.rendered)

@@ -1,0 +1,24 @@
+"""Benchmark: the full-mixing assumption vs tracker numwant (extension).
+
+Expected shape (asserted): simulated transfer times match the fluid T
+within 5% for numwant >= 10, and inflate monotonically as the peer sample
+shrinks below ~5.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import mixing
+
+
+def test_bench_mixing(benchmark, results_dir):
+    result = run_once(benchmark, mixing.run)
+    ratios = {r[0]: r[3] for r in result.rows}
+    assert abs(ratios[0] - 1.0) < 0.05  # unbounded = fluid
+    for limit in (10, 20, 50):
+        assert abs(ratios[limit] - 1.0) < 0.05
+    assert ratios[1] > ratios[2] > ratios[3] > 1.05  # fragmentation tail
+    result.write_csv(results_dir)
+    result.write_figures(results_dir)
+    print()
+    print(result.rendered)

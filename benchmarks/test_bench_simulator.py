@@ -1,0 +1,59 @@
+"""Benchmarks: discrete-event simulator throughput per scheme, plus the
+seed-placement ablation for CMFSD (Eq. 5's global-mixing assumption).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import CorrelationModel, PAPER_PARAMETERS, Scheme
+from repro.sim import ScenarioConfig, SeedPolicy, build_simulation, run_scenario
+
+
+def _config(scheme, **kw):
+    base = dict(
+        scheme=scheme,
+        params=PAPER_PARAMETERS,
+        correlation=CorrelationModel(num_files=10, p=0.6, visit_rate=0.5),
+        t_end=1500.0,
+        warmup=400.0,
+        seed=21,
+    )
+    base.update(kw)
+    return ScenarioConfig(**base)
+
+
+@pytest.mark.parametrize("scheme", list(Scheme), ids=lambda s: s.value)
+def test_bench_simulator_throughput(benchmark, scheme):
+    """Events per second for a fixed 1500-unit horizon, per scheme."""
+    config = _config(scheme)
+
+    def run():
+        system, arrivals = build_simulation(config)
+        arrivals.start()
+        system.run_until(config.t_end)
+        return system
+
+    system = run_once(benchmark, run)
+    assert system.sim.events_processed > 500
+    benchmark.extra_info["events"] = system.sim.events_processed
+    benchmark.extra_info["users"] = len(system.metrics.records)
+
+
+@pytest.mark.parametrize(
+    "policy", [SeedPolicy.GLOBAL_POOL, SeedPolicy.SUBTORRENT], ids=lambda p: p.value
+)
+def test_bench_cmfsd_seed_policy_ablation(benchmark, policy, results_dir):
+    """How much does Eq. (5)'s global-mixing approximation matter?
+
+    The two policies must land within ~15% of each other -- the randomised
+    download order keeps per-subtorrent demand balanced, which is exactly
+    the paper's justification for pooling the seed service.
+    """
+    config = _config(Scheme.CMFSD, rho=0.2, seed_policy=policy)
+    summary = run_once(benchmark, run_scenario, config)
+    assert summary.n_users_completed > 100
+    benchmark.extra_info["avg_online_per_file"] = round(
+        summary.avg_online_time_per_file, 3
+    )

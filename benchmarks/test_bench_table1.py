@@ -1,0 +1,13 @@
+"""Benchmark: Table 1 (parameter glossary) regeneration."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, results_dir):
+    result = benchmark(table1.run)
+    assert len(result.rows) == 6
+    result.write_csv(results_dir)
+    print()
+    print(result.rendered)

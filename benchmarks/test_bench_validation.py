@@ -1,0 +1,23 @@
+"""Benchmark: full simulator-vs-fluid cross-validation.
+
+Expected shape (asserted): every transfer-time and CMFSD aggregate agrees
+within 10%, populations within 20% (finite-run sampling noise).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import validation
+
+
+def test_bench_validation(benchmark, results_dir):
+    result = run_once(benchmark, validation.run)
+    for row in result.rows:
+        scheme, quantity, label, fluid, sim, rel = row
+        if "transfer" in quantity or scheme == "CMFSD" or scheme == "MFCD":
+            assert rel < 0.10, f"{scheme} {quantity} {label}: rel err {rel:.3f}"
+        else:
+            assert rel < 0.20, f"{scheme} {quantity} {label}: rel err {rel:.3f}"
+    result.write_csv(results_dir)
+    print()
+    print(result.rendered)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The Adapt mechanism under free-riding (the paper's Sec.-4.3 scenario).
+
+Cheating peers pretend to be single-file users: they set rho = 1 and never
+serve as virtual seeds.  Obedient peers run Adapt, raising their own rho
+whenever they consistently give more than they get.  This example runs the
+peer-level simulation at increasing cheater fractions and shows the
+predicted degeneration: obedient rho ratchets up and the system slides
+toward MFCD performance.
+
+Run:  python examples/adapt_freeriding.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AdaptPolicy, CorrelationModel, PAPER_PARAMETERS, Scheme
+from repro.analysis import format_table
+from repro.sim import ScenarioConfig, build_simulation
+
+P, VISIT_RATE = 0.9, 0.4
+T_END, WARMUP = 2000.0, 600.0
+
+
+def run_one(cheater_fraction: float) -> tuple[float, float, int]:
+    policy = AdaptPolicy(
+        phi_increase=0.25 * PAPER_PARAMETERS.mu,
+        phi_decrease=-0.25 * PAPER_PARAMETERS.mu,
+        step_increase=0.1,
+        step_decrease=0.1,
+        patience=2,
+        initial_rho=0.0,
+    )
+    config = ScenarioConfig(
+        scheme=Scheme.CMFSD,
+        params=PAPER_PARAMETERS,
+        correlation=CorrelationModel(num_files=10, p=P, visit_rate=VISIT_RATE),
+        t_end=T_END,
+        warmup=WARMUP,
+        seed=7,
+        adapt=policy,
+        adapt_period=25.0,
+        cheater_fraction=cheater_fraction,
+    )
+    system, arrivals = build_simulation(config)
+    system.start_sampler(config.sample_interval, T_END)
+    arrivals.start()
+    system.run_until(T_END)
+    summary = system.metrics.summarize(warmup=WARMUP, horizon=T_END)
+    finals = [
+        rec.rho_trace[-1][1]
+        for rec in system.metrics.records.values()
+        if rec.rho_trace
+        and not rec.is_cheater
+        and rec.user_class > 1
+        and rec.arrival_time >= WARMUP
+    ]
+    mean_rho = float(np.mean(finals)) if finals else float("nan")
+    return summary.avg_online_time_per_file, mean_rho, summary.n_users_completed
+
+
+def main() -> None:
+    print(__doc__.split("Run:")[0])
+    rows = []
+    for frac in (0.0, 0.25, 0.5, 0.75):
+        online, mean_rho, n = run_one(frac)
+        rows.append([frac, mean_rho, online, n])
+        print(f"  cheaters={frac:.0%}: obedient rho -> {mean_rho:.2f}, "
+              f"online/file {online:.1f} ({n} users)")
+    print()
+    print(
+        format_table(
+            ["cheater fraction", "mean obedient rho", "online/file", "users"],
+            rows,
+            title="Adapt under free-riding (CMFSD simulation, p=0.9)",
+        )
+    )
+    print(
+        "\nAs the paper predicts: cheating raises the obedient peers' "
+        "give/take imbalance, Adapt ratchets their rho toward 1, and the "
+        "collaborative gain evaporates -- cheating hurts everyone, which is "
+        "exactly the deterrent argument of Sec. 4.3."
+    )
+
+
+if __name__ == "__main__":
+    main()

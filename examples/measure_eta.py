@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Settling the eta dispute with a chunk-level swarm.
+
+The paper sets the downloader-efficiency parameter eta to 0.5 (from the
+Izal et al. torrent measurement); Qiu & Srikant argue it approaches 1 when
+files have many chunks.  This example runs the chunk-level simulator --
+real piece maps, rarest-first, tit-for-tat choking -- on a flash crowd,
+measures the effective eta, and then *closes the loop*: the fluid
+synchronized-crowd formula at the measured eta must reproduce the
+simulated download time.
+
+Run:  python examples/measure_eta.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ascii_plot, format_table
+from repro.chunks import ChunkSwarm, ChunkSwarmConfig
+from repro.chunks.fluid_bridge import synchronized_crowd_makespan, utilization_series
+
+N_PEERS = 30
+MU = 0.02
+
+
+def run_swarm(n_chunks: int, seed: int = 3) -> ChunkSwarm:
+    swarm = ChunkSwarm(ChunkSwarmConfig(n_chunks=n_chunks, upload_rate=MU), seed=seed)
+    swarm.add_peer(is_seed=True)
+    swarm.add_peers(N_PEERS)
+    swarm.run()
+    return swarm
+
+
+def main() -> None:
+    print(__doc__.split("Run:")[0])
+    rows = []
+    for n_chunks in (10, 50, 100, 400):
+        swarm = run_swarm(n_chunks)
+        leech_times = [
+            p.finished_at - p.joined_at
+            for p in swarm.peers.values()
+            if not p.initially_seed
+        ]
+        eta = swarm.downloader_useful / swarm.downloader_capacity
+        util = swarm.seed_useful / swarm.seed_capacity
+        fluid = synchronized_crowd_makespan(
+            n_leechers=N_PEERS, n_seeds=1, mu=MU, eta=eta, seed_utilization=util
+        )
+        rows.append([n_chunks, eta, float(np.mean(leech_times)), fluid])
+    print(
+        format_table(
+            ["chunks", "measured eta", "sim download time", "fluid @ measured eta"],
+            rows,
+            title=f"Flash crowd of {N_PEERS} peers, one seed (mu={MU})",
+        )
+    )
+    ref = synchronized_crowd_makespan(n_leechers=N_PEERS, n_seeds=1, mu=MU, eta=0.5)
+    print(f"\n(for reference, the paper's generic eta=0.5 predicts {ref:.1f} "
+          "for every row)")
+
+    # Show the bootstrap problem: downloader utilization over time.
+    swarm = run_swarm(100)
+    t, eta_t, util_t = utilization_series(swarm.history, smooth_rounds=9)
+    print()
+    print(
+        ascii_plot(
+            {"downloaders eta(t)": (t, eta_t), "seeds util(t)": (t, util_t)},
+            title="Utilization over the swarm's life: the bootstrap phase",
+            xlabel="time",
+            ylabel="fraction of upload capacity used",
+            height=14,
+        )
+    )
+    print(
+        "\nTakeaway: eta is not a constant of nature -- it is low for "
+        "coarse-grained files and large fresh crowds (the measurement "
+        "behind the paper's 0.5) and climbs toward 1 with many chunks "
+        "(Qiu-Srikant's regime).  Either way, the paper's scheme ranking "
+        "holds for every eta < 1 (see `python -m repro run sensitivity`)."
+    )
+
+
+if __name__ == "__main__":
+    main()

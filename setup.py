@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e .` works in offline environments.
+
+The sandbox this repository targets has setuptools but no `wheel` package,
+which rules out PEP-660 editable installs; the presence of this file lets
+pip fall back to `setup.py develop`.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

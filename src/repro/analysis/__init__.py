@@ -1,0 +1,44 @@
+"""Statistics, validation helpers and terminal reporting.
+
+* :mod:`repro.analysis.littles_law` -- L = lambda * W validators.
+* :mod:`repro.analysis.stats` -- summary statistics, batch-means CIs.
+* :mod:`repro.analysis.timeseries` -- warmup removal (MSER), window means.
+* :mod:`repro.analysis.tables` -- aligned text tables and CSV emitters.
+* :mod:`repro.analysis.ascii_plot` -- dependency-free terminal plots used by
+  the figure harnesses (the environment has no matplotlib).
+* :mod:`repro.analysis.svg_plot` -- dependency-free SVG line charts written
+  alongside the CSVs so the reproduced figures are viewable in a browser.
+"""
+
+from repro.analysis.autocorrelation import (
+    autocorrelation,
+    effective_sample_size,
+    integrated_autocorrelation_time,
+)
+from repro.analysis.littles_law import LittlesLawCheck, littles_law_check
+from repro.analysis.stats import SummaryStats, batch_means_ci, jain_fairness, summarize
+from repro.analysis.timeseries import mser_truncation, time_average, trim_warmup
+from repro.analysis.tables import format_table, write_csv
+from repro.analysis.ascii_plot import ascii_heatmap, ascii_plot
+from repro.analysis.svg_plot import svg_line_chart, write_svg
+
+__all__ = [
+    "autocorrelation",
+    "effective_sample_size",
+    "integrated_autocorrelation_time",
+    "LittlesLawCheck",
+    "littles_law_check",
+    "SummaryStats",
+    "batch_means_ci",
+    "jain_fairness",
+    "summarize",
+    "mser_truncation",
+    "time_average",
+    "trim_warmup",
+    "format_table",
+    "write_csv",
+    "ascii_heatmap",
+    "ascii_plot",
+    "svg_line_chart",
+    "write_svg",
+]

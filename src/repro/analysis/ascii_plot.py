@@ -1,0 +1,134 @@
+"""Dependency-free terminal plots.
+
+The offline environment has no matplotlib, so the figure harnesses render
+their reproduced curves as ASCII line plots (multiple series, distinct
+markers, shared axes) and heat maps (for the Fig.-4(a) (p, rho) surface).
+These are reporting aids; the numeric series themselves are also written to
+CSV by the experiment drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot", "ascii_heatmap"]
+
+_MARKERS = "ox+*#@%&"
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str | None = None,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Plot one or more ``name -> (xs, ys)`` series on a shared canvas.
+
+    Each series gets the next marker from ``oxX*#@%&``; a legend maps
+    markers back to names.  NaN points are skipped.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 16 or height < 4:
+        raise ValueError("canvas too small (need width >= 16, height >= 4)")
+    cleaned: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, (xs, ys) in series.items():
+        x = np.asarray(xs, dtype=float)
+        y = np.asarray(ys, dtype=float)
+        if x.shape != y.shape:
+            raise ValueError(f"series {name!r}: x and y lengths differ")
+        mask = np.isfinite(x) & np.isfinite(y)
+        cleaned[name] = (x[mask], y[mask])
+    all_x = np.concatenate([v[0] for v in cleaned.values()])
+    all_y = np.concatenate([v[1] for v in cleaned.values()])
+    if all_x.size == 0:
+        raise ValueError("no finite data points to plot")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for k, (name, (x, y)) in enumerate(cleaned.items()):
+        marker = _MARKERS[k % len(_MARKERS)]
+        cols = np.round((x - x_lo) / (x_hi - x_lo) * (width - 1)).astype(int)
+        rows = np.round((y - y_lo) / (y_hi - y_lo) * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_w = max(len(f"{y_hi:.4g}"), len(f"{y_lo:.4g}"))
+    for r, row in enumerate(canvas):
+        if r == 0:
+            label = f"{y_hi:.4g}".rjust(label_w)
+        elif r == height - 1:
+            label = f"{y_lo:.4g}".rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_axis = f"{x_lo:.4g}".ljust(width - 10) + f"{x_hi:.4g}".rjust(10)
+    lines.append(" " * (label_w + 2) + x_axis)
+    lines.append(" " * (label_w + 2) + f"({xlabel} vs {ylabel})")
+    legend = "   ".join(
+        f"{_MARKERS[k % len(_MARKERS)]} = {name}" for k, name in enumerate(cleaned)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    grid: np.ndarray,
+    *,
+    row_labels: Sequence[float] | None = None,
+    col_labels: Sequence[float] | None = None,
+    title: str | None = None,
+    row_name: str = "row",
+    col_name: str = "col",
+) -> str:
+    """Render a 2-D array as a shaded character map (dark = large).
+
+    ``grid[r, c]`` maps row ``r`` (top to bottom) and column ``c`` (left to
+    right); labels annotate the first/last row and column.
+    """
+    arr = np.asarray(grid, dtype=float)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ValueError("grid must be a non-empty 2-D array")
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        raise ValueError("grid has no finite values")
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo if hi > lo else 1.0
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    n_shades = len(_SHADES)
+    for r in range(arr.shape[0]):
+        cells = []
+        for c in range(arr.shape[1]):
+            v = arr[r, c]
+            if not np.isfinite(v):
+                cells.append("?")
+            else:
+                idx = int((v - lo) / span * (n_shades - 1))
+                cells.append(_SHADES[idx])
+        label = ""
+        if row_labels is not None and (r == 0 or r == arr.shape[0] - 1):
+            label = f"  {row_name}={row_labels[r]:.3g}"
+        lines.append("".join(ch * 2 for ch in cells) + label)
+    if col_labels is not None:
+        lines.append(
+            f"{col_name}: {col_labels[0]:.3g} (left) .. {col_labels[-1]:.3g} (right)"
+        )
+    lines.append(f"scale: ' '={lo:.4g} .. '@'={hi:.4g}")
+    return "\n".join(lines)

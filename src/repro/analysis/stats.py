@@ -1,0 +1,111 @@
+"""Summary statistics and batch-means confidence intervals.
+
+Simulation outputs are autocorrelated (peers interact through shared
+torrents), so naive i.i.d. confidence intervals understate the error.  The
+standard remedy used here is the *batch means* method: split the
+steady-state sample stream into ``n_batches`` contiguous batches, treat the
+batch averages as approximately independent, and apply a Student-t interval
+to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = ["SummaryStats", "summarize", "batch_means_ci", "jain_fairness"]
+
+
+def jain_fairness(values: Sequence[float], weights: Sequence[float] | None = None) -> float:
+    """Jain's fairness index, optionally population-weighted.
+
+    ``J = (sum w_i x_i)^2 / (sum w_i * sum w_i x_i^2)`` lies in
+    ``(0, 1]``; 1 means perfectly equal allocations.  Entries with zero
+    weight or non-finite value are ignored.
+    """
+    x = np.asarray(values, dtype=float)
+    w = np.ones_like(x) if weights is None else np.asarray(weights, dtype=float)
+    if x.shape != w.shape:
+        raise ValueError("values and weights must have equal length")
+    if np.any(w < 0):
+        raise ValueError("weights must be nonnegative")
+    mask = (w > 0) & np.isfinite(x)
+    x, w = x[mask], w[mask]
+    if x.size == 0:
+        raise ValueError("no weighted finite values to assess")
+    num = float(np.sum(w * x)) ** 2
+    den = float(np.sum(w)) * float(np.sum(w * x**2))
+    if den == 0.0:
+        return 1.0  # all allocations are zero: trivially equal
+    return num / den
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-style summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean (i.i.d. assumption)."""
+        if self.n < 2:
+            return float("nan")
+        return self.std / np.sqrt(self.n)
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Summary statistics of a non-empty sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return SummaryStats(
+        n=int(arr.size),
+        mean=float(np.mean(arr)),
+        std=float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(np.min(arr)),
+        maximum=float(np.max(arr)),
+        median=float(np.median(arr)),
+    )
+
+
+def batch_means_ci(
+    values: Sequence[float],
+    *,
+    n_batches: int = 10,
+    confidence: float = 0.95,
+) -> tuple[float, float, float]:
+    """Batch-means confidence interval ``(mean, lo, hi)``.
+
+    Requires at least ``2 * n_batches`` observations so each batch holds two
+    or more points; trailing observations that do not fill a whole batch are
+    folded into the last one.
+    """
+    arr = np.asarray(values, dtype=float)
+    if n_batches < 2:
+        raise ValueError(f"n_batches must be >= 2, got {n_batches}")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if arr.size < 2 * n_batches:
+        raise ValueError(
+            f"need at least {2 * n_batches} observations for {n_batches} batches, "
+            f"got {arr.size}"
+        )
+    batch_size = arr.size // n_batches
+    means = np.empty(n_batches)
+    for b in range(n_batches):
+        start = b * batch_size
+        stop = arr.size if b == n_batches - 1 else start + batch_size
+        means[b] = float(np.mean(arr[start:stop]))
+    grand = float(np.mean(means))
+    sem = float(np.std(means, ddof=1)) / np.sqrt(n_batches)
+    half = float(sps.t.ppf(0.5 + confidence / 2, df=n_batches - 1)) * sem
+    return grand, grand - half, grand + half

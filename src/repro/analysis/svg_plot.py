@@ -1,0 +1,271 @@
+"""Dependency-free SVG charts for the figure harnesses.
+
+The offline environment has no matplotlib; ASCII plots serve the terminal,
+and this module writes proper vector figures to disk so the reproduced
+curves can be viewed in a browser.  Deliberately small: line charts with
+markers, legends and tick labels -- enough for every figure in the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["svg_line_chart", "svg_heatmap", "write_svg"]
+
+_COLORS = (
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#9467bd",
+    "#ff7f0e",
+    "#8c564b",
+    "#17becf",
+    "#7f7f7f",
+)
+
+_MARKERS = ("circle", "square", "diamond", "triangle")
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n - 1, 1)
+    mag = 10 ** np.floor(np.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    start = np.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + 0.5 * step:
+        if t >= lo - 0.5 * step:
+            ticks.append(float(t))
+        t += step
+    return ticks
+
+
+def _marker_svg(kind: str, x: float, y: float, color: str) -> str:
+    r = 3.2
+    if kind == "circle":
+        return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{color}"/>'
+    if kind == "square":
+        return (
+            f'<rect x="{x - r:.1f}" y="{y - r:.1f}" width="{2 * r:.1f}" '
+            f'height="{2 * r:.1f}" fill="{color}"/>'
+        )
+    if kind == "diamond":
+        pts = f"{x},{y - r - 1} {x + r + 1},{y} {x},{y + r + 1} {x - r - 1},{y}"
+        return f'<polygon points="{pts}" fill="{color}"/>'
+    # triangle
+    pts = f"{x},{y - r - 1} {x + r + 1},{y + r} {x - r - 1},{y + r}"
+    return f'<polygon points="{pts}" fill="{color}"/>'
+
+
+def svg_line_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 640,
+    height: int = 420,
+) -> str:
+    """Render ``name -> (xs, ys)`` series as an SVG line chart string."""
+    if not series:
+        raise ValueError("need at least one series")
+    cleaned: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, (xs, ys) in series.items():
+        x = np.asarray(xs, dtype=float)
+        y = np.asarray(ys, dtype=float)
+        if x.shape != y.shape:
+            raise ValueError(f"series {name!r}: x and y lengths differ")
+        mask = np.isfinite(x) & np.isfinite(y)
+        if mask.any():
+            cleaned[name] = (x[mask], y[mask])
+    if not cleaned:
+        raise ValueError("no finite data points to plot")
+
+    all_x = np.concatenate([v[0] for v in cleaned.values()])
+    all_y = np.concatenate([v[1] for v in cleaned.values()])
+    x_ticks = _nice_ticks(float(all_x.min()), float(all_x.max()))
+    y_ticks = _nice_ticks(float(all_y.min()), float(all_y.max()))
+    x_lo, x_hi = x_ticks[0], x_ticks[-1]
+    y_lo, y_hi = y_ticks[0], y_ticks[-1]
+    if x_hi == x_lo:
+        x_hi += 1.0
+    if y_hi == y_lo:
+        y_hi += 1.0
+
+    ml, mr, mt, mb = 64, 16, 40, 52  # margins
+    pw, ph = width - ml - mr, height - mt - mb
+
+    def sx(x: float) -> float:
+        return ml + (x - x_lo) / (x_hi - x_lo) * pw
+
+    def sy(y: float) -> float:
+        return mt + ph - (y - y_lo) / (y_hi - y_lo) * ph
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="14" font-weight="bold">{title}</text>',
+    ]
+    # Grid + ticks.
+    for t in x_ticks:
+        x = sx(t)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{mt}" x2="{x:.1f}" y2="{mt + ph}" '
+            'stroke="#e0e0e0" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{mt + ph + 16}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="11">{t:g}</text>'
+        )
+    for t in y_ticks:
+        y = sy(t)
+        parts.append(
+            f'<line x1="{ml}" y1="{y:.1f}" x2="{ml + pw}" y2="{y:.1f}" '
+            'stroke="#e0e0e0" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{ml - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="11">{t:g}</text>'
+        )
+    # Axes.
+    parts.append(
+        f'<rect x="{ml}" y="{mt}" width="{pw}" height="{ph}" fill="none" '
+        'stroke="#444" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<text x="{ml + pw / 2}" y="{height - 14}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="12">{xlabel}</text>'
+    )
+    parts.append(
+        f'<text x="16" y="{mt + ph / 2}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="12" '
+        f'transform="rotate(-90 16 {mt + ph / 2})">{ylabel}</text>'
+    )
+    # Series.
+    for k, (name, (x, y)) in enumerate(cleaned.items()):
+        color = _COLORS[k % len(_COLORS)]
+        marker = _MARKERS[k % len(_MARKERS)]
+        order = np.argsort(x)
+        pts = " ".join(f"{sx(xv):.1f},{sy(yv):.1f}" for xv, yv in zip(x[order], y[order]))
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="1.8"/>'
+        )
+        # Thin the markers on dense series.
+        stride = max(1, x.size // 25)
+        for xv, yv in zip(x[order][::stride], y[order][::stride]):
+            parts.append(_marker_svg(marker, sx(xv), sy(yv), color))
+        # Legend entry.
+        ly = mt + 8 + 16 * k
+        parts.append(
+            f'<line x1="{ml + pw - 130}" y1="{ly}" x2="{ml + pw - 108}" y2="{ly}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{ml + pw - 102}" y="{ly + 4}" font-family="sans-serif" '
+            f'font-size="11">{name}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _heat_color(frac: float) -> str:
+    """Light-yellow -> red colormap for a value fraction in [0, 1]."""
+    frac = min(1.0, max(0.0, frac))
+    r = 255
+    g = int(245 - 190 * frac)
+    b = int(200 - 170 * frac)
+    return f"rgb({r},{g},{b})"
+
+
+def svg_heatmap(
+    grid,
+    *,
+    row_labels: Sequence[float] | None = None,
+    col_labels: Sequence[float] | None = None,
+    title: str = "",
+    row_name: str = "row",
+    col_name: str = "col",
+    cell: int = 34,
+) -> str:
+    """Render a 2-D array as an SVG heat map with value annotations."""
+    arr = np.asarray(grid, dtype=float)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ValueError("grid must be a non-empty 2-D array")
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        raise ValueError("grid has no finite values")
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo if hi > lo else 1.0
+    n_rows, n_cols = arr.shape
+    ml, mt = 70, 44
+    width = ml + n_cols * cell + 16
+    height = mt + n_rows * cell + 40
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="14" font-weight="bold">{title}</text>',
+    ]
+    for r in range(n_rows):
+        for c in range(n_cols):
+            v = arr[r, c]
+            x, y = ml + c * cell, mt + r * cell
+            if np.isfinite(v):
+                color = _heat_color((v - lo) / span)
+                label = f"{v:.3g}"
+            else:
+                color, label = "#dddddd", "--"
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell}" height="{cell}" '
+                f'fill="{color}" stroke="white"/>'
+            )
+            parts.append(
+                f'<text x="{x + cell / 2}" y="{y + cell / 2 + 3}" '
+                f'text-anchor="middle" font-family="sans-serif" '
+                f'font-size="9">{label}</text>'
+            )
+    if row_labels is not None:
+        for r, lab in enumerate(row_labels):
+            parts.append(
+                f'<text x="{ml - 6}" y="{mt + r * cell + cell / 2 + 3}" '
+                f'text-anchor="end" font-family="sans-serif" font-size="10">'
+                f"{row_name}={lab:g}</text>"
+            )
+    if col_labels is not None:
+        for c, lab in enumerate(col_labels):
+            parts.append(
+                f'<text x="{ml + c * cell + cell / 2}" y="{mt + n_rows * cell + 14}" '
+                f'text-anchor="middle" font-family="sans-serif" font-size="10">'
+                f"{lab:g}</text>"
+            )
+        parts.append(
+            f'<text x="{ml + n_cols * cell / 2}" y="{mt + n_rows * cell + 30}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="11">'
+            f"{col_name}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(
+    path: str | Path,
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    **kwargs,
+) -> Path:
+    """Render a line chart and write it to ``path`` (parents created)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(svg_line_chart(series, **kwargs))
+    return out

@@ -1,0 +1,39 @@
+"""Chunk-level BitTorrent swarm simulator -- measuring ``eta``.
+
+The fluid models compress all chunk-level mechanics (piece maps, local
+rarest first, tit-for-tat unchoking) into one number: ``eta``, the sharing
+efficiency of a downloader relative to a seed.  The paper *argues* for
+``eta = 0.5`` from the Izal et al. measurement, against Qiu--Srikant's
+analysis that ``eta`` is close to 1 when files have many chunks.  This
+subpackage settles the question for our own stack empirically: a
+round-based swarm simulator with real piece bitmaps, rarest-first piece
+selection and TFT choking, instrumented to report the fraction of
+downloader upload capacity that actually delivers useful bytes -- the
+quantity the fluid ``eta`` stands for.
+
+* :mod:`repro.chunks.config` -- swarm configuration.
+* :mod:`repro.chunks.peer` -- per-peer piece/transfer state.
+* :mod:`repro.chunks.swarm` -- the round-based engine.
+* :mod:`repro.chunks.measurement` -- utilization accounting and the
+  ``measure_eta`` entry point.
+"""
+
+from repro.chunks.config import ChunkSwarmConfig
+from repro.chunks.peer import ChunkPeer
+from repro.chunks.swarm import ChunkSwarm
+from repro.chunks.measurement import (
+    EtaMeasurement,
+    OpenSwarmMeasurement,
+    measure_eta,
+    measure_eta_open,
+)
+
+__all__ = [
+    "ChunkSwarmConfig",
+    "ChunkPeer",
+    "ChunkSwarm",
+    "EtaMeasurement",
+    "OpenSwarmMeasurement",
+    "measure_eta",
+    "measure_eta_open",
+]

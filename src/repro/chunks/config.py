@@ -1,0 +1,80 @@
+"""Configuration of the chunk-level swarm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ChunkSwarmConfig"]
+
+
+@dataclass(frozen=True)
+class ChunkSwarmConfig:
+    """Parameters of one chunk-level swarm run.
+
+    Attributes
+    ----------
+    n_chunks:
+        Number of pieces the file is split into (file size normalised to
+        1, so each chunk is ``1/n_chunks`` work units).
+    upload_rate:
+        Per-peer upload bandwidth ``mu`` in files per unit time (matches
+        the fluid models' units).
+    n_upload_slots:
+        Regular (tit-for-tat) unchoke slots per peer.
+    optimistic_slots:
+        Additional optimistic-unchoke slots (random interested peer).
+    round_length:
+        Choking-round duration in time units (BitTorrent rechokes every
+        ~10 s; in model units anything short relative to the download time
+        works).
+    seed_stays:
+        Whether peers that finish keep seeding until the run ends (the
+        flash-crowd lifecycle of Izal et al.) or leave immediately.
+    seed_unchoke:
+        How seeds pick whom to serve: ``"random"`` (mainline's classic
+        behaviour), ``"round_robin"`` (cycle through the interested peers
+        for even coverage) or ``"fastest"`` (prefer peers that received
+        the most data last round -- the controversial "fastest-first" seed
+        policy).
+    super_seeding:
+        When True, peers that started as seeds dole out their *least
+        offered* pieces first (an approximation of the super-seeding
+        feature), maximising piece diversity during the bootstrap.
+    """
+
+    n_chunks: int = 100
+    upload_rate: float = 0.02
+    n_upload_slots: int = 4
+    optimistic_slots: int = 1
+    round_length: float = 1.0
+    seed_stays: bool = True
+    seed_unchoke: str = "random"
+    super_seeding: bool = False
+
+    def __post_init__(self) -> None:
+        if self.seed_unchoke not in ("random", "round_robin", "fastest"):
+            raise ValueError(
+                "seed_unchoke must be 'random', 'round_robin' or 'fastest', "
+                f"got {self.seed_unchoke!r}"
+            )
+        if self.n_chunks < 1:
+            raise ValueError(f"n_chunks must be >= 1, got {self.n_chunks}")
+        if self.upload_rate <= 0:
+            raise ValueError(f"upload_rate must be positive, got {self.upload_rate}")
+        if self.n_upload_slots < 1:
+            raise ValueError(f"n_upload_slots must be >= 1, got {self.n_upload_slots}")
+        if self.optimistic_slots < 0:
+            raise ValueError(
+                f"optimistic_slots must be >= 0, got {self.optimistic_slots}"
+            )
+        if self.round_length <= 0:
+            raise ValueError(f"round_length must be positive, got {self.round_length}")
+
+    @property
+    def chunk_size(self) -> float:
+        """Work units per chunk (file size 1)."""
+        return 1.0 / self.n_chunks
+
+    @property
+    def total_slots(self) -> int:
+        return self.n_upload_slots + self.optimistic_slots

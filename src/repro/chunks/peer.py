@@ -1,0 +1,77 @@
+"""Per-peer state in the chunk-level swarm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ChunkPeer"]
+
+
+class ChunkPeer:
+    """One peer: piece bitmap, transfer bookkeeping and counters.
+
+    Attributes
+    ----------
+    peer_id:
+        Identifier within the swarm.
+    bitmap:
+        Boolean array over chunks; ``True`` = owned.
+    joined_at / finished_at:
+        Round-timestamps delimiting the peer's downloader phase
+        (``finished_at`` is ``None`` while still downloading).
+    uploaded_useful:
+        Work units this peer delivered to others (chunk data that the
+        receiver kept).
+    received_last_round / received_this_round:
+        Per-uploader tallies driving the tit-for-tat ranking.
+    partials:
+        ``chunk -> [done, credit_downloader, credit_seed]`` -- partially
+        downloaded chunks, owned by the *receiver* (as in real BitTorrent,
+        where a partial piece's remaining blocks can be requested from any
+        peer that has the piece).  The credit fields accumulate delivered
+        bytes by uploader kind; they are banked as useful when the chunk
+        completes, or written off as waste if the peer finishes without it.
+    active_chunks:
+        Chunks some link is already pumping *this round* (cleared at round
+        end); steers concurrent links to different chunks outside endgame.
+    """
+
+    def __init__(self, peer_id: int, n_chunks: int, *, is_seed: bool, joined_at: float):
+        self.peer_id = peer_id
+        self.bitmap = np.full(n_chunks, is_seed, dtype=bool)
+        self.initially_seed = is_seed
+        self.joined_at = joined_at
+        self.finished_at: float | None = joined_at if is_seed else None
+        self.uploaded_useful = 0.0
+        self.received_last_round: dict[int, float] = {}
+        self.received_this_round: dict[int, float] = {}
+        self.partials: dict[int, list] = {}
+        self.active_chunks: set[int] = set()
+        #: how often this peer has handed out each chunk (super-seeding)
+        self.offered_counts = np.zeros(n_chunks, dtype=int)
+        #: rotation cursor for the round-robin seed-unchoke policy
+        self.rotation_cursor = 0
+
+    @property
+    def is_seed(self) -> bool:
+        return bool(self.bitmap.all())
+
+    @property
+    def n_owned(self) -> int:
+        return int(self.bitmap.sum())
+
+    def needs_from(self, other: "ChunkPeer") -> bool:
+        """Interest: does ``other`` hold any chunk this peer lacks?"""
+        return bool(np.any(other.bitmap & ~self.bitmap))
+
+    def rollover_round(self) -> None:
+        """Close the round's received tallies (TFT looks one round back)."""
+        self.received_last_round = self.received_this_round
+        self.received_this_round = {}
+
+    def downloader_time(self, now: float) -> float:
+        """Time spent as a downloader up to ``now``."""
+        if self.initially_seed:
+            return 0.0
+        end = self.finished_at if self.finished_at is not None else now
+        return max(0.0, end - self.joined_at)

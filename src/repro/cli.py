@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro`` / ``repro-bt``.
+
+Subcommands
+-----------
+``list``
+    Show the available experiment ids with descriptions.
+``run <id> [--out DIR]``
+    Execute one experiment end to end; prints its report and writes the
+    numeric series to ``<DIR>/<id>.csv`` (default ``results/``).
+``run all [--out DIR]``
+    Execute every registered experiment.
+``params``
+    Print Table 1 with the paper's evaluation values.
+``simulate <scenario.json> [--json]``
+    Run the flow-level simulator on a JSON scenario description (see
+    :mod:`repro.sim.config_io` for the schema) and print the summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core.parameters import PAPER_PARAMETERS, format_table1
+from repro.experiments import get_experiment, list_experiments
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bt",
+        description=(
+            "Reproduction of 'Analyzing Multiple File Downloading in "
+            "BitTorrent' (Tian, Wu & Ng, ICPP 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run_p.add_argument(
+        "--out",
+        default="results",
+        help="directory for CSV output (default: results/)",
+    )
+
+    sub.add_parser("params", help="print Table 1 with the paper's values")
+
+    report_p = sub.add_parser(
+        "report", help="run every experiment and write results/REPORT.md"
+    )
+    report_p.add_argument(
+        "--out", default="results", help="output directory (default: results/)"
+    )
+    report_p.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        metavar="ID",
+        help="restrict to these experiment ids",
+    )
+
+    sim_p = sub.add_parser(
+        "simulate", help="run the flow-level simulator on a JSON scenario"
+    )
+    sim_p.add_argument("scenario", help="path to a scenario JSON file")
+    sim_p.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON on stdout"
+    )
+    return parser
+
+
+def _run_one(experiment_id: str, out_dir: Path) -> None:
+    driver = get_experiment(experiment_id)
+    started = time.perf_counter()
+    result = driver()
+    elapsed = time.perf_counter() - started
+    print(result.rendered)
+    csv_path = result.write_csv(out_dir)
+    figure_paths = result.write_figures(out_dir)
+    print(f"\n[{experiment_id}] finished in {elapsed:.1f}s; series -> {csv_path}")
+    for path in figure_paths:
+        print(f"[{experiment_id}] figure -> {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for eid, desc in list_experiments():
+            print(f"{eid:12s} {desc}")
+        return 0
+    if args.command == "params":
+        print(format_table1(PAPER_PARAMETERS))
+        return 0
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        only = tuple(args.only) if args.only else None
+        try:
+            path = generate_report(args.out, experiment_ids=only)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print(f"report written to {path}")
+        return 0
+    if args.command == "simulate":
+        import json as _json
+
+        from repro.analysis.tables import format_table
+        from repro.sim.config_io import load_scenario, summary_to_dict
+        from repro.sim.scenarios import run_scenario
+
+        try:
+            config = load_scenario(args.scenario)
+        except (OSError, ValueError, _json.JSONDecodeError) as exc:
+            print(f"bad scenario: {exc}", file=sys.stderr)
+            return 2
+        started = time.perf_counter()
+        summary = run_scenario(config)
+        elapsed = time.perf_counter() - started
+        if args.json:
+            print(_json.dumps(summary_to_dict(summary), indent=2))
+        else:
+            rows = [
+                ["users completed", float(summary.n_users_completed)],
+                ["avg online time / file", summary.avg_online_time_per_file],
+                ["avg download time / file", summary.avg_download_time_per_file],
+            ]
+            print(
+                format_table(
+                    ["metric", "value"],
+                    rows,
+                    title=f"{config.scheme.value} scenario ({elapsed:.1f}s)",
+                )
+            )
+        return 0
+    if args.command == "run":
+        out_dir = Path(args.out)
+        if args.experiment == "all":
+            for eid, _ in list_experiments():
+                print(f"\n{'=' * 72}\n# {eid}\n{'=' * 72}")
+                _run_one(eid, out_dir)
+        else:
+            try:
+                _run_one(args.experiment, out_dir)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 2
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+"""Actionable recommendations from the paper's analysis.
+
+The paper closes Sec. 4.2.1 with advice for users and client authors
+("download files one by one") and Sec. 4.3 with deployment guidance for
+CMFSD (publish correlated files in one torrent, start at rho = 0).  This
+module turns that advice into an API: given the workload a publisher or
+client expects, quantify every applicable scheme and recommend one.
+
+>>> from repro.core import PAPER_PARAMETERS, CorrelationModel
+>>> advice = recommend(PAPER_PARAMETERS, CorrelationModel(num_files=10, p=0.9))
+>>> advice.best.scheme
+'CMFSD'
+>>> round(advice.speedup_vs_status_quo, 2)
+1.88
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.batched import BatchedDownloadModel
+from repro.core.cmfsd import CMFSDModel
+from repro.core.correlation import CorrelationModel
+from repro.core.mfcd import MFCDModel
+from repro.core.mtcd import MTCDModel
+from repro.core.mtsd import MTSDModel
+from repro.core.parameters import FluidParameters
+
+__all__ = ["SchemeAssessment", "Recommendation", "recommend"]
+
+
+@dataclass(frozen=True)
+class SchemeAssessment:
+    """One candidate strategy with its quantified steady-state cost."""
+
+    scheme: str
+    online_time_per_file: float
+    download_time_per_file: float
+    requires_single_torrent: bool
+    requires_client_change: bool
+    remark: str
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Ranked assessment of every applicable downloading strategy.
+
+    ``assessments`` is sorted best-first by online time per file;
+    ``status_quo`` is what today's deployments do (concurrent downloading,
+    i.e. MTCD/MFCD).
+    """
+
+    assessments: tuple[SchemeAssessment, ...]
+    status_quo: SchemeAssessment
+
+    @property
+    def best(self) -> SchemeAssessment:
+        return self.assessments[0]
+
+    @property
+    def speedup_vs_status_quo(self) -> float:
+        """How much faster the best scheme is than concurrent clients."""
+        return self.status_quo.online_time_per_file / self.best.online_time_per_file
+
+
+def recommend(
+    params: FluidParameters,
+    workload: CorrelationModel,
+    *,
+    allow_protocol_changes: bool = True,
+    client_concurrency: int = 3,
+) -> Recommendation:
+    """Quantify and rank the downloading strategies for a workload.
+
+    ``allow_protocol_changes = False`` restricts the candidates to what a
+    user can do with unmodified clients (sequential queuing or bounded
+    concurrency); CMFSD needs cooperating clients.  ``client_concurrency``
+    is the active-torrent limit of the "typical client default" candidate.
+    """
+    if workload.num_files != params.num_files:
+        raise ValueError(
+            f"workload K={workload.num_files} != params K={params.num_files}"
+        )
+    mtcd = MTCDModel.from_correlation(params, workload).system_metrics()
+    mtsd = MTSDModel.from_correlation(params, workload).system_metrics()
+    mfcd = MFCDModel.from_correlation(params, workload).system_metrics()
+    batched = BatchedDownloadModel.from_correlation(
+        params, workload, max_concurrency=client_concurrency
+    ).system_metrics()
+
+    candidates = [
+        SchemeAssessment(
+            scheme="MTSD",
+            online_time_per_file=mtsd.avg_online_time_per_file,
+            download_time_per_file=mtsd.avg_download_time_per_file,
+            requires_single_torrent=False,
+            requires_client_change=False,
+            remark="queue torrents one at a time (the paper's Sec.-4.2.1 advice)",
+        ),
+        SchemeAssessment(
+            scheme=f"MTBD(m={client_concurrency})",
+            online_time_per_file=batched.avg_online_time_per_file,
+            download_time_per_file=batched.avg_download_time_per_file,
+            requires_single_torrent=False,
+            requires_client_change=False,
+            remark="typical client default: bounded active torrents",
+        ),
+        SchemeAssessment(
+            scheme="MTCD",
+            online_time_per_file=mtcd.avg_online_time_per_file,
+            download_time_per_file=mtcd.avg_download_time_per_file,
+            requires_single_torrent=False,
+            requires_client_change=False,
+            remark="status quo: unlimited concurrent torrents",
+        ),
+        SchemeAssessment(
+            scheme="MFCD",
+            online_time_per_file=mfcd.avg_online_time_per_file,
+            download_time_per_file=mfcd.avg_download_time_per_file,
+            requires_single_torrent=True,
+            requires_client_change=False,
+            remark="status quo for a multi-file torrent: random chunk order",
+        ),
+    ]
+    if allow_protocol_changes:
+        cmfsd = CMFSDModel.from_correlation(params, workload, rho=0.0).system_metrics()
+        candidates.append(
+            SchemeAssessment(
+                scheme="CMFSD",
+                online_time_per_file=cmfsd.avg_online_time_per_file,
+                download_time_per_file=cmfsd.avg_download_time_per_file,
+                requires_single_torrent=True,
+                requires_client_change=True,
+                remark="the paper's proposal: sequential + virtual seeds, rho=0",
+            )
+        )
+    ranked = tuple(
+        sorted(candidates, key=lambda a: a.online_time_per_file)
+    )
+    status_quo = next(a for a in candidates if a.scheme == "MTCD")
+    return Recommendation(assessments=ranked, status_quo=status_quo)

@@ -1,0 +1,210 @@
+"""General multi-class fluid model of Sec. 2 of the paper.
+
+Peers in one torrent are categorised into ``S`` classes
+``{C_1(mu_1, c_1), ..., C_S(mu_S, c_S)}`` -- class ``C_i`` peers upload at
+``mu_i`` and download at ``c_i`` -- with the paper's two allocation
+assumptions:
+
+1. *Tit-for-tat between downloaders*: class-``i`` downloaders receive from
+   the downloader pool exactly what they contribute, scaled by the
+   efficiency: ``eta * mu_i * x_i``.
+2. *Altruistic seeds*: the aggregate seed capacity ``sum_l mu_l * y_l`` is
+   split across downloader classes proportionally to download capacity,
+   class ``i`` receiving the fraction ``x_i*c_i / sum_l x_l*c_l``.
+
+Hence
+
+    dx_i/dt = lambda_i - eta*mu_i*x_i - (x_i*c_i / sum_l x_l*c_l) * sum_l mu_l*y_l
+    dy_i/dt = eta*mu_i*x_i + (x_i*c_i / sum_l x_l*c_l) * sum_l mu_l*y_l - gamma_i*y_i
+
+This is the paper's umbrella model: Eq. (1) (MTCD) is the special case
+``mu_i = mu/i, c_i = c/i, gamma_i = gamma`` and the test-suite verifies that
+the closed form below reproduces Eq. (2) exactly in that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ode import SteadyStateOptions, SteadyStateResult, find_steady_state
+
+__all__ = ["PeerClass", "HeterogeneousModel", "HeterogeneousSteadyState"]
+
+
+@dataclass(frozen=True)
+class PeerClass:
+    """One bandwidth class ``C_i(mu_i, c_i)``.
+
+    Attributes
+    ----------
+    upload:
+        ``mu_i``, upload bandwidth.
+    download:
+        ``c_i``, download bandwidth.
+    arrival_rate:
+        ``lambda_i``, entry rate of new class-``i`` downloaders.
+    seed_departure_rate:
+        ``gamma_i``, rate at which class-``i`` seeds leave.
+    """
+
+    upload: float
+    download: float
+    arrival_rate: float
+    seed_departure_rate: float
+
+    def __post_init__(self) -> None:
+        if self.upload <= 0 or self.download <= 0:
+            raise ValueError("upload and download bandwidths must be positive")
+        if self.arrival_rate < 0:
+            raise ValueError("arrival_rate must be nonnegative")
+        if self.seed_departure_rate <= 0:
+            raise ValueError("seed_departure_rate must be positive")
+
+
+@dataclass(frozen=True)
+class HeterogeneousSteadyState:
+    """Stationary populations and per-class download times."""
+
+    downloaders: np.ndarray
+    seeds: np.ndarray
+    download_times: np.ndarray
+
+
+@dataclass(frozen=True)
+class HeterogeneousModel:
+    """The Sec.-2 multi-class fluid model with efficiency ``eta``."""
+
+    classes: tuple[PeerClass, ...]
+    eta: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("at least one peer class is required")
+        if not 0 < self.eta <= 1:
+            raise ValueError(f"eta must be in (0, 1], got {self.eta}")
+        object.__setattr__(self, "classes", tuple(self.classes))
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def state_dim(self) -> int:
+        """State is ``[x_1..x_S, y_1..y_S]``."""
+        return 2 * self.num_classes
+
+    def _arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        mu = np.array([c.upload for c in self.classes])
+        cdl = np.array([c.download for c in self.classes])
+        lam = np.array([c.arrival_rate for c in self.classes])
+        gam = np.array([c.seed_departure_rate for c in self.classes])
+        return mu, cdl, lam, gam
+
+    def rhs(self, t: float, state: np.ndarray) -> np.ndarray:
+        """Right-hand side over ``[x, y]``."""
+        S = self.num_classes
+        mu, cdl, lam, gam = self._arrays()
+        x = state[:S]
+        y = state[S:]
+        weighted = x * cdl
+        denom = float(np.sum(weighted))
+        seed_capacity = float(np.sum(mu * y))
+        from_seeds = weighted / denom * seed_capacity if denom > 0 else np.zeros(S)
+        from_peers = self.eta * mu * x
+        # Physical cap: a class cannot absorb more than its aggregate
+        # download capacity (keeps drain transients positivity preserving).
+        served = np.minimum(from_peers + from_seeds, cdl * np.maximum(x, 0.0))
+        dx = lam - served
+        dy = served - gam * y
+        return np.concatenate([dx, dy])
+
+    def stationary_seed_capacity(self) -> float:
+        """Aggregate upload the stationary seed population would provide.
+
+        ``sum_l mu_l * lambda_l / gamma_l`` -- every arriving peer
+        eventually seeds for ``1/gamma_l`` at rate ``mu_l``.
+        """
+        mu, _, lam, gam = self._arrays()
+        return float(np.sum(mu * lam / gam))
+
+    def is_stable(self) -> bool:
+        """Whether an interior (positive-downloader) steady state exists.
+
+        The upload-constrained model needs demand to exceed what the seeds
+        alone supply: ``sum lambda > stationary_seed_capacity()``.  Beyond
+        that boundary the downloader populations collapse to zero and the
+        real system becomes download-constrained -- a regime the paper's
+        models deliberately do not cover (the generalisation of the
+        ``gamma > mu`` condition of Eq. 4).
+        """
+        _, _, lam, _ = self._arrays()
+        total = float(np.sum(lam))
+        return total > self.stationary_seed_capacity()
+
+    def has_proportional_bandwidth(self, rel_tol: float = 1e-12) -> bool:
+        """Whether ``mu_i / c_i`` is the same for every class.
+
+        Under this condition (which covers MTCD, where both bandwidths scale
+        as ``1/i``) the steady state is available in closed form.
+        """
+        mu, cdl, _, _ = self._arrays()
+        ratios = mu / cdl
+        return bool(np.all(np.abs(ratios - ratios[0]) <= rel_tol * np.abs(ratios[0])))
+
+    def steady_state(self) -> HeterogeneousSteadyState:
+        """Closed-form steady state (requires proportional bandwidths).
+
+        With ``kappa = mu_i/c_i`` constant, ``y_i = lambda_i/gamma_i`` and
+        ``x_i*c_i`` is proportional to ``lambda_i``:
+
+            x_i = lambda_i * (sum lambda - S_seed) / (eta*kappa*c_i*sum lambda)
+
+        where ``S_seed = sum_l mu_l*lambda_l/gamma_l`` is the stationary seed
+        capacity.  Raises if the proportionality does not hold or if seeds
+        alone can serve all demand (no positive downloader population).
+        """
+        if not self.has_proportional_bandwidth():
+            raise ValueError(
+                "closed form requires mu_i/c_i constant across classes; "
+                "use steady_state_numeric() instead"
+            )
+        mu, cdl, lam, gam = self._arrays()
+        total = float(np.sum(lam))
+        if total == 0.0:
+            zeros = np.zeros(self.num_classes)
+            return HeterogeneousSteadyState(zeros, zeros, np.full(self.num_classes, np.nan))
+        kappa = float(mu[0] / cdl[0])
+        seed_capacity = float(np.sum(mu * lam / gam))
+        surplus = total - seed_capacity
+        if surplus <= 0:
+            raise ValueError(
+                "unstable configuration: stationary seed capacity "
+                f"{seed_capacity:.6g} >= total demand {total:.6g}"
+            )
+        x = lam * surplus / (self.eta * kappa * cdl * total)
+        y = lam / gam
+        if np.any(cdl * x < lam - 1e-12):
+            raise ValueError(
+                "download-constrained regime: some class's download capacity "
+                "cannot absorb its steady-state service; the closed form "
+                "(and the paper's upload-constrained assumption) do not apply"
+            )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            times = np.where(lam > 0, x / lam, np.nan)
+        return HeterogeneousSteadyState(downloaders=x, seeds=y, download_times=times)
+
+    def steady_state_numeric(
+        self, options: SteadyStateOptions | None = None
+    ) -> SteadyStateResult:
+        """Numerical stationary point (works for arbitrary bandwidth mixes)."""
+        return find_steady_state(self.rhs, np.zeros(self.state_dim), options)
+
+    def download_times_from_state(self, state: np.ndarray) -> np.ndarray:
+        """Little's-law download times ``x_i / lambda_i`` from a state vector."""
+        S = self.num_classes
+        _, _, lam, _ = self._arrays()
+        x = np.asarray(state[:S], dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(lam > 0, x / lam, np.nan)

@@ -1,0 +1,132 @@
+"""Metric containers shared by every downloading scheme.
+
+The paper's headline metric is the *average online time per file* (Sec. 4.2):
+the total online time accrued, divided by the total number of files
+requested.  For a class-``i`` user (one who requested ``i`` files) the
+per-user accounting is
+
+* ``total_download_time`` -- wall-clock from arrival until the last requested
+  file completes,
+* ``total_online_time``   -- wall-clock from arrival until the user finally
+  leaves the system (download plus seeding phases),
+
+and the corresponding per-file values divide by ``i``.  Under MTCD, for
+example, a class-``i`` user's ``i`` concurrent peers each take ``i*c`` to
+finish, so the download time per file is ``c`` and the online time per file
+is ``c + 1/(i*gamma)`` -- which is what makes multi-file peers *better off*
+under concurrency (Fig. 3) even though each individual transfer is slower.
+
+System-level aggregates weight each class by its arrival rate:
+
+    avg per file = sum_i lambda_i * total_i / sum_i lambda_i * i
+
+which is exactly "sum of the online time for all the peers divided by the
+total number of files the peers have requested" with class-``i`` users
+arriving at rate ``lambda_i``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ClassMetrics", "SystemMetrics", "aggregate_metrics"]
+
+
+@dataclass(frozen=True)
+class ClassMetrics:
+    """Steady-state performance of one peer class under one scheme.
+
+    Attributes
+    ----------
+    class_index:
+        ``i``, the number of files this class requests.
+    arrival_rate:
+        System-wide arrival rate of class-``i`` users (``lambda_i``).
+    total_download_time:
+        Wall-clock time for the user to obtain all ``i`` files.
+    total_online_time:
+        Wall-clock time until the user departs (downloading + seeding).
+    """
+
+    class_index: int
+    arrival_rate: float
+    total_download_time: float
+    total_online_time: float
+
+    def __post_init__(self) -> None:
+        if self.class_index < 1:
+            raise ValueError(f"class_index must be >= 1, got {self.class_index}")
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival_rate must be >= 0, got {self.arrival_rate}")
+
+    @property
+    def download_time_per_file(self) -> float:
+        """``total_download_time / i``."""
+        return self.total_download_time / self.class_index
+
+    @property
+    def online_time_per_file(self) -> float:
+        """``total_online_time / i``."""
+        return self.total_online_time / self.class_index
+
+    @property
+    def seeding_time(self) -> float:
+        """Time spent purely seeding, ``total_online - total_download``."""
+        return self.total_online_time - self.total_download_time
+
+
+@dataclass(frozen=True)
+class SystemMetrics:
+    """Rate-weighted aggregate over all classes for one scheme.
+
+    ``avg_online_time_per_file`` is the paper's Figure-2/4(a) metric.
+    """
+
+    scheme: str
+    per_class: tuple[ClassMetrics, ...]
+    avg_online_time_per_file: float
+    avg_download_time_per_file: float
+
+    def class_metrics(self, i: int) -> ClassMetrics:
+        """Metrics for class ``i``; raises ``KeyError`` if absent."""
+        for cm in self.per_class:
+            if cm.class_index == i:
+                return cm
+        raise KeyError(f"no class {i} in metrics for scheme {self.scheme!r}")
+
+    @property
+    def classes(self) -> tuple[int, ...]:
+        return tuple(cm.class_index for cm in self.per_class)
+
+
+def aggregate_metrics(scheme: str, per_class: Sequence[ClassMetrics]) -> SystemMetrics:
+    """Fold per-class metrics into a :class:`SystemMetrics`.
+
+    Classes with zero arrival rate contribute nothing to the averages (they
+    do not exist in steady state) but are kept in ``per_class`` so the
+    per-class figures can still display their hypothetical values when they
+    are finite.
+    """
+    rates = np.array([cm.arrival_rate for cm in per_class])
+    files = np.array([cm.class_index for cm in per_class], dtype=float)
+    online = np.array([cm.total_online_time for cm in per_class])
+    download = np.array([cm.total_download_time for cm in per_class])
+    file_rate = float(np.sum(rates * files))
+    if file_rate <= 0.0:
+        avg_online = math.nan
+        avg_download = math.nan
+    else:
+        # Ignore non-finite per-class values carried for empty classes.
+        mask = rates > 0
+        avg_online = float(np.sum(rates[mask] * online[mask]) / file_rate)
+        avg_download = float(np.sum(rates[mask] * download[mask]) / file_rate)
+    return SystemMetrics(
+        scheme=scheme,
+        per_class=tuple(per_class),
+        avg_online_time_per_file=avg_online,
+        avg_download_time_per_file=avg_download,
+    )

@@ -1,0 +1,97 @@
+"""Multi-File-torrent Concurrent Downloading -- Sec. 3.4 of the paper.
+
+MFCD is what today's clients do with a multi-file torrent: chunks of all the
+selected files are fetched at random, i.e. the files download concurrently.
+Viewing a peer that selected ``i`` files as ``i`` virtual peers (each with
+``1/i`` of the bandwidth), a torrent of ``K`` files becomes ``K``
+subtorrents and the system is *equivalent to MTCD in the fluid model* --
+virtual peers depart together rather than independently, but the mean seed
+service time is ``1/gamma`` either way, which is all Eq. (1)/(2) uses.
+
+The class keeps MFCD as a first-class scheme (its own name, its own
+workload semantics: files in one torrent are highly correlated, so ``p`` is
+typically near 1) while delegating the mathematics to :class:`MTCDModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.correlation import CorrelationModel
+from repro.core.metrics import ClassMetrics, SystemMetrics, aggregate_metrics
+from repro.core.mtcd import MTCDModel, MTCDSteadyState
+from repro.core.parameters import FluidParameters
+
+__all__ = ["MFCDModel"]
+
+
+@dataclass(frozen=True)
+class MFCDModel:
+    """Fluid model for concurrent downloading inside one multi-file torrent.
+
+    Attributes
+    ----------
+    params:
+        Shared fluid parameters; ``params.num_files`` is the number of files
+        published in the torrent (= number of subtorrents).
+    class_rates:
+        ``lambda_i`` for ``i = 1..K`` -- arrival rate of users selecting
+        ``i`` of the torrent's files.
+    """
+
+    params: FluidParameters
+    class_rates: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        rates = np.asarray(self.class_rates, dtype=float)
+        if rates.shape != (self.params.num_files,):
+            raise ValueError(
+                f"class_rates must have shape ({self.params.num_files},), got {rates.shape}"
+            )
+        if np.any(rates < 0):
+            raise ValueError("class_rates must be nonnegative")
+        object.__setattr__(self, "class_rates", rates)
+
+    @classmethod
+    def from_correlation(
+        cls, params: FluidParameters, correlation: CorrelationModel
+    ) -> "MFCDModel":
+        if correlation.num_files != params.num_files:
+            raise ValueError(
+                f"correlation K={correlation.num_files} != params K={params.num_files}"
+            )
+        return cls(params=params, class_rates=correlation.class_rates())
+
+    def as_mtcd(self) -> MTCDModel:
+        """The equivalent MTCD model over the ``K`` subtorrents.
+
+        A class-``i`` user puts one virtual peer in each of its ``i``
+        subtorrents, so the per-subtorrent class-``i`` entry rate is
+        ``i * lambda_i / K`` (subtorrents are symmetric).
+        """
+        i = np.arange(1, self.params.num_files + 1, dtype=float)
+        per_subtorrent = i * self.class_rates / self.params.num_files
+        return MTCDModel(params=self.params, per_torrent_rates=per_subtorrent)
+
+    def subtorrent_steady_state(self) -> MTCDSteadyState:
+        """Eq. (2) populations of one subtorrent."""
+        return self.as_mtcd().steady_state()
+
+    def download_time_per_file(self) -> float:
+        """The constant per-file download time ``c`` (same as MTCD)."""
+        return self.as_mtcd().download_time_per_file()
+
+    def class_metrics(self, i: int) -> ClassMetrics:
+        mtcd = self.as_mtcd().class_metrics(i)
+        return ClassMetrics(
+            class_index=mtcd.class_index,
+            arrival_rate=float(self.class_rates[i - 1]),
+            total_download_time=mtcd.total_download_time,
+            total_online_time=mtcd.total_online_time,
+        )
+
+    def system_metrics(self) -> SystemMetrics:
+        per_class = [self.class_metrics(i) for i in range(1, self.params.num_files + 1)]
+        return aggregate_metrics("MFCD", per_class)

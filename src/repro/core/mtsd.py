@@ -1,0 +1,101 @@
+"""Multi-Torrent Sequential Downloading -- Eq. (3)/(4) of the paper.
+
+Under MTSD a user requesting ``i`` files visits its torrents one at a time
+with its *full* bandwidth, so each visit is an ordinary single-torrent
+download of duration ``T = (gamma - mu)/(gamma*mu*eta)`` followed by a
+seeding phase of mean ``1/gamma`` (Eq. 4):
+
+    T_i^MTSD = i * (T + 1/gamma).
+
+Every class therefore experiences the same download time per file (``T``)
+and the same online time per file (``T + 1/gamma``): MTSD is perfectly fair
+and, crucially, *insensitive to the file correlation p* -- the flat line in
+Figure 2 against which MTCD degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.correlation import CorrelationModel
+from repro.core.metrics import ClassMetrics, SystemMetrics, aggregate_metrics
+from repro.core.parameters import FluidParameters
+from repro.core.single_torrent import SingleTorrentModel, SingleTorrentSteadyState
+
+__all__ = ["MTSDModel"]
+
+
+@dataclass(frozen=True)
+class MTSDModel:
+    """Eq. (4) performance model for sequential multi-torrent downloading.
+
+    Attributes
+    ----------
+    params:
+        Shared fluid parameters.
+    class_rates:
+        ``lambda_i`` for ``i = 1..K`` -- system-wide arrival rate of users
+        requesting ``i`` files (used only for rate-weighted aggregates; the
+        per-class times are workload-independent).
+    """
+
+    params: FluidParameters
+    class_rates: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        rates = np.asarray(self.class_rates, dtype=float)
+        if rates.shape != (self.params.num_files,):
+            raise ValueError(
+                f"class_rates must have shape ({self.params.num_files},), got {rates.shape}"
+            )
+        if np.any(rates < 0):
+            raise ValueError("class_rates must be nonnegative")
+        if not self.params.is_stable:
+            raise ValueError(
+                f"MTSD requires gamma > mu, got gamma={self.params.gamma}, mu={self.params.mu}"
+            )
+        object.__setattr__(self, "class_rates", rates)
+
+    @classmethod
+    def from_correlation(
+        cls, params: FluidParameters, correlation: CorrelationModel
+    ) -> "MTSDModel":
+        if correlation.num_files != params.num_files:
+            raise ValueError(
+                f"correlation K={correlation.num_files} != params K={params.num_files}"
+            )
+        return cls(params=params, class_rates=correlation.class_rates())
+
+    def single_download_time(self) -> float:
+        """``T = (gamma - mu)/(gamma*mu*eta)`` -- one full-bandwidth download."""
+        p = self.params
+        return (p.gamma - p.mu) / (p.gamma * p.mu * p.eta)
+
+    def torrent_steady_state(self) -> SingleTorrentSteadyState:
+        """Populations of one torrent under MTSD traffic.
+
+        Each requested file eventually brings one full-bandwidth visit, so a
+        torrent's effective entry rate is ``sum_i lambda_j^i =
+        sum_i i*lambda_i / K`` and Eq. (3) applies directly.
+        """
+        i = np.arange(1, self.params.num_files + 1, dtype=float)
+        torrent_rate = float(np.sum(i * self.class_rates)) / self.params.num_files
+        return SingleTorrentModel(self.params, torrent_rate).steady_state()
+
+    def class_metrics(self, i: int) -> ClassMetrics:
+        """Eq. (4): ``T_i = i*(T + 1/gamma)``."""
+        if not 1 <= i <= self.params.num_files:
+            raise ValueError(f"class index must be in 1..{self.params.num_files}")
+        T = self.single_download_time()
+        return ClassMetrics(
+            class_index=i,
+            arrival_rate=float(self.class_rates[i - 1]),
+            total_download_time=i * T,
+            total_online_time=i * (T + self.params.mean_seed_time),
+        )
+
+    def system_metrics(self) -> SystemMetrics:
+        per_class = [self.class_metrics(i) for i in range(1, self.params.num_files + 1)]
+        return aggregate_metrics("MTSD", per_class)

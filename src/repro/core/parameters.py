@@ -1,0 +1,122 @@
+"""Fluid-model parameters (Table 1 of the paper) and validation.
+
+The paper's evaluation (Sec. 4) fixes ``K=10, mu=0.02, eta=0.5, gamma=0.05``
+throughout; :data:`PAPER_PARAMETERS` reproduces that configuration.  Time is
+measured in abstract model units and the file size is normalised to one, so
+``1/mu`` is the time a dedicated seed needs to push one full copy of a file.
+
+>>> PAPER_PARAMETERS.mean_seed_time
+20.0
+>>> PAPER_PARAMETERS.is_stable           # gamma > mu
+True
+>>> PAPER_PARAMETERS.with_(num_files=3).K
+3
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["FluidParameters", "PAPER_PARAMETERS", "TABLE1_GLOSSARY", "format_table1"]
+
+
+@dataclass(frozen=True)
+class FluidParameters:
+    """Parameters of the multi-file BitTorrent fluid models.
+
+    Attributes
+    ----------
+    mu:
+        Per-peer upload bandwidth, in files per unit time (the model is
+        upload-constrained; download bandwidth is assumed ample).
+    eta:
+        File-sharing efficiency of a *downloader* relative to a seed,
+        ``0 < eta <= 1``.  The paper argues for 0.5 (tit-for-tat makes
+        downloaders upload only conditionally).
+    gamma:
+        Rate at which seeds depart the torrent; mean seeding time ``1/gamma``.
+    num_files:
+        ``K``, the number of files (equivalently torrents or subtorrents).
+    download_bandwidth:
+        Optional per-peer download capacity ``c``.  ``None`` (the default)
+        reproduces the paper's equations exactly: download capacity is
+        assumed unbounded, which is fine at any interior steady state but
+        lets seed service push downloader populations below zero in drain
+        transients.  A finite ``c`` restores Qiu--Srikant's full form
+        ``min{c*x, mu*(eta*x + y)}`` per class, which is positivity
+        preserving; the steady states are unchanged whenever the cap is
+        inactive there (the upload-constrained regime the paper studies).
+    """
+
+    mu: float = 0.02
+    eta: float = 0.5
+    gamma: float = 0.05
+    num_files: int = 10
+    download_bandwidth: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.mu <= 0:
+            raise ValueError(f"mu must be positive, got {self.mu}")
+        if not 0 < self.eta <= 1:
+            raise ValueError(f"eta must be in (0, 1], got {self.eta}")
+        if self.gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {self.gamma}")
+        if self.num_files < 1:
+            raise ValueError(f"num_files must be >= 1, got {self.num_files}")
+        if self.download_bandwidth is not None and self.download_bandwidth <= 0:
+            raise ValueError(
+                f"download_bandwidth must be positive or None, "
+                f"got {self.download_bandwidth}"
+            )
+
+    @property
+    def K(self) -> int:
+        """Alias matching the paper's notation."""
+        return self.num_files
+
+    @property
+    def is_stable(self) -> bool:
+        """Whether the single-torrent steady state has positive downloaders.
+
+        The paper's Eq. (4) requires ``gamma > mu``: seeds must leave faster
+        than one file-copy per upload-time, otherwise seeds alone saturate
+        demand and the downloader population collapses to the boundary.
+        """
+        return self.gamma > self.mu
+
+    @property
+    def mean_seed_time(self) -> float:
+        """Average time a peer lingers as a seed, ``1/gamma``."""
+        return 1.0 / self.gamma
+
+    def with_(self, **changes) -> "FluidParameters":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: The exact configuration used for every figure in the paper (Sec. 4).
+PAPER_PARAMETERS = FluidParameters(mu=0.02, eta=0.5, gamma=0.05, num_files=10)
+
+#: Table 1 of the paper, verbatim glossary of the base fluid model.
+TABLE1_GLOSSARY: tuple[tuple[str, str], ...] = (
+    ("x(t)", "num. of the downloader peers in the torrent at time t"),
+    ("y(t)", "num. of the seeds in the torrent at time t"),
+    ("lambda", "entry rate of new peers"),
+    ("eta", "file sharing efficiency between two downloader peers"),
+    ("mu", "upload bandwidth"),
+    ("gamma", "rate of the seeds departing the torrent"),
+)
+
+
+def format_table1(params: FluidParameters | None = None) -> str:
+    """Render Table 1, optionally annotated with a concrete configuration."""
+    rows = ["Table 1. Parameters in BitTorrent fluid model", "-" * 64]
+    for symbol, meaning in TABLE1_GLOSSARY:
+        rows.append(f"{symbol:<8} | {meaning}")
+    if params is not None:
+        rows.append("-" * 64)
+        rows.append(
+            f"values   | mu={params.mu}, eta={params.eta}, "
+            f"gamma={params.gamma}, K={params.num_files}"
+        )
+    return "\n".join(rows)

@@ -1,0 +1,180 @@
+"""Transient analysis: flash crowds and convergence to steady state.
+
+The paper evaluates only stationary operating points, but its models are
+ODEs and BitTorrent's hardest moments are transient: a *flash crowd* (a
+burst of users arriving at publication time) and the drain that follows.
+This module provides the initial-state builders and trajectory reductions
+for studying those regimes with the same Eq. (1)/(5) right-hand sides:
+
+* :func:`mtcd_flash_crowd_state` / :func:`cmfsd_flash_crowd_state` --
+  place ``n_users`` (classed by the correlation model) into a model's
+  state vector at t=0.
+* :func:`drain_profile` -- integrate with arrivals switched off and reduce
+  to the outstanding-downloader curve plus drain quantiles (t50/t95).
+* :func:`time_to_steady_state` -- with arrivals on, how long until the
+  trajectory is within a tolerance of the stationary point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cmfsd import CMFSDModel
+from repro.core.correlation import CorrelationModel
+from repro.core.mtcd import MTCDModel
+from repro.ode import IntegrationResult, integrate_scipy, sample_dense
+
+__all__ = [
+    "DrainProfile",
+    "mtcd_flash_crowd_state",
+    "cmfsd_flash_crowd_state",
+    "drain_profile",
+    "time_to_steady_state",
+]
+
+
+@dataclass(frozen=True)
+class DrainProfile:
+    """Outstanding-downloader curve of a draining burst.
+
+    Attributes
+    ----------
+    times:
+        Sample times.
+    outstanding:
+        Total downloader population at those times.
+    t50 / t95:
+        First times at which 50% / 95% of the initial downloader
+        population has drained (NaN when not reached in the horizon).
+    """
+
+    times: np.ndarray
+    outstanding: np.ndarray
+    t50: float
+    t95: float
+
+    @property
+    def initial(self) -> float:
+        return float(self.outstanding[0])
+
+
+def _class_counts(correlation: CorrelationModel, n_users: float) -> np.ndarray:
+    """Expected users per class for a burst of ``n_users`` entering users."""
+    return n_users * correlation.class_distribution()
+
+
+def mtcd_flash_crowd_state(
+    model: MTCDModel, correlation: CorrelationModel, n_users: float
+) -> np.ndarray:
+    """Eq.-(1) state for a burst of ``n_users`` hitting all K torrents.
+
+    A class-``i`` user contributes one virtual peer to each of its ``i``
+    torrents; by exchangeability each torrent receives ``i/K`` of the
+    class-``i`` burst.  (MFCD uses the same state via ``as_mtcd()``.)
+    """
+    K = model.params.num_files
+    if correlation.num_files != K:
+        raise ValueError(f"correlation K={correlation.num_files} != model K={K}")
+    if n_users < 0:
+        raise ValueError(f"n_users must be nonnegative, got {n_users}")
+    counts = _class_counts(correlation, n_users)
+    i = np.arange(1, K + 1, dtype=float)
+    state = np.zeros(model.state_dim)
+    state[:K] = counts * i / K
+    return state
+
+
+def cmfsd_flash_crowd_state(
+    model: CMFSDModel, correlation: CorrelationModel, n_users: float
+) -> np.ndarray:
+    """Eq.-(5) state for a burst: every user starts on its first file."""
+    K = model.params.num_files
+    if correlation.num_files != K:
+        raise ValueError(f"correlation K={correlation.num_files} != model K={K}")
+    if n_users < 0:
+        raise ValueError(f"n_users must be nonnegative, got {n_users}")
+    counts = _class_counts(correlation, n_users)
+    state = np.zeros(model.state_dim)
+    for i in range(1, K + 1):
+        state[model.index.pair_index(i, 1)] = counts[i - 1]
+    return state
+
+
+def drain_profile(
+    rhs,
+    y0: np.ndarray,
+    downloader_slice: slice,
+    *,
+    horizon: float = 5000.0,
+    n_samples: int = 400,
+    weights: np.ndarray | None = None,
+) -> DrainProfile:
+    """Integrate a burst with no further arrivals and reduce the decay.
+
+    ``downloader_slice`` selects the downloader populations within the
+    state vector (``slice(0, K)`` for Eq. 1, ``slice(0, n_pairs)`` for
+    Eq. 5).  ``weights`` optionally converts those populations to a common
+    unit before summing -- e.g. ``K/i`` per class turns Eq.-(1) virtual
+    peers into outstanding *users*, making MFCD and CMFSD curves directly
+    comparable.  The caller must supply an ``rhs`` whose arrival terms are
+    zero -- build the model with zero class rates.
+    """
+    y0 = np.asarray(y0, dtype=float)
+    if weights is None:
+        weights = np.ones(downloader_slice.stop - (downloader_slice.start or 0))
+    weights = np.asarray(weights, dtype=float)
+    initial = float(np.sum(weights * y0[downloader_slice]))
+    if initial <= 0:
+        raise ValueError("the burst has no downloaders to drain")
+    result: IntegrationResult = integrate_scipy(
+        rhs, y0, (0.0, horizon), rtol=1e-8, atol=1e-10
+    )
+    times = np.linspace(0.0, horizon, n_samples)
+    states = sample_dense(result, times)
+    outstanding = states[:, downloader_slice] @ weights
+
+    def first_below(threshold: float) -> float:
+        below = np.nonzero(outstanding <= threshold)[0]
+        return float(times[below[0]]) if below.size else float("nan")
+
+    return DrainProfile(
+        times=times,
+        outstanding=outstanding,
+        t50=first_below(0.5 * initial),
+        t95=first_below(0.05 * initial),
+    )
+
+
+def time_to_steady_state(
+    rhs,
+    y0: np.ndarray,
+    steady: np.ndarray,
+    *,
+    rel_tol: float = 0.02,
+    horizon: float = 20000.0,
+    n_samples: int = 2000,
+) -> float:
+    """First time the trajectory stays within ``rel_tol`` of ``steady``.
+
+    Distance is the infinity norm scaled by ``max(1, ||steady||_inf)``;
+    "stays" means from that sample to the end of the horizon, so a
+    trajectory that overshoots and swings back is not credited early.
+    Returns NaN if the horizon is too short.
+    """
+    steady = np.asarray(steady, dtype=float)
+    result = integrate_scipy(rhs, np.asarray(y0, float), (0.0, horizon), rtol=1e-8, atol=1e-10)
+    times = np.linspace(0.0, horizon, n_samples)
+    states = sample_dense(result, times)
+    scale = max(1.0, float(np.max(np.abs(steady))))
+    dist = np.max(np.abs(states - steady[None, :]), axis=1) / scale
+    inside = dist <= rel_tol
+    # Find the first index from which every later sample is inside.
+    outside_idx = np.nonzero(~inside)[0]
+    if outside_idx.size == 0:
+        return float(times[0])
+    first_settled = outside_idx[-1] + 1
+    if first_settled >= n_samples:
+        return float("nan")
+    return float(times[first_settled])

@@ -1,0 +1,25 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each driver module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.base.ExperimentResult` -- a plain container of
+the numeric series plus a rendered text report (tables + ASCII plots).  The
+registry maps experiment ids (``figure2``, ``figure4a``, ...) to drivers;
+``python -m repro run <id>`` executes one end to end and writes its CSV.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+========== ================================================================
+table1     Table 1 -- fluid-model parameter glossary
+figure2    Fig. 2  -- avg online time/file vs correlation p, MTCD vs MTSD
+figure3    Fig. 3  -- per-class times, MTCD vs MTSD, p in {0.1, 1.0}
+figure4a   Fig. 4a -- CMFSD avg online time/file over the (p, rho) grid
+figure4bc  Fig. 4b/c -- per-class times, CMFSD (rho in {0.1, 0.9}) vs MFCD
+adapt      Sec. 4.3 / future work -- Adapt mechanism study (fluid + sim)
+validation cross-check: simulator vs fluid predictions for all schemes
+========== ================================================================
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import REGISTRY, get_experiment, list_experiments
+
+__all__ = ["ExperimentResult", "REGISTRY", "get_experiment", "list_experiments"]

@@ -1,0 +1,123 @@
+"""Shared result containers for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.svg_plot import svg_heatmap, write_svg
+from repro.analysis.tables import write_csv
+
+__all__ = ["ExperimentResult", "FigureSpec", "HeatmapSpec"]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One renderable line chart attached to an experiment result.
+
+    ``series`` maps legend names to ``(xs, ys)``; drivers attach these so
+    the CLI/report can emit browser-viewable SVGs next to the CSVs.
+    """
+
+    name: str
+    series: Mapping[str, tuple]
+    title: str = ""
+    xlabel: str = ""
+    ylabel: str = ""
+
+
+@dataclass(frozen=True)
+class HeatmapSpec:
+    """One renderable heat map attached to an experiment result."""
+
+    name: str
+    grid: tuple
+    row_labels: tuple
+    col_labels: tuple
+    title: str = ""
+    row_name: str = "row"
+    col_name: str = "col"
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one experiment driver.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key (``figure2``, ``table1``, ...).
+    title:
+        Human-readable description referencing the paper artifact.
+    headers / rows:
+        The reproduced numeric series in tabular form -- the exact data the
+        paper's figure plots.
+    rendered:
+        Full text report (tables, ASCII plots, shape checks) as printed by
+        the CLI.
+    notes:
+        Caveats and expected-shape commentary recorded alongside the data.
+    """
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...] = field(repr=False)
+    rendered: str = field(repr=False, default="")
+    notes: str = ""
+    figures: tuple[FigureSpec, ...] = ()
+
+    def write_csv(self, directory: str | Path) -> Path:
+        """Write the series to ``<directory>/<experiment_id>.csv``."""
+        return write_csv(
+            Path(directory) / f"{self.experiment_id}.csv", self.headers, self.rows
+        )
+
+    def write_figures(self, directory: str | Path) -> list[Path]:
+        """Render the attached figures as SVG files; returns their paths."""
+        paths = []
+        for fig in self.figures:
+            path = Path(directory) / f"{self.experiment_id}_{fig.name}.svg"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if isinstance(fig, HeatmapSpec):
+                path.write_text(
+                    svg_heatmap(
+                        fig.grid,
+                        row_labels=fig.row_labels,
+                        col_labels=fig.col_labels,
+                        title=fig.title,
+                        row_name=fig.row_name,
+                        col_name=fig.col_name,
+                    )
+                )
+                paths.append(path)
+            else:
+                paths.append(
+                    write_svg(
+                        path,
+                        fig.series,
+                        title=fig.title,
+                        xlabel=fig.xlabel,
+                        ylabel=fig.ylabel,
+                    )
+                )
+        return paths
+
+    def column(self, name: str) -> list:
+        """Extract one column by header name."""
+        try:
+            idx = self.headers.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column {name!r}; available: {list(self.headers)}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+
+def rows_from_columns(*columns: Sequence) -> tuple[tuple, ...]:
+    """Zip equal-length columns into result rows."""
+    lengths = {len(c) for c in columns}
+    if len(lengths) > 1:
+        raise ValueError(f"columns have differing lengths: {sorted(lengths)}")
+    return tuple(zip(*columns))

@@ -1,0 +1,100 @@
+"""Concurrency-limit experiment (extension): how many active torrents?
+
+The paper's Sec.-4.2.1 recommendation is to download files "one by one";
+real clients bound active torrents at some ``m`` (3-5 is a common
+default).  The :class:`BatchedDownloadModel` interpolates exactly between
+MTSD (``m = 1``) and MTCD (``m = K``); this driver sweeps ``m`` across
+correlations and quantifies the cost of each concurrency setting.
+
+Expected shape: the average online time per file is monotone increasing in
+``m`` for every correlation; the penalty of typical client defaults (m=3)
+grows with the correlation, and single-file-at-a-time is always optimal --
+turning the paper's qualitative advice into a concrete dial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.tables import format_table
+from repro.core.batched import BatchedDownloadModel
+from repro.core.correlation import CorrelationModel
+from repro.core.parameters import FluidParameters, PAPER_PARAMETERS
+from repro.experiments.base import ExperimentResult, FigureSpec
+
+__all__ = ["run"]
+
+
+def run(
+    params: FluidParameters = PAPER_PARAMETERS,
+    *,
+    correlations: tuple[float, ...] = (0.1, 0.5, 0.9),
+    concurrency_limits: tuple[int, ...] = (1, 2, 3, 4, 5, 7, 10),
+) -> ExperimentResult:
+    """Sweep the active-torrent limit ``m`` at several correlations."""
+    headers = ("p", "m", "online_per_file", "download_per_file", "penalty_vs_m1")
+    rows: list[tuple] = []
+    series: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for p in correlations:
+        corr = CorrelationModel(num_files=params.num_files, p=p)
+        base = None
+        values = []
+        for m in concurrency_limits:
+            if m < 1:
+                raise ValueError(f"concurrency limits must be >= 1, got {m}")
+            model = BatchedDownloadModel.from_correlation(params, corr, max_concurrency=m)
+            sm = model.system_metrics()
+            online = sm.avg_online_time_per_file
+            if base is None:
+                base = online
+            rows.append(
+                (p, m, online, sm.avg_download_time_per_file, online / base)
+            )
+            values.append(online)
+        series[f"p={p}"] = (
+            np.asarray(concurrency_limits, dtype=float),
+            np.asarray(values),
+        )
+
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            "Bounded concurrency (MTBD): avg online time per file vs the "
+            f"active-torrent limit m (K={params.num_files})"
+        ),
+    )
+    plot = ascii_plot(
+        series,
+        title="Online time per file vs concurrency limit",
+        xlabel="m (max concurrent downloads)",
+        ylabel="avg online time per file",
+        height=16,
+    )
+    worst = max(r[4] for r in rows if r[1] == 3)
+    notes = (
+        "m = 1 (the paper's recommendation) is optimal at every correlation; "
+        f"a typical client default of m = 3 already costs up to "
+        f"{(worst - 1):.0%} at high correlation, and the curve saturates at "
+        "the MTCD value by m = K.  The penalty is purely a queueing effect: "
+        "splitting bandwidth lengthens every transfer without adding any "
+        "capacity."
+    )
+    return ExperimentResult(
+        experiment_id="concurrency",
+        title="Concurrency-limit sweep: MTSD -> MTCD interpolation (extension)",
+        headers=headers,
+        rows=tuple(rows),
+        rendered=f"{table}\n\n{plot}\n\n{notes}",
+        notes=notes,
+        figures=(
+            FigureSpec(
+                name="online_vs_m",
+                series={k: (tuple(v[0]), tuple(v[1])) for k, v in series.items()},
+                title="Bounded concurrency: online time per file vs m",
+                xlabel="max concurrent downloads m",
+                ylabel="avg online time per file",
+            ),
+        ),
+    )

@@ -1,0 +1,109 @@
+"""Figure 2: average online time per file vs file correlation, MTCD vs MTSD.
+
+The paper's headline multi-torrent result: with ``K=10, mu=0.02, eta=0.5,
+gamma=0.05``, MTSD is flat at ``T + 1/gamma = 80`` while MTCD starts there
+for uncorrelated files and degrades as correlation grows (to ``98`` at
+``p = 1``).  Expected shape: the curves coincide at ``p -> 0`` and MTCD
+increases monotonically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.tables import format_table
+from repro.core.correlation import CorrelationModel
+from repro.core.mtcd import MTCDModel
+from repro.core.mtsd import MTSDModel
+from repro.core.parameters import FluidParameters, PAPER_PARAMETERS
+from repro.experiments.base import ExperimentResult, FigureSpec, rows_from_columns
+
+__all__ = ["run"]
+
+
+def run(
+    params: FluidParameters = PAPER_PARAMETERS,
+    *,
+    p_values: np.ndarray | None = None,
+) -> ExperimentResult:
+    """Sweep the file correlation and evaluate both multi-torrent schemes."""
+    if p_values is None:
+        p_values = np.linspace(0.01, 1.0, 34)
+    p_values = np.asarray(p_values, dtype=float)
+    if np.any((p_values <= 0) | (p_values > 1)):
+        raise ValueError("p values must lie in (0, 1]")
+
+    mtcd_online = np.empty_like(p_values)
+    mtsd_online = np.empty_like(p_values)
+    mtcd_download = np.empty_like(p_values)
+    mtsd_download = np.empty_like(p_values)
+    for k, p in enumerate(p_values):
+        corr = CorrelationModel(num_files=params.num_files, p=float(p))
+        mtcd = MTCDModel.from_correlation(params, corr).system_metrics()
+        mtsd = MTSDModel.from_correlation(params, corr).system_metrics()
+        mtcd_online[k] = mtcd.avg_online_time_per_file
+        mtsd_online[k] = mtsd.avg_online_time_per_file
+        mtcd_download[k] = mtcd.avg_download_time_per_file
+        mtsd_download[k] = mtsd.avg_download_time_per_file
+
+    rows = rows_from_columns(
+        [float(p) for p in p_values],
+        [float(v) for v in mtcd_online],
+        [float(v) for v in mtsd_online],
+        [float(v) for v in mtcd_download],
+        [float(v) for v in mtsd_download],
+    )
+    headers = (
+        "p",
+        "mtcd_online_per_file",
+        "mtsd_online_per_file",
+        "mtcd_download_per_file",
+        "mtsd_download_per_file",
+    )
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            "Figure 2: average online time per file vs file correlation "
+            f"(K={params.num_files}, mu={params.mu}, eta={params.eta}, "
+            f"gamma={params.gamma})"
+        ),
+    )
+    plot = ascii_plot(
+        {
+            "MTCD": (p_values, mtcd_online),
+            "MTSD": (p_values, mtsd_online),
+        },
+        title="Figure 2 (reproduced)",
+        xlabel="file correlation p",
+        ylabel="avg online time per file",
+    )
+    gap_low = mtcd_online[0] - mtsd_online[0]
+    gap_high = mtcd_online[-1] - mtsd_online[-1]
+    notes = (
+        f"MTSD is correlation-independent at {mtsd_online[0]:.3f}; MTCD rises from "
+        f"{mtcd_online[0]:.3f} (gap {gap_low:+.3f}) to {mtcd_online[-1]:.3f} "
+        f"(gap {gap_high:+.3f}) -- matching the paper's 'similar at low "
+        "correlation, worsens as correlation increases'."
+    )
+    return ExperimentResult(
+        experiment_id="figure2",
+        title="Figure 2: MTCD vs MTSD average online time per file",
+        headers=headers,
+        rows=rows,
+        rendered=f"{table}\n\n{plot}\n\n{notes}",
+        notes=notes,
+        figures=(
+            FigureSpec(
+                name="online_vs_p",
+                series={
+                    "MTCD": (tuple(p_values), tuple(mtcd_online)),
+                    "MTSD": (tuple(p_values), tuple(mtsd_online)),
+                },
+                title="Figure 2 (reproduced): avg online time per file",
+                xlabel="file correlation p",
+                ylabel="online time per file",
+            ),
+        ),
+    )

@@ -1,0 +1,160 @@
+"""Figure 2 with simulation overlay (extension): fluid curves + DES points.
+
+The strongest form of Figure 2: the analytic MTCD/MTSD curves from Eq.
+(2)/(4), overlaid with independent discrete-event simulation measurements
+at a few correlations.  Where the paper shows two model curves, this
+reproduction shows that a peer-level system actually lands on them.
+
+Expected shape (asserted in the benchmark): each simulated point within a
+few percent of its fluid curve, with the documented exception that MTCD's
+simulated *online* time runs slightly above the fluid (a user's concurrent
+seeding phases end at the max of i exponentials, not after 1/gamma).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.tables import format_table
+from repro.core.correlation import CorrelationModel
+from repro.core.mtcd import MTCDModel
+from repro.core.mtsd import MTSDModel
+from repro.core.parameters import FluidParameters, PAPER_PARAMETERS
+from repro.core.schemes import Scheme
+from repro.experiments.base import ExperimentResult, FigureSpec
+from repro.sim.scenarios import ScenarioConfig, run_scenario
+
+__all__ = ["run"]
+
+
+def run(
+    params: FluidParameters = PAPER_PARAMETERS,
+    *,
+    sim_points: tuple[float, ...] = (0.2, 0.5, 0.9),
+    visit_rate: float = 0.8,
+    t_end: float = 2500.0,
+    warmup: float = 700.0,
+    seed: int = 31,
+) -> ExperimentResult:
+    """Simulate both multi-torrent schemes at a few correlations."""
+    headers = (
+        "p",
+        "scheme",
+        "fluid_online_per_file",
+        "sim_online_per_file",
+        "fluid_download_per_file",
+        "sim_download_per_file",
+    )
+    rows: list[tuple] = []
+    for p in sim_points:
+        corr = CorrelationModel(num_files=params.num_files, p=p, visit_rate=visit_rate)
+        fluid = {
+            Scheme.MTCD: MTCDModel.from_correlation(params, corr).system_metrics(),
+            Scheme.MTSD: MTSDModel.from_correlation(params, corr).system_metrics(),
+        }
+        for scheme in (Scheme.MTCD, Scheme.MTSD):
+            summary = run_scenario(
+                ScenarioConfig(
+                    scheme=scheme,
+                    params=params,
+                    correlation=corr,
+                    t_end=t_end,
+                    warmup=warmup,
+                    seed=seed,
+                )
+            )
+            if scheme is Scheme.MTSD:
+                # The fluid's download time per file is the *transfer* time
+                # T; the user-level wall clock also contains the inter-file
+                # seeding phases, so compare per-entry transfer times.
+                sim_download = float(
+                    np.nanmean(summary.entry_download_time_by_class)
+                )
+            else:
+                sim_download = summary.avg_download_time_per_file
+            rows.append(
+                (
+                    p,
+                    scheme.value,
+                    fluid[scheme].avg_online_time_per_file,
+                    summary.avg_online_time_per_file,
+                    fluid[scheme].avg_download_time_per_file,
+                    sim_download,
+                )
+            )
+
+    # Fluid curves for the overlay.
+    curve_p = np.linspace(0.05, 1.0, 25)
+    mtcd_curve, mtsd_curve = [], []
+    for p in curve_p:
+        corr = CorrelationModel(num_files=params.num_files, p=float(p))
+        mtcd_curve.append(
+            MTCDModel.from_correlation(params, corr).system_metrics().avg_online_time_per_file
+        )
+        mtsd_curve.append(
+            MTSDModel.from_correlation(params, corr).system_metrics().avg_online_time_per_file
+        )
+
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            "Figure 2 with simulation overlay "
+            f"(lambda0={visit_rate}, horizon={t_end}, warmup={warmup})"
+        ),
+    )
+    sim_mtcd = [(r[0], r[3]) for r in rows if r[1] == "MTCD"]
+    sim_mtsd = [(r[0], r[3]) for r in rows if r[1] == "MTSD"]
+    plot = ascii_plot(
+        {
+            "MTCD fluid": (curve_p, np.asarray(mtcd_curve)),
+            "MTSD fluid": (curve_p, np.asarray(mtsd_curve)),
+            "MTCD sim": (
+                np.asarray([x for x, _ in sim_mtcd]),
+                np.asarray([y for _, y in sim_mtcd]),
+            ),
+            "MTSD sim": (
+                np.asarray([x for x, _ in sim_mtsd]),
+                np.asarray([y for _, y in sim_mtsd]),
+            ),
+        },
+        title="Figure 2 (fluid curves + simulated points)",
+        xlabel="file correlation p",
+        ylabel="avg online time per file",
+    )
+    worst_dl = max(abs(r[5] - r[4]) / r[4] for r in rows)
+    notes = (
+        f"Simulated download times land on the fluid curves within "
+        f"{worst_dl:.1%} worst-case; the MTCD online points sit a few "
+        "percent above the fluid (max-of-exponential seeding, documented in "
+        "the validation experiment)."
+    )
+    return ExperimentResult(
+        experiment_id="figure2sim",
+        title="Figure 2 with discrete-event simulation overlay (extension)",
+        headers=headers,
+        rows=tuple(rows),
+        rendered=f"{table}\n\n{plot}\n\n{notes}",
+        notes=notes,
+        figures=(
+            FigureSpec(
+                name="overlay",
+                series={
+                    "MTCD fluid": (tuple(curve_p), tuple(mtcd_curve)),
+                    "MTSD fluid": (tuple(curve_p), tuple(mtsd_curve)),
+                    "MTCD sim": (
+                        tuple(x for x, _ in sim_mtcd),
+                        tuple(y for _, y in sim_mtcd),
+                    ),
+                    "MTSD sim": (
+                        tuple(x for x, _ in sim_mtsd),
+                        tuple(y for _, y in sim_mtsd),
+                    ),
+                },
+                title="Figure 2 (reproduced, with simulation overlay)",
+                xlabel="file correlation p",
+                ylabel="avg online time per file",
+            ),
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Experiment id -> driver mapping used by the CLI and the benches."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    adapt_study,
+    concurrency,
+    eta_measurement,
+    fairness,
+    figure2,
+    figure2sim,
+    figure3,
+    figure4a,
+    figure4bc,
+    flashcrowd,
+    heterogeneity,
+    lifetime,
+    mixing,
+    sensitivity,
+    table1,
+    validation,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["REGISTRY", "get_experiment", "list_experiments"]
+
+#: experiment id -> (driver, one-line description)
+REGISTRY: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
+    "table1": (table1.run, "Table 1: fluid-model parameter glossary"),
+    "figure2": (figure2.run, "Fig. 2: avg online time/file vs correlation, MTCD vs MTSD"),
+    "figure3": (figure3.run, "Fig. 3: per-class times, MTCD vs MTSD (p=0.1, 1.0)"),
+    "figure4a": (figure4a.run, "Fig. 4a: CMFSD online time/file over the (p, rho) grid"),
+    "figure4bc": (figure4bc.run, "Fig. 4b/c: per-class times, CMFSD vs MFCD (p=0.9, 0.1)"),
+    "adapt": (adapt_study.run, "Adapt mechanism study (paper future work)"),
+    "validation": (validation.run, "Simulator vs fluid cross-validation"),
+    "flashcrowd": (flashcrowd.run, "Extension: flash-crowd drain, MFCD vs CMFSD"),
+    "sensitivity": (sensitivity.run, "Extension: eta/gamma sensitivity of the conclusions"),
+    "heterogeneity": (heterogeneity.run, "Extension: Sec.-2 general model on an access-link mix"),
+    "eta": (eta_measurement.run, "Extension: measure eta with a chunk-level swarm"),
+    "concurrency": (concurrency.run, "Extension: active-torrent limit sweep (MTSD->MTCD)"),
+    "mixing": (mixing.run, "Extension: full-mixing assumption vs tracker numwant"),
+    "figure2sim": (figure2sim.run, "Extension: Fig. 2 fluid curves + DES overlay points"),
+    "fairness": (fairness.run, "Extension: Jain fairness vs efficiency frontier"),
+    "lifetime": (lifetime.run, "Extension: torrent lifetime under decaying arrivals"),
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up a driver; raises ``KeyError`` with the available ids."""
+    try:
+        return REGISTRY[experiment_id][0]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(REGISTRY)}"
+        ) from None
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """``(id, description)`` pairs in registry order."""
+    return [(eid, desc) for eid, (_, desc) in REGISTRY.items()]

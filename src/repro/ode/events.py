@@ -1,0 +1,48 @@
+"""Time-grid and dense-output helpers for the ODE layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ode.types import IntegrationResult
+
+__all__ = ["time_grid", "sample_dense"]
+
+
+def time_grid(t0: float, t1: float, n: int = 200, *, spacing: str = "linear") -> np.ndarray:
+    """Build a sampling grid over ``[t0, t1]``.
+
+    ``spacing`` is ``"linear"`` or ``"log"``.  Log spacing requires
+    ``t0 > 0`` and concentrates samples near ``t0``, which suits transient
+    studies of the fluid models (the interesting dynamics are early).
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if not t1 > t0:
+        raise ValueError(f"need t1 > t0, got ({t0}, {t1})")
+    if spacing == "linear":
+        return np.linspace(t0, t1, n)
+    if spacing == "log":
+        if t0 <= 0:
+            raise ValueError("log spacing requires t0 > 0")
+        return np.geomspace(t0, t1, n)
+    raise ValueError(f"unknown spacing {spacing!r}; expected 'linear' or 'log'")
+
+
+def sample_dense(result: IntegrationResult, times: np.ndarray) -> np.ndarray:
+    """Linearly interpolate a trajectory onto ``times``.
+
+    Returns an array of shape ``(len(times), dim)``.  Times outside the
+    trajectory's span raise ``ValueError`` rather than extrapolating.
+    """
+    times = np.asarray(times, dtype=float)
+    t = result.t
+    if times.size and (times.min() < t[0] - 1e-12 or times.max() > t[-1] + 1e-12):
+        raise ValueError(
+            f"requested times [{times.min()}, {times.max()}] outside trajectory span "
+            f"[{t[0]}, {t[-1]}]"
+        )
+    out = np.empty((times.size, result.dim))
+    for j in range(result.dim):
+        out[:, j] = np.interp(times, t, result.y[:, j])
+    return out

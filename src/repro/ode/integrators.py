@@ -1,0 +1,242 @@
+"""Initial-value-problem solvers.
+
+Two independent implementations are provided on purpose:
+
+* :func:`integrate_rk4` / :func:`integrate_rk45` are written from scratch in
+  this module (classic fourth-order Runge--Kutta and the Dormand--Prince
+  embedded 5(4) pair).
+* :func:`integrate_scipy` delegates to :func:`scipy.integrate.solve_ivp`.
+
+The test-suite requires both families to agree on every fluid model, which
+guards against transcription errors in either the models or the solvers.
+All solvers accept ``f(t, y) -> ndarray`` with ``y`` one-dimensional.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from repro.ode.types import IntegrationResult
+
+__all__ = ["integrate_rk4", "integrate_rk45", "integrate_scipy", "integrate"]
+
+RHS = Callable[[float, np.ndarray], np.ndarray]
+
+# Dormand-Prince RK5(4) Butcher tableau (the pair used by MATLAB's ode45 and
+# scipy's RK45).  C/A define the stages, B the 5th-order weights and E the
+# difference between the 5th- and embedded 4th-order weights (error weights).
+_DP_C = np.array([0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0])
+_DP_A = np.array(
+    [
+        [0, 0, 0, 0, 0, 0],
+        [1 / 5, 0, 0, 0, 0, 0],
+        [3 / 40, 9 / 40, 0, 0, 0, 0],
+        [44 / 45, -56 / 15, 32 / 9, 0, 0, 0],
+        [19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729, 0, 0],
+        [9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176, -5103 / 18656, 0],
+    ]
+)
+_DP_B = np.array([35 / 384, 0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0])
+_DP_B4 = np.array(
+    [5179 / 57600, 0, 7571 / 16695, 393 / 640, -92097 / 339200, 187 / 2100, 1 / 40]
+)
+_DP_E = _DP_B - _DP_B4
+
+
+def _validate_span(t_span: Sequence[float]) -> tuple[float, float]:
+    t0, t1 = float(t_span[0]), float(t_span[1])
+    if not t1 > t0:
+        raise ValueError(f"t_span must satisfy t1 > t0, got ({t0}, {t1})")
+    return t0, t1
+
+
+def integrate_rk4(
+    rhs: RHS,
+    y0: np.ndarray,
+    t_span: Sequence[float],
+    *,
+    n_steps: int = 1000,
+) -> IntegrationResult:
+    """Integrate with the classic fixed-step fourth-order Runge--Kutta method.
+
+    Parameters
+    ----------
+    rhs:
+        Right-hand side ``f(t, y)``.
+    y0:
+        Initial state (one-dimensional).
+    t_span:
+        ``(t0, t1)`` with ``t1 > t0``.
+    n_steps:
+        Number of equal steps; the trajectory has ``n_steps + 1`` samples.
+    """
+    if n_steps < 1:
+        raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+    t0, t1 = _validate_span(t_span)
+    y = np.array(y0, dtype=float)
+    if y.ndim != 1:
+        raise ValueError("y0 must be one-dimensional")
+    h = (t1 - t0) / n_steps
+    ts = np.empty(n_steps + 1)
+    ys = np.empty((n_steps + 1, y.size))
+    ts[0] = t0
+    ys[0] = y
+    t = t0
+    for k in range(n_steps):
+        k1 = np.asarray(rhs(t, y), dtype=float)
+        k2 = np.asarray(rhs(t + h / 2, y + h / 2 * k1), dtype=float)
+        k3 = np.asarray(rhs(t + h / 2, y + h / 2 * k2), dtype=float)
+        k4 = np.asarray(rhs(t + h, y + h * k3), dtype=float)
+        y = y + (h / 6) * (k1 + 2 * k2 + 2 * k3 + k4)
+        t = t0 + (k + 1) * h
+        ts[k + 1] = t
+        ys[k + 1] = y
+    return IntegrationResult(
+        t=ts,
+        y=ys,
+        n_steps=n_steps,
+        n_rhs_evals=4 * n_steps,
+        method="rk4",
+    )
+
+
+def integrate_rk45(
+    rhs: RHS,
+    y0: np.ndarray,
+    t_span: Sequence[float],
+    *,
+    rtol: float = 1e-8,
+    atol: float = 1e-10,
+    h0: float | None = None,
+    max_steps: int = 1_000_000,
+) -> IntegrationResult:
+    """Integrate with an adaptive Dormand--Prince RK5(4) pair.
+
+    Standard embedded-pair error control: after each trial step the
+    elementwise error estimate is compared against ``atol + rtol*|y|``; the
+    step is accepted when the scaled RMS error is at most one and the step
+    size is adapted with the usual fifth-order safety rule.
+
+    Returns the accepted-step trajectory.  ``success`` is ``False`` when the
+    step count budget is exhausted or the step size underflows.
+    """
+    t0, t1 = _validate_span(t_span)
+    y = np.array(y0, dtype=float)
+    if y.ndim != 1:
+        raise ValueError("y0 must be one-dimensional")
+
+    n_evals = 0
+
+    def f(t: float, state: np.ndarray) -> np.ndarray:
+        nonlocal n_evals
+        n_evals += 1
+        return np.asarray(rhs(t, state), dtype=float)
+
+    t = t0
+    h = h0 if h0 is not None else (t1 - t0) / 100.0
+    h = min(h, t1 - t0)
+    ts = [t0]
+    ys = [y.copy()]
+    k_stages = np.empty((7, y.size))
+    k_stages[0] = f(t, y)  # FSAL: stage 0 of the next step is stage 6 of this one
+    n_accepted = 0
+    success = True
+    message = "completed"
+    min_step = 1e-14 * max(abs(t1), 1.0)
+
+    while t < t1:
+        h = min(h, t1 - t)
+        if h < min_step:
+            success = False
+            message = "step size underflow"
+            break
+        if n_accepted >= max_steps:
+            success = False
+            message = f"exceeded max_steps={max_steps}"
+            break
+        for i in range(1, 6):
+            yi = y + h * (k_stages[:i].T @ _DP_A[i, :i])
+            k_stages[i] = f(t + _DP_C[i] * h, yi)
+        y_new = y + h * (k_stages[:6].T @ _DP_B[:6])
+        k_stages[6] = f(t + h, y_new)
+        err_vec = h * (k_stages.T @ _DP_E)
+        scale = atol + rtol * np.maximum(np.abs(y), np.abs(y_new))
+        err = float(np.sqrt(np.mean((err_vec / scale) ** 2)))
+        if err <= 1.0:
+            t = t + h
+            y = y_new
+            ts.append(t)
+            ys.append(y.copy())
+            k_stages[0] = k_stages[6]
+            n_accepted += 1
+            factor = 5.0 if err == 0.0 else min(5.0, 0.9 * err ** (-0.2))
+        else:
+            factor = max(0.1, 0.9 * err ** (-0.2))
+        h = h * factor
+
+    return IntegrationResult(
+        t=np.asarray(ts),
+        y=np.asarray(ys),
+        n_steps=n_accepted,
+        n_rhs_evals=n_evals,
+        method="rk45",
+        success=success,
+        message=message,
+    )
+
+
+def integrate_scipy(
+    rhs: RHS,
+    y0: np.ndarray,
+    t_span: Sequence[float],
+    *,
+    rtol: float = 1e-8,
+    atol: float = 1e-10,
+    method: str = "RK45",
+    t_eval: np.ndarray | None = None,
+) -> IntegrationResult:
+    """Integrate via :func:`scipy.integrate.solve_ivp` (production path)."""
+    t0, t1 = _validate_span(t_span)
+    sol = solve_ivp(
+        rhs,
+        (t0, t1),
+        np.asarray(y0, dtype=float),
+        method=method,
+        rtol=rtol,
+        atol=atol,
+        t_eval=t_eval,
+    )
+    return IntegrationResult(
+        t=sol.t,
+        y=sol.y.T,
+        n_steps=len(sol.t) - 1,
+        n_rhs_evals=int(sol.nfev),
+        method=f"scipy-{method}",
+        success=bool(sol.success),
+        message=str(sol.message),
+    )
+
+
+def integrate(
+    rhs: RHS,
+    y0: np.ndarray,
+    t_span: Sequence[float],
+    *,
+    method: str = "scipy",
+    **kwargs,
+) -> IntegrationResult:
+    """Dispatch to one of the solvers by name.
+
+    ``method`` is one of ``"rk4"``, ``"rk45"`` or ``"scipy"`` (the default
+    production path).  Extra keyword arguments are forwarded.
+    """
+    if method == "rk4":
+        return integrate_rk4(rhs, y0, t_span, **kwargs)
+    if method == "rk45":
+        return integrate_rk45(rhs, y0, t_span, **kwargs)
+    if method == "scipy":
+        return integrate_scipy(rhs, y0, t_span, **kwargs)
+    raise ValueError(f"unknown method {method!r}; expected rk4, rk45 or scipy")

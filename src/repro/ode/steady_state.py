@@ -1,0 +1,330 @@
+"""Steady-state (stationary point) solvers for autonomous ODE systems.
+
+The fluid models of the paper are evaluated at their stable operating point
+``f(y*) = 0``.  Closed forms exist for the MTCD/MTSD models; the CMFSD model
+(Eq. 5 of the paper) must be solved numerically.  This module offers several
+complementary strategies:
+
+* :func:`integrate_to_steady_state` -- follow the flow until the derivative
+  norm is negligible.  Robust (the models are globally attracting for valid
+  parameters) but slower.
+* :func:`newton_steady_state` -- damped Newton with a finite-difference
+  Jacobian.  Fast local convergence; used to polish integration output.
+* :func:`anderson_steady_state` -- Anderson-accelerated fixed-point
+  iteration on ``y + dt*f(y)``; derivative-free middle ground.
+* :func:`scipy_steady_state` -- :func:`scipy.optimize.root` wrapper.
+* :func:`find_steady_state` -- the production driver: integrate, then polish
+  with Newton, falling back gracefully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy import optimize
+
+from repro.ode.integrators import RHS, integrate_scipy
+from repro.ode.types import IntegrationResult, SteadyStateResult
+
+__all__ = [
+    "SteadyStateOptions",
+    "residual_norm",
+    "integrate_to_steady_state",
+    "newton_steady_state",
+    "anderson_steady_state",
+    "scipy_steady_state",
+    "find_steady_state",
+]
+
+
+@dataclass(frozen=True)
+class SteadyStateOptions:
+    """Tuning knobs for the steady-state drivers.
+
+    Attributes
+    ----------
+    tol:
+        Convergence threshold on the scaled residual
+        ``||f(y)||_inf / max(1, ||y||_inf)``.
+    t_block:
+        Length of each integration block for the integrate-to-convergence
+        driver; the residual is checked after every block.
+    max_blocks:
+        Maximum number of integration blocks before giving up.
+    max_newton_iter:
+        Iteration cap for the Newton polisher.
+    fd_eps:
+        Relative perturbation for the finite-difference Jacobian.
+    nonnegative:
+        Project iterates onto the nonnegative orthant (peer populations can
+        never be negative; Newton steps occasionally overshoot).
+    """
+
+    tol: float = 1e-10
+    t_block: float = 500.0
+    max_blocks: int = 200
+    max_newton_iter: int = 50
+    fd_eps: float = 1e-7
+    nonnegative: bool = True
+
+
+def residual_norm(rhs: RHS, y: np.ndarray, t: float = 0.0) -> float:
+    """Scaled residual ``||f(t, y)||_inf / max(1, ||y||_inf)``."""
+    y = np.asarray(y, dtype=float)
+    f = np.asarray(rhs(t, y), dtype=float)
+    scale = max(1.0, float(np.max(np.abs(y))) if y.size else 1.0)
+    return float(np.max(np.abs(f))) / scale if f.size else 0.0
+
+
+def integrate_to_steady_state(
+    rhs: RHS,
+    y0: np.ndarray,
+    options: SteadyStateOptions | None = None,
+) -> SteadyStateResult:
+    """Follow the flow of ``dy/dt = f(t, y)`` until it stops moving.
+
+    Integrates in blocks of ``options.t_block`` time units, checking the
+    scaled residual after each block.  Converges for any globally attracting
+    system, which the paper's fluid models are whenever their stability
+    conditions hold.
+    """
+    opts = options or SteadyStateOptions()
+    y = np.array(y0, dtype=float)
+    t = 0.0
+    last_traj: IntegrationResult | None = None
+    for block in range(1, opts.max_blocks + 1):
+        last_traj = integrate_scipy(rhs, y, (t, t + opts.t_block), rtol=1e-10, atol=1e-12)
+        if not last_traj.success:
+            return SteadyStateResult(
+                state=last_traj.final_state,
+                residual=residual_norm(rhs, last_traj.final_state, last_traj.final_time),
+                converged=False,
+                n_iterations=block,
+                method="integrate",
+                trajectory=last_traj,
+            )
+        y = last_traj.final_state.copy()
+        if opts.nonnegative:
+            np.clip(y, 0.0, None, out=y)
+        t = last_traj.final_time
+        res = residual_norm(rhs, y, t)
+        if res < opts.tol:
+            return SteadyStateResult(
+                state=y,
+                residual=res,
+                converged=True,
+                n_iterations=block,
+                method="integrate",
+                trajectory=last_traj,
+            )
+    return SteadyStateResult(
+        state=y,
+        residual=residual_norm(rhs, y, t),
+        converged=False,
+        n_iterations=opts.max_blocks,
+        method="integrate",
+        trajectory=last_traj,
+    )
+
+
+def _numerical_jacobian(rhs: RHS, y: np.ndarray, eps_rel: float) -> np.ndarray:
+    """Forward-difference Jacobian of ``f(0, .)`` at ``y``."""
+    n = y.size
+    f0 = np.asarray(rhs(0.0, y), dtype=float)
+    jac = np.empty((n, n))
+    for j in range(n):
+        step = eps_rel * max(abs(y[j]), 1.0)
+        yp = y.copy()
+        yp[j] += step
+        jac[:, j] = (np.asarray(rhs(0.0, yp), dtype=float) - f0) / step
+    return jac
+
+
+def newton_steady_state(
+    rhs: RHS,
+    y0: np.ndarray,
+    options: SteadyStateOptions | None = None,
+) -> SteadyStateResult:
+    """Damped Newton iteration on ``f(0, y) = 0``.
+
+    A backtracking line search halves the step until the residual norm
+    decreases (Armijo-free sufficient-decrease on ``||f||``); iterates are
+    optionally projected onto the nonnegative orthant.
+    """
+    opts = options or SteadyStateOptions()
+    y = np.array(y0, dtype=float)
+    for it in range(1, opts.max_newton_iter + 1):
+        f = np.asarray(rhs(0.0, y), dtype=float)
+        res = residual_norm(rhs, y)
+        if res < opts.tol:
+            return SteadyStateResult(
+                state=y, residual=res, converged=True, n_iterations=it - 1, method="newton"
+            )
+        jac = _numerical_jacobian(rhs, y, opts.fd_eps)
+        try:
+            step = np.linalg.solve(jac, -f)
+        except np.linalg.LinAlgError:
+            step = np.linalg.lstsq(jac, -f, rcond=None)[0]
+        fnorm = float(np.linalg.norm(f))
+        alpha = 1.0
+        for _ in range(30):
+            y_trial = y + alpha * step
+            if opts.nonnegative:
+                y_trial = np.clip(y_trial, 0.0, None)
+            f_trial = np.asarray(rhs(0.0, y_trial), dtype=float)
+            if float(np.linalg.norm(f_trial)) < fnorm:
+                break
+            alpha *= 0.5
+        else:
+            # No decrease along the Newton direction: report non-convergence.
+            return SteadyStateResult(
+                state=y, residual=res, converged=False, n_iterations=it, method="newton"
+            )
+        y = y_trial
+    res = residual_norm(rhs, y)
+    return SteadyStateResult(
+        state=y,
+        residual=res,
+        converged=res < opts.tol,
+        n_iterations=opts.max_newton_iter,
+        method="newton",
+    )
+
+
+def anderson_steady_state(
+    rhs: RHS,
+    y0: np.ndarray,
+    options: SteadyStateOptions | None = None,
+    *,
+    dt: float = 1.0,
+    memory: int = 5,
+    max_iter: int = 2000,
+) -> SteadyStateResult:
+    """Anderson-accelerated fixed-point iteration.
+
+    Solves ``g(y) = y`` for ``g(y) = y + dt*f(0, y)`` (an explicit Euler
+    picture of the flow), combining the last ``memory`` residuals by
+    least-squares extrapolation.  Derivative-free, often dramatically faster
+    than plain iteration on stiff-ish contraction maps.
+    """
+    opts = options or SteadyStateOptions()
+    y = np.array(y0, dtype=float)
+
+    def g(v: np.ndarray) -> np.ndarray:
+        out = v + dt * np.asarray(rhs(0.0, v), dtype=float)
+        if opts.nonnegative:
+            out = np.clip(out, 0.0, None)
+        return out
+
+    ys: list[np.ndarray] = []
+    gs: list[np.ndarray] = []
+    for it in range(1, max_iter + 1):
+        gy = g(y)
+        ys.append(y.copy())
+        gs.append(gy.copy())
+        if len(ys) > memory + 1:
+            ys.pop(0)
+            gs.pop(0)
+        res = residual_norm(rhs, y)
+        if res < opts.tol:
+            return SteadyStateResult(
+                state=y, residual=res, converged=True, n_iterations=it - 1, method="anderson"
+            )
+        m = len(ys) - 1
+        if m == 0:
+            y = gy
+            continue
+        # Residual differences matrix; solve the least-squares mixing problem.
+        f_list = [gs[k] - ys[k] for k in range(len(ys))]
+        df = np.stack([f_list[k + 1] - f_list[k] for k in range(m)], axis=1)
+        try:
+            gamma = np.linalg.lstsq(df, f_list[-1], rcond=None)[0]
+        except np.linalg.LinAlgError:
+            gamma = np.zeros(m)
+        y_new = gs[-1].copy()
+        for k in range(m):
+            y_new -= gamma[k] * (gs[k + 1] - gs[k])
+        if opts.nonnegative:
+            np.clip(y_new, 0.0, None, out=y_new)
+        if not np.all(np.isfinite(y_new)):
+            y = gy  # fall back to the plain fixed-point step
+        else:
+            y = y_new
+    res = residual_norm(rhs, y)
+    return SteadyStateResult(
+        state=y, residual=res, converged=res < opts.tol, n_iterations=max_iter, method="anderson"
+    )
+
+
+def scipy_steady_state(
+    rhs: RHS,
+    y0: np.ndarray,
+    options: SteadyStateOptions | None = None,
+    *,
+    method: str = "hybr",
+) -> SteadyStateResult:
+    """Locate the root of ``f(0, y)`` with :func:`scipy.optimize.root`."""
+    opts = options or SteadyStateOptions()
+
+    def fun(y: np.ndarray) -> np.ndarray:
+        return np.asarray(rhs(0.0, y), dtype=float)
+
+    sol = optimize.root(fun, np.asarray(y0, dtype=float), method=method)
+    y = np.asarray(sol.x, dtype=float)
+    if opts.nonnegative:
+        y = np.clip(y, 0.0, None)
+    res = residual_norm(rhs, y)
+    return SteadyStateResult(
+        state=y,
+        residual=res,
+        converged=res < opts.tol,
+        n_iterations=int(sol.nfev),
+        method=f"scipy-{method}",
+    )
+
+
+def find_steady_state(
+    rhs: RHS,
+    y0: np.ndarray,
+    options: SteadyStateOptions | None = None,
+) -> SteadyStateResult:
+    """Production driver: integrate toward the attractor, then Newton-polish.
+
+    Integration supplies a basin-of-attraction-safe approach; Newton supplies
+    the final digits cheaply.  If Newton fails to improve, the integration
+    answer is returned (tagged with its own convergence status).
+    """
+    opts = options or SteadyStateOptions()
+    coarse_opts = SteadyStateOptions(
+        tol=max(opts.tol, 1e-8),
+        t_block=opts.t_block,
+        max_blocks=opts.max_blocks,
+        max_newton_iter=opts.max_newton_iter,
+        fd_eps=opts.fd_eps,
+        nonnegative=opts.nonnegative,
+    )
+    coarse = integrate_to_steady_state(rhs, y0, coarse_opts)
+    polished = newton_steady_state(rhs, coarse.state, opts)
+    if polished.converged and polished.residual <= coarse.residual:
+        return SteadyStateResult(
+            state=polished.state,
+            residual=polished.residual,
+            converged=True,
+            n_iterations=coarse.n_iterations + polished.n_iterations,
+            method="integrate+newton",
+            trajectory=coarse.trajectory,
+        )
+    if coarse.residual < opts.tol:
+        return coarse
+    # Neither phase met the strict tolerance: return the better of the two.
+    best = polished if polished.residual < coarse.residual else coarse
+    return SteadyStateResult(
+        state=best.state,
+        residual=best.residual,
+        converged=best.residual < opts.tol,
+        n_iterations=coarse.n_iterations + polished.n_iterations,
+        method="integrate+newton",
+        trajectory=coarse.trajectory,
+    )

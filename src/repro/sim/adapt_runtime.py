@@ -1,0 +1,69 @@
+"""Per-peer Adapt controllers running inside the simulator.
+
+The fluid-level Adapt study (:func:`repro.core.adapt.adapt_fixed_point`)
+tunes one ``rho`` per class; here every peer runs its own
+:class:`~repro.core.adapt.AdaptController` on its *measured* virtual-seed
+give/take imbalance, exactly as Sec. 4.3 prescribes: periodically compare
+the bandwidth uploaded through the peer's virtual seed against the
+bandwidth received from other peers' virtual seeds, and nudge ``rho``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.adapt import AdaptController, AdaptPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.sim.behaviors import CollaborativeBehavior
+    from repro.sim.system import SimulationSystem
+
+__all__ = ["AdaptRuntime"]
+
+
+class AdaptRuntime:
+    """Attaches periodic Adapt ticks to collaborative users.
+
+    Parameters
+    ----------
+    system:
+        The owning simulation system.
+    policy:
+        Thresholds/steps of the Adapt rule; obedient users start at
+        ``policy.initial_rho``.
+    period:
+        Time between controller observations for each user.
+    """
+
+    def __init__(self, system: "SimulationSystem", policy: AdaptPolicy, period: float):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.system = system
+        self.policy = policy
+        self.period = period
+        self.n_adjustments = 0
+
+    def attach(self, behavior: "CollaborativeBehavior") -> None:
+        """Start a controller loop for one user (called from on_arrival)."""
+        controller = AdaptController(self.policy)
+        behavior.set_rho(self.policy.initial_rho)
+        record = behavior.record
+        state = {"up": record.uploaded_virtual, "down": record.received_virtual}
+
+        def tick() -> None:
+            if behavior.done or record.is_departed:
+                return
+            give = record.uploaded_virtual - state["up"]
+            take = record.received_virtual - state["down"]
+            state["up"] = record.uploaded_virtual
+            state["down"] = record.received_virtual
+            delta = (give - take) / self.period
+            old_rho = behavior.rho
+            new_rho = controller.observe(delta)
+            if new_rho != old_rho:
+                behavior.set_rho(new_rho)
+                self.n_adjustments += 1
+                self.system.flush()
+            self.system.schedule_after(self.period, tick)
+
+        self.system.schedule_after(self.period, tick)

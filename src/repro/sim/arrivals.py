@@ -1,0 +1,101 @@
+"""Poisson user arrivals driven by the file-correlation workload model.
+
+Users visit the indexing server at rate ``lambda_0``; each requests every
+file independently with probability ``p`` and only enters the system when
+the draw is non-empty.  Rather than thinning (simulating the empty visits),
+the process arrives directly at the effective rate
+``lambda_0 * (1 - (1-p)^K)`` and draws the class from the conditioned
+binomial -- statistically identical and cheaper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.correlation import CorrelationModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.sim.system import SimulationSystem
+
+__all__ = ["ArrivalProcess", "spawn_burst"]
+
+
+def spawn_burst(
+    system: "SimulationSystem",
+    correlation: CorrelationModel,
+    behavior_factory,
+    n_users: int,
+    **options,
+) -> list[int]:
+    """Spawn ``n_users`` at the current time (a flash crowd).
+
+    Classes and file subsets are drawn from the correlation model exactly
+    as for Poisson arrivals; returns the spawned user ids.
+    """
+    if n_users < 0:
+        raise ValueError(f"n_users must be nonnegative, got {n_users}")
+    ids = []
+    for _ in range(n_users):
+        files = correlation.sample_file_set(system.rng.files)
+        ids.append(system.spawn_user(behavior_factory, files, **options))
+    return ids
+
+
+class ArrivalProcess:
+    """Schedules user spawns on a :class:`SimulationSystem`.
+
+    Parameters
+    ----------
+    system:
+        Target system (supplies clock, RNG streams and ``spawn_user``).
+    correlation:
+        Workload model; its ``visit_rate`` is ``lambda_0``.
+    behavior_factory:
+        ``(system, user_id, files, **kw) -> UserBehavior`` factory from
+        :func:`repro.sim.behaviors.make_behavior`.
+    t_end:
+        No arrivals are scheduled past this time.
+    per_user_options:
+        Optional hook ``(rng) -> dict`` producing per-user keyword
+        overrides for the behaviour (used e.g. to mark a random fraction of
+        users as cheaters).
+    """
+
+    def __init__(
+        self,
+        system: "SimulationSystem",
+        correlation: CorrelationModel,
+        behavior_factory,
+        *,
+        t_end: float,
+        per_user_options: Callable[..., dict] | None = None,
+    ):
+        if correlation.p <= 0.0:
+            raise ValueError("p must be positive: with p = 0 no user ever arrives")
+        self.system = system
+        self.correlation = correlation
+        self.behavior_factory = behavior_factory
+        self.t_end = t_end
+        self.per_user_options = per_user_options
+        self.n_spawned = 0
+        self._rate = correlation.effective_user_rate()
+
+    def start(self) -> None:
+        """Schedule the first arrival."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = float(self.system.rng.arrivals.exponential(1.0 / self._rate))
+        t = self.system.now + gap
+        if t > self.t_end:
+            return
+        self.system.schedule_after(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        files = self.correlation.sample_file_set(self.system.rng.files)
+        options = {}
+        if self.per_user_options is not None:
+            options = self.per_user_options(self.system.rng.misc)
+        self.system.spawn_user(self.behavior_factory, files, **options)
+        self.n_spawned += 1
+        self._schedule_next()

@@ -1,0 +1,57 @@
+"""Pure bandwidth-allocation math (the paper's Sec.-2 assumptions).
+
+Kept free of simulator state so the rules are unit-testable in isolation:
+
+* Assumption 1 (tit-for-tat): a downloader receives ``eta`` times its own
+  tit-for-tat upload contribution from the downloader pool.
+* Assumption 2 (altruistic seeds): aggregate seed capacity is divided among
+  downloaders proportionally to their download bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["downloader_rates", "seed_share"]
+
+
+def seed_share(download_caps: Sequence[float], capacity: float) -> np.ndarray:
+    """Split ``capacity`` across downloaders proportionally to download caps.
+
+    Returns a zero vector when there are no downloaders or no positive
+    capacity weight (the capacity is then simply unused, as in a swarm with
+    seeds but nobody downloading).
+    """
+    caps = np.asarray(download_caps, dtype=float)
+    if caps.size == 0 or capacity <= 0:
+        return np.zeros(caps.size)
+    if np.any(caps < 0):
+        raise ValueError("download capacities must be nonnegative")
+    total = float(np.sum(caps))
+    if total <= 0:
+        return np.zeros(caps.size)
+    return caps / total * capacity
+
+
+def downloader_rates(
+    tft_uploads: Sequence[float],
+    download_caps: Sequence[float],
+    *,
+    eta: float,
+    seed_capacity: float,
+) -> np.ndarray:
+    """Per-downloader service rates under both Sec.-2 assumptions.
+
+    ``rate_k = eta * tft_uploads[k] + share_k(seed_capacity)``.
+    """
+    tft = np.asarray(tft_uploads, dtype=float)
+    caps = np.asarray(download_caps, dtype=float)
+    if tft.shape != caps.shape:
+        raise ValueError("tft_uploads and download_caps must have equal length")
+    if np.any(tft < 0):
+        raise ValueError("tit-for-tat uploads must be nonnegative")
+    if not 0 < eta <= 1:
+        raise ValueError(f"eta must be in (0, 1], got {eta}")
+    return eta * tft + seed_share(caps, seed_capacity)

@@ -1,0 +1,495 @@
+"""Per-scheme user state machines.
+
+Each behaviour drives one user through its visit by reacting to two kinds
+of stimuli: file completions (delivered by the system) and its own timers
+(seed expiries).  The three machines map onto the paper's schemes:
+
+* :class:`ConcurrentBehavior` -- MTCD and MFCD.  All ``i`` files download
+  at once, each with ``1/i`` of the user's bandwidth; each finished file is
+  seeded for an independent ``Exp(1/gamma)``.
+* :class:`SequentialBehavior` -- MTSD.  Files download one at a time at
+  full bandwidth, each followed by its own ``Exp(1/gamma)`` seeding phase
+  (Eq. 4 adds ``T + 1/gamma`` per file).
+* :class:`CollaborativeBehavior` -- CMFSD.  Sequential at full download
+  bandwidth; once at least one file is complete, upload splits into
+  ``rho*mu`` of tit-for-tat plus a ``(1-rho)*mu`` virtual seed; after the
+  last file the user real-seeds for one ``Exp(1/gamma)``.  Supports Adapt
+  (dynamic ``rho``) and cheaters (``rho`` pinned at 1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.entities import DownloadEntry, UserRecord
+from repro.sim.swarm import SeedPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.sim.adapt_runtime import AdaptRuntime
+    from repro.sim.system import SimulationSystem
+
+__all__ = [
+    "UserBehavior",
+    "ConcurrentBehavior",
+    "SequentialBehavior",
+    "CollaborativeBehavior",
+    "BatchedBehavior",
+    "BehaviorKind",
+    "make_behavior",
+]
+
+
+class UserBehavior(ABC):
+    """Base class wiring a user record to the system mutation API.
+
+    ``mu`` / ``download_cap`` override the system-wide bandwidths for this
+    user (heterogeneous access links, the Sec.-2 general model); they
+    default to the system values.
+    """
+
+    scheme_label = "?"
+
+    def __init__(
+        self,
+        system: "SimulationSystem",
+        user_id: int,
+        files: tuple[int, ...],
+        *,
+        mu: float | None = None,
+        download_cap: float | None = None,
+    ):
+        if not files:
+            raise ValueError("a user must request at least one file")
+        if len(set(files)) != len(files):
+            raise ValueError(f"duplicate files in request: {files}")
+        if mu is not None and mu <= 0:
+            raise ValueError(f"mu must be positive, got {mu}")
+        if download_cap is not None and download_cap <= 0:
+            raise ValueError(f"download_cap must be positive, got {download_cap}")
+        self.system = system
+        self.user_id = user_id
+        self.files = tuple(files)
+        self.mu = mu if mu is not None else system.mu
+        self.download_cap = (
+            download_cap if download_cap is not None else system.download_cap
+        )
+        self.record = UserRecord(
+            user_id=user_id,
+            arrival_time=system.now,
+            user_class=len(files),
+            files=self.files,
+            scheme=self.scheme_label,
+        )
+
+    @property
+    def user_class(self) -> int:
+        return len(self.files)
+
+    def _later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule a timer whose handler also flushes pending rate updates."""
+
+        def wrapped() -> None:
+            fn()
+            self.system.flush()
+
+        self.system.schedule_after(delay, wrapped)
+
+    @abstractmethod
+    def on_arrival(self) -> None:
+        """Start the visit (called once, at the arrival time)."""
+
+    @abstractmethod
+    def on_file_complete(self, entry: DownloadEntry) -> None:
+        """React to one of this user's downloads finishing."""
+
+    def _mark_downloads_done_if_complete(self) -> None:
+        if len(self.record.file_completions) == len(self.files):
+            if self.record.downloads_done_time is None:
+                self.record.downloads_done_time = self.system.now
+
+
+class ConcurrentBehavior(UserBehavior):
+    """MTCD / MFCD: all files at once, bandwidth split ``i`` ways.
+
+    Parameters
+    ----------
+    depart_together:
+        ``False`` (default, fluid-faithful): each finished file is seeded
+        for its own ``Exp(1/gamma)`` and then dropped; the user departs when
+        the last seed expires.  ``True`` (client-realistic MFCD): finished
+        files are seeded until the user departs, one ``Exp(1/gamma)`` after
+        its final download completes -- the "virtual peers depart as a
+        whole" reading of Sec. 3.4.
+    """
+
+    scheme_label = "concurrent"
+
+    def __init__(
+        self,
+        system: "SimulationSystem",
+        user_id: int,
+        files: tuple[int, ...],
+        *,
+        depart_together: bool = False,
+        mu: float | None = None,
+        download_cap: float | None = None,
+    ):
+        super().__init__(system, user_id, files, mu=mu, download_cap=download_cap)
+        self.depart_together = depart_together
+        self._active_seeds: set[int] = set()
+        self._pending_files: set[int] = set(files)
+
+    def on_arrival(self) -> None:
+        i = self.user_class
+        for f in self.files:
+            self.system.start_download(
+                self.user_id,
+                f,
+                user_class=i,
+                stage=1,
+                tft_upload=self.mu / i,
+                download_cap=self.download_cap / i,
+            )
+
+    def on_file_complete(self, entry: DownloadEntry) -> None:
+        f = entry.file_id
+        self._pending_files.discard(f)
+        self._mark_downloads_done_if_complete()
+        bw = self.mu / self.user_class
+        self.system.add_seed(self.user_id, f, bw, self.user_class, virtual=False)
+        self._active_seeds.add(f)
+        if self.depart_together:
+            if not self._pending_files:
+                self._later(self.system.seed_lifetime(), self._depart_all)
+        else:
+            self._later(self.system.seed_lifetime(), lambda: self._expire_seed(f))
+
+    def _expire_seed(self, f: int) -> None:
+        self.system.remove_seed(self.user_id, f, virtual=False)
+        self._active_seeds.discard(f)
+        if not self._pending_files and not self._active_seeds:
+            self.system.user_departed(self.user_id)
+
+    def _depart_all(self) -> None:
+        for f in sorted(self._active_seeds):
+            self.system.remove_seed(self.user_id, f, virtual=False)
+        self._active_seeds.clear()
+        self.system.user_departed(self.user_id)
+
+
+class SequentialBehavior(UserBehavior):
+    """MTSD: one torrent at a time, full bandwidth, seed between files."""
+
+    scheme_label = "sequential"
+
+    def __init__(
+        self,
+        system: "SimulationSystem",
+        user_id: int,
+        files: tuple[int, ...],
+        *,
+        mu: float | None = None,
+        download_cap: float | None = None,
+    ):
+        super().__init__(system, user_id, files, mu=mu, download_cap=download_cap)
+        order = list(files)
+        system.rng.order.shuffle(order)
+        self.order = tuple(order)
+        self.idx = 0
+
+    def on_arrival(self) -> None:
+        self._start_current()
+
+    def _start_current(self) -> None:
+        self.system.start_download(
+            self.user_id,
+            self.order[self.idx],
+            user_class=self.user_class,
+            stage=self.idx + 1,
+            tft_upload=self.mu,
+            download_cap=self.download_cap,
+        )
+
+    def on_file_complete(self, entry: DownloadEntry) -> None:
+        f = entry.file_id
+        if self.idx == len(self.order) - 1:
+            self._mark_downloads_done_if_complete()
+        self.system.add_seed(self.user_id, f, self.mu, self.user_class, virtual=False)
+        self._later(self.system.seed_lifetime(), lambda: self._seed_expired(f))
+
+    def _seed_expired(self, f: int) -> None:
+        self.system.remove_seed(self.user_id, f, virtual=False)
+        self.idx += 1
+        if self.idx < len(self.order):
+            self._start_current()
+        else:
+            self.system.user_departed(self.user_id)
+
+
+class BatchedBehavior(UserBehavior):
+    """MTBD: sequential batches of at most ``m`` concurrent downloads.
+
+    The simulator counterpart of
+    :class:`repro.core.batched.BatchedDownloadModel`: files are shuffled,
+    taken ``m`` at a time; within a batch the user splits its bandwidth
+    ``b`` ways (``b`` = batch size); after the batch completes, each of its
+    files is seeded for an independent ``Exp(1/gamma)`` and the next batch
+    starts once every seed has expired.  ``m = 1`` reproduces
+    :class:`SequentialBehavior`; ``m >= len(files)`` reproduces
+    :class:`ConcurrentBehavior` with per-entry seeding.
+    """
+
+    scheme_label = "batched"
+
+    def __init__(
+        self,
+        system: "SimulationSystem",
+        user_id: int,
+        files: tuple[int, ...],
+        *,
+        max_concurrency: int = 3,
+        mu: float | None = None,
+        download_cap: float | None = None,
+    ):
+        super().__init__(system, user_id, files, mu=mu, download_cap=download_cap)
+        if max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        order = list(files)
+        system.rng.order.shuffle(order)
+        m = max_concurrency
+        self.batches = [tuple(order[k : k + m]) for k in range(0, len(order), m)]
+        self.batch_idx = 0
+        self._pending_downloads: set[int] = set()
+        self._pending_seeds: set[int] = set()
+
+    def on_arrival(self) -> None:
+        self._start_batch()
+
+    def _start_batch(self) -> None:
+        batch = self.batches[self.batch_idx]
+        b = len(batch)
+        self._pending_downloads = set(batch)
+        for f in batch:
+            self.system.start_download(
+                self.user_id,
+                f,
+                user_class=self.user_class,
+                stage=self.batch_idx + 1,
+                tft_upload=self.mu / b,
+                download_cap=self.download_cap / b,
+            )
+
+    def on_file_complete(self, entry: DownloadEntry) -> None:
+        f = entry.file_id
+        self._pending_downloads.discard(f)
+        self._mark_downloads_done_if_complete()
+        b = len(self.batches[self.batch_idx])
+        self.system.add_seed(self.user_id, f, self.mu / b, self.user_class, virtual=False)
+        self._pending_seeds.add(f)
+        self._later(self.system.seed_lifetime(), lambda: self._seed_expired(f))
+
+    def _seed_expired(self, f: int) -> None:
+        self.system.remove_seed(self.user_id, f, virtual=False)
+        self._pending_seeds.discard(f)
+        if self._pending_downloads or self._pending_seeds:
+            return
+        self.batch_idx += 1
+        if self.batch_idx < len(self.batches):
+            self._start_batch()
+        else:
+            self.system.user_departed(self.user_id)
+
+
+class CollaborativeBehavior(UserBehavior):
+    """CMFSD: sequential download + partial virtual seeding governed by rho.
+
+    Parameters
+    ----------
+    rho:
+        Initial bandwidth-allocation ratio in ``[0, 1]``.
+    is_cheater:
+        Pins ``rho`` at 1 forever (never virtual-seeds).
+    adapt:
+        Optional :class:`~repro.sim.adapt_runtime.AdaptRuntime`; when given,
+        the runtime attaches a periodic controller to this user.
+    """
+
+    scheme_label = "cmfsd"
+
+    def __init__(
+        self,
+        system: "SimulationSystem",
+        user_id: int,
+        files: tuple[int, ...],
+        *,
+        rho: float = 0.0,
+        is_cheater: bool = False,
+        adapt: "AdaptRuntime | None" = None,
+        mu: float | None = None,
+        download_cap: float | None = None,
+    ):
+        super().__init__(system, user_id, files, mu=mu, download_cap=download_cap)
+        if not 0.0 <= rho <= 1.0:
+            raise ValueError(f"rho must be in [0, 1], got {rho}")
+        order = list(files)
+        system.rng.order.shuffle(order)
+        self.order = tuple(order)
+        self.idx = 0
+        self.rho = 1.0 if is_cheater else rho
+        self.is_cheater = is_cheater
+        self.record.is_cheater = is_cheater
+        self.record.rho_trace.append((system.now, self.rho))
+        self.virtual_seed_file: int | None = None
+        self.adapt = adapt
+        self.done = False
+
+    # -- helpers ------------------------------------------------------------------
+
+    @property
+    def current_file(self) -> int:
+        return self.order[self.idx]
+
+    def _tft_bandwidth(self) -> float:
+        """P(i, j) * mu: full upload on the first file, ``rho*mu`` after."""
+        if self.idx == 0:
+            return self.mu
+        return self.rho * self.mu
+
+    def _virtual_bandwidth(self) -> float:
+        if self.idx == 0:
+            return 0.0
+        return (1.0 - self.rho) * self.mu
+
+    def _choose_seed_target(self) -> int:
+        """Pick which completed file's swarm receives seed bandwidth.
+
+        Under ``GLOBAL_POOL`` the attachment is cosmetic (capacity is pooled
+        group-wide); under ``SUBTORRENT`` we place where demand is largest.
+        """
+        completed = self.order[: self.idx]
+        group = self.system.group_of_file(completed[0])
+        if group.policy is SeedPolicy.GLOBAL_POOL:
+            return completed[-1]
+        return max(completed, key=lambda f: group.swarms[f].n_downloaders)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def on_arrival(self) -> None:
+        self._start_current()
+        if self.adapt is not None and not self.is_cheater and self.user_class > 1:
+            self.adapt.attach(self)
+
+    def _start_current(self) -> None:
+        self.system.start_download(
+            self.user_id,
+            self.current_file,
+            user_class=self.user_class,
+            stage=self.idx + 1,
+            tft_upload=self._tft_bandwidth(),
+            download_cap=self.download_cap,
+        )
+
+    def on_file_complete(self, entry: DownloadEntry) -> None:
+        self.idx += 1
+        if self.idx < len(self.order):
+            self._replace_virtual_seed()
+            self._start_current()
+        else:
+            self._mark_downloads_done_if_complete()
+            self._drop_virtual_seed()
+            self.done = True
+            target = self._choose_seed_target()
+            self.system.add_seed(
+                self.user_id, target, self.mu, self.user_class, virtual=False
+            )
+            self._later(
+                self.system.seed_lifetime(), lambda: self._real_seed_expired(target)
+            )
+
+    def _replace_virtual_seed(self) -> None:
+        self._drop_virtual_seed()
+        target = self._choose_seed_target()
+        self.system.add_seed(
+            self.user_id,
+            target,
+            self._virtual_bandwidth(),
+            self.user_class,
+            virtual=True,
+        )
+        self.virtual_seed_file = target
+
+    def _drop_virtual_seed(self) -> None:
+        if self.virtual_seed_file is not None:
+            self.system.remove_seed(self.user_id, self.virtual_seed_file, virtual=True)
+            self.virtual_seed_file = None
+
+    def _real_seed_expired(self, target: int) -> None:
+        self.system.remove_seed(self.user_id, target, virtual=False)
+        self.system.user_departed(self.user_id)
+
+    # -- Adapt hook ---------------------------------------------------------------
+
+    def set_rho(self, rho: float) -> None:
+        """Apply a new allocation ratio to the live download/virtual seed."""
+        if self.is_cheater:
+            return
+        rho = min(1.0, max(0.0, rho))
+        if rho == self.rho:
+            return
+        self.rho = rho
+        self.record.rho_trace.append((self.system.now, rho))
+        if self.system.trace is not None:
+            from repro.sim.trace import EventKind
+
+            self.system.trace.record(
+                self.system.now, EventKind.RHO_CHANGED, self.user_id, detail=rho
+            )
+        if self.done or self.idx >= len(self.order):
+            return
+        if self.idx >= 1:
+            self.system.set_tft_upload(
+                self.user_id, self.current_file, self._tft_bandwidth()
+            )
+            if self.virtual_seed_file is not None:
+                self.system.set_seed_bandwidth(
+                    self.user_id,
+                    self.virtual_seed_file,
+                    self._virtual_bandwidth(),
+                    virtual=True,
+                )
+
+
+class BehaviorKind:
+    """Factory helpers bundling a behaviour class with fixed options."""
+
+    CONCURRENT = "concurrent"
+    SEQUENTIAL = "sequential"
+    COLLABORATIVE = "collaborative"
+    BATCHED = "batched"
+
+
+def make_behavior(kind: str, **options):
+    """Return a ``(system, user_id, files) -> UserBehavior`` factory.
+
+    ``options`` are bound into the behaviour constructor (e.g. ``rho=0.1``
+    for collaborative, ``depart_together=True`` for concurrent).
+    """
+    classes = {
+        BehaviorKind.CONCURRENT: ConcurrentBehavior,
+        BehaviorKind.SEQUENTIAL: SequentialBehavior,
+        BehaviorKind.COLLABORATIVE: CollaborativeBehavior,
+        BehaviorKind.BATCHED: BatchedBehavior,
+    }
+    try:
+        cls = classes[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown behavior kind {kind!r}; expected one of {sorted(classes)}"
+        ) from None
+
+    def factory(system, user_id, files, **overrides):
+        merged = {**options, **overrides}
+        return cls(system, user_id, files, **merged)
+
+    return factory

@@ -1,0 +1,141 @@
+"""Discrete-event core: a monotone clock over a binary-heap event queue.
+
+Events are ``(time, priority, sequence, callback)``; ties break first on an
+explicit integer priority (lower first), then on insertion order, which
+makes runs fully deterministic.  Callbacks take no arguments -- bind state
+with closures or ``functools.partial``.
+
+Cancellation uses the standard lazy scheme: :meth:`EventQueue.cancel` marks
+the handle, and the pop loop discards marked entries.  This keeps the queue
+a plain ``heapq`` without the cost of re-heapifying.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable
+
+__all__ = ["EventHandle", "EventQueue", "Simulator"]
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`EventQueue.schedule`."""
+
+    __slots__ = ("time", "cancelled")
+
+    def __init__(self, time: float):
+        self.time = time
+        self.cancelled = False
+
+
+class EventQueue:
+    """Time-ordered queue of zero-argument callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, EventHandle, Callable[[], None]]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(
+        self, time: float, callback: Callable[[], None], *, priority: int = 0
+    ) -> EventHandle:
+        """Enqueue ``callback`` to fire at ``time``.
+
+        ``time`` must be finite; infinite "never" events should simply not
+        be scheduled.
+        """
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time}")
+        handle = EventHandle(time)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, priority, self._seq, handle, callback))
+        return handle
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Mark a scheduled event so the pop loop skips it."""
+        handle.cancelled = True
+
+    def next_time(self) -> float:
+        """Time of the earliest live event, or ``inf`` if the queue is empty."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else math.inf
+
+    def pop(self) -> tuple[float, Callable[[], None]] | None:
+        """Remove and return the earliest live event, or ``None``."""
+        while self._heap:
+            time, _, _, handle, callback = heapq.heappop(self._heap)
+            if not handle.cancelled:
+                return time, callback
+        return None
+
+
+class Simulator:
+    """Event loop with a monotone clock.
+
+    The clock only moves when events fire; schedule everything relative to
+    :attr:`now`.  ``run_until`` processes events with ``time <= t_end`` and
+    then sets the clock to ``t_end`` exactly.
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0.0
+        self._events_processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks fired so far."""
+        return self._events_processed
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], *, priority: int = 0
+    ) -> EventHandle:
+        """Schedule at an absolute time (must not precede the clock)."""
+        if time < self.now - 1e-12:
+            raise ValueError(f"cannot schedule at {time} before now={self.now}")
+        return self.queue.schedule(max(time, self.now), callback, priority=priority)
+
+    def schedule_after(
+        self, delay: float, callback: Callable[[], None], *, priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``delay`` time units from now (``delay >= 0``)."""
+        if delay < 0:
+            raise ValueError(f"delay must be nonnegative, got {delay}")
+        return self.queue.schedule(self.now + delay, callback, priority=priority)
+
+    def cancel(self, handle: EventHandle) -> None:
+        self.queue.cancel(handle)
+
+    def run_until(self, t_end: float, *, max_events: int | None = None) -> int:
+        """Fire events up to ``t_end``; return how many fired.
+
+        ``max_events`` guards against runaway self-rescheduling loops in
+        user code; exceeding it raises ``RuntimeError``.
+        """
+        if t_end < self.now:
+            raise ValueError(f"t_end={t_end} is before now={self.now}")
+        fired = 0
+        while True:
+            t_next = self.queue.next_time()
+            if t_next > t_end:
+                break
+            popped = self.queue.pop()
+            if popped is None:
+                break
+            time, callback = popped
+            # The clock never runs backwards even if an event was scheduled
+            # "now" while another event at the same timestamp was firing.
+            self.now = max(self.now, time)
+            callback()
+            fired += 1
+            self._events_processed += 1
+            if max_events is not None and fired > max_events:
+                raise RuntimeError(
+                    f"exceeded max_events={max_events} before reaching t_end={t_end}"
+                )
+        self.now = t_end
+        return fired

@@ -1,0 +1,123 @@
+"""Runtime entities and per-user measurement records."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["DownloadEntry", "EntrySpan", "UserRecord"]
+
+
+@dataclass
+class DownloadEntry:
+    """One active download: a (user, file) pair progressing through a swarm.
+
+    Progress is tracked as *remaining work* (file size units); between
+    bandwidth-changing events the download rate is constant, so the system
+    advances ``remaining`` lazily whenever it refreshes a swarm group.
+
+    Attributes
+    ----------
+    user_id / file_id:
+        Who is downloading what.
+    user_class:
+        Number of files the owning user requested (the fluid model's ``i``).
+    stage:
+        Which file in sequence this is for the user (the fluid ``j``, 1-based;
+        always 1 for concurrent schemes where entries run in parallel).
+    tft_upload:
+        Upload bandwidth the entry devotes to tit-for-tat in its swarm.
+    download_cap:
+        Download bandwidth (sets the entry's share of seed service).
+    remaining:
+        Work left, in file-size units.
+    rate / rate_from_virtual:
+        Current total download rate and the part of it attributable to
+        virtual seeds (used by the Adapt give/take accounting).
+    started_at:
+        Simulation time the entry was created.
+    """
+
+    user_id: int
+    file_id: int
+    user_class: int
+    stage: int
+    tft_upload: float
+    download_cap: float
+    remaining: float
+    rate: float = 0.0
+    rate_from_virtual: float = 0.0
+    started_at: float = 0.0
+
+    def eta_for_completion(self) -> float:
+        """Time until completion at the current rate (``inf`` when stalled)."""
+        if self.remaining <= 0:
+            return 0.0
+        if self.rate <= 0:
+            return math.inf
+        return self.remaining / self.rate
+
+
+@dataclass(frozen=True)
+class EntrySpan:
+    """Completed life of one (user, file) download, for validation metrics."""
+
+    user_id: int
+    file_id: int
+    user_class: int
+    stage: int
+    started_at: float
+    completed_at: float
+
+    @property
+    def download_time(self) -> float:
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class UserRecord:
+    """Everything measured about one user across its whole visit.
+
+    ``uploaded_virtual`` / ``received_virtual`` integrate the virtual-seed
+    give/take rates (the Adapt observable); ``rho_trace`` records every
+    Adapt adjustment as ``(time, rho)``.
+    """
+
+    user_id: int
+    arrival_time: float
+    user_class: int
+    files: tuple[int, ...]
+    scheme: str
+    is_cheater: bool = False
+    file_completions: dict[int, float] = field(default_factory=dict)
+    downloads_done_time: float | None = None
+    departure_time: float | None = None
+    uploaded_virtual: float = 0.0
+    received_virtual: float = 0.0
+    rho_trace: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def is_departed(self) -> bool:
+        return self.departure_time is not None
+
+    @property
+    def total_download_time(self) -> float:
+        """Arrival to last file completion (NaN until finished)."""
+        if self.downloads_done_time is None:
+            return math.nan
+        return self.downloads_done_time - self.arrival_time
+
+    @property
+    def total_online_time(self) -> float:
+        """Arrival to final departure (NaN until departed)."""
+        if self.departure_time is None:
+            return math.nan
+        return self.departure_time - self.arrival_time
+
+    @property
+    def download_time_per_file(self) -> float:
+        return self.total_download_time / self.user_class
+
+    @property
+    def online_time_per_file(self) -> float:
+        return self.total_online_time / self.user_class

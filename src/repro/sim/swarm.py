@@ -1,0 +1,414 @@
+"""Swarms (per-file subtorrents) and swarm groups (torrents).
+
+A :class:`Swarm` is the population sharing one file: active downloads
+(:class:`~repro.sim.entities.DownloadEntry`) plus seed bandwidth
+allocations.  A :class:`SwarmGroup` is the paper's *torrent*: one swarm per
+file it publishes (a single-file torrent is a group of one).
+
+Seed bandwidth placement follows the group's :class:`SeedPolicy`:
+
+* ``SUBTORRENT`` -- seed capacity attaches to one specific swarm and serves
+  only its downloaders (physically what a BitTorrent seed does; the only
+  sensible policy for separate single-file torrents, and the model-faithful
+  reading of MFCD where each virtual peer seeds its own file).
+* ``GLOBAL_POOL`` -- all virtual-seed and real-seed capacity in the group is
+  pooled and divided across *every* downloader in the group in proportion
+  to download bandwidth.  This is exactly the mixing assumption of the
+  paper's Eq. (5) ``S^{i,j}`` term (its denominator sums downloaders of all
+  subtorrents), justified there by the randomised download order.  CMFSD
+  scenarios default to it; running them under ``SUBTORRENT`` instead
+  quantifies the quality of that approximation.
+
+Progress is integrated *lazily*: rates are constant between allocation
+changes, so work is only advanced when something changes.  The unit of
+laziness matches the unit of rate coupling -- the whole group under
+``GLOBAL_POOL`` (everyone shares the pool, so any change retouches every
+rate), but a single swarm under ``SUBTORRENT`` (rates never cross swarm
+boundaries).  This per-swarm fast path is what keeps large MFCD/MTCD runs
+tractable: an event touches one swarm, not a 10-file torrent.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.sim.entities import DownloadEntry, UserRecord
+
+__all__ = ["SeedPolicy", "Swarm", "SwarmGroup"]
+
+
+class SeedPolicy(enum.Enum):
+    """Where seed bandwidth lands within a group (see module docstring)."""
+
+    SUBTORRENT = "subtorrent"
+    GLOBAL_POOL = "global_pool"
+
+
+class Swarm:
+    """Population of one file, with its own lazy-progress clock."""
+
+    def __init__(self, file_id: int):
+        self.file_id = file_id
+        #: entry key -> active download
+        self.downloaders: dict[tuple[int, int], DownloadEntry] = {}
+        #: user id -> (bandwidth, user class), seeds that finished everything
+        self.real_seeds: dict[int, tuple[float, int]] = {}
+        #: user id -> (bandwidth, user class), partial seeds (CMFSD)
+        self.virtual_seeds: dict[int, tuple[float, int]] = {}
+        #: time up to which this swarm's progress has been integrated
+        self.last_update = 0.0
+        #: bumped whenever rates change; completion events carry the epoch
+        #: they were planned under so stale ones can be recognised
+        self.epoch = 0
+        #: tracker-sampled neighbour sets per user (empty dict = full mesh)
+        self.neighbors: dict[int, set[int]] = {}
+        #: when True, rates only flow along neighbour connections
+        self.neighbor_aware = False
+
+    @property
+    def n_downloaders(self) -> int:
+        return len(self.downloaders)
+
+    @property
+    def real_capacity(self) -> float:
+        return sum(bw for bw, _ in self.real_seeds.values())
+
+    @property
+    def virtual_capacity(self) -> float:
+        return sum(bw for bw, _ in self.virtual_seeds.values())
+
+    def downloader_count_by_class(self, num_classes: int) -> np.ndarray:
+        """Vector of downloader counts indexed by user class (1..K)."""
+        counts = np.zeros(num_classes, dtype=float)
+        for entry in self.downloaders.values():
+            counts[entry.user_class - 1] += 1
+        return counts
+
+    def seed_count_by_class(self, num_classes: int) -> np.ndarray:
+        """Vector of *real* seed counts indexed by user class (1..K)."""
+        counts = np.zeros(num_classes, dtype=float)
+        for _bw, klass in self.real_seeds.values():
+            counts[klass - 1] += 1
+        return counts
+
+    def downloader_count_by_class_stage(self, num_classes: int) -> np.ndarray:
+        """Matrix ``M[i-1, j-1]`` of downloaders by (user class, stage).
+
+        The simulator counterpart of Eq. (5)'s ``x^{i,j}`` state (for one
+        subtorrent; sum over subtorrents for the torrent-wide population).
+        """
+        counts = np.zeros((num_classes, num_classes), dtype=float)
+        for entry in self.downloaders.values():
+            counts[entry.user_class - 1, entry.stage - 1] += 1
+        return counts
+
+    # ----- per-swarm lazy progress (SUBTORRENT fast path) -------------------------
+
+    def advance(self, t: float, records: Mapping[int, UserRecord] | None) -> None:
+        """Integrate current rates up to ``t`` (swarm-local)."""
+        dt = t - self.last_update
+        if dt < -1e-9:
+            raise ValueError(f"cannot advance swarm backwards ({self.last_update} -> {t})")
+        if dt <= 0:
+            self.last_update = t
+            return
+        for entry in self.downloaders.values():
+            entry.remaining = max(0.0, entry.remaining - entry.rate * dt)
+            if records is not None and entry.rate_from_virtual > 0:
+                rec = records.get(entry.user_id)
+                if rec is not None:
+                    rec.received_virtual += entry.rate_from_virtual * dt
+        if records is not None and self.downloaders:
+            for user_id, (bw, _) in self.virtual_seeds.items():
+                rec = records.get(user_id)
+                if rec is not None:
+                    rec.uploaded_virtual += bw * dt
+        self.last_update = t
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether users ``a`` and ``b`` hold a connection (either sampled
+        the other from the tracker; BitTorrent connections are mutual)."""
+        return b in self.neighbors.get(a, ()) or a in self.neighbors.get(b, ())
+
+    def recompute_rates(self, eta: float) -> None:
+        """Refresh entry rates from swarm-local allocations.
+
+        Rates are capped at each entry's download bandwidth (a peer cannot
+        receive faster than its link); the cap only binds in drain tails
+        where few downloaders face many seeds.  Under ``neighbor_aware``
+        the full-mesh math is replaced by per-connection flows (see
+        :meth:`_recompute_rates_neighbor_aware`).
+        """
+        self.epoch += 1
+        if self.neighbor_aware:
+            self._recompute_rates_neighbor_aware(eta)
+            return
+        entries = self.downloaders.values()
+        total_cap = sum(e.download_cap for e in entries)
+        sv = self.virtual_capacity
+        sr = self.real_capacity
+        for entry in entries:
+            share = entry.download_cap / total_cap if total_cap > 0 else 0.0
+            rate = eta * entry.tft_upload + share * (sv + sr)
+            if rate > entry.download_cap > 0:
+                scale = entry.download_cap / rate
+                entry.rate = entry.download_cap
+                entry.rate_from_virtual = share * sv * scale
+            else:
+                entry.rate = rate
+                entry.rate_from_virtual = share * sv
+
+    def _recompute_rates_neighbor_aware(self, eta: float) -> None:
+        """Bounded-connectivity allocation.
+
+        * Tit-for-tat returns ``eta * upload`` only to downloaders with at
+          least one connected downloader partner to trade with.
+        * Each seed allocation is split across the downloaders *connected
+          to that seed*, proportionally to their download capacity; a seed
+          with no connected downloader idles (the mixing loss the fluid
+          models assume away).
+        """
+        entries = list(self.downloaders.values())
+        for entry in entries:
+            has_partner = any(
+                self.connected(entry.user_id, other.user_id)
+                for other in entries
+                if other.user_id != entry.user_id
+            )
+            entry.rate = eta * entry.tft_upload if has_partner else 0.0
+            entry.rate_from_virtual = 0.0
+        for virtual, table in ((True, self.virtual_seeds), (False, self.real_seeds)):
+            for seed_user, (bw, _) in table.items():
+                if bw <= 0:
+                    continue
+                receivers = [
+                    e for e in entries if self.connected(seed_user, e.user_id)
+                ]
+                total_cap = sum(e.download_cap for e in receivers)
+                if total_cap <= 0:
+                    continue
+                for e in receivers:
+                    share = e.download_cap / total_cap * bw
+                    e.rate += share
+                    if virtual:
+                        e.rate_from_virtual += share
+        for entry in entries:
+            if entry.rate > entry.download_cap > 0:
+                scale = entry.download_cap / entry.rate
+                entry.rate = entry.download_cap
+                entry.rate_from_virtual *= scale
+
+    def next_completion_time(self) -> float:
+        """Absolute time of the earliest completion (``inf`` if none)."""
+        eta = math.inf
+        for entry in self.downloaders.values():
+            eta = min(eta, entry.eta_for_completion())
+        return self.last_update + eta
+
+    def due_entries(self, slack: float) -> list[DownloadEntry]:
+        return [e for e in self.downloaders.values() if e.remaining <= slack]
+
+
+class SwarmGroup:
+    """One torrent: swarms for each published file plus seed bookkeeping.
+
+    Parameters
+    ----------
+    group_id:
+        Identifier (torrent index).
+    file_ids:
+        Files published by this torrent; one swarm each.
+    eta:
+        Downloader tit-for-tat efficiency.
+    policy:
+        Seed-placement policy (see :class:`SeedPolicy`).
+    records:
+        Optional ``user_id -> UserRecord`` mapping; when given, virtual-seed
+        give/take is integrated into the records during advancement (the
+        Adapt observable).
+    """
+
+    def __init__(
+        self,
+        group_id: int,
+        file_ids: tuple[int, ...],
+        *,
+        eta: float,
+        policy: SeedPolicy = SeedPolicy.SUBTORRENT,
+        records: Mapping[int, UserRecord] | None = None,
+    ):
+        if not file_ids:
+            raise ValueError("a swarm group needs at least one file")
+        if not 0 < eta <= 1:
+            raise ValueError(f"eta must be in (0, 1], got {eta}")
+        self.group_id = group_id
+        self.eta = eta
+        self.policy = policy
+        self.swarms: dict[int, Swarm] = {f: Swarm(f) for f in file_ids}
+        self.records = records
+
+    # ----- membership ---------------------------------------------------------
+
+    def _swarm(self, file_id: int) -> Swarm:
+        try:
+            return self.swarms[file_id]
+        except KeyError:
+            raise KeyError(
+                f"file {file_id} is not published by group {self.group_id}"
+            ) from None
+
+    def add_downloader(self, entry: DownloadEntry) -> None:
+        key = (entry.user_id, entry.file_id)
+        swarm = self._swarm(entry.file_id)
+        if key in swarm.downloaders:
+            raise ValueError(f"duplicate download entry {key} in group {self.group_id}")
+        swarm.downloaders[key] = entry
+
+    def remove_downloader(self, user_id: int, file_id: int) -> DownloadEntry:
+        swarm = self._swarm(file_id)
+        try:
+            return swarm.downloaders.pop((user_id, file_id))
+        except KeyError:
+            raise KeyError(
+                f"no download entry (user={user_id}, file={file_id}) "
+                f"in group {self.group_id}"
+            ) from None
+
+    def get_downloader(self, user_id: int, file_id: int) -> DownloadEntry:
+        return self._swarm(file_id).downloaders[(user_id, file_id)]
+
+    def add_seed(
+        self,
+        user_id: int,
+        file_id: int,
+        bandwidth: float,
+        user_class: int,
+        *,
+        virtual: bool,
+    ) -> None:
+        """Attach seed bandwidth for ``user_id`` to ``file_id``'s swarm.
+
+        Under ``GLOBAL_POOL`` the capacity is pooled anyway, but the file
+        attachment is kept so population metrics can report per-swarm seed
+        counts and so a policy switch is purely an allocation-math change.
+        """
+        if bandwidth < 0:
+            raise ValueError(f"seed bandwidth must be nonnegative, got {bandwidth}")
+        swarm = self._swarm(file_id)
+        table = swarm.virtual_seeds if virtual else swarm.real_seeds
+        if user_id in table:
+            raise ValueError(
+                f"user {user_id} already has a {'virtual' if virtual else 'real'} "
+                f"seed on file {file_id}"
+            )
+        table[user_id] = (bandwidth, user_class)
+
+    def remove_seed(self, user_id: int, file_id: int, *, virtual: bool) -> float:
+        """Detach a seed allocation; returns the bandwidth it held."""
+        swarm = self._swarm(file_id)
+        table = swarm.virtual_seeds if virtual else swarm.real_seeds
+        try:
+            bw, _ = table.pop(user_id)
+        except KeyError:
+            raise KeyError(
+                f"user {user_id} has no {'virtual' if virtual else 'real'} seed "
+                f"on file {file_id}"
+            ) from None
+        return bw
+
+    def set_seed_bandwidth(
+        self, user_id: int, file_id: int, bandwidth: float, *, virtual: bool
+    ) -> None:
+        """Adjust an existing allocation in place (Adapt rho changes)."""
+        if bandwidth < 0:
+            raise ValueError(f"seed bandwidth must be nonnegative, got {bandwidth}")
+        swarm = self._swarm(file_id)
+        table = swarm.virtual_seeds if virtual else swarm.real_seeds
+        if user_id not in table:
+            raise KeyError(f"user {user_id} has no seed on file {file_id}")
+        _, klass = table[user_id]
+        table[user_id] = (bandwidth, klass)
+
+    # ----- queries --------------------------------------------------------------
+
+    def all_entries(self) -> Iterator[DownloadEntry]:
+        for swarm in self.swarms.values():
+            yield from swarm.downloaders.values()
+
+    @property
+    def n_downloaders(self) -> int:
+        return sum(s.n_downloaders for s in self.swarms.values())
+
+    def total_virtual_capacity(self) -> float:
+        return sum(s.virtual_capacity for s in self.swarms.values())
+
+    def total_real_capacity(self) -> float:
+        return sum(s.real_capacity for s in self.swarms.values())
+
+    # ----- group-level lazy progress (GLOBAL_POOL path) ----------------------------
+
+    def advance_all(self, t: float) -> None:
+        """Integrate rates to ``t`` for every swarm (pool coupling).
+
+        Virtual-seed *give* accounting differs from the swarm-local rule:
+        the pool is fully utilised whenever anyone in the group downloads,
+        so a virtual seed on an empty swarm still contributes.
+        """
+        records = self.records
+        group_busy = self.n_downloaders > 0
+        for swarm in self.swarms.values():
+            dt = t - swarm.last_update
+            if dt < -1e-9:
+                raise ValueError(
+                    f"cannot advance group backwards ({swarm.last_update} -> {t})"
+                )
+            if dt <= 0:
+                swarm.last_update = t
+                continue
+            for entry in swarm.downloaders.values():
+                entry.remaining = max(0.0, entry.remaining - entry.rate * dt)
+                if records is not None and entry.rate_from_virtual > 0:
+                    rec = records.get(entry.user_id)
+                    if rec is not None:
+                        rec.received_virtual += entry.rate_from_virtual * dt
+            if records is not None and group_busy:
+                for user_id, (bw, _) in swarm.virtual_seeds.items():
+                    rec = records.get(user_id)
+                    if rec is not None:
+                        rec.uploaded_virtual += bw * dt
+            swarm.last_update = t
+
+    def recompute_rates_all(self) -> None:
+        """Refresh every entry's rate from the group-wide pool.
+
+        As in :meth:`Swarm.recompute_rates`, rates are capped at the
+        entry's download bandwidth.
+        """
+        eta = self.eta
+        entries = list(self.all_entries())
+        total_cap = sum(e.download_cap for e in entries)
+        pool_virtual = self.total_virtual_capacity()
+        pool_real = self.total_real_capacity()
+        for swarm in self.swarms.values():
+            swarm.epoch += 1
+        for entry in entries:
+            share = entry.download_cap / total_cap if total_cap > 0 else 0.0
+            rate = eta * entry.tft_upload + share * (pool_virtual + pool_real)
+            if rate > entry.download_cap > 0:
+                scale = entry.download_cap / rate
+                entry.rate = entry.download_cap
+                entry.rate_from_virtual = share * pool_virtual * scale
+            else:
+                entry.rate = rate
+                entry.rate_from_virtual = share * pool_virtual
+
+    def next_completion_time(self) -> float:
+        """Earliest completion over the whole group (``inf`` if none)."""
+        return min(
+            (s.next_completion_time() for s in self.swarms.values()),
+            default=math.inf,
+        )

@@ -1,0 +1,449 @@
+"""The simulation system: groups + engine + lazy rate maintenance.
+
+:class:`SimulationSystem` owns the event loop, the swarm groups and the
+user records, and exposes the mutation API the per-scheme behaviours call
+(:meth:`start_download`, :meth:`add_seed`, ...).  Every mutation follows the
+same discipline:
+
+1. ``advance`` the affected *rate domain* to the current time under the old
+   rates (progress integrates lazily -- rates are constant between
+   mutations);
+2. apply the mutation;
+3. mark the domain dirty; a :meth:`flush` then recomputes its rates and
+   refreshes its single pending *completion event*.
+
+A rate domain is one swarm for ``SUBTORRENT`` groups (rates never couple
+across swarms) and the whole group for ``GLOBAL_POOL`` (everyone shares the
+seed pool).  One completion event per domain -- at the min remaining/rate
+over its entries, invalidated by an epoch counter -- keeps the event queue
+small and each event's work proportional to the affected population only.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.entities import DownloadEntry, EntrySpan, UserRecord
+from repro.sim.metrics import MetricsCollector, PopulationSample
+from repro.sim.rng import RandomStreams
+from repro.sim.swarm import SeedPolicy, Swarm, SwarmGroup
+from repro.sim.trace import EventKind, EventTrace
+from repro.sim.tracker import AnnounceEvent, Tracker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.behaviors import UserBehavior
+
+__all__ = ["SimulationSystem"]
+
+#: event priorities: completions resolve before arrivals at equal timestamps
+#: so freed capacity is visible to the newcomer, and samplers run last.
+PRIORITY_COMPLETION = 0
+PRIORITY_DEFAULT = 1
+PRIORITY_SAMPLER = 9
+
+#: rate-domain key: (group_id, file_id) for swarm-local domains,
+#: (group_id, None) for pool-coupled groups.
+DomainKey = tuple[int, int | None]
+
+
+class SimulationSystem:
+    """Glue between the event engine, swarm groups and user behaviours.
+
+    Parameters
+    ----------
+    mu / eta / gamma:
+        Fluid parameters: peer upload bandwidth, downloader efficiency and
+        seed departure rate (seed lifetimes are ``Exp(1/gamma)``).
+    download_cap:
+        Per-user download bandwidth.  The models are upload-constrained, so
+        only its *relative* split matters (assumption 2 shares seed capacity
+        proportionally); the default of ``10*mu`` keeps the "download much
+        larger than upload" premise explicit.
+    num_classes:
+        ``K`` -- the number of files, which bounds the user class.
+    rng:
+        Shared random streams.
+    seed_lifetime_distribution:
+        How long seeds linger: ``"exponential"`` (the fluid models'
+        assumption, mean ``1/gamma``), ``"fixed"`` (deterministic
+        ``1/gamma``) or ``"uniform"`` (on ``[0, 2/gamma]``, same mean).
+        The fluid steady states depend only on the mean, so the
+        alternatives are insensitivity ablations.
+    neighbor_limit:
+        ``None`` (default) gives the fluid models' full-mesh mixing.  A
+        finite value routes every swarm join through a
+        :class:`~repro.sim.tracker.Tracker` that returns at most this many
+        random peers (the protocol's ``numwant``), and service then flows
+        only along sampled connections.  Only supported with
+        ``SUBTORRENT`` groups (the ``GLOBAL_POOL`` policy *is* the mixing
+        assumption).
+    """
+
+    def __init__(
+        self,
+        *,
+        mu: float,
+        eta: float,
+        gamma: float,
+        num_classes: int,
+        download_cap: float | None = None,
+        file_size: float = 1.0,
+        rng: RandomStreams | None = None,
+        seed_lifetime_distribution: str = "exponential",
+        neighbor_limit: int | None = None,
+        trace: "EventTrace | None" = None,
+    ):
+        if mu <= 0 or gamma <= 0 or file_size <= 0:
+            raise ValueError("mu, gamma and file_size must be positive")
+        if seed_lifetime_distribution not in ("exponential", "fixed", "uniform"):
+            raise ValueError(
+                "seed_lifetime_distribution must be 'exponential', 'fixed' or "
+                f"'uniform', got {seed_lifetime_distribution!r}"
+            )
+        self.seed_lifetime_distribution = seed_lifetime_distribution
+        self.mu = mu
+        self.eta = eta
+        self.gamma = gamma
+        self.file_size = file_size
+        self.download_cap = download_cap if download_cap is not None else 10.0 * mu
+        self.num_classes = num_classes
+        self.rng = rng if rng is not None else RandomStreams(0)
+        self.sim = Simulator()
+        self.metrics = MetricsCollector(num_classes=num_classes)
+        self.groups: dict[int, SwarmGroup] = {}
+        self.file_to_group: dict[int, int] = {}
+        self.behaviors: dict[int, "UserBehavior"] = {}
+        self._dirty: set[DomainKey] = set()
+        self._epochs: dict[DomainKey, int] = {}
+        self._completion_handles: dict[DomainKey, EventHandle] = {}
+        self._next_user_id = 0
+        self._completion_slack = 1e-9 * file_size
+        self.tracker: Tracker | None = None
+        if neighbor_limit is not None:
+            self.tracker = Tracker(self.rng.misc, numwant=neighbor_limit)
+        self.trace = trace
+
+    # ----- topology -------------------------------------------------------------
+
+    def add_group(self, file_ids: tuple[int, ...], policy: SeedPolicy) -> SwarmGroup:
+        """Create a torrent publishing ``file_ids``; files are system-unique."""
+        if self.tracker is not None and policy is SeedPolicy.GLOBAL_POOL:
+            raise ValueError(
+                "neighbor_limit requires SUBTORRENT groups: the GLOBAL_POOL "
+                "policy is itself the full-mixing assumption"
+            )
+        group_id = len(self.groups)
+        for f in file_ids:
+            if f in self.file_to_group:
+                raise ValueError(f"file {f} already published by another group")
+        group = SwarmGroup(
+            group_id,
+            file_ids,
+            eta=self.eta,
+            policy=policy,
+            records=self.metrics.records,
+        )
+        if self.tracker is not None:
+            for swarm in group.swarms.values():
+                swarm.neighbor_aware = True
+        self.groups[group_id] = group
+        for f in file_ids:
+            self.file_to_group[f] = group_id
+        return group
+
+    def group_of_file(self, file_id: int) -> SwarmGroup:
+        return self.groups[self.file_to_group[file_id]]
+
+    def _domain_key(self, file_id: int) -> DomainKey:
+        group = self.group_of_file(file_id)
+        if group.policy is SeedPolicy.GLOBAL_POOL:
+            return (group.group_id, None)
+        return (group.group_id, file_id)
+
+    # ----- time & randomness -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def seed_lifetime(self) -> float:
+        """Draw one seeding duration with mean ``1/gamma``."""
+        mean = 1.0 / self.gamma
+        if self.seed_lifetime_distribution == "fixed":
+            return mean
+        if self.seed_lifetime_distribution == "uniform":
+            return float(self.rng.seeding.uniform(0.0, 2.0 * mean))
+        return float(self.rng.seeding.exponential(mean))
+
+    def schedule_after(
+        self, delay: float, callback: Callable[[], None], *, priority: int = PRIORITY_DEFAULT
+    ) -> EventHandle:
+        return self.sim.schedule_after(delay, callback, priority=priority)
+
+    # ----- user lifecycle ------------------------------------------------------------
+
+    def spawn_user(self, behavior_factory, files: tuple[int, ...], **behavior_kwargs) -> int:
+        """Create a user, its record and behaviour; behaviour starts itself."""
+        from repro.sim.behaviors import UserBehavior  # local import: cycle guard
+
+        user_id = self._next_user_id
+        self._next_user_id += 1
+        behavior = behavior_factory(self, user_id, files, **behavior_kwargs)
+        if not isinstance(behavior, UserBehavior):
+            raise TypeError(f"behavior factory produced {type(behavior)!r}")
+        self.metrics.new_record(behavior.record)
+        self.behaviors[user_id] = behavior
+        if self.trace is not None:
+            self.trace.record(self.now, EventKind.USER_ARRIVED, user_id)
+        behavior.on_arrival()
+        self.flush()
+        return user_id
+
+    def user_departed(self, user_id: int) -> None:
+        """Record final departure and drop the behaviour."""
+        record = self.metrics.records[user_id]
+        if record.departure_time is not None:
+            raise ValueError(f"user {user_id} departed twice")
+        record.departure_time = self.now
+        self.behaviors.pop(user_id, None)
+        if self.trace is not None:
+            self.trace.record(self.now, EventKind.USER_DEPARTED, user_id)
+
+    # ----- tracker bookkeeping (neighbor-aware mode) -------------------------------------
+
+    @staticmethod
+    def _user_in_swarm(swarm: Swarm, user_id: int) -> bool:
+        if user_id in swarm.real_seeds or user_id in swarm.virtual_seeds:
+            return True
+        return any(key[0] == user_id for key in swarm.downloaders)
+
+    def _tracker_join(self, file_id: int, user_id: int, *, is_seeder: bool) -> None:
+        if self.tracker is None:
+            return
+        swarm = self.group_of_file(file_id).swarms[file_id]
+        if user_id in swarm.neighbors:
+            if is_seeder:
+                self.tracker.announce(user_id, file_id, AnnounceEvent.COMPLETED)
+            return
+        sample = self.tracker.announce(
+            user_id, file_id, AnnounceEvent.STARTED, is_seeder=is_seeder
+        )
+        swarm.neighbors[user_id] = set(sample)
+
+    def _tracker_leave_if_absent(self, file_id: int, user_id: int) -> None:
+        if self.tracker is None:
+            return
+        swarm = self.group_of_file(file_id).swarms[file_id]
+        if self._user_in_swarm(swarm, user_id):
+            return
+        if user_id in swarm.neighbors:
+            del swarm.neighbors[user_id]
+            self.tracker.announce(user_id, file_id, AnnounceEvent.STOPPED)
+
+    # ----- mutations used by behaviours ------------------------------------------------
+
+    def _touch(self, file_id: int) -> None:
+        """Advance the file's rate domain to now and mark it dirty."""
+        key = self._domain_key(file_id)
+        group = self.groups[key[0]]
+        if key[1] is None:
+            group.advance_all(self.now)
+        else:
+            group.swarms[file_id].advance(self.now, self.metrics.records)
+        self._dirty.add(key)
+
+    def start_download(
+        self,
+        user_id: int,
+        file_id: int,
+        *,
+        user_class: int,
+        stage: int,
+        tft_upload: float,
+        download_cap: float,
+    ) -> DownloadEntry:
+        self._touch(file_id)
+        entry = DownloadEntry(
+            user_id=user_id,
+            file_id=file_id,
+            user_class=user_class,
+            stage=stage,
+            tft_upload=tft_upload,
+            download_cap=download_cap,
+            remaining=self.file_size,
+            started_at=self.now,
+        )
+        self.group_of_file(file_id).add_downloader(entry)
+        self._tracker_join(file_id, user_id, is_seeder=False)
+        if self.trace is not None:
+            self.trace.record(self.now, EventKind.DOWNLOAD_STARTED, user_id, file_id)
+        return entry
+
+    def set_tft_upload(self, user_id: int, file_id: int, tft_upload: float) -> None:
+        """Change the tit-for-tat bandwidth of an active download (Adapt)."""
+        self._touch(file_id)
+        self.group_of_file(file_id).get_downloader(user_id, file_id).tft_upload = tft_upload
+
+    def add_seed(
+        self, user_id: int, file_id: int, bandwidth: float, user_class: int, *, virtual: bool
+    ) -> None:
+        self._touch(file_id)
+        self.group_of_file(file_id).add_seed(
+            user_id, file_id, bandwidth, user_class, virtual=virtual
+        )
+        self._tracker_join(file_id, user_id, is_seeder=not virtual)
+        if self.trace is not None:
+            self.trace.record(
+                self.now, EventKind.SEED_ADDED, user_id, file_id, bandwidth
+            )
+
+    def remove_seed(self, user_id: int, file_id: int, *, virtual: bool) -> float:
+        self._touch(file_id)
+        bw = self.group_of_file(file_id).remove_seed(user_id, file_id, virtual=virtual)
+        self._tracker_leave_if_absent(file_id, user_id)
+        if self.trace is not None:
+            self.trace.record(self.now, EventKind.SEED_REMOVED, user_id, file_id, bw)
+        return bw
+
+    def set_seed_bandwidth(
+        self, user_id: int, file_id: int, bandwidth: float, *, virtual: bool
+    ) -> None:
+        self._touch(file_id)
+        self.group_of_file(file_id).set_seed_bandwidth(
+            user_id, file_id, bandwidth, virtual=virtual
+        )
+
+    # ----- rate maintenance -----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Recompute rates of dirty domains and refresh completion events."""
+        while self._dirty:
+            key = self._dirty.pop()
+            group = self.groups[key[0]]
+            if key[1] is None:
+                group.advance_all(self.now)
+                group.recompute_rates_all()
+                t_next = group.next_completion_time()
+            else:
+                swarm = group.swarms[key[1]]
+                swarm.advance(self.now, self.metrics.records)
+                swarm.recompute_rates(self.eta)
+                t_next = swarm.next_completion_time()
+            self._reschedule_completion(key, t_next)
+
+    def _reschedule_completion(self, key: DomainKey, t_next: float) -> None:
+        handle = self._completion_handles.pop(key, None)
+        if handle is not None:
+            self.sim.cancel(handle)
+        epoch = self._epochs.get(key, 0) + 1
+        self._epochs[key] = epoch
+        if not math.isfinite(t_next):
+            return
+        self._completion_handles[key] = self.sim.schedule_at(
+            max(self.now, t_next),
+            lambda: self._on_completion(key, epoch),
+            priority=PRIORITY_COMPLETION,
+        )
+
+    def _domain_swarms(self, key: DomainKey) -> list[Swarm]:
+        group = self.groups[key[0]]
+        if key[1] is None:
+            return list(group.swarms.values())
+        return [group.swarms[key[1]]]
+
+    def _on_completion(self, key: DomainKey, epoch: int) -> None:
+        if self._epochs.get(key) != epoch:
+            return  # a mutation re-planned this domain since scheduling
+        self._completion_handles.pop(key, None)
+        group = self.groups[key[0]]
+        if key[1] is None:
+            group.advance_all(self.now)
+        else:
+            group.swarms[key[1]].advance(self.now, self.metrics.records)
+        due: list[DownloadEntry] = []
+        for swarm in self._domain_swarms(key):
+            due.extend(swarm.due_entries(self._completion_slack))
+        if not due:
+            # Numerical slack: the closest entry should be within float
+            # error of done; force the earliest one to completion.  A
+            # genuinely early wake-up (possible only through a logic bug)
+            # falls back to re-planning.
+            candidates = [
+                e for s in self._domain_swarms(key) for e in s.downloaders.values()
+            ]
+            if not candidates:
+                return
+            entry = min(candidates, key=lambda e: e.eta_for_completion())
+            if entry.eta_for_completion() > 1e-6:
+                self._dirty.add(key)
+                self.flush()
+                return
+            entry.remaining = 0.0
+            due = [entry]
+        for entry in due:
+            group.remove_downloader(entry.user_id, entry.file_id)
+            self.metrics.record_span(
+                EntrySpan(
+                    user_id=entry.user_id,
+                    file_id=entry.file_id,
+                    user_class=entry.user_class,
+                    stage=entry.stage,
+                    started_at=entry.started_at,
+                    completed_at=self.now,
+                )
+            )
+            record = self.metrics.records[entry.user_id]
+            record.file_completions[entry.file_id] = self.now
+            if self.trace is not None:
+                self.trace.record(
+                    self.now, EventKind.FILE_COMPLETED, entry.user_id, entry.file_id
+                )
+            behavior = self.behaviors.get(entry.user_id)
+            if behavior is not None:
+                behavior.on_file_complete(entry)
+            self._tracker_leave_if_absent(entry.file_id, entry.user_id)
+        self._dirty.add(key)
+        self.flush()
+
+    # ----- sampling -------------------------------------------------------------------
+
+    def start_sampler(
+        self, interval: float, t_end: float, *, record_stages: bool = False
+    ) -> None:
+        """Record per-swarm population snapshots every ``interval`` units.
+
+        ``record_stages`` additionally captures the (class, stage) matrix
+        per swarm -- the observable matching Eq. (5)'s ``x^{i,j}``.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+
+        def sample() -> None:
+            for group in self.groups.values():
+                for file_id, swarm in group.swarms.items():
+                    self.metrics.record_sample(
+                        PopulationSample(
+                            time=self.now,
+                            group_id=group.group_id,
+                            file_id=file_id,
+                            downloaders=swarm.downloader_count_by_class(self.num_classes),
+                            seeds=swarm.seed_count_by_class(self.num_classes),
+                            stage_downloaders=(
+                                swarm.downloader_count_by_class_stage(self.num_classes)
+                                if record_stages
+                                else None
+                            ),
+                        )
+                    )
+            if self.now + interval <= t_end:
+                self.sim.schedule_after(interval, sample, priority=PRIORITY_SAMPLER)
+
+        self.sim.schedule_after(interval, sample, priority=PRIORITY_SAMPLER)
+
+    # ----- run ------------------------------------------------------------------------
+
+    def run_until(self, t_end: float, *, max_events: int | None = None) -> int:
+        """Drive the event loop to ``t_end``."""
+        return self.sim.run_until(t_end, max_events=max_events)

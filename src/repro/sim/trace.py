@@ -1,0 +1,110 @@
+"""Structured event tracing for simulation runs.
+
+An optional, zero-cost-when-disabled record of everything that happens in
+a run: arrivals, download starts/completions, seed allocations, departures
+and Adapt adjustments.  Useful for debugging peer lifecycles, asserting
+causal orderings in tests, and building custom analyses that the summary
+statistics do not cover.
+
+Enable by constructing the system with ``trace=EventTrace()``::
+
+    trace = EventTrace()
+    system = SimulationSystem(..., trace=trace)
+    ...
+    for ev in trace.for_user(42):
+        print(ev.time, ev.kind, ev.file_id)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["EventKind", "TraceEvent", "EventTrace"]
+
+
+class EventKind(enum.Enum):
+    """The event vocabulary of a simulation run."""
+
+    USER_ARRIVED = "user_arrived"
+    DOWNLOAD_STARTED = "download_started"
+    FILE_COMPLETED = "file_completed"
+    SEED_ADDED = "seed_added"
+    SEED_REMOVED = "seed_removed"
+    USER_DEPARTED = "user_departed"
+    RHO_CHANGED = "rho_changed"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event.
+
+    ``file_id`` is ``None`` for user-level events; ``detail`` carries
+    event-specific payload (seed bandwidth, new rho, ...).
+    """
+
+    time: float
+    kind: EventKind
+    user_id: int
+    file_id: int | None = None
+    detail: float | None = None
+
+
+class EventTrace:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self, *, capacity: int | None = None):
+        """``capacity`` bounds memory: oldest events are dropped beyond it."""
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def record(
+        self,
+        time: float,
+        kind: EventKind,
+        user_id: int,
+        file_id: int | None = None,
+        detail: float | None = None,
+    ) -> None:
+        self._events.append(TraceEvent(time, kind, user_id, file_id, detail))
+        if self.capacity is not None and len(self._events) > self.capacity:
+            overflow = len(self._events) - self.capacity
+            del self._events[:overflow]
+            self.dropped += overflow
+
+    # ----- queries ---------------------------------------------------------------
+
+    def events(self) -> tuple[TraceEvent, ...]:
+        """All retained events, in order."""
+        return tuple(self._events)
+
+    def of_kind(self, kind: EventKind) -> Iterator[TraceEvent]:
+        return (e for e in self._events if e.kind is kind)
+
+    def for_user(self, user_id: int) -> tuple[TraceEvent, ...]:
+        """One user's full lifecycle, in order."""
+        return tuple(e for e in self._events if e.user_id == user_id)
+
+    def for_file(self, file_id: int) -> tuple[TraceEvent, ...]:
+        return tuple(e for e in self._events if e.file_id == file_id)
+
+    def counts(self) -> dict[EventKind, int]:
+        """Event counts by kind."""
+        out: dict[EventKind, int] = {}
+        for e in self._events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def to_rows(self) -> list[tuple]:
+        """``(time, kind, user, file, detail)`` rows for CSV export."""
+        return [
+            (e.time, e.kind.value, e.user_id, e.file_id, e.detail)
+            for e in self._events
+        ]

@@ -1,0 +1,113 @@
+"""Tests for the autocorrelation / effective-sample-size estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    autocorrelation,
+    effective_sample_size,
+    integrated_autocorrelation_time,
+)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        rho = autocorrelation(rng.normal(size=500))
+        assert rho[0] == 1.0
+
+    def test_iid_noise_decorrelates(self, rng):
+        rho = autocorrelation(rng.normal(size=5000), max_lag=20)
+        assert np.all(np.abs(rho[1:]) < 0.1)
+
+    def test_ar1_matches_theory(self, rng):
+        """AR(1) with coefficient a has rho_k = a^k."""
+        a, n = 0.8, 60_000
+        x = np.empty(n)
+        x[0] = 0.0
+        noise = rng.normal(size=n)
+        for k in range(1, n):
+            x[k] = a * x[k - 1] + noise[k]
+        rho = autocorrelation(x, max_lag=5)
+        np.testing.assert_allclose(rho[1:], a ** np.arange(1, 6), atol=0.05)
+
+    def test_constant_series(self):
+        rho = autocorrelation(np.ones(100))
+        assert rho[0] == 1.0
+        assert np.all(rho[1:] == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            autocorrelation([1.0])
+        with pytest.raises(ValueError, match="max_lag"):
+            autocorrelation([1.0, 2.0, 3.0], max_lag=10)
+
+
+class TestIAT:
+    def test_iid_tau_near_one(self, rng):
+        tau = integrated_autocorrelation_time(rng.normal(size=5000))
+        assert tau == pytest.approx(1.0, abs=0.3)
+
+    def test_ar1_tau_matches_theory(self, rng):
+        """AR(1): tau = (1+a)/(1-a) = 9 for a = 0.8."""
+        a, n = 0.8, 200_000
+        x = np.empty(n)
+        x[0] = 0.0
+        noise = rng.normal(size=n)
+        for k in range(1, n):
+            x[k] = a * x[k - 1] + noise[k]
+        tau = integrated_autocorrelation_time(x)
+        assert tau == pytest.approx((1 + a) / (1 - a), rel=0.2)
+
+    def test_tau_at_least_one(self, rng):
+        # Anticorrelated series would give tau < 1; clamp to 1.
+        x = np.tile([1.0, -1.0], 500)
+        assert integrated_autocorrelation_time(x) == 1.0
+
+    def test_window_factor_validated(self):
+        with pytest.raises(ValueError, match="window_factor"):
+            integrated_autocorrelation_time([1.0, 2.0], window_factor=0.0)
+
+
+class TestESS:
+    def test_iid_ess_near_n(self, rng):
+        x = rng.normal(size=4000)
+        assert effective_sample_size(x) == pytest.approx(4000, rel=0.3)
+
+    def test_correlated_ess_much_smaller(self, rng):
+        a, n = 0.95, 20_000
+        x = np.empty(n)
+        x[0] = 0.0
+        noise = rng.normal(size=n)
+        for k in range(1, n):
+            x[k] = a * x[k - 1] + noise[k]
+        ess = effective_sample_size(x)
+        assert ess < n / 10
+
+    def test_simulation_population_series_are_correlated(self):
+        """The motivating case: swarm-population samples carry far fewer
+        effective observations than raw samples."""
+        from repro.core import CorrelationModel, PAPER_PARAMETERS, Scheme
+        from repro.sim import ScenarioConfig, build_simulation
+
+        config = ScenarioConfig(
+            scheme=Scheme.MTSD,
+            params=PAPER_PARAMETERS.with_(num_files=2),
+            correlation=CorrelationModel(num_files=2, p=0.8, visit_rate=0.5),
+            t_end=1500.0,
+            warmup=300.0,
+            seed=3,
+            sample_interval=5.0,
+        )
+        system, arrivals = build_simulation(config)
+        system.start_sampler(config.sample_interval, config.t_end)
+        arrivals.start()
+        system.run_until(config.t_end)
+        series = [
+            float(s.downloaders.sum())
+            for s in system.metrics.samples
+            if s.file_id == 0 and s.time >= config.warmup
+        ]
+        ess = effective_sample_size(series)
+        assert ess < 0.5 * len(series)

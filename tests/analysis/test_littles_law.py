@@ -1,0 +1,41 @@
+"""Tests for the Little's-law validator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import littles_law_check
+
+
+class TestLittlesLaw:
+    def test_exact_identity(self):
+        check = littles_law_check(population=60.0, arrival_rate=1.0, mean_time=60.0)
+        assert check.relative_error == 0.0
+        assert check.within(1e-12)
+
+    def test_relative_error_symmetric_scale(self):
+        check = littles_law_check(population=55.0, arrival_rate=1.0, mean_time=60.0)
+        assert check.relative_error == pytest.approx(5.0 / 60.0)
+
+    def test_zero_system(self):
+        check = littles_law_check(population=0.0, arrival_rate=0.0, mean_time=0.0)
+        assert check.relative_error == 0.0
+
+    def test_implied_time(self):
+        check = littles_law_check(population=30.0, arrival_rate=2.0, mean_time=14.0)
+        assert check.implied_time == pytest.approx(15.0)
+
+    def test_implied_time_nan_without_arrivals(self):
+        check = littles_law_check(population=5.0, arrival_rate=0.0, mean_time=1.0)
+        assert math.isnan(check.implied_time)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            littles_law_check(population=-1.0, arrival_rate=1.0, mean_time=1.0)
+
+    def test_within_tolerance_boundary(self):
+        check = littles_law_check(population=101.0, arrival_rate=1.0, mean_time=100.0)
+        assert check.within(0.01 + 1e-12)
+        assert not check.within(0.005)

@@ -1,0 +1,77 @@
+"""Tests for summary statistics and batch-means confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import batch_means_ci, summarize
+
+
+class TestSummarize:
+    def test_basic_sample(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_single_point(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+        assert np.isnan(s.sem)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize([])
+
+    def test_sem(self):
+        s = summarize([1.0, 3.0, 1.0, 3.0])
+        assert s.sem == pytest.approx(s.std / 2.0)
+
+
+class TestBatchMeans:
+    def test_constant_series_collapses_interval(self):
+        mean, lo, hi = batch_means_ci([5.0] * 100, n_batches=10)
+        assert mean == pytest.approx(5.0)
+        assert lo == pytest.approx(5.0)
+        assert hi == pytest.approx(5.0)
+
+    def test_interval_contains_true_mean_for_iid_noise(self, rng):
+        data = rng.normal(10.0, 2.0, size=2000)
+        mean, lo, hi = batch_means_ci(data, n_batches=20, confidence=0.99)
+        assert lo < 10.0 < hi
+        assert lo < mean < hi
+
+    def test_higher_confidence_widens_interval(self, rng):
+        data = rng.normal(0.0, 1.0, size=500)
+        _, lo90, hi90 = batch_means_ci(data, confidence=0.90)
+        _, lo99, hi99 = batch_means_ci(data, confidence=0.99)
+        assert (hi99 - lo99) > (hi90 - lo90)
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValueError, match="at least"):
+            batch_means_ci([1.0] * 5, n_batches=10)
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            batch_means_ci([1.0] * 100, confidence=1.5)
+
+    def test_bad_batch_count(self):
+        with pytest.raises(ValueError, match="n_batches"):
+            batch_means_ci([1.0] * 100, n_batches=1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(40, 400))
+    def test_mean_matches_sample_mean_of_batches(self, seed, n):
+        rng = np.random.default_rng(seed)
+        data = rng.exponential(3.0, size=n)
+        mean, lo, hi = batch_means_ci(data, n_batches=10)
+        assert lo <= mean <= hi
+        # Batch-means grand mean equals the overall mean when batches tile
+        # the sample evenly; with a ragged tail they still stay close.
+        assert mean == pytest.approx(float(np.mean(data)), rel=0.25)

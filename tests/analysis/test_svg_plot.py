@@ -1,0 +1,144 @@
+"""Tests for the dependency-free SVG chart writer."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis import svg_line_chart, write_svg
+from repro.analysis.svg_plot import _nice_ticks
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 98.0)
+        assert ticks[0] <= 0.0
+        assert ticks[-1] >= 98.0
+
+    def test_round_steps(self):
+        ticks = _nice_ticks(0.0, 1.0)
+        steps = {round(b - a, 10) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 2
+
+
+class TestSvgLineChart:
+    def test_valid_xml(self):
+        svg = svg_line_chart(
+            {"a": ([0, 1, 2], [1, 2, 3]), "b": ([0, 1, 2], [3, 2, 1])},
+            title="t",
+            xlabel="x",
+            ylabel="y",
+        )
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_series_names_and_labels(self):
+        svg = svg_line_chart(
+            {"alpha": ([0, 1], [0, 1])}, title="Title", xlabel="XL", ylabel="YL"
+        )
+        for token in ("alpha", "Title", "XL", "YL", "polyline"):
+            assert token in svg
+
+    def test_nan_points_dropped(self):
+        svg = svg_line_chart({"s": ([0, 1, 2], [1.0, float("nan"), 3.0])})
+        assert "nan" not in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            svg_line_chart({})
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            svg_line_chart({"s": ([0.0], [float("nan")])})
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths"):
+            svg_line_chart({"s": ([0, 1], [1.0])})
+
+    def test_constant_series(self):
+        svg = svg_line_chart({"flat": ([0, 1], [5.0, 5.0])})
+        ET.fromstring(svg)
+
+    def test_write_svg_creates_parents(self, tmp_path):
+        path = write_svg(tmp_path / "a" / "b.svg", {"s": ([0, 1], [0, 1])})
+        assert path.exists()
+        ET.parse(path)
+
+
+class TestSvgHeatmap:
+    def test_valid_xml_with_labels(self):
+        import numpy as np
+
+        from repro.analysis.svg_plot import svg_heatmap
+
+        grid = np.arange(6, dtype=float).reshape(2, 3)
+        svg = svg_heatmap(
+            grid,
+            row_labels=[0.1, 0.9],
+            col_labels=[0.0, 0.5, 1.0],
+            title="Surface",
+            row_name="p",
+            col_name="rho",
+        )
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        assert "p=0.1" in svg
+        assert "rho" in svg
+
+    def test_nan_cells_marked(self):
+        import numpy as np
+
+        from repro.analysis.svg_plot import svg_heatmap
+
+        grid = np.array([[1.0, float("nan")], [2.0, 3.0]])
+        assert "--" in svg_heatmap(grid)
+
+    def test_empty_rejected(self):
+        import numpy as np
+
+        from repro.analysis.svg_plot import svg_heatmap
+
+        with pytest.raises(ValueError, match="2-D"):
+            svg_heatmap(np.array([1.0]))
+
+    def test_figure4a_surface_written(self, tmp_path):
+        import numpy as np
+
+        from repro.experiments import figure4a
+
+        result = figure4a.run(
+            p_values=np.array([0.5, 0.9]), rho_values=np.array([0.0, 1.0])
+        )
+        paths = result.write_figures(tmp_path)
+        names = {p.name for p in paths}
+        assert "figure4a_surface.svg" in names
+        for p in paths:
+            ET.parse(p)
+
+
+class TestExperimentFigures:
+    def test_figure2_attaches_figures(self, tmp_path):
+        import numpy as np
+
+        from repro.experiments import figure2
+
+        result = figure2.run(p_values=np.linspace(0.1, 1.0, 5))
+        assert result.figures
+        paths = result.write_figures(tmp_path)
+        assert len(paths) == 1
+        assert paths[0].name == "figure2_online_vs_p.svg"
+        ET.parse(paths[0])
+
+    def test_figure3_two_panels(self, tmp_path):
+        from repro.experiments import figure3
+
+        result = figure3.run()
+        paths = result.write_figures(tmp_path)
+        assert len(paths) == 2
+        for p in paths:
+            ET.parse(p)

@@ -1,0 +1,113 @@
+"""Tests for table formatting, CSV output and ASCII plots."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_heatmap, ascii_plot, format_table, write_csv
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.23456], ["bb", 2.0]], precision=2
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in out
+        assert "2.00" in out
+        # All data rows share the header's width.
+        assert len(set(len(l) for l in lines)) <= 2
+
+    def test_title(self):
+        out = format_table(["x"], [[1.0]], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="headers"):
+            format_table(["a", "b"], [[1.0]])
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "data.csv", ["a", "b"], [[1, 2], [3, 4]])
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_mismatched_row_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="headers"):
+            write_csv(tmp_path / "x.csv", ["a"], [[1, 2]])
+
+
+class TestAsciiPlot:
+    def test_markers_and_legend(self):
+        out = ascii_plot(
+            {"up": ([0, 1], [0, 1]), "down": ([0, 1], [1, 0])},
+            width=20,
+            height=6,
+        )
+        assert "o = up" in out
+        assert "x = down" in out
+        assert "o" in out.splitlines()[0] + out.splitlines()[1]
+
+    def test_nan_points_skipped(self):
+        out = ascii_plot({"s": ([0, 1, 2], [1.0, float("nan"), 3.0])})
+        assert "legend" in out
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ascii_plot({})
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ascii_plot({"s": ([0.0], [float("nan")])})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="lengths"):
+            ascii_plot({"s": ([0, 1], [1.0])})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError, match="canvas"):
+            ascii_plot({"s": ([0, 1], [0, 1])}, width=4, height=2)
+
+    def test_constant_series_plot(self):
+        out = ascii_plot({"flat": ([0, 1, 2], [5.0, 5.0, 5.0])})
+        assert "flat" in out
+
+
+class TestAsciiHeatmap:
+    def test_shading_order(self):
+        grid = np.array([[0.0, 1.0], [2.0, 3.0]])
+        out = ascii_heatmap(grid)
+        assert "scale" in out
+        lines = out.splitlines()
+        assert lines[0][0] == " "  # minimum -> lightest shade
+        assert "@" in lines[1]  # maximum -> darkest shade
+
+    def test_labels(self):
+        grid = np.arange(6, dtype=float).reshape(2, 3)
+        out = ascii_heatmap(
+            grid,
+            row_labels=[0.1, 0.9],
+            col_labels=[0.0, 0.5, 1.0],
+            row_name="p",
+            col_name="rho",
+        )
+        assert "p=0.1" in out
+        assert "rho: 0" in out
+
+    def test_nan_marked(self):
+        grid = np.array([[1.0, float("nan")], [2.0, 3.0]])
+        assert "?" in ascii_heatmap(grid)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ascii_heatmap(np.array([1.0]))
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ascii_heatmap(np.full((2, 2), np.nan))

@@ -1,0 +1,76 @@
+"""Tests for warmup detection and time-weighted averaging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import mser_truncation, time_average, trim_warmup
+
+
+class TestMSER:
+    def test_stationary_series_keeps_everything(self, rng):
+        data = rng.normal(5.0, 1.0, size=200)
+        cut = mser_truncation(data)
+        assert cut < 20  # at most a token truncation on pure noise
+
+    def test_ramp_then_flat_cuts_the_ramp(self, rng):
+        ramp = np.linspace(0.0, 10.0, 50)
+        flat = 10.0 + rng.normal(0.0, 0.1, size=200)
+        cut = mser_truncation(np.concatenate([ramp, flat]))
+        assert 30 <= cut <= 70
+
+    def test_short_series_untouched(self):
+        assert mser_truncation([1.0, 2.0, 3.0]) == 0
+
+    def test_max_fraction_cap(self):
+        data = np.concatenate([np.linspace(0, 10, 90), [10.0] * 10])
+        cut = mser_truncation(data, max_fraction=0.2)
+        assert cut <= 20
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError, match="max_fraction"):
+            mser_truncation(np.ones(10), max_fraction=0.0)
+
+    def test_trim_warmup_returns_suffix(self, rng):
+        data = np.concatenate([np.linspace(0, 5, 40), 5 + rng.normal(0, 0.01, 100)])
+        trimmed = trim_warmup(data)
+        assert trimmed.size < data.size
+        assert trimmed.mean() == pytest.approx(5.0, abs=0.1)
+
+
+class TestTimeAverage:
+    def test_piecewise_constant_exact(self):
+        # Level 1 on [0, 2), level 3 on [2, 3): mean = (2*1 + 1*3) / 3.
+        avg = time_average([0.0, 2.0], [1.0, 3.0], t_end=3.0)
+        assert avg == pytest.approx(5.0 / 3.0)
+
+    def test_window_restriction(self):
+        avg = time_average([0.0, 2.0], [1.0, 3.0], t_start=2.0, t_end=3.0)
+        assert avg == pytest.approx(3.0)
+
+    def test_last_level_zero_weight_without_t_end(self):
+        avg = time_average([0.0, 1.0], [2.0, 99.0])
+        assert avg == pytest.approx(2.0)
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ValueError, match="nondecreasing"):
+            time_average([1.0, 0.0], [1.0, 1.0], t_end=2.0)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError, match="window"):
+            time_average([0.0, 1.0], [1.0, 1.0], t_start=5.0, t_end=5.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            time_average([0.0, 1.0], [1.0], t_end=2.0)
+
+    def test_matches_dense_sampling(self, rng):
+        times = np.sort(rng.uniform(0, 10, size=30))
+        values = rng.normal(size=30)
+        t_end = 12.0
+        avg = time_average(times, values, t_end=t_end)
+        # Riemann check against a fine grid.
+        grid = np.linspace(times[0], t_end, 200_001)
+        levels = values[np.searchsorted(times, grid, side="right") - 1]
+        assert avg == pytest.approx(float(np.mean(levels)), abs=1e-3)

@@ -1,0 +1,151 @@
+"""Tests for the chunk-level swarm simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chunks import ChunkSwarm, ChunkSwarmConfig, measure_eta
+
+
+def small_config(**kw):
+    defaults = dict(n_chunks=20, upload_rate=0.02, round_length=1.0)
+    defaults.update(kw)
+    return ChunkSwarmConfig(**defaults)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"n_chunks": 0}, "n_chunks"),
+            ({"upload_rate": 0.0}, "upload_rate"),
+            ({"n_upload_slots": 0}, "n_upload_slots"),
+            ({"optimistic_slots": -1}, "optimistic_slots"),
+            ({"round_length": 0.0}, "round_length"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            ChunkSwarmConfig(**kwargs)
+
+    def test_chunk_size(self):
+        assert ChunkSwarmConfig(n_chunks=50).chunk_size == pytest.approx(0.02)
+
+    def test_total_slots(self):
+        cfg = ChunkSwarmConfig(n_upload_slots=4, optimistic_slots=1)
+        assert cfg.total_slots == 5
+
+
+class TestPeerState:
+    def test_seed_starts_complete(self):
+        swarm = ChunkSwarm(small_config())
+        seed = swarm.add_peer(is_seed=True)
+        leecher = swarm.add_peer()
+        assert seed.is_seed
+        assert not leecher.is_seed
+        assert leecher.needs_from(seed)
+        assert not seed.needs_from(leecher)
+
+    def test_downloader_time_accounting(self):
+        swarm = ChunkSwarm(small_config())
+        seed = swarm.add_peer(is_seed=True)
+        leecher = swarm.add_peer()
+        assert seed.downloader_time(100.0) == 0.0
+        assert leecher.downloader_time(10.0) == pytest.approx(10.0)
+
+
+class TestDynamics:
+    def test_single_leecher_downloads_from_seed(self):
+        """One seed, one leecher: the leecher gets the whole seed budget,
+        so the file (1 unit) takes 1/mu = 50 rounds of round_length 1."""
+        swarm = ChunkSwarm(small_config(), seed=3)
+        swarm.add_peer(is_seed=True)
+        leecher = swarm.add_peer()
+        rounds = swarm.run()
+        assert leecher.is_seed
+        assert rounds == pytest.approx(1.0 / 0.02, abs=1)
+
+    def test_all_peers_eventually_finish(self):
+        swarm = ChunkSwarm(small_config(), seed=4)
+        swarm.add_peer(is_seed=True)
+        leechers = swarm.add_peers(12)
+        swarm.run()
+        assert all(p.is_seed for p in leechers)
+        assert all(p.finished_at is not None for p in leechers)
+
+    def test_chunk_conservation(self):
+        """Useful bytes delivered equal the work leechers needed."""
+        swarm = ChunkSwarm(small_config(), seed=5)
+        swarm.add_peer(is_seed=True)
+        n = 8
+        swarm.add_peers(n)
+        swarm.run()
+        delivered = swarm.downloader_useful + swarm.seed_useful
+        assert delivered == pytest.approx(float(n), rel=1e-9)
+
+    def test_availability_counts(self):
+        swarm = ChunkSwarm(small_config(n_chunks=5))
+        swarm.add_peer(is_seed=True)
+        swarm.add_peer(is_seed=True)
+        swarm.add_peer()
+        np.testing.assert_array_equal(swarm.availability(), [2, 2, 2, 2, 2])
+
+    def test_peers_leave_when_seed_stays_false(self):
+        swarm = ChunkSwarm(small_config(seed_stays=False), seed=6)
+        swarm.add_peer(is_seed=True)
+        swarm.add_peers(4)
+        swarm.run()
+        # Only the original seed remains.
+        assert len(swarm.peers) == 1
+
+    def test_runaway_guard(self):
+        swarm = ChunkSwarm(small_config(), seed=7)
+        swarm.add_peer(is_seed=True)
+        swarm.add_peers(3)
+        with pytest.raises(RuntimeError, match="rounds"):
+            swarm.run(max_rounds=2)
+
+    def test_deterministic_under_seed(self):
+        def run_once():
+            swarm = ChunkSwarm(small_config(), seed=9)
+            swarm.add_peer(is_seed=True)
+            leechers = swarm.add_peers(6)
+            swarm.run()
+            return [p.finished_at for p in leechers]
+
+        assert run_once() == run_once()
+
+    def test_rarest_first_spreads_chunks(self):
+        """After the early rounds, the availability spread should stay
+        moderate -- rarest-first equalises chunk replication."""
+        swarm = ChunkSwarm(small_config(n_chunks=40), seed=11)
+        swarm.add_peer(is_seed=True)
+        swarm.add_peers(10)
+        for _ in range(60):
+            if swarm.all_done:
+                break
+            swarm.run_round()
+        counts = swarm.availability()
+        # No chunk should be wildly over-replicated relative to the median.
+        assert counts.max() <= np.median(counts) + 11
+
+
+class TestMeasureEta:
+    def test_measurement_fields(self):
+        m = measure_eta(n_peers=8, config=small_config(), seed=1)
+        assert 0.0 < m.eta_effective < 1.0
+        assert 0.0 < m.seed_utilization <= 1.0
+        assert m.mean_download_time <= m.max_download_time
+        assert m.n_peers == 8
+
+    def test_eta_grows_with_chunk_count(self):
+        coarse = measure_eta(n_peers=15, config=small_config(n_chunks=5), seed=2)
+        fine = measure_eta(n_peers=15, config=small_config(n_chunks=100), seed=2)
+        assert fine.eta_effective > coarse.eta_effective
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_peers"):
+            measure_eta(n_peers=0)
+        with pytest.raises(ValueError, match="n_seeds"):
+            measure_eta(n_peers=5, n_seeds=0)

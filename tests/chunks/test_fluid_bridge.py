@@ -1,0 +1,127 @@
+"""Tests for the chunk-swarm <-> fluid bridge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chunks import ChunkSwarm, ChunkSwarmConfig
+from repro.chunks.fluid_bridge import synchronized_crowd_makespan, utilization_series
+
+
+class TestMakespanClosedForm:
+    def test_constant_coefficients_closed_form(self):
+        # T = n / (mu*(eta*n + util*s)) = 30 / (0.02*(0.5*30 + 1)) = 93.75.
+        T = synchronized_crowd_makespan(n_leechers=30, n_seeds=1, mu=0.02, eta=0.5)
+        assert T == pytest.approx(93.75)
+
+    def test_download_cap_binds_for_tiny_crowds(self):
+        # One leecher, many seeds: capped at c = 10*mu -> T = 1/(10*mu).
+        T = synchronized_crowd_makespan(n_leechers=1, n_seeds=100, mu=0.02, eta=0.5)
+        assert T == pytest.approx(1.0 / 0.2)
+
+    def test_seed_utilization_scales_seed_term(self):
+        full = synchronized_crowd_makespan(n_leechers=10, n_seeds=5, mu=0.02, eta=0.0)
+        half = synchronized_crowd_makespan(
+            n_leechers=10, n_seeds=5, mu=0.02, eta=0.0, seed_utilization=0.5
+        )
+        assert half == pytest.approx(2 * full)
+
+    def test_zero_service_rejected(self):
+        with pytest.raises(ValueError, match="never finish"):
+            synchronized_crowd_makespan(n_leechers=5, n_seeds=0, mu=0.02, eta=0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(n_leechers=0, n_seeds=1, mu=0.02, eta=0.5), "n_leechers"),
+            (dict(n_leechers=1, n_seeds=-1, mu=0.02, eta=0.5), "n_seeds"),
+            (dict(n_leechers=1, n_seeds=1, mu=0.0, eta=0.5), "mu"),
+            (dict(n_leechers=1, n_seeds=1, mu=0.02, eta=1.5), "eta"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            synchronized_crowd_makespan(**kwargs)
+
+
+class TestTimeVarying:
+    def test_constant_profile_matches_closed_form(self):
+        closed = synchronized_crowd_makespan(n_leechers=20, n_seeds=2, mu=0.02, eta=0.4)
+        profiled = synchronized_crowd_makespan(
+            n_leechers=20, n_seeds=2, mu=0.02, eta=lambda t: 0.4
+        )
+        assert profiled == pytest.approx(closed, rel=1e-3)
+
+    def test_step_profile_integrates_correctly(self):
+        # eta = 0 for t < 100 then 0.5: first 100 units deliver only the
+        # seed's mu*1; remaining work at the 0.5 rate.
+        n, mu = 10.0, 0.02
+        T = synchronized_crowd_makespan(
+            n_leechers=n,
+            n_seeds=1,
+            mu=mu,
+            eta=lambda t: 0.0 if t < 100 else 0.5,
+        )
+        early = mu * 1 * 100  # 2 files
+        late_rate = mu * (0.5 * n + 1)
+        expected = 100 + (n - early) / late_rate
+        assert T == pytest.approx(expected, rel=1e-2)
+
+    def test_horizon_guard(self):
+        with pytest.raises(RuntimeError, match="horizon"):
+            synchronized_crowd_makespan(
+                n_leechers=10, n_seeds=1, mu=0.02, eta=lambda t: 0.0, horizon=10.0,
+                seed_utilization=0.0,
+            )
+
+
+class TestUtilizationSeries:
+    def _run_swarm(self):
+        swarm = ChunkSwarm(ChunkSwarmConfig(n_chunks=50), seed=7)
+        swarm.add_peer(is_seed=True)
+        swarm.add_peers(15)
+        swarm.run()
+        return swarm
+
+    def test_series_shapes_and_bounds(self):
+        swarm = self._run_swarm()
+        t, eta_t, util_t = utilization_series(swarm.history)
+        assert t.shape == eta_t.shape == util_t.shape
+        assert np.all((eta_t >= 0) & (eta_t <= 1))
+        assert np.all((util_t >= 0) & (util_t <= 1))
+        assert np.all(np.diff(t) > 0)
+
+    def test_bootstrap_phase_has_low_downloader_utilization(self):
+        swarm = self._run_swarm()
+        _, eta_t, _ = utilization_series(swarm.history, smooth_rounds=3)
+        mid = len(eta_t) // 2
+        assert eta_t[:3].mean() < eta_t[mid - 2 : mid + 3].mean()
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError, match="empty history"):
+            utilization_series([])
+
+    def test_bad_smoothing(self):
+        swarm = self._run_swarm()
+        with pytest.raises(ValueError, match="smooth_rounds"):
+            utilization_series(swarm.history, smooth_rounds=0)
+
+
+class TestClosedLoop:
+    def test_fluid_at_measured_eta_predicts_sim_download_time(self):
+        """The headline: measured eta + synchronized-crowd fluid reproduce
+        the chunk simulator's download time within a few percent."""
+        swarm = ChunkSwarm(ChunkSwarmConfig(n_chunks=100), seed=3)
+        swarm.add_peer(is_seed=True)
+        leechers = swarm.add_peers(30)
+        swarm.run()
+        sim_mean = float(
+            np.mean([p.finished_at - p.joined_at for p in leechers])
+        )
+        eta = swarm.downloader_useful / swarm.downloader_capacity
+        util = swarm.seed_useful / swarm.seed_capacity
+        fluid = synchronized_crowd_makespan(
+            n_leechers=30, n_seeds=1, mu=0.02, eta=eta, seed_utilization=util
+        )
+        assert fluid == pytest.approx(sim_mean, rel=0.05)

@@ -1,0 +1,82 @@
+"""Tests for the open (churned) chunk-level swarm measurement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chunks import ChunkSwarm, ChunkSwarmConfig, measure_eta_open
+
+
+def quick(**overrides):
+    defaults = dict(
+        arrival_rate=0.3,
+        gamma=0.05,
+        config=ChunkSwarmConfig(n_chunks=50),
+        t_end=1200.0,
+        warmup=400.0,
+        seed=6,
+    )
+    defaults.update(overrides)
+    return measure_eta_open(**defaults)
+
+
+class TestRemovePeer:
+    def test_remove_and_waste_accounting(self):
+        swarm = ChunkSwarm(ChunkSwarmConfig(n_chunks=10), seed=1)
+        swarm.add_peer(is_seed=True)
+        leecher = swarm.add_peer()
+        for _ in range(5):
+            swarm.run_round()
+        partial = sum(e[0] for e in leecher.partials.values())
+        swarm.remove_peer(leecher.peer_id)
+        assert leecher.peer_id not in swarm.peers
+        assert swarm.wasted_bytes == pytest.approx(partial)
+
+    def test_remove_unknown(self):
+        swarm = ChunkSwarm(ChunkSwarmConfig(n_chunks=10))
+        with pytest.raises(KeyError, match="no peer"):
+            swarm.remove_peer(99)
+
+
+class TestOpenMeasurement:
+    @pytest.fixture(scope="class")
+    def measurement(self):
+        return quick()
+
+    def test_population_near_littles_law(self, measurement):
+        # x ~ lambda * T within stochastic tolerance.
+        expected = 0.3 * measurement.mean_download_time
+        assert measurement.mean_downloaders == pytest.approx(expected, rel=0.3)
+
+    def test_seeds_near_lambda_over_gamma_plus_origin(self, measurement):
+        assert measurement.mean_seeds == pytest.approx(0.3 / 0.05 + 1, rel=0.3)
+
+    def test_fluid_prediction_close(self, measurement):
+        rel = (
+            abs(measurement.fluid_download_time - measurement.mean_download_time)
+            / measurement.mean_download_time
+        )
+        assert rel < 0.15
+
+    def test_open_eta_exceeds_flash_crowd(self, measurement):
+        from repro.chunks import measure_eta
+
+        flash = measure_eta(
+            n_peers=20, config=ChunkSwarmConfig(n_chunks=50), seed=6
+        )
+        assert measurement.eta_effective > flash.eta_effective
+
+    def test_completions_counted(self, measurement):
+        assert measurement.n_completed > 50
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(arrival_rate=0.0), "positive"),
+            (dict(gamma=0.0), "positive"),
+            (dict(warmup=2000.0, t_end=1000.0), "warmup"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            quick(**kwargs)

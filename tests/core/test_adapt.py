@@ -1,0 +1,168 @@
+"""Tests for the Adapt policy, controller and fluid fixed-point study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptController,
+    AdaptPolicy,
+    CorrelationModel,
+    adapt_fixed_point,
+)
+
+
+class TestPolicyValidation:
+    def test_dead_band_ordering_enforced(self):
+        with pytest.raises(ValueError, match="phi_decrease <= phi_increase"):
+            AdaptPolicy(phi_increase=-0.1, phi_decrease=0.1)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError, match="steps"):
+            AdaptPolicy(step_increase=-0.1)
+
+    def test_patience_positive(self):
+        with pytest.raises(ValueError, match="patience"):
+            AdaptPolicy(patience=0)
+
+    def test_initial_rho_range(self):
+        with pytest.raises(ValueError, match="initial_rho"):
+            AdaptPolicy(initial_rho=1.2)
+
+
+class TestController:
+    def test_increase_on_sustained_giving(self):
+        ctl = AdaptController(AdaptPolicy(phi_increase=0.1, phi_decrease=-0.1, step_increase=0.2))
+        assert ctl.observe(0.5) == pytest.approx(0.2)
+        assert ctl.observe(0.5) == pytest.approx(0.4)
+
+    def test_decrease_on_sustained_taking(self):
+        ctl = AdaptController(
+            AdaptPolicy(
+                phi_increase=0.1, phi_decrease=-0.1, step_decrease=0.3, initial_rho=1.0
+            )
+        )
+        assert ctl.observe(-0.5) == pytest.approx(0.7)
+        assert ctl.observe(-0.5) == pytest.approx(0.4)
+
+    def test_dead_band_holds_rho(self):
+        ctl = AdaptController(
+            AdaptPolicy(phi_increase=0.1, phi_decrease=-0.1, initial_rho=0.5)
+        )
+        for _ in range(5):
+            assert ctl.observe(0.0) == pytest.approx(0.5)
+
+    def test_patience_requires_consecutive_observations(self):
+        ctl = AdaptController(
+            AdaptPolicy(phi_increase=0.1, phi_decrease=-0.1, patience=3, step_increase=0.2)
+        )
+        assert ctl.observe(1.0) == 0.0
+        assert ctl.observe(1.0) == 0.0
+        assert ctl.observe(1.0) == pytest.approx(0.2)  # third consecutive
+
+    def test_in_band_observation_resets_streak(self):
+        ctl = AdaptController(
+            AdaptPolicy(phi_increase=0.1, phi_decrease=-0.1, patience=2, step_increase=0.2)
+        )
+        ctl.observe(1.0)
+        ctl.observe(0.0)  # resets
+        ctl.observe(1.0)
+        assert ctl.rho == 0.0
+        assert ctl.observe(1.0) == pytest.approx(0.2)
+
+    def test_opposite_side_resets_streak(self):
+        ctl = AdaptController(
+            AdaptPolicy(
+                phi_increase=0.1,
+                phi_decrease=-0.1,
+                patience=2,
+                step_increase=0.2,
+                step_decrease=0.05,
+                initial_rho=0.5,
+            )
+        )
+        ctl.observe(1.0)
+        ctl.observe(-1.0)  # flips side; both streaks restart
+        assert ctl.rho == 0.5
+        ctl.observe(-1.0)
+        assert ctl.rho == pytest.approx(0.45)
+
+    def test_clamped_to_unit_interval(self):
+        ctl = AdaptController(
+            AdaptPolicy(phi_increase=0.0, phi_decrease=0.0, step_increase=0.7)
+        )
+        ctl.observe(1.0)
+        ctl.observe(1.0)
+        assert ctl.rho == 1.0
+
+    def test_reset(self):
+        ctl = AdaptController(AdaptPolicy(step_increase=0.3, initial_rho=0.1))
+        ctl.observe(1.0)
+        ctl.reset()
+        assert ctl.rho == pytest.approx(0.1)
+
+
+class TestFluidFixedPoint:
+    def _rates(self, p=0.9, K=10):
+        return CorrelationModel(num_files=K, p=p).class_rates()
+
+    def test_wide_band_keeps_collaborative_optimum(self, paper_params):
+        policy = AdaptPolicy(
+            phi_increase=paper_params.mu, phi_decrease=-paper_params.mu
+        )
+        trace = adapt_fixed_point(paper_params, self._rates(), policy, max_rounds=20)
+        assert trace.converged
+        np.testing.assert_allclose(trace.final_rho, 0.0)
+
+    def test_narrow_band_without_cheaters_still_converges(self, paper_params):
+        policy = AdaptPolicy(phi_increase=0.001 * paper_params.mu,
+                             phi_decrease=-0.001 * paper_params.mu)
+        trace = adapt_fixed_point(paper_params, self._rates(), policy, max_rounds=40)
+        assert trace.rho_history.shape[1] == 10
+
+    def test_cheaters_degrade_performance(self, paper_params):
+        policy = AdaptPolicy(
+            phi_increase=0.25 * paper_params.mu, phi_decrease=-0.25 * paper_params.mu
+        )
+        honest = adapt_fixed_point(paper_params, self._rates(), policy, max_rounds=30)
+        cheated = adapt_fixed_point(
+            paper_params,
+            self._rates(),
+            policy,
+            cheater_classes=tuple(range(2, 11, 2)),
+            max_rounds=30,
+        )
+        assert (
+            cheated.final_metrics.avg_online_time_per_file
+            > honest.final_metrics.avg_online_time_per_file
+        )
+
+    def test_cheater_classes_pinned_at_one(self, paper_params):
+        policy = AdaptPolicy()
+        trace = adapt_fixed_point(
+            paper_params, self._rates(), policy, cheater_classes=(4, 7), max_rounds=5
+        )
+        assert trace.final_rho[3] == 1.0
+        assert trace.final_rho[6] == 1.0
+
+    def test_class1_rho_never_adjusted(self, paper_params):
+        policy = AdaptPolicy(phi_increase=0.0, phi_decrease=0.0, initial_rho=0.25)
+        trace = adapt_fixed_point(paper_params, self._rates(p=0.3), policy, max_rounds=3)
+        assert all(row[0] == pytest.approx(0.25) for row in trace.rho_history)
+
+    def test_invalid_cheater_class(self, paper_params):
+        with pytest.raises(ValueError, match="cheater class"):
+            adapt_fixed_point(
+                paper_params, self._rates(), AdaptPolicy(), cheater_classes=(11,)
+            )
+
+    def test_rate_shape(self, paper_params):
+        with pytest.raises(ValueError, match="shape"):
+            adapt_fixed_point(paper_params, np.ones(3), AdaptPolicy())
+
+    def test_trace_shapes(self, paper_params):
+        policy = AdaptPolicy(phi_increase=1.0, phi_decrease=-1.0)
+        trace = adapt_fixed_point(paper_params, self._rates(), policy, max_rounds=4)
+        assert trace.n_rounds == trace.deltas.shape[0]
+        assert trace.rho_history.shape[0] == trace.n_rounds + 1

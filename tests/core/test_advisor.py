@@ -1,0 +1,50 @@
+"""Tests for the recommendation API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CorrelationModel, recommend
+
+
+class TestRecommend:
+    @pytest.fixture(scope="class")
+    def high_corr_advice(self, ):
+        from repro.core import PAPER_PARAMETERS
+
+        return recommend(PAPER_PARAMETERS, CorrelationModel(num_files=10, p=0.9))
+
+    def test_cmfsd_wins_at_high_correlation(self, high_corr_advice):
+        assert high_corr_advice.best.scheme == "CMFSD"
+        assert high_corr_advice.speedup_vs_status_quo > 1.5
+
+    def test_ranking_sorted(self, high_corr_advice):
+        times = [a.online_time_per_file for a in high_corr_advice.assessments]
+        assert times == sorted(times)
+
+    def test_status_quo_is_mtcd(self, high_corr_advice):
+        assert high_corr_advice.status_quo.scheme == "MTCD"
+
+    def test_without_protocol_changes_mtsd_wins(self, paper_params):
+        advice = recommend(
+            paper_params,
+            CorrelationModel(num_files=10, p=0.9),
+            allow_protocol_changes=False,
+        )
+        assert advice.best.scheme == "MTSD"
+        assert all(not a.requires_client_change for a in advice.assessments)
+
+    def test_bounded_concurrency_between_extremes(self, paper_params):
+        advice = recommend(
+            paper_params, CorrelationModel(num_files=10, p=0.9), client_concurrency=3
+        )
+        by_scheme = {a.scheme: a.online_time_per_file for a in advice.assessments}
+        assert by_scheme["MTSD"] < by_scheme["MTBD(m=3)"] < by_scheme["MTCD"]
+
+    def test_mfcd_equals_mtcd(self, high_corr_advice):
+        by_scheme = {a.scheme: a.online_time_per_file for a in high_corr_advice.assessments}
+        assert by_scheme["MFCD"] == pytest.approx(by_scheme["MTCD"])
+
+    def test_k_mismatch_rejected(self, paper_params):
+        with pytest.raises(ValueError, match="K="):
+            recommend(paper_params, CorrelationModel(num_files=3, p=0.5))

@@ -1,0 +1,120 @@
+"""Tests for the bounded-concurrency (batched) downloading model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BatchedDownloadModel,
+    CorrelationModel,
+    FluidParameters,
+    MTCDModel,
+    MTSDModel,
+)
+
+
+def make_model(params, p, m):
+    corr = CorrelationModel(num_files=params.num_files, p=p)
+    return BatchedDownloadModel.from_correlation(params, corr, max_concurrency=m)
+
+
+class TestBatchStructure:
+    def test_batches_of_class(self, paper_params):
+        model = make_model(paper_params, 0.5, 3)
+        assert model.batches_of_class(7) == [3, 3, 1]
+        assert model.batches_of_class(6) == [3, 3]
+        assert model.batches_of_class(2) == [2]
+
+    def test_m_one_is_all_singletons(self, paper_params):
+        model = make_model(paper_params, 0.5, 1)
+        assert model.batches_of_class(5) == [1] * 5
+
+    def test_m_above_K_single_batch(self, paper_params):
+        model = make_model(paper_params, 0.5, 99)
+        assert model.batches_of_class(7) == [7]
+
+    def test_class_bounds(self, paper_params):
+        with pytest.raises(ValueError, match="class"):
+            make_model(paper_params, 0.5, 3).batches_of_class(11)
+
+    def test_batch_rates_preserve_total_file_visits(self, paper_params):
+        """sum_b lambda_j^b must equal the per-torrent file-visit rate
+        regardless of the batching (every file is visited exactly once)."""
+        corr = CorrelationModel(num_files=10, p=0.6)
+        for m in (1, 3, 10):
+            model = BatchedDownloadModel.from_correlation(
+                paper_params, corr, max_concurrency=m
+            )
+            total = float(np.sum(model.batch_class_rates()))
+            assert total == pytest.approx(corr.p * corr.visit_rate)
+
+    def test_no_batch_rate_above_limit(self, paper_params):
+        model = make_model(paper_params, 0.9, 4)
+        rates = model.batch_class_rates()
+        assert np.all(rates[4:] == 0.0)
+
+
+class TestDegeneracies:
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9])
+    def test_m_one_equals_mtsd(self, p, paper_params):
+        corr = CorrelationModel(num_files=10, p=p)
+        batched = BatchedDownloadModel.from_correlation(paper_params, corr, 1)
+        mtsd = MTSDModel.from_correlation(paper_params, corr)
+        for i in (1, 4, 10):
+            bm = batched.class_metrics(i)
+            sm = mtsd.class_metrics(i)
+            assert bm.total_download_time == pytest.approx(sm.total_download_time)
+            assert bm.total_online_time == pytest.approx(sm.total_online_time)
+
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9])
+    def test_m_at_least_K_equals_mtcd(self, p, paper_params):
+        corr = CorrelationModel(num_files=10, p=p)
+        batched = BatchedDownloadModel.from_correlation(paper_params, corr, 10)
+        mtcd = MTCDModel.from_correlation(paper_params, corr)
+        assert batched.system_metrics().avg_online_time_per_file == pytest.approx(
+            mtcd.system_metrics().avg_online_time_per_file
+        )
+
+    def test_monotone_in_m(self, paper_params):
+        values = [
+            make_model(paper_params, 0.9, m).system_metrics().avg_online_time_per_file
+            for m in range(1, 11)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+        assert values[-1] > values[0]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        p=st.floats(0.05, 1.0),
+        K=st.integers(2, 12),
+        m=st.integers(1, 14),
+    )
+    def test_bounded_between_mtsd_and_mtcd(self, p, K, m):
+        params = FluidParameters(num_files=K)
+        corr = CorrelationModel(num_files=K, p=p)
+        batched = BatchedDownloadModel.from_correlation(params, corr, m)
+        lo = MTSDModel.from_correlation(params, corr).system_metrics()
+        hi = MTCDModel.from_correlation(params, corr).system_metrics()
+        val = batched.system_metrics().avg_online_time_per_file
+        assert lo.avg_online_time_per_file - 1e-9 <= val
+        assert val <= hi.avg_online_time_per_file + 1e-9
+
+
+class TestValidation:
+    def test_bad_concurrency(self, paper_params):
+        corr = CorrelationModel(num_files=10, p=0.5)
+        with pytest.raises(ValueError, match="max_concurrency"):
+            BatchedDownloadModel.from_correlation(paper_params, corr, 0)
+
+    def test_rate_shape(self, paper_params):
+        with pytest.raises(ValueError, match="shape"):
+            BatchedDownloadModel(
+                params=paper_params, class_rates=np.ones(3), max_concurrency=2
+            )
+
+    def test_scheme_label(self, paper_params):
+        sm = make_model(paper_params, 0.5, 4).system_metrics()
+        assert sm.scheme == "MTBD(m=4)"

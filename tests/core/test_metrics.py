@@ -1,0 +1,98 @@
+"""Tests for the metric containers and aggregation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ClassMetrics, aggregate_metrics
+
+
+def cm(i, rate, download, online):
+    return ClassMetrics(
+        class_index=i,
+        arrival_rate=rate,
+        total_download_time=download,
+        total_online_time=online,
+    )
+
+
+class TestClassMetrics:
+    def test_per_file_division(self):
+        m = cm(4, 1.0, 40.0, 60.0)
+        assert m.download_time_per_file == pytest.approx(10.0)
+        assert m.online_time_per_file == pytest.approx(15.0)
+        assert m.seeding_time == pytest.approx(20.0)
+
+    def test_class_index_validated(self):
+        with pytest.raises(ValueError, match="class_index"):
+            cm(0, 1.0, 1.0, 1.0)
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError, match="arrival_rate"):
+            cm(1, -1.0, 1.0, 1.0)
+
+
+class TestAggregation:
+    def test_single_class(self):
+        sm = aggregate_metrics("X", [cm(2, 3.0, 10.0, 14.0)])
+        assert sm.avg_online_time_per_file == pytest.approx(7.0)
+        assert sm.avg_download_time_per_file == pytest.approx(5.0)
+
+    def test_rate_weighting(self):
+        """Two classes: weights are rate_i * i over total files requested."""
+        sm = aggregate_metrics(
+            "X",
+            [cm(1, 3.0, 10.0, 10.0), cm(2, 1.0, 40.0, 40.0)],
+        )
+        # files/time: 3*1 + 1*2 = 5; online sum: 3*10 + 1*40 = 70.
+        assert sm.avg_online_time_per_file == pytest.approx(14.0)
+
+    def test_zero_rate_classes_excluded(self):
+        sm = aggregate_metrics(
+            "X",
+            [cm(1, 1.0, 10.0, 10.0), cm(2, 0.0, math.nan, math.nan)],
+        )
+        assert sm.avg_online_time_per_file == pytest.approx(10.0)
+
+    def test_empty_workload_is_nan(self):
+        sm = aggregate_metrics("X", [cm(1, 0.0, math.nan, math.nan)])
+        assert math.isnan(sm.avg_online_time_per_file)
+
+    def test_lookup_by_class(self):
+        sm = aggregate_metrics("X", [cm(1, 1.0, 1.0, 2.0), cm(3, 1.0, 3.0, 6.0)])
+        assert sm.class_metrics(3).total_online_time == 6.0
+        assert sm.classes == (1, 3)
+        with pytest.raises(KeyError, match="no class 2"):
+            sm.class_metrics(2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(1, 8),
+                # Zero or a normal-range rate: subnormal rates (~5e-324)
+                # lose the weighted average to rounding, which is a float
+                # artifact rather than a property violation.
+                st.one_of(st.just(0.0), st.floats(1e-6, 5.0)),
+                st.floats(0.1, 100.0),
+                st.floats(0.0, 50.0),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_average_bounded_by_extremes(self, data):
+        metrics = [
+            cm(i, rate, dl, dl + seed) for (i, rate, dl, seed) in data
+        ]
+        sm = aggregate_metrics("X", metrics)
+        active = [m for m in metrics if m.arrival_rate > 0]
+        if not active:
+            assert math.isnan(sm.avg_online_time_per_file)
+            return
+        per_file = [m.online_time_per_file for m in active]
+        assert min(per_file) - 1e-9 <= sm.avg_online_time_per_file <= max(per_file) + 1e-9

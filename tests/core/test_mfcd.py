@@ -1,0 +1,69 @@
+"""Tests for the MFCD model (Sec. 3.4: equivalence with MTCD)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CorrelationModel, MFCDModel, MTCDModel
+
+
+def make_model(params, p):
+    return MFCDModel.from_correlation(
+        params, CorrelationModel(num_files=params.num_files, p=p)
+    )
+
+
+class TestMTCDEquivalence:
+    def test_subtorrent_rates_follow_virtual_peer_mapping(self, paper_params):
+        """lambda_j^i = i * lambda_i / K (one virtual peer per chosen file)."""
+        corr = CorrelationModel(num_files=10, p=0.7)
+        model = MFCDModel.from_correlation(paper_params, corr)
+        mtcd = model.as_mtcd()
+        i = np.arange(1, 11)
+        np.testing.assert_allclose(
+            mtcd.per_torrent_rates, i * corr.class_rates() / 10
+        )
+        # ... which is exactly the multi-torrent workload's per-torrent rate.
+        np.testing.assert_allclose(mtcd.per_torrent_rates, corr.per_torrent_rates())
+
+    def test_per_class_times_equal_mtcd(self, paper_params):
+        corr = CorrelationModel(num_files=10, p=0.9)
+        mfcd = MFCDModel.from_correlation(paper_params, corr)
+        mtcd = MTCDModel.from_correlation(paper_params, corr)
+        for i in (1, 5, 10):
+            assert mfcd.class_metrics(i).total_online_time == pytest.approx(
+                mtcd.class_metrics(i).total_online_time
+            )
+
+    def test_aggregate_equals_mtcd(self, paper_params):
+        corr = CorrelationModel(num_files=10, p=0.33)
+        mfcd = MFCDModel.from_correlation(paper_params, corr).system_metrics()
+        mtcd = MTCDModel.from_correlation(paper_params, corr).system_metrics()
+        assert mfcd.avg_online_time_per_file == pytest.approx(
+            mtcd.avg_online_time_per_file
+        )
+        assert mfcd.scheme == "MFCD"
+
+    def test_subtorrent_steady_state_positive(self, paper_params):
+        ss = make_model(paper_params, 0.5).subtorrent_steady_state()
+        assert ss.total_downloaders > 0
+        assert ss.total_seeds > 0
+
+
+class TestValidation:
+    def test_rate_shape_enforced(self, paper_params):
+        with pytest.raises(ValueError, match="shape"):
+            MFCDModel(params=paper_params, class_rates=np.ones(2))
+
+    def test_correlation_mismatch(self, paper_params):
+        with pytest.raises(ValueError, match="K="):
+            MFCDModel.from_correlation(
+                paper_params, CorrelationModel(num_files=3, p=0.5)
+            )
+
+    def test_negative_rates_rejected(self, paper_params):
+        rates = np.zeros(10)
+        rates[-1] = -2.0
+        with pytest.raises(ValueError, match="nonnegative"):
+            MFCDModel(params=paper_params, class_rates=rates)

@@ -1,0 +1,71 @@
+"""Tests for the MTSD model (Eq. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CorrelationModel, FluidParameters, MTSDModel
+
+
+def make_model(params, p):
+    return MTSDModel.from_correlation(
+        params, CorrelationModel(num_files=params.num_files, p=p)
+    )
+
+
+class TestEquation4:
+    def test_single_download_time(self, paper_params):
+        assert make_model(paper_params, 0.5).single_download_time() == pytest.approx(60.0)
+
+    def test_total_times_scale_linearly_with_class(self, paper_params):
+        model = make_model(paper_params, 0.5)
+        for i in (1, 4, 10):
+            cm = model.class_metrics(i)
+            assert cm.total_download_time == pytest.approx(60.0 * i)
+            assert cm.total_online_time == pytest.approx(80.0 * i)
+
+    def test_per_file_times_are_class_independent(self, paper_params):
+        model = make_model(paper_params, 0.8)
+        for i in range(1, 11):
+            cm = model.class_metrics(i)
+            assert cm.download_time_per_file == pytest.approx(60.0)
+            assert cm.online_time_per_file == pytest.approx(80.0)
+
+    def test_aggregate_is_correlation_independent(self, paper_params):
+        values = {
+            p: make_model(paper_params, p).system_metrics().avg_online_time_per_file
+            for p in (0.05, 0.3, 0.9, 1.0)
+        }
+        for v in values.values():
+            assert v == pytest.approx(80.0)
+
+    def test_unstable_parameters_rejected(self):
+        params = FluidParameters(mu=0.06, gamma=0.05, num_files=2)
+        with pytest.raises(ValueError, match="gamma > mu"):
+            MTSDModel(params=params, class_rates=np.array([1.0, 0.0]))
+
+
+class TestTorrentPopulations:
+    def test_torrent_rate_aggregates_class_visits(self, paper_params):
+        """A torrent's entry rate is sum_i lambda_j^i = lambda0*p."""
+        p = 0.6
+        model = make_model(paper_params, p)
+        ss = model.torrent_steady_state()
+        assert ss.downloaders == pytest.approx(p * 60.0)
+        assert ss.seeds == pytest.approx(p / 0.05)
+
+    def test_rate_shape_enforced(self, paper_params):
+        with pytest.raises(ValueError, match="shape"):
+            MTSDModel(params=paper_params, class_rates=np.ones(4))
+
+    def test_negative_rates_rejected(self, paper_params):
+        rates = np.zeros(10)
+        rates[3] = -0.5
+        with pytest.raises(ValueError, match="nonnegative"):
+            MTSDModel(params=paper_params, class_rates=rates)
+
+    def test_class_bounds(self, paper_params):
+        model = make_model(paper_params, 0.5)
+        with pytest.raises(ValueError, match="class index"):
+            model.class_metrics(11)

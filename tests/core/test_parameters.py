@@ -1,0 +1,72 @@
+"""Tests for FluidParameters and the Table-1 glossary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FluidParameters, PAPER_PARAMETERS, format_table1
+from repro.core.parameters import TABLE1_GLOSSARY
+
+
+class TestValidation:
+    def test_paper_values(self):
+        assert PAPER_PARAMETERS.mu == 0.02
+        assert PAPER_PARAMETERS.eta == 0.5
+        assert PAPER_PARAMETERS.gamma == 0.05
+        assert PAPER_PARAMETERS.num_files == 10
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"mu": 0.0}, "mu"),
+            ({"mu": -1.0}, "mu"),
+            ({"eta": 0.0}, "eta"),
+            ({"eta": 1.5}, "eta"),
+            ({"gamma": 0.0}, "gamma"),
+            ({"num_files": 0}, "num_files"),
+        ],
+    )
+    def test_rejects_invalid(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            FluidParameters(**kwargs)
+
+    def test_eta_of_one_allowed(self):
+        assert FluidParameters(eta=1.0).eta == 1.0
+
+
+class TestDerived:
+    def test_stability(self):
+        assert PAPER_PARAMETERS.is_stable
+        assert not FluidParameters(mu=0.06, gamma=0.05).is_stable
+
+    def test_mean_seed_time(self):
+        assert PAPER_PARAMETERS.mean_seed_time == pytest.approx(20.0)
+
+    def test_alias_K(self):
+        assert PAPER_PARAMETERS.K == PAPER_PARAMETERS.num_files
+
+    def test_with_replaces_fields(self):
+        p2 = PAPER_PARAMETERS.with_(num_files=3)
+        assert p2.num_files == 3
+        assert p2.mu == PAPER_PARAMETERS.mu
+        assert PAPER_PARAMETERS.num_files == 10  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_PARAMETERS.mu = 0.5  # type: ignore[misc]
+
+
+class TestTable1:
+    def test_glossary_covers_all_symbols(self):
+        symbols = {sym for sym, _ in TABLE1_GLOSSARY}
+        assert symbols == {"x(t)", "y(t)", "lambda", "eta", "mu", "gamma"}
+
+    def test_format_without_values(self):
+        text = format_table1()
+        assert "upload bandwidth" in text
+        assert "values" not in text
+
+    def test_format_with_values(self):
+        text = format_table1(PAPER_PARAMETERS)
+        assert "mu=0.02" in text
+        assert "K=10" in text

@@ -1,0 +1,58 @@
+"""Tests for the uniform scheme-evaluation front door."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CorrelationModel,
+    Scheme,
+    compare_schemes,
+    evaluate_scheme,
+)
+
+
+class TestSchemeEnum:
+    def test_sequential_flags(self):
+        assert Scheme.MTSD.is_sequential
+        assert Scheme.CMFSD.is_sequential
+        assert not Scheme.MTCD.is_sequential
+        assert not Scheme.MFCD.is_sequential
+
+    def test_multi_file_torrent_flags(self):
+        assert Scheme.MFCD.is_multi_file_torrent
+        assert Scheme.CMFSD.is_multi_file_torrent
+        assert not Scheme.MTCD.is_multi_file_torrent
+        assert not Scheme.MTSD.is_multi_file_torrent
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_all_schemes_evaluable(self, scheme, paper_params, high_correlation):
+        metrics = evaluate_scheme(scheme, paper_params, high_correlation, rho=0.2)
+        assert metrics.scheme == scheme.value
+        assert metrics.avg_online_time_per_file > 0
+
+    def test_paper_ordering_at_high_correlation(self, paper_params, high_correlation):
+        """The paper's bottom line at p=0.9: CMFSD(0) < MTSD < MTCD = MFCD."""
+        results = compare_schemes(paper_params, high_correlation, rho=0.0)
+        cmfsd = results[Scheme.CMFSD].avg_online_time_per_file
+        mtsd = results[Scheme.MTSD].avg_online_time_per_file
+        mtcd = results[Scheme.MTCD].avg_online_time_per_file
+        mfcd = results[Scheme.MFCD].avg_online_time_per_file
+        assert cmfsd < mtsd < mtcd
+        assert mtcd == pytest.approx(mfcd)
+
+    def test_subset_of_schemes(self, paper_params, mid_correlation):
+        results = compare_schemes(
+            paper_params, mid_correlation, schemes=(Scheme.MTSD, Scheme.MTCD)
+        )
+        assert set(results) == {Scheme.MTSD, Scheme.MTCD}
+
+    def test_rho_only_affects_cmfsd(self, paper_params, mid_correlation):
+        a = evaluate_scheme(Scheme.MTCD, paper_params, mid_correlation, rho=0.0)
+        b = evaluate_scheme(Scheme.MTCD, paper_params, mid_correlation, rho=1.0)
+        assert a.avg_online_time_per_file == b.avg_online_time_per_file
+        c = evaluate_scheme(Scheme.CMFSD, paper_params, mid_correlation, rho=0.0)
+        d = evaluate_scheme(Scheme.CMFSD, paper_params, mid_correlation, rho=1.0)
+        assert c.avg_online_time_per_file < d.avg_online_time_per_file

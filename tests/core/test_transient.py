@@ -1,0 +1,156 @@
+"""Tests for the flash-crowd / transient analysis helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CMFSDModel,
+    CorrelationModel,
+    MTCDModel,
+    cmfsd_flash_crowd_state,
+    drain_profile,
+    mtcd_flash_crowd_state,
+    time_to_steady_state,
+)
+from repro.core.single_torrent import SingleTorrentModel
+
+
+class TestFlashCrowdStates:
+    def test_mtcd_state_places_virtual_peers(self, paper_params):
+        corr = CorrelationModel(num_files=10, p=0.9)
+        model = MTCDModel(params=paper_params, per_torrent_rates=np.zeros(10))
+        state = mtcd_flash_crowd_state(model, corr, 100.0)
+        K = 10
+        x = state[:K]
+        # Class-i users place i/K virtual peers per subtorrent each.
+        counts = 100.0 * corr.class_distribution()
+        np.testing.assert_allclose(x, counts * np.arange(1, 11) / K)
+        np.testing.assert_array_equal(state[K:], 0.0)
+
+    def test_cmfsd_state_starts_everyone_on_stage_one(self, paper_params):
+        corr = CorrelationModel(num_files=10, p=0.9)
+        model = CMFSDModel(params=paper_params, class_rates=np.zeros(10), rho=0.0)
+        state = cmfsd_flash_crowd_state(model, corr, 50.0)
+        counts = 50.0 * corr.class_distribution()
+        for i in range(1, 11):
+            assert state[model.index.pair_index(i, 1)] == pytest.approx(counts[i - 1])
+            for j in range(2, i + 1):
+                assert state[model.index.pair_index(i, j)] == 0.0
+        # Total users preserved.
+        assert float(np.sum(state)) == pytest.approx(50.0)
+
+    def test_k_mismatch_rejected(self, paper_params):
+        corr = CorrelationModel(num_files=5, p=0.9)
+        model = MTCDModel(params=paper_params, per_torrent_rates=np.zeros(10))
+        with pytest.raises(ValueError, match="K="):
+            mtcd_flash_crowd_state(model, corr, 10.0)
+
+    def test_negative_burst_rejected(self, paper_params):
+        corr = CorrelationModel(num_files=10, p=0.9)
+        model = CMFSDModel(params=paper_params, class_rates=np.zeros(10))
+        with pytest.raises(ValueError, match="n_users"):
+            cmfsd_flash_crowd_state(model, corr, -5.0)
+
+
+class TestDrainProfile:
+    def test_single_torrent_burst_drains_monotonically(self, paper_params):
+        """With the Qiu--Srikant download cap the drain is positivity
+        preserving and monotone; the paper-exact (uncapped) equations would
+        let the seed service push x slightly negative near exhaustion."""
+        params = paper_params.with_(download_bandwidth=10 * paper_params.mu)
+        model = SingleTorrentModel(params, arrival_rate=0.0)
+        profile = drain_profile(
+            model.rhs, np.array([100.0, 0.0]), slice(0, 1), horizon=3000.0
+        )
+        assert profile.initial == pytest.approx(100.0)
+        assert np.all(np.diff(profile.outstanding) <= 1e-6)
+        assert np.all(profile.outstanding >= -1e-6)
+        assert 0 < profile.t50 < profile.t95 < 3000.0
+
+    def test_uncapped_paper_equations_can_undershoot(self, paper_params):
+        """Documents why the cap exists: the paper-exact drain goes (mildly)
+        negative once seeds outnumber the remaining downloaders."""
+        model = SingleTorrentModel(paper_params, arrival_rate=0.0)
+        profile = drain_profile(
+            model.rhs, np.array([100.0, 0.0]), slice(0, 1), horizon=3000.0
+        )
+        assert profile.outstanding.min() < -1e-3
+
+    def test_quantiles_nan_when_horizon_too_short(self, paper_params):
+        model = SingleTorrentModel(paper_params, arrival_rate=0.0)
+        profile = drain_profile(
+            model.rhs, np.array([100.0, 0.0]), slice(0, 1), horizon=5.0
+        )
+        assert math.isnan(profile.t95)
+
+    def test_weights_change_units_not_shape(self, paper_params):
+        corr = CorrelationModel(num_files=10, p=0.9)
+        model = MTCDModel(params=paper_params, per_torrent_rates=np.zeros(10))
+        y0 = mtcd_flash_crowd_state(model, corr, 100.0)
+        weights = 10.0 / np.arange(1, 11)
+        profile = drain_profile(
+            model.rhs, y0, slice(0, 10), horizon=100.0, weights=weights
+        )
+        # K/i weights recover the user count at t=0.
+        assert profile.initial == pytest.approx(100.0)
+
+    def test_empty_burst_rejected(self, paper_params):
+        model = SingleTorrentModel(paper_params, arrival_rate=0.0)
+        with pytest.raises(ValueError, match="no downloaders"):
+            drain_profile(model.rhs, np.zeros(2), slice(0, 1))
+
+    def test_cmfsd_collaboration_speeds_drain(self, paper_params):
+        """rho = 0 drains a burst faster than rho = 1 (no collaboration)."""
+        params = paper_params.with_(download_bandwidth=10 * paper_params.mu)
+        corr = CorrelationModel(num_files=10, p=0.9)
+        t95 = {}
+        for rho in (0.0, 1.0):
+            model = CMFSDModel(params=params, class_rates=np.zeros(10), rho=rho)
+            y0 = cmfsd_flash_crowd_state(model, corr, 200.0)
+            profile = drain_profile(
+                model.rhs, y0, slice(0, model.index.n_pairs), horizon=6000.0
+            )
+            t95[rho] = profile.t95
+        assert t95[0.0] < 0.8 * t95[1.0]
+
+
+class TestTimeToSteadyState:
+    def test_single_torrent_settles(self, paper_params):
+        model = SingleTorrentModel(paper_params, arrival_rate=1.0)
+        ss = model.steady_state()
+        target = np.array([ss.downloaders, ss.seeds])
+        t = time_to_steady_state(model.rhs, np.zeros(2), target, horizon=5000.0)
+        assert 0 < t < 5000.0
+
+    def test_starting_at_steady_state_is_instant(self, paper_params):
+        model = SingleTorrentModel(paper_params, arrival_rate=1.0)
+        ss = model.steady_state()
+        target = np.array([ss.downloaders, ss.seeds])
+        t = time_to_steady_state(model.rhs, target, target, horizon=100.0)
+        assert t == 0.0
+
+    def test_nan_when_horizon_too_short(self, paper_params):
+        model = SingleTorrentModel(paper_params, arrival_rate=1.0)
+        ss = model.steady_state()
+        target = np.array([ss.downloaders, ss.seeds])
+        t = time_to_steady_state(
+            model.rhs, np.zeros(2), target, horizon=5.0, rel_tol=1e-6
+        )
+        assert math.isnan(t)
+
+    def test_flash_crowd_settles_slower_than_cold_start_for_tight_tol(
+        self, paper_params
+    ):
+        """A 10x overshoot takes longer to settle than an empty start."""
+        model = SingleTorrentModel(paper_params, arrival_rate=1.0)
+        ss = model.steady_state()
+        target = np.array([ss.downloaders, ss.seeds])
+        cold = time_to_steady_state(model.rhs, np.zeros(2), target, horizon=10000.0)
+        crowd = time_to_steady_state(
+            model.rhs, np.array([10 * ss.downloaders, 0.0]), target, horizon=10000.0
+        )
+        assert crowd > cold

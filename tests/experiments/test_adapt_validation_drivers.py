@@ -1,0 +1,95 @@
+"""Smoke/shape tests for the heavier drivers (Adapt study, validation).
+
+These run at reduced scale; the full-scale versions are the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import adapt_study, validation
+
+
+class TestAdaptStudyDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return adapt_study.run(
+            correlations=(0.9,),
+            band_fractions=(0.05, 1.0),
+            max_rounds=15,
+            include_sim=False,
+        )
+
+    def test_columns(self, result):
+        assert result.headers[0] == "level"
+        assert all(row[0] == "fluid" for row in result.rows)
+
+    def test_wide_band_keeps_optimum(self, result):
+        wide_honest = next(
+            r for r in result.rows if r[2] == 1.0 and r[3] == 0.0
+        )
+        assert wide_honest[4] == pytest.approx(0.0)
+
+    def test_cheaters_hurt_performance(self, result):
+        by_key = {(r[2], r[3]): r[5] for r in result.rows}
+        assert by_key[(0.05, 0.5)] > by_key[(0.05, 0.0)]
+
+    def test_narrow_band_with_cheaters_raises_rho(self, result):
+        narrow_cheated = next(
+            r for r in result.rows if r[2] == 0.05 and r[3] == 0.5
+        )
+        assert narrow_cheated[4] > 0.3
+
+    def test_sim_rows_present_when_enabled(self):
+        res = adapt_study.run(
+            correlations=(0.9,),
+            band_fractions=(0.25,),
+            max_rounds=10,
+            include_sim=True,
+            sim_cheater_fractions=(0.0,),
+            sim_visit_rate=0.3,
+            sim_t_end=800.0,
+            sim_warmup=200.0,
+        )
+        sim_rows = [r for r in res.rows if r[0] == "sim"]
+        assert len(sim_rows) == 1
+        assert np.isfinite(sim_rows[0][5])
+
+
+class TestValidationDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return validation.run(
+            p=0.5,
+            visit_rate=0.6,
+            t_end=1500.0,
+            warmup=500.0,
+            classes_to_check=(5,),
+            seed=3,
+        )
+
+    def test_all_schemes_compared(self, result):
+        schemes = {row[0] for row in result.rows}
+        assert schemes == {"MTSD", "MTCD", "MFCD", "CMFSD", "MTBD(m=2)"}
+
+    def test_mtbd_within_ten_percent(self, result):
+        row = next(r for r in result.rows if r[0] == "MTBD(m=2)")
+        assert row[5] < 0.10
+
+    def test_transfer_times_within_ten_percent(self, result):
+        for row in result.rows:
+            if row[1] in ("transfer_time_per_file", "transfer_time"):
+                assert row[5] < 0.10, f"{row[0]} {row[2]}: rel err {row[5]:.3f}"
+
+    def test_cmfsd_agreement_within_ten_percent(self, result):
+        for row in result.rows:
+            if row[0] == "CMFSD":
+                assert row[5] < 0.10
+
+    def test_populations_within_twenty_percent(self, result):
+        """Short-run population averages are noisier; 20% is generous but
+        still catches sign/scale errors."""
+        for row in result.rows:
+            if "downloaders" in row[1] or "seeds" in row[1]:
+                assert row[5] < 0.20, f"{row[1]} {row[2]}: rel err {row[5]:.3f}"

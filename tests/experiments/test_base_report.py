@@ -1,0 +1,68 @@
+"""Tests for the ExperimentResult container and the report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentResult, rows_from_columns
+from repro.experiments.report import generate_report
+
+
+def make_result(**overrides):
+    defaults = dict(
+        experiment_id="demo",
+        title="Demo",
+        headers=("a", "b"),
+        rows=((1, 2.0), (3, 4.0)),
+        rendered="rendered text",
+        notes="some notes",
+    )
+    defaults.update(overrides)
+    return ExperimentResult(**defaults)
+
+
+class TestExperimentResult:
+    def test_column_extraction(self):
+        result = make_result()
+        assert result.column("a") == [1, 3]
+        assert result.column("b") == [2.0, 4.0]
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError, match="available"):
+            make_result().column("zzz")
+
+    def test_write_csv(self, tmp_path):
+        path = make_result().write_csv(tmp_path)
+        assert path.name == "demo.csv"
+        assert path.read_text().splitlines()[0] == "a,b"
+
+    def test_rows_from_columns(self):
+        assert rows_from_columns([1, 2], ["x", "y"]) == ((1, "x"), (2, "y"))
+
+    def test_rows_from_columns_length_mismatch(self):
+        with pytest.raises(ValueError, match="differing lengths"):
+            rows_from_columns([1, 2], [3])
+
+
+class TestReport:
+    def test_subset_report(self, tmp_path):
+        path = generate_report(tmp_path, experiment_ids=("table1",))
+        text = path.read_text()
+        assert "# Reproduction report" in text
+        assert "## table1" in text
+        assert (tmp_path / "table1.csv").exists()
+
+    def test_unknown_id_rejected(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown experiments"):
+            generate_report(tmp_path, experiment_ids=("nope",))
+
+    def test_cli_report_subset(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--out", str(tmp_path), "--only", "table1"]) == 0
+        assert "REPORT.md" in capsys.readouterr().out
+
+    def test_cli_report_unknown(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--out", str(tmp_path), "--only", "bogus"]) == 2

@@ -1,0 +1,37 @@
+"""Tests for the concurrency-limit experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import concurrency
+
+
+class TestConcurrencyDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return concurrency.run(
+            correlations=(0.1, 0.9), concurrency_limits=(1, 3, 10)
+        )
+
+    def test_monotone_in_m(self, result):
+        for p in (0.1, 0.9):
+            online = [r[2] for r in result.rows if r[0] == p]
+            assert all(a <= b + 1e-12 for a, b in zip(online, online[1:]))
+
+    def test_m_one_matches_mtsd_constant(self, result):
+        for row in result.rows:
+            if row[1] == 1:
+                assert row[2] == pytest.approx(80.0)
+                assert row[4] == pytest.approx(1.0)
+
+    def test_penalty_grows_with_correlation(self, result):
+        pen = {
+            (row[0], row[1]): row[4]
+            for row in result.rows
+        }
+        assert pen[(0.9, 3)] > pen[(0.1, 3)]
+
+    def test_bad_limit(self):
+        with pytest.raises(ValueError, match="concurrency limits"):
+            concurrency.run(concurrency_limits=(0,))

@@ -1,0 +1,59 @@
+"""Tests for the eta-measurement experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import eta_measurement
+
+
+class TestEtaDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return eta_measurement.run(
+            chunk_counts=(10, 100),
+            peer_counts=(10, 40),
+            reference_peers=20,
+            reference_chunks=50,
+            n_repeats=1,
+        )
+
+    def test_rows_cover_all_sweeps(self, result):
+        sweeps = {row[0] for row in result.rows}
+        assert sweeps == {"chunks", "peers", "open", "slots"}
+        assert len(result.rows) == 9  # 2 chunks + 2 peers + 1 open + 4 slots
+
+    def test_slot_sweep_closes_the_loop_too(self, result):
+        for row in result.rows:
+            if row[0] == "slots":
+                assert abs(row[5] - row[4]) / row[4] < 0.15
+
+    def test_open_swarm_agrees_with_fluid(self, result):
+        open_row = next(r for r in result.rows if r[0] == "open")
+        assert abs(open_row[5] - open_row[4]) / open_row[4] < 0.10
+
+    def test_open_eta_above_flash_crowd_eta(self, result):
+        open_row = next(r for r in result.rows if r[0] == "open")
+        flash = [r[2] for r in result.rows if r[0] != "open"]
+        assert open_row[2] > max(flash)
+
+    def test_eta_grows_with_chunk_count(self, result):
+        chunk_rows = sorted(
+            (r for r in result.rows if r[0] == "chunks"), key=lambda r: r[1]
+        )
+        assert chunk_rows[-1][2] > chunk_rows[0][2]
+
+    def test_eta_falls_with_crowd_size(self, result):
+        peer_rows = sorted(
+            (r for r in result.rows if r[0] == "peers"), key=lambda r: r[1]
+        )
+        assert peer_rows[-1][2] < peer_rows[0][2]
+
+    def test_eta_in_unit_interval(self, result):
+        for row in result.rows:
+            assert 0.0 < row[2] < 1.0
+            assert 0.0 < row[3] <= 1.0
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError, match="n_repeats"):
+            eta_measurement.run(n_repeats=0)

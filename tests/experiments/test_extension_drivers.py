@@ -1,0 +1,93 @@
+"""Tests for the extension experiments (flash crowd, sensitivity, mix)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import flashcrowd, heterogeneity, sensitivity
+from repro.experiments.heterogeneity import critical_fibre_fraction
+
+
+class TestFlashcrowdDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return flashcrowd.run(n_users=100.0, rho_values=(0.0, 1.0), horizon=5000.0)
+
+    def test_rows_cover_all_schemes(self, result):
+        labels = [(r[0], r[1]) for r in result.rows]
+        assert ("MFCD", labels[0][1]) == labels[0]
+        assert ("CMFSD", 0.0) in labels
+        assert ("CMFSD", 1.0) in labels
+
+    def test_collaboration_drains_faster(self, result):
+        t95 = {(r[0], None if math.isnan(r[1]) else r[1]): r[3] for r in result.rows}
+        assert t95[("CMFSD", 0.0)] < t95[("CMFSD", 1.0)]
+        assert t95[("CMFSD", 0.0)] < t95[("MFCD", None)]
+
+    def test_quantiles_ordered(self, result):
+        for row in result.rows:
+            assert row[2] < row[3]  # t50 < t95
+
+    def test_bad_burst_size(self):
+        with pytest.raises(ValueError, match="n_users"):
+            flashcrowd.run(n_users=0.0)
+
+
+class TestSensitivityDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sensitivity.run(
+            eta_values=(0.25, 0.5, 1.0), gamma_values=(0.03, 0.05)
+        )
+
+    def test_ratios_exceed_one_below_eta_one(self, result):
+        for row in result.rows:
+            if row[0] == "eta" and row[1] < 1.0:
+                assert row[6] > 1.0  # MTCD/MTSD
+                assert row[7] > 1.0  # MFCD/CMFSD
+
+    def test_all_schemes_coincide_at_eta_one(self, result):
+        row = next(r for r in result.rows if r[0] == "eta" and r[1] == 1.0)
+        assert row[6] == pytest.approx(1.0)
+        assert row[7] == pytest.approx(1.0)
+
+    def test_margin_monotone_in_eta(self, result):
+        etas = [r for r in result.rows if r[0] == "eta"]
+        ratios = [r[7] for r in sorted(etas, key=lambda r: r[1])]
+        assert all(a > b for a, b in zip(ratios, ratios[1:]))
+
+    def test_unstable_gamma_rejected(self):
+        with pytest.raises(ValueError, match="stability"):
+            sensitivity.run(gamma_values=(0.01,))
+
+
+class TestHeterogeneityDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return heterogeneity.run(fibre_fractions=(0.0, 0.2, 0.5))
+
+    def test_mean_time_falls_with_fibre_share(self, result):
+        means = [r[4] for r in result.rows]
+        assert all(a > b for a, b in zip(means, means[1:]))
+
+    def test_dsl_always_slowest(self, result):
+        for row in result.rows:
+            assert row[1] > row[2]  # dsl slower than cable
+            if not math.isnan(row[3]):
+                assert row[2] > row[3]  # cable slower than fibre
+
+    def test_no_fibre_row_has_nan_fibre_time(self, result):
+        assert math.isnan(result.rows[0][3])
+
+    def test_critical_fraction_enforced(self):
+        f_crit = critical_fibre_fraction(0.05)
+        assert 0.5 < f_crit < 0.6
+        with pytest.raises(ValueError, match="validity"):
+            heterogeneity.run(fibre_fractions=(f_crit + 0.05,))
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError, match="fibre fraction"):
+            heterogeneity.run(fibre_fractions=(1.0,))

@@ -1,0 +1,74 @@
+"""Tests for Jain fairness and the fairness-vs-efficiency driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import jain_fairness
+from repro.experiments import fairness
+
+
+class TestJainIndex:
+    def test_equal_allocations_are_one(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_user_monopolizing(self):
+        # J = 1/n when one user gets everything.
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_weights_ignore_zero_weight_entries(self):
+        a = jain_fairness([1.0, 99.0], [1.0, 0.0])
+        assert a == pytest.approx(1.0)
+
+    def test_nan_values_ignored(self):
+        assert jain_fairness([2.0, float("nan"), 2.0]) == pytest.approx(1.0)
+
+    def test_all_zero_allocations(self):
+        assert jain_fairness([0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            jain_fairness([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="nonnegative"):
+            jain_fairness([1.0], [-1.0])
+        with pytest.raises(ValueError, match="no weighted"):
+            jain_fairness([float("nan")])
+
+    def test_bounds(self, rng):
+        for _ in range(20):
+            x = rng.uniform(0.1, 10.0, size=8)
+            w = rng.uniform(0.0, 2.0, size=8)
+            if not np.any(w > 0):
+                continue
+            j = jain_fairness(x, w)
+            assert 0.0 < j <= 1.0 + 1e-12
+
+
+class TestFairnessDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fairness.run(correlations=(0.1, 0.9), rho_values=(0.0, 0.5, 1.0))
+
+    def test_mtsd_and_mtcd_perfectly_fair(self, result):
+        for row in result.rows:
+            if row[1] in ("MTSD", "MTCD"):
+                assert row[3] == pytest.approx(1.0)
+
+    def test_cmfsd_fairness_monotone_in_rho(self, result):
+        for p in (0.1, 0.9):
+            j = [r[3] for r in result.rows if r[1] == "CMFSD" and r[0] == p]
+            assert all(a <= b + 1e-12 for a, b in zip(j, j[1:]))
+
+    def test_unfairness_worst_at_low_correlation(self, result):
+        j_low = min(r[3] for r in result.rows if r[1] == "CMFSD" and r[0] == 0.1)
+        j_high = min(r[3] for r in result.rows if r[1] == "CMFSD" and r[0] == 0.9)
+        assert j_low < j_high
+
+    def test_rho_zero_high_p_fast_and_fair(self, result):
+        row = next(
+            r for r in result.rows if r[1] == "CMFSD" and r[0] == 0.9 and r[2] == 0.0
+        )
+        assert row[3] > 0.97
+        mtsd = next(r for r in result.rows if r[1] == "MTSD" and r[0] == 0.9)
+        assert row[4] < mtsd[4]

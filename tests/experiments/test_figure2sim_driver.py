@@ -1,0 +1,37 @@
+"""Tests for the Figure-2 simulation-overlay driver (reduced scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure2sim
+
+
+class TestFigure2Sim:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure2sim.run(
+            sim_points=(0.5,), visit_rate=0.6, t_end=1500.0, warmup=400.0
+        )
+
+    def test_both_schemes_simulated(self, result):
+        schemes = {row[1] for row in result.rows}
+        assert schemes == {"MTCD", "MTSD"}
+
+    def test_download_times_on_the_curves(self, result):
+        for row in result.rows:
+            assert row[5] == pytest.approx(row[4], rel=0.08), row[1]
+
+    def test_mtsd_online_on_the_curve(self, result):
+        row = next(r for r in result.rows if r[1] == "MTSD")
+        assert row[3] == pytest.approx(row[2], rel=0.08)
+
+    def test_mtcd_online_biased_above_but_close(self, result):
+        """Max-of-exponential seeding pushes the sim above the fluid."""
+        row = next(r for r in result.rows if r[1] == "MTCD")
+        assert row[3] > row[2] * 0.98
+        assert row[3] < row[2] * 1.15
+
+    def test_overlay_figure_attached(self, result, tmp_path):
+        paths = result.write_figures(tmp_path)
+        assert len(paths) == 1

@@ -1,0 +1,136 @@
+"""Shape tests for the figure drivers: every paper claim must hold."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure2, figure3, figure4a, figure4bc, table1
+
+
+class TestTable1:
+    def test_glossary_rows(self):
+        result = table1.run()
+        assert result.experiment_id == "table1"
+        assert len(result.rows) == 6
+        assert "mu=0.02" in result.rendered
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure2.run(p_values=np.linspace(0.02, 1.0, 15))
+
+    def test_mtsd_flat_at_80(self, result):
+        mtsd = np.asarray(result.column("mtsd_online_per_file"))
+        np.testing.assert_allclose(mtsd, 80.0, rtol=1e-9)
+
+    def test_mtcd_monotone_increasing(self, result):
+        mtcd = np.asarray(result.column("mtcd_online_per_file"))
+        assert np.all(np.diff(mtcd) > 0)
+
+    def test_curves_meet_at_low_correlation(self):
+        res = figure2.run(p_values=np.array([1e-6]))
+        assert res.rows[0][1] == pytest.approx(80.0, abs=1e-3)
+
+    def test_endpoints_match_closed_forms(self, result):
+        mtcd = np.asarray(result.column("mtcd_online_per_file"))
+        assert mtcd[-1] == pytest.approx(98.0)
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError, match="p values"):
+            figure2.run(p_values=np.array([0.0, 0.5]))
+
+    def test_csv_round_trip(self, result, tmp_path):
+        path = result.write_csv(tmp_path)
+        text = path.read_text()
+        assert text.startswith("p,mtcd_online_per_file")
+        assert len(text.splitlines()) == len(result.rows) + 1
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure3.run()
+
+    def test_rows_cover_both_settings_and_all_classes(self, result):
+        ps = {row[0] for row in result.rows}
+        assert ps == {0.1, 1.0}
+        assert len(result.rows) == 20
+
+    def test_mtcd_online_decreases_with_class(self, result):
+        for p in (0.1, 1.0):
+            online = [row[2] for row in result.rows if row[0] == p]
+            assert all(a > b for a, b in zip(online, online[1:]))
+
+    def test_mtcd_download_fair_across_classes(self, result):
+        for p in (0.1, 1.0):
+            dl = [row[3] for row in result.rows if row[0] == p]
+            np.testing.assert_allclose(dl, dl[0])
+
+    def test_low_correlation_crossover(self, result):
+        """Class 1 worse than MTSD, class 10 better (the paper's trade-off)."""
+        rows_01 = [row for row in result.rows if row[0] == 0.1]
+        class1, class10 = rows_01[0], rows_01[-1]
+        assert class1[2] > class1[4]  # MTCD online > MTSD online for i=1
+        assert class10[2] < class10[4]  # but better for i=10
+
+    def test_high_correlation_mtcd_loses_everywhere(self, result):
+        for row in result.rows:
+            if row[0] == 1.0 and np.isfinite(row[2]):
+                assert row[2] > row[4]
+                assert row[3] > row[5]
+
+
+class TestFigure4a:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure4a.run(
+            p_values=np.array([0.3, 0.9]), rho_values=np.array([0.0, 0.5, 1.0])
+        )
+
+    def test_monotone_in_rho(self, result):
+        for p in (0.3, 0.9):
+            series = [row[2] for row in result.rows if row[0] == p]
+            assert series[0] < series[1] < series[2]
+
+    def test_rho_one_equals_mfcd(self, result):
+        for row in result.rows:
+            if row[1] == 1.0:
+                assert row[2] == pytest.approx(row[3], rel=1e-6)
+
+    def test_improvement_grows_with_p(self, result):
+        def gain(p):
+            series = {row[1]: row[2] for row in result.rows if row[0] == p}
+            return series[1.0] / series[0.0]
+
+        assert gain(0.9) > gain(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rho values"):
+            figure4a.run(rho_values=np.array([-0.1]))
+
+
+class TestFigure4bc:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure4bc.run()
+
+    def test_rows_cover_both_settings(self, result):
+        assert {row[0] for row in result.rows} == {0.9, 0.1}
+        assert len(result.rows) == 20
+
+    def test_high_correlation_small_rho_beats_mfcd_for_all_classes(self, result):
+        for row in result.rows:
+            if row[0] == 0.9:
+                assert row[2] < row[6]  # CMFSD rho=0.1 online < MFCD online
+
+    def test_single_file_peers_download_fastest(self, result):
+        for p in (0.9, 0.1):
+            dl = [row[3] for row in result.rows if row[0] == p]
+            assert dl[0] == min(dl)
+
+    def test_low_p_large_rho_multifile_peers_sacrifice(self, result):
+        """Sec. 4.3: at low correlation, large classes can do worse than MFCD."""
+        row10 = next(r for r in result.rows if r[0] == 0.1 and r[1] == 10)
+        assert row10[4] > row10[6]  # rho=0.9 online worse than MFCD

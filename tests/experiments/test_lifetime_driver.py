@@ -1,0 +1,48 @@
+"""Tests for the torrent-lifetime experiment driver."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import lifetime
+
+
+class TestLifetimeDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return lifetime.run(
+            p=0.9, lambda0=1.0, tau=300.0, horizon=3500.0, rho_values=(0.0, 1.0)
+        )
+
+    def test_all_schemes_present(self, result):
+        labels = [(r[0], r[1]) for r in result.rows]
+        assert labels[0][0] == "MFCD"
+        assert ("CMFSD", 0.0) in labels
+        assert ("CMFSD", 1.0) in labels
+
+    def test_collaboration_drains_sooner(self, result):
+        alive = {
+            (r[0], None if isinstance(r[1], float) and math.isnan(r[1]) else r[1]): r[2]
+            for r in result.rows
+        }
+        assert alive[("CMFSD", 0.0)] < alive[("CMFSD", 1.0)]
+        assert alive[("CMFSD", 0.0)] < alive[("MFCD", None)]
+
+    def test_offered_load_conserved(self, result):
+        """Every scheme must eventually serve (almost) all arrivals."""
+        for row in result.rows:
+            assert 0.9 <= row[5] <= 1.001, row[0]
+
+    def test_cmfsd_serves_everything(self, result):
+        row = next(r for r in result.rows if r[1] == 0.0)
+        assert row[5] == pytest.approx(1.0, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="tau"):
+            lifetime.run(tau=0.0)
+
+    def test_population_figure(self, result, tmp_path):
+        paths = result.write_figures(tmp_path)
+        assert len(paths) == 1

@@ -1,0 +1,43 @@
+"""Tests for the mixing-assumption experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import mixing
+
+
+class TestMixingDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return mixing.run(
+            neighbor_limits=(None, 10, 2),
+            visit_rate=0.8,
+            t_end=1500.0,
+            warmup=400.0,
+        )
+
+    def test_unbounded_matches_fluid(self, result):
+        row0 = next(r for r in result.rows if r[0] == 0)
+        assert row0[3] == pytest.approx(1.0, abs=0.05)
+
+    def test_moderate_limit_still_close(self, result):
+        row10 = next(r for r in result.rows if r[0] == 10)
+        assert row10[3] == pytest.approx(1.0, abs=0.08)
+
+    def test_tiny_limit_degrades(self, result):
+        row2 = next(r for r in result.rows if r[0] == 2)
+        assert row2[3] > 1.2
+
+    def test_swarm_grows_as_mixing_breaks(self, result):
+        """Little's law: longer transfers mean larger swarms."""
+        by_limit = {r[0]: r[4] for r in result.rows}
+        assert by_limit[2] > by_limit[0]
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError, match="neighbor limits"):
+            mixing.run(neighbor_limits=(0,))
+
+    def test_figure_attached(self, result, tmp_path):
+        paths = result.write_figures(tmp_path)
+        assert len(paths) == 1

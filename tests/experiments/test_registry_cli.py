@@ -1,0 +1,58 @@
+"""Tests for the experiment registry and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import REGISTRY, get_experiment, list_experiments
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert {"table1", "figure2", "figure3", "figure4a", "figure4bc"} <= set(REGISTRY)
+        assert {"adapt", "validation"} <= set(REGISTRY)
+
+    def test_get_experiment(self):
+        assert callable(get_experiment("figure2"))
+
+    def test_unknown_id_lists_alternatives(self):
+        with pytest.raises(KeyError, match="available"):
+            get_experiment("figure99")
+
+    def test_list_has_descriptions(self):
+        listing = dict(list_experiments())
+        assert all(desc for desc in listing.values())
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "figure2", "--out", "x"])
+        assert args.command == "run"
+        assert args.experiment == "figure2"
+        assert args.out == "x"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure4a" in out
+
+    def test_params_command(self, capsys):
+        assert main(["params"]) == 0
+        assert "upload bandwidth" in capsys.readouterr().out
+
+    def test_run_writes_csv(self, tmp_path, capsys):
+        assert main(["run", "table1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.csv").exists()
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "nope", "--out", "/tmp"]) == 2
+        assert "available" in capsys.readouterr().err
+
+    def test_run_figure2_end_to_end(self, tmp_path, capsys):
+        assert main(["run", "figure2", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "MTCD" in out
+        assert (tmp_path / "figure2.csv").exists()

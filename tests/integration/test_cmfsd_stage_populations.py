@@ -1,0 +1,84 @@
+"""Integration: CMFSD stage populations x^{i,j} -- simulator vs Eq. (5).
+
+The deepest fluid-vs-sim check: not just aggregate times, but the full
+staged state of the CMFSD model.  Summing the simulator's per-swarm
+(class, stage) matrices over subtorrents must reproduce the stationary
+``x^{i,j}`` of Eq. (5), class by class and stage by stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CMFSDModel, CorrelationModel, PAPER_PARAMETERS, Scheme
+from repro.sim import ScenarioConfig, build_simulation
+
+K = 4
+PARAMS = PAPER_PARAMETERS.with_(num_files=K)
+RHO = 0.2
+
+
+@pytest.fixture(scope="module")
+def run():
+    corr = CorrelationModel(num_files=K, p=0.7, visit_rate=1.0)
+    config = ScenarioConfig(
+        scheme=Scheme.CMFSD,
+        params=PARAMS,
+        correlation=corr,
+        t_end=3000.0,
+        warmup=800.0,
+        rho=RHO,
+        seed=29,
+        sample_interval=10.0,
+    )
+    system, arrivals = build_simulation(config)
+    system.start_sampler(config.sample_interval, config.t_end, record_stages=True)
+    arrivals.start()
+    system.run_until(config.t_end)
+    summary = system.metrics.summarize(warmup=config.warmup, horizon=config.t_end)
+    fluid = CMFSDModel.from_correlation(PARAMS, corr, rho=RHO)
+    steady = fluid.steady_state()
+    return summary, fluid, steady
+
+
+class TestStagePopulations:
+    def test_stage_matrices_recorded_for_every_swarm(self, run):
+        summary, _, _ = run
+        assert len(summary.mean_stage_downloaders) == K
+
+    def test_total_matches_classwise_counts(self, run):
+        summary, _, _ = run
+        for key, matrix in summary.mean_stage_downloaders.items():
+            np.testing.assert_allclose(
+                matrix.sum(axis=1), summary.mean_downloaders[key], atol=1e-9
+            )
+
+    def test_upper_triangle_empty(self, run):
+        """No peer can be on stage j > its class i."""
+        summary, _, _ = run
+        for matrix in summary.mean_stage_downloaders.values():
+            for i in range(K):
+                for j in range(K):
+                    if j > i:
+                        assert matrix[i, j] == 0.0
+
+    def test_stage_populations_match_equation5(self, run):
+        """Sum over subtorrents of the sim's (i, j) counts ~ fluid x^{i,j}."""
+        summary, fluid, steady = run
+        total = np.zeros((K, K))
+        for matrix in summary.mean_stage_downloaders.values():
+            total += matrix
+        for i in range(1, K + 1):
+            for j in range(1, i + 1):
+                expected = steady.x(i, j)
+                if expected < 2.0:
+                    continue  # sparse cells are sampling noise
+                assert total[i - 1, j - 1] == pytest.approx(
+                    expected, rel=0.2
+                ), f"x^({i},{j})"
+
+    def test_aggregate_population_littles_law(self, run):
+        summary, fluid, steady = run
+        total = sum(m.sum() for m in summary.mean_stage_downloaders.values())
+        assert total == pytest.approx(steady.total_downloaders, rel=0.1)

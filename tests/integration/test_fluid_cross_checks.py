@@ -1,0 +1,140 @@
+"""Cross-model consistency checks the paper itself relies on.
+
+Sec. 3.3 argues model correctness by degeneration to the single-torrent
+results of Qiu--Srikant; Sec. 3.4 argues MFCD == MTCD; Sec. 4.2.2 observes
+CMFSD(rho=1) == MFCD.  Each of those arguments becomes an executable test
+here, across parameter ranges rather than single points, plus cross-solver
+agreement between our RK45 and scipy on the actual model right-hand sides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CMFSDModel,
+    CorrelationModel,
+    FluidParameters,
+    MFCDModel,
+    MTCDModel,
+    MTSDModel,
+    SingleTorrentModel,
+)
+from repro.ode import integrate_rk45, integrate_scipy
+
+
+class TestDegeneracyToSingleTorrent:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        mu=st.floats(0.01, 0.04),
+        gamma_mult=st.floats(1.2, 4.0),
+        eta=st.floats(0.2, 1.0),
+        lam=st.floats(0.1, 5.0),
+    )
+    def test_mtcd_k1(self, mu, gamma_mult, eta, lam):
+        params = FluidParameters(mu=mu, eta=eta, gamma=mu * gamma_mult, num_files=1)
+        single = SingleTorrentModel(params, arrival_rate=lam).steady_state()
+        mtcd = MTCDModel(params=params, per_torrent_rates=np.array([lam]))
+        assert mtcd.download_time_per_file() == pytest.approx(single.download_time)
+        ss = mtcd.steady_state()
+        assert ss.total_downloaders == pytest.approx(single.downloaders)
+        assert ss.total_seeds == pytest.approx(single.seeds)
+
+    @settings(max_examples=10, deadline=None)
+    @given(mu=st.floats(0.01, 0.04), gamma_mult=st.floats(1.2, 4.0), lam=st.floats(0.1, 2.0))
+    def test_mtsd_class1_equals_single_torrent_online_time(self, mu, gamma_mult, lam):
+        params = FluidParameters(mu=mu, gamma=mu * gamma_mult, num_files=1)
+        single = SingleTorrentModel(params, arrival_rate=lam).steady_state()
+        mtsd = MTSDModel(params=params, class_rates=np.array([lam]))
+        assert mtsd.class_metrics(1).total_online_time == pytest.approx(
+            single.online_time
+        )
+
+    def test_cmfsd_k1_any_rho(self):
+        params = FluidParameters(num_files=1)
+        single = SingleTorrentModel(params, arrival_rate=1.0).steady_state()
+        for rho in (0.0, 0.5, 1.0):
+            model = CMFSDModel(params=params, class_rates=np.array([1.0]), rho=rho)
+            metrics = model.system_metrics()
+            assert metrics.avg_download_time_per_file == pytest.approx(
+                single.download_time, rel=1e-6
+            )
+
+
+class TestSchemeEquivalences:
+    @settings(max_examples=10, deadline=None)
+    @given(p=st.floats(0.05, 1.0), K=st.integers(2, 12))
+    def test_mfcd_equals_mtcd_everywhere(self, p, K):
+        params = FluidParameters(num_files=K)
+        corr = CorrelationModel(num_files=K, p=p)
+        mfcd = MFCDModel.from_correlation(params, corr).system_metrics()
+        mtcd = MTCDModel.from_correlation(params, corr).system_metrics()
+        assert mfcd.avg_online_time_per_file == pytest.approx(
+            mtcd.avg_online_time_per_file
+        )
+
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.95])
+    def test_cmfsd_rho1_equals_mfcd(self, p, paper_params):
+        corr = CorrelationModel(num_files=10, p=p)
+        cmfsd = CMFSDModel.from_correlation(paper_params, corr, rho=1.0)
+        mfcd = MFCDModel.from_correlation(paper_params, corr)
+        assert cmfsd.system_metrics().avg_online_time_per_file == pytest.approx(
+            mfcd.system_metrics().avg_online_time_per_file, rel=1e-6
+        )
+
+    def test_mtsd_beats_mtcd_at_high_correlation_loses_nothing_at_low(
+        self, paper_params
+    ):
+        low = CorrelationModel(num_files=10, p=0.001)
+        high = CorrelationModel(num_files=10, p=0.95)
+        for corr, max_gap in ((low, 0.5), (high, None)):
+            mtcd = MTCDModel.from_correlation(paper_params, corr).system_metrics()
+            mtsd = MTSDModel.from_correlation(paper_params, corr).system_metrics()
+            gap = mtcd.avg_online_time_per_file - mtsd.avg_online_time_per_file
+            assert gap > 0
+            if max_gap is not None:
+                assert gap < max_gap
+
+
+class TestCrossSolverAgreement:
+    """Our RK45 and scipy must agree on the actual model dynamics."""
+
+    def test_mtcd_transient(self, paper_params):
+        corr = CorrelationModel(num_files=10, p=0.5)
+        model = MTCDModel.from_correlation(paper_params, corr)
+        y0 = np.zeros(model.state_dim)
+        ours = integrate_rk45(model.rhs, y0, (0.0, 800.0), rtol=1e-9, atol=1e-11)
+        scipys = integrate_scipy(model.rhs, y0, (0.0, 800.0), rtol=1e-9, atol=1e-11)
+        np.testing.assert_allclose(
+            ours.final_state, scipys.final_state, rtol=1e-5, atol=1e-8
+        )
+
+    def test_cmfsd_transient(self, paper_params):
+        corr = CorrelationModel(num_files=10, p=0.9)
+        model = CMFSDModel.from_correlation(paper_params, corr, rho=0.3)
+        y0 = np.zeros(model.state_dim)
+        ours = integrate_rk45(model.rhs, y0, (0.0, 500.0), rtol=1e-9, atol=1e-11)
+        scipys = integrate_scipy(model.rhs, y0, (0.0, 500.0), rtol=1e-9, atol=1e-11)
+        np.testing.assert_allclose(
+            ours.final_state, scipys.final_state, rtol=1e-5, atol=1e-8
+        )
+
+
+class TestPopulationSanity:
+    @settings(max_examples=10, deadline=None)
+    @given(p=st.floats(0.05, 1.0), rho=st.floats(0.0, 1.0))
+    def test_cmfsd_total_population_satisfies_littles_law(self, p, rho):
+        params = FluidParameters(num_files=5)
+        corr = CorrelationModel(num_files=5, p=p)
+        model = CMFSDModel.from_correlation(params, corr, rho=rho)
+        ss = model.steady_state()
+        metrics = model.system_metrics(ss)
+        file_rate = float(np.sum(corr.classes * corr.class_rates()))
+        population = ss.total_downloaders + ss.total_seeds
+        # L = lambda_files * W_per_file.
+        assert population == pytest.approx(
+            file_rate * metrics.avg_online_time_per_file, rel=1e-6
+        )

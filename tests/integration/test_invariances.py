@@ -1,0 +1,142 @@
+"""Physics-invariance property tests for the fluid models.
+
+Two symmetries must hold exactly for every model, because the paper's
+equations have no intrinsic scale:
+
+* **Load linearity** -- multiplying every arrival rate by ``c`` multiplies
+  the stationary populations by ``c`` and leaves every per-user time
+  unchanged (``lambda_0`` cancels in Eq. 2/4/5 metrics).
+* **Time-unit covariance** -- rescaling the rates ``(mu, gamma, lambda)``
+  by ``c`` (i.e. changing the time unit) rescales every time by ``1/c``
+  and leaves populations unchanged.
+
+Violations of either indicate a transcription error somewhere in a
+right-hand side, so they make unusually sharp property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CMFSDModel,
+    CorrelationModel,
+    FluidParameters,
+    MTCDModel,
+    MTSDModel,
+)
+
+
+class TestLoadLinearity:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        p=st.floats(0.05, 1.0),
+        scale=st.floats(0.1, 20.0),
+        K=st.integers(2, 8),
+    )
+    def test_mtcd_populations_linear_times_invariant(self, p, scale, K):
+        params = FluidParameters(num_files=K)
+        base = MTCDModel.from_correlation(
+            params, CorrelationModel(num_files=K, p=p, visit_rate=1.0)
+        )
+        scaled = MTCDModel.from_correlation(
+            params, CorrelationModel(num_files=K, p=p, visit_rate=scale)
+        )
+        np.testing.assert_allclose(
+            scaled.steady_state().downloaders,
+            scale * base.steady_state().downloaders,
+            rtol=1e-12,
+        )
+        assert scaled.download_time_per_file() == pytest.approx(
+            base.download_time_per_file()
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(p=st.floats(0.2, 1.0), scale=st.floats(0.2, 5.0), rho=st.floats(0.0, 1.0))
+    def test_cmfsd_metrics_invariant_to_load(self, p, scale, rho):
+        params = FluidParameters(num_files=4)
+        base = CMFSDModel.from_correlation(
+            params, CorrelationModel(num_files=4, p=p, visit_rate=1.0), rho=rho
+        )
+        scaled = CMFSDModel.from_correlation(
+            params, CorrelationModel(num_files=4, p=p, visit_rate=scale), rho=rho
+        )
+        m0 = base.system_metrics()
+        m1 = scaled.system_metrics()
+        assert m1.avg_online_time_per_file == pytest.approx(
+            m0.avg_online_time_per_file, rel=1e-6
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(p=st.floats(0.2, 1.0), scale=st.floats(0.2, 5.0))
+    def test_cmfsd_populations_linear(self, p, scale):
+        params = FluidParameters(num_files=4)
+        base = CMFSDModel.from_correlation(
+            params, CorrelationModel(num_files=4, p=p, visit_rate=1.0), rho=0.3
+        )
+        scaled = CMFSDModel.from_correlation(
+            params, CorrelationModel(num_files=4, p=p, visit_rate=scale), rho=0.3
+        )
+        np.testing.assert_allclose(
+            scaled.steady_state().state,
+            scale * base.steady_state().state,
+            rtol=1e-5,
+            atol=1e-8,
+        )
+
+
+class TestTimeUnitCovariance:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        p=st.floats(0.05, 1.0),
+        c=st.floats(0.1, 10.0),
+        K=st.integers(2, 8),
+    )
+    def test_mtcd_times_scale_inversely(self, p, c, K):
+        slow = FluidParameters(mu=0.02, gamma=0.05, num_files=K)
+        fast = FluidParameters(mu=0.02 * c, gamma=0.05 * c, num_files=K)
+        corr = CorrelationModel(num_files=K, p=p)
+        t_slow = MTCDModel.from_correlation(slow, corr).download_time_per_file()
+        t_fast = MTCDModel.from_correlation(fast, corr).download_time_per_file()
+        assert t_fast == pytest.approx(t_slow / c)
+
+    @settings(max_examples=15, deadline=None)
+    @given(p=st.floats(0.05, 1.0), c=st.floats(0.1, 10.0))
+    def test_mtsd_times_scale_inversely(self, p, c):
+        slow = FluidParameters(mu=0.02, gamma=0.05, num_files=5)
+        fast = FluidParameters(mu=0.02 * c, gamma=0.05 * c, num_files=5)
+        corr = CorrelationModel(num_files=5, p=p)
+        m_slow = MTSDModel.from_correlation(slow, corr).system_metrics()
+        m_fast = MTSDModel.from_correlation(fast, corr).system_metrics()
+        assert m_fast.avg_online_time_per_file == pytest.approx(
+            m_slow.avg_online_time_per_file / c
+        )
+
+    @settings(max_examples=5, deadline=None)
+    @given(c=st.floats(0.25, 4.0), rho=st.floats(0.0, 1.0))
+    def test_cmfsd_times_scale_inversely_populations_fixed(self, c, rho):
+        """Rescaling (mu, gamma) by c and keeping lambda fixed scales the
+        time unit, so times shrink by 1/c while populations shrink by 1/c
+        too (same arrivals, shorter stays).  Rescaling lambda as well keeps
+        populations exactly fixed."""
+        corr_1 = CorrelationModel(num_files=4, p=0.8, visit_rate=1.0)
+        corr_c = CorrelationModel(num_files=4, p=0.8, visit_rate=c)
+        slow = CMFSDModel.from_correlation(
+            FluidParameters(num_files=4), corr_1, rho=rho
+        )
+        fast = CMFSDModel.from_correlation(
+            FluidParameters(mu=0.02 * c, gamma=0.05 * c, num_files=4), corr_c, rho=rho
+        )
+        s_slow = slow.steady_state()
+        s_fast = fast.steady_state()
+        np.testing.assert_allclose(
+            s_fast.state, s_slow.state, rtol=1e-5, atol=1e-8
+        )
+        m_slow = slow.system_metrics(s_slow)
+        m_fast = fast.system_metrics(s_fast)
+        assert m_fast.avg_online_time_per_file == pytest.approx(
+            m_slow.avg_online_time_per_file / c, rel=1e-6
+        )

@@ -1,0 +1,147 @@
+"""Integration: the discrete-event simulator must land on fluid predictions.
+
+Small-K, moderate-rate runs with fixed seeds keep these under a minute
+total while leaving enough statistics for ~10% agreement.  The exhaustive
+version is ``python -m repro run validation`` / the validation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import littles_law_check
+from repro.core import (
+    CMFSDModel,
+    CorrelationModel,
+    MTCDModel,
+    MTSDModel,
+    PAPER_PARAMETERS,
+    Scheme,
+)
+from repro.sim import ScenarioConfig, run_scenario
+
+K = 4
+PARAMS = PAPER_PARAMETERS.with_(num_files=K)
+
+
+def corr(p=0.6, rate=0.8):
+    return CorrelationModel(num_files=K, p=p, visit_rate=rate)
+
+
+def scenario(scheme, **kw):
+    base = dict(
+        scheme=scheme,
+        params=PARAMS,
+        correlation=corr(),
+        t_end=2500.0,
+        warmup=700.0,
+        seed=17,
+    )
+    base.update(kw)
+    return ScenarioConfig(**base)
+
+
+class TestMTSD:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return run_scenario(scenario(Scheme.MTSD))
+
+    def test_transfer_time(self, summary):
+        fluid_T = MTSDModel.from_correlation(PARAMS, corr()).single_download_time()
+        sim_T = float(np.nanmean(summary.entry_download_time_by_class))
+        assert sim_T == pytest.approx(fluid_T, rel=0.08)
+
+    def test_online_time_per_file(self, summary):
+        fluid = MTSDModel.from_correlation(PARAMS, corr()).system_metrics()
+        assert summary.avg_online_time_per_file == pytest.approx(
+            fluid.avg_online_time_per_file, rel=0.08
+        )
+
+    def test_torrent_populations(self, summary):
+        fluid = MTSDModel.from_correlation(PARAMS, corr()).torrent_steady_state()
+        sim_x = float(np.mean([v.sum() for v in summary.mean_downloaders.values()]))
+        sim_y = float(np.mean([v.sum() for v in summary.mean_seeds.values()]))
+        assert sim_x == pytest.approx(fluid.downloaders, rel=0.12)
+        assert sim_y == pytest.approx(fluid.seeds, rel=0.12)
+
+    def test_littles_law_holds_in_sim(self, summary):
+        """Population vs throughput*time, purely from simulator output."""
+        fluid_rate = corr().per_torrent_rates().sum()  # per-torrent file visits
+        sim_x = float(np.mean([v.sum() for v in summary.mean_downloaders.values()]))
+        sim_T = float(np.nanmean(summary.entry_download_time_by_class))
+        check = littles_law_check(sim_x, fluid_rate, sim_T)
+        assert check.within(0.12)
+
+
+class TestMTCD:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return run_scenario(scenario(Scheme.MTCD))
+
+    def test_per_class_transfer_times_scale_with_i(self, summary):
+        model = MTCDModel.from_correlation(PARAMS, corr())
+        c = model.download_time_per_file()
+        for i in range(1, K + 1):
+            sim = summary.entry_download_time_by_class[i - 1]
+            assert sim == pytest.approx(i * c, rel=0.08), f"class {i}"
+
+    def test_swarm_population_by_class(self, summary):
+        steady = MTCDModel.from_correlation(PARAMS, corr()).steady_state()
+        for i in (2, 3):  # populous classes at p=0.6, K=4
+            sim = float(np.mean([v[i - 1] for v in summary.mean_downloaders.values()]))
+            assert sim == pytest.approx(steady.downloaders[i - 1], rel=0.15)
+
+
+class TestCMFSD:
+    @pytest.mark.parametrize("rho", [0.0, 0.9])
+    def test_aggregate_times_match_equation5(self, rho):
+        summary = run_scenario(scenario(Scheme.CMFSD, rho=rho))
+        fluid = CMFSDModel.from_correlation(PARAMS, corr(), rho=rho).system_metrics()
+        assert summary.avg_online_time_per_file == pytest.approx(
+            fluid.avg_online_time_per_file, rel=0.08
+        )
+        assert summary.avg_download_time_per_file == pytest.approx(
+            fluid.avg_download_time_per_file, rel=0.08
+        )
+
+    def test_collaboration_helps_in_sim_too(self):
+        collab = run_scenario(scenario(Scheme.CMFSD, rho=0.0))
+        none = run_scenario(scenario(Scheme.CMFSD, rho=1.0))
+        assert (
+            collab.avg_online_time_per_file < 0.85 * none.avg_online_time_per_file
+        )
+
+    def test_subtorrent_policy_close_to_global_pool(self):
+        """Eq. (5)'s global-mixing assumption: placing seeds per-subtorrent
+        instead should move the answer only modestly (randomised order keeps
+        demand balanced)."""
+        from repro.sim import SeedPolicy
+
+        pool = run_scenario(scenario(Scheme.CMFSD, rho=0.2))
+        local = run_scenario(
+            scenario(Scheme.CMFSD, rho=0.2, seed_policy=SeedPolicy.SUBTORRENT)
+        )
+        assert local.avg_online_time_per_file == pytest.approx(
+            pool.avg_online_time_per_file, rel=0.15
+        )
+
+
+class TestMFCD:
+    def test_download_time_matches_mtcd_equivalence(self):
+        summary = run_scenario(scenario(Scheme.MFCD))
+        fluid = MTCDModel.from_correlation(PARAMS, corr())
+        assert summary.avg_download_time_per_file == pytest.approx(
+            fluid.system_metrics().avg_download_time_per_file, rel=0.08
+        )
+
+    def test_depart_together_accelerates_downloads(self):
+        """Client-realistic MFCD keeps finished virtual peers seeding until
+        the user departs; the extra seed capacity can only speed things up
+        relative to the fluid-faithful per-entry seeding."""
+        together = run_scenario(scenario(Scheme.MFCD, depart_together=True))
+        separate = run_scenario(scenario(Scheme.MFCD, depart_together=False))
+        assert (
+            together.avg_download_time_per_file
+            < separate.avg_download_time_per_file
+        )

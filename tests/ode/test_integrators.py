@@ -1,0 +1,138 @@
+"""Tests for the from-scratch and scipy-backed IVP solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.linalg import expm
+
+from repro.ode import integrate, integrate_rk4, integrate_rk45, integrate_scipy
+
+
+def decay(t, y):
+    """dy/dt = -y, solution y0 * exp(-t)."""
+    return -y
+
+
+def oscillator(t, y):
+    """Harmonic oscillator as a first-order system."""
+    return np.array([y[1], -y[0]])
+
+
+class TestRK4:
+    def test_exponential_decay_accuracy(self):
+        res = integrate_rk4(decay, np.array([1.0]), (0.0, 5.0), n_steps=200)
+        assert res.success
+        assert res.final_state[0] == pytest.approx(np.exp(-5.0), rel=1e-7)
+
+    def test_trajectory_shape_and_times(self):
+        res = integrate_rk4(decay, np.array([1.0, 2.0]), (0.0, 1.0), n_steps=10)
+        assert res.t.shape == (11,)
+        assert res.y.shape == (11, 2)
+        assert res.t[0] == 0.0
+        assert res.t[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(res.t) > 0)
+
+    def test_fourth_order_convergence(self):
+        """Halving the step should cut the error by about 2**4."""
+        errors = []
+        for n in (25, 50, 100):
+            res = integrate_rk4(decay, np.array([1.0]), (0.0, 2.0), n_steps=n)
+            errors.append(abs(res.final_state[0] - np.exp(-2.0)))
+        ratio1 = errors[0] / errors[1]
+        ratio2 = errors[1] / errors[2]
+        assert 12 < ratio1 < 20
+        assert 12 < ratio2 < 20
+
+    def test_rhs_eval_count(self):
+        res = integrate_rk4(decay, np.array([1.0]), (0.0, 1.0), n_steps=7)
+        assert res.n_rhs_evals == 28
+        assert res.n_steps == 7
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(ValueError, match="t1 > t0"):
+            integrate_rk4(decay, np.array([1.0]), (1.0, 1.0))
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError, match="n_steps"):
+            integrate_rk4(decay, np.array([1.0]), (0.0, 1.0), n_steps=0)
+
+    def test_rejects_matrix_state(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            integrate_rk4(decay, np.ones((2, 2)), (0.0, 1.0))
+
+
+class TestRK45:
+    def test_exponential_decay_meets_tolerance(self):
+        res = integrate_rk45(decay, np.array([1.0]), (0.0, 5.0), rtol=1e-10, atol=1e-12)
+        assert res.success
+        assert res.final_state[0] == pytest.approx(np.exp(-5.0), rel=1e-8)
+
+    def test_oscillator_energy_preserved(self):
+        res = integrate_rk45(oscillator, np.array([1.0, 0.0]), (0.0, 20.0), rtol=1e-10)
+        energy = res.y[:, 0] ** 2 + res.y[:, 1] ** 2
+        assert np.allclose(energy, 1.0, atol=1e-6)
+
+    def test_adaptivity_uses_fewer_steps_at_loose_tolerance(self):
+        tight = integrate_rk45(decay, np.array([1.0]), (0.0, 10.0), rtol=1e-12, atol=1e-14)
+        loose = integrate_rk45(decay, np.array([1.0]), (0.0, 10.0), rtol=1e-4, atol=1e-6)
+        assert loose.n_steps < tight.n_steps
+
+    def test_final_time_hit_exactly(self):
+        res = integrate_rk45(decay, np.array([1.0]), (0.0, 3.21))
+        assert res.t[-1] == pytest.approx(3.21, abs=1e-12)
+
+    def test_max_steps_reported_as_failure(self):
+        res = integrate_rk45(decay, np.array([1.0]), (0.0, 100.0), max_steps=3)
+        assert not res.success
+        assert "max_steps" in res.message
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        dim=st.integers(1, 4),
+        horizon=st.floats(0.5, 5.0),
+    )
+    def test_matches_matrix_exponential_on_random_stable_linear_systems(
+        self, seed, dim, horizon
+    ):
+        """For dy/dt = A y with A stable, the exact answer is expm(A t) y0."""
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(dim, dim))
+        a = a - (np.max(np.real(np.linalg.eigvals(a))) + 0.5) * np.eye(dim)
+        y0 = rng.normal(size=dim)
+        res = integrate_rk45(lambda t, y: a @ y, y0, (0.0, horizon), rtol=1e-9, atol=1e-11)
+        exact = expm(a * horizon) @ y0
+        assert res.success
+        np.testing.assert_allclose(res.final_state, exact, rtol=1e-5, atol=1e-7)
+
+
+class TestScipyWrapper:
+    def test_decay(self):
+        res = integrate_scipy(decay, np.array([1.0]), (0.0, 5.0))
+        assert res.success
+        assert res.final_state[0] == pytest.approx(np.exp(-5.0), rel=1e-6)
+
+    def test_t_eval_grid_respected(self):
+        grid = np.linspace(0, 1, 7)
+        res = integrate_scipy(decay, np.array([1.0]), (0.0, 1.0), t_eval=grid)
+        np.testing.assert_allclose(res.t, grid)
+
+    def test_agrees_with_own_rk45_on_oscillator(self):
+        y0 = np.array([0.3, -0.7])
+        ours = integrate_rk45(oscillator, y0, (0.0, 15.0), rtol=1e-10, atol=1e-12)
+        theirs = integrate_scipy(oscillator, y0, (0.0, 15.0), rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(ours.final_state, theirs.final_state, rtol=1e-6)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("method", ["rk4", "rk45", "scipy"])
+    def test_all_methods_reachable(self, method):
+        res = integrate(decay, np.array([2.0]), (0.0, 1.0), method=method)
+        assert res.final_state[0] == pytest.approx(2 * np.exp(-1.0), rel=1e-4)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            integrate(decay, np.array([1.0]), (0.0, 1.0), method="euler")

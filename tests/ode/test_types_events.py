@@ -1,0 +1,85 @@
+"""Tests for result containers and time-grid helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ode import IntegrationResult, SteadyStateResult, sample_dense, time_grid
+from repro.ode.integrators import integrate_rk4
+
+
+class TestIntegrationResult:
+    def test_properties(self):
+        res = IntegrationResult(
+            t=np.array([0.0, 1.0]),
+            y=np.array([[1.0, 2.0], [3.0, 4.0]]),
+            n_steps=1,
+            n_rhs_evals=4,
+            method="rk4",
+        )
+        assert res.final_time == 1.0
+        np.testing.assert_array_equal(res.final_state, [3.0, 4.0])
+        assert res.dim == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            IntegrationResult(
+                t=np.array([0.0, 1.0]),
+                y=np.zeros((3, 2)),
+                n_steps=1,
+                n_rhs_evals=1,
+                method="x",
+            )
+
+    def test_two_dimensional_time_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            IntegrationResult(
+                t=np.zeros((2, 2)),
+                y=np.zeros((2, 2)),
+                n_steps=1,
+                n_rhs_evals=1,
+                method="x",
+            )
+
+
+class TestSteadyStateResult:
+    def test_state_coerced_to_array(self):
+        res = SteadyStateResult(
+            state=[1, 2], residual=0.0, converged=True, n_iterations=0, method="m"
+        )
+        assert isinstance(res.state, np.ndarray)
+
+
+class TestTimeGrid:
+    def test_linear(self):
+        g = time_grid(0.0, 10.0, 5)
+        np.testing.assert_allclose(g, [0, 2.5, 5, 7.5, 10])
+
+    def test_log(self):
+        g = time_grid(1.0, 100.0, 3, spacing="log")
+        np.testing.assert_allclose(g, [1, 10, 100])
+
+    def test_log_requires_positive_start(self):
+        with pytest.raises(ValueError, match="t0 > 0"):
+            time_grid(0.0, 1.0, 5, spacing="log")
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError, match="n must be"):
+            time_grid(0.0, 1.0, 1)
+
+    def test_rejects_unknown_spacing(self):
+        with pytest.raises(ValueError, match="spacing"):
+            time_grid(0.0, 1.0, 5, spacing="sqrt")
+
+
+class TestSampleDense:
+    def test_interpolates_linear_trajectory_exactly(self):
+        res = integrate_rk4(lambda t, y: np.array([1.0]), np.array([0.0]), (0.0, 1.0), n_steps=4)
+        vals = sample_dense(res, np.array([0.125, 0.625]))
+        np.testing.assert_allclose(vals[:, 0], [0.125, 0.625], atol=1e-12)
+
+    def test_out_of_span_rejected(self):
+        res = integrate_rk4(lambda t, y: -y, np.array([1.0]), (0.0, 1.0), n_steps=4)
+        with pytest.raises(ValueError, match="outside"):
+            sample_dense(res, np.array([1.5]))

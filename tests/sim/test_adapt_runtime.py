@@ -1,0 +1,100 @@
+"""Tests for the per-peer Adapt controllers inside the simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AdaptPolicy
+from repro.sim import AdaptRuntime, SeedPolicy, SimulationSystem, make_behavior
+from repro.sim.behaviors import BehaviorKind
+
+MU, ETA, GAMMA = 0.02, 0.5, 0.05
+
+
+def make_system(n_files=3):
+    system = SimulationSystem(mu=MU, eta=ETA, gamma=GAMMA, num_classes=n_files)
+    system.add_group(tuple(range(n_files)), SeedPolicy.GLOBAL_POOL)
+    system.seed_lifetime = lambda: 20.0
+    return system
+
+
+class TestAdaptRuntime:
+    def test_period_validated(self):
+        with pytest.raises(ValueError, match="period"):
+            AdaptRuntime(make_system(), AdaptPolicy(), period=0.0)
+
+    def test_pure_giver_raises_rho(self):
+        """A lone multi-file user's virtual seed feeds only itself; with
+        upload exceeding received virtual service... actually the solo user
+        receives its whole pool back, so use two users: one class-1 taker
+        and one class-2 giver -- the giver's Delta is positive and Adapt
+        must raise its rho."""
+        system = make_system(2)
+        policy = AdaptPolicy(
+            phi_increase=0.1 * MU,
+            phi_decrease=-10.0 * MU,  # effectively never decrease
+            step_increase=0.25,
+            patience=1,
+            initial_rho=0.0,
+        )
+        runtime = AdaptRuntime(system, policy, period=30.0)
+        collab = make_behavior(BehaviorKind.COLLABORATIVE, rho=0.0, adapt=runtime)
+        giver = system.spawn_user(collab, (0, 1))
+        # A steady stream of class-1 takers keeps the pool drained away
+        # from the giver.
+        def spawn_taker():
+            system.spawn_user(collab, (0,))
+            system.schedule_after(40.0, spawn_taker)
+
+        system.schedule_after(0.0, spawn_taker)
+        system.run_until(400.0)
+        rec = system.metrics.records[giver]
+        assert rec.rho_trace[-1][1] > 0.0
+        assert runtime.n_adjustments > 0
+
+    def test_controller_stops_after_user_finishes(self):
+        system = make_system(2)
+        policy = AdaptPolicy(phi_increase=0.0, phi_decrease=0.0, step_increase=0.5)
+        runtime = AdaptRuntime(system, policy, period=10.0)
+        collab = make_behavior(BehaviorKind.COLLABORATIVE, rho=0.0, adapt=runtime)
+        uid = system.spawn_user(collab, (0, 1))
+        system.run_until(3000.0)
+        rec = system.metrics.records[uid]
+        assert rec.is_departed
+        # No rho adjustments after the user finished downloading.
+        assert all(t <= rec.downloads_done_time + 10.0 for t, _ in rec.rho_trace)
+
+    def test_single_file_users_not_attached(self):
+        system = make_system(2)
+        runtime = AdaptRuntime(system, AdaptPolicy(step_increase=0.5), period=5.0)
+        collab = make_behavior(BehaviorKind.COLLABORATIVE, rho=0.0, adapt=runtime)
+        uid = system.spawn_user(collab, (1,))
+        system.run_until(500.0)
+        rec = system.metrics.records[uid]
+        # Only the initial rho entry; the controller never ran.
+        assert len(rec.rho_trace) == 1
+
+    def test_wide_band_keeps_rho_zero(self):
+        """A dead band wider than the largest possible give rate (mu) can
+        never trigger an increase, so everyone stays at the collaborative
+        optimum.  (Note: even in a symmetric population a peer observes
+        Delta > 0 *during* its virtual-seeding stage -- it gives mu while
+        sharing the pool with first-stage peers -- so tighter bands do
+        ratchet; that behaviour is exercised in test_pure_giver_raises_rho.)"""
+        system = make_system(2)
+        policy = AdaptPolicy(
+            phi_increase=1.2 * MU, phi_decrease=-1.2 * MU, step_increase=0.5
+        )
+        runtime = AdaptRuntime(system, policy, period=25.0)
+        collab = make_behavior(BehaviorKind.COLLABORATIVE, rho=0.0, adapt=runtime)
+        uids = []
+
+        def spawn():
+            uids.append(system.spawn_user(collab, (0, 1)))
+            if system.now < 300.0:
+                system.schedule_after(30.0, spawn)
+
+        system.schedule_after(0.0, spawn)
+        system.run_until(600.0)
+        for uid in uids:
+            assert system.metrics.records[uid].rho_trace[-1][1] == 0.0

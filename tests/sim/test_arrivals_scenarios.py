@@ -1,0 +1,211 @@
+"""Tests for the arrival process and the prebuilt scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptPolicy, CorrelationModel, PAPER_PARAMETERS, Scheme
+from repro.sim import (
+    ArrivalProcess,
+    ScenarioConfig,
+    SeedPolicy,
+    build_simulation,
+    make_behavior,
+    run_scenario,
+)
+from repro.sim.behaviors import BehaviorKind
+from repro.sim.system import SimulationSystem
+
+
+def small_corr(p=0.6, rate=0.5, K=3):
+    return CorrelationModel(num_files=K, p=p, visit_rate=rate)
+
+
+def small_params(K=3):
+    return PAPER_PARAMETERS.with_(num_files=K)
+
+
+class TestArrivalProcess:
+    def test_empirical_rate_matches_effective_rate(self):
+        corr = small_corr(rate=2.0)
+        system = SimulationSystem(mu=0.02, eta=0.5, gamma=0.05, num_classes=3)
+        system.add_group((0, 1, 2), SeedPolicy.SUBTORRENT)
+        arrivals = ArrivalProcess(
+            system, corr, make_behavior(BehaviorKind.CONCURRENT), t_end=500.0
+        )
+        arrivals.start()
+        system.run_until(500.0)
+        expected = corr.effective_user_rate() * 500.0
+        assert arrivals.n_spawned == pytest.approx(expected, rel=0.15)
+
+    def test_no_arrivals_beyond_horizon(self):
+        corr = small_corr()
+        system = SimulationSystem(mu=0.02, eta=0.5, gamma=0.05, num_classes=3)
+        system.add_group((0, 1, 2), SeedPolicy.SUBTORRENT)
+        arrivals = ArrivalProcess(
+            system, corr, make_behavior(BehaviorKind.SEQUENTIAL), t_end=100.0
+        )
+        arrivals.start()
+        system.run_until(5000.0)
+        assert all(
+            r.arrival_time <= 100.0 for r in system.metrics.records.values()
+        )
+
+    def test_zero_p_rejected(self):
+        system = SimulationSystem(mu=0.02, eta=0.5, gamma=0.05, num_classes=3)
+        system.add_group((0, 1, 2), SeedPolicy.SUBTORRENT)
+        with pytest.raises(ValueError, match="p must be positive"):
+            ArrivalProcess(
+                system,
+                CorrelationModel(num_files=3, p=0.0),
+                make_behavior(BehaviorKind.SEQUENTIAL),
+                t_end=10.0,
+            )
+
+    def test_class_mix_matches_conditioned_binomial(self):
+        corr = small_corr(p=0.5, rate=3.0)
+        system = SimulationSystem(mu=0.02, eta=0.5, gamma=0.05, num_classes=3)
+        system.add_group((0, 1, 2), SeedPolicy.SUBTORRENT)
+        arrivals = ArrivalProcess(
+            system, corr, make_behavior(BehaviorKind.CONCURRENT), t_end=800.0
+        )
+        arrivals.start()
+        system.run_until(800.0)
+        classes = np.array(
+            [r.user_class for r in system.metrics.records.values()]
+        )
+        observed = np.bincount(classes, minlength=4)[1:] / classes.size
+        np.testing.assert_allclose(observed, corr.class_distribution(), atol=0.05)
+
+
+class TestScenarioConfig:
+    def test_K_mismatch(self):
+        with pytest.raises(ValueError, match="K="):
+            ScenarioConfig(
+                scheme=Scheme.MTSD,
+                params=small_params(3),
+                correlation=small_corr(K=4),
+            )
+
+    def test_warmup_must_precede_horizon(self):
+        with pytest.raises(ValueError, match="warmup"):
+            ScenarioConfig(
+                scheme=Scheme.MTSD,
+                params=small_params(),
+                correlation=small_corr(),
+                t_end=100.0,
+                warmup=200.0,
+            )
+
+    def test_adapt_only_for_cmfsd(self):
+        with pytest.raises(ValueError, match="Adapt"):
+            ScenarioConfig(
+                scheme=Scheme.MTSD,
+                params=small_params(),
+                correlation=small_corr(),
+                adapt=AdaptPolicy(),
+            )
+
+    def test_cheaters_only_for_cmfsd(self):
+        with pytest.raises(ValueError, match="cheaters"):
+            ScenarioConfig(
+                scheme=Scheme.MFCD,
+                params=small_params(),
+                correlation=small_corr(),
+                cheater_fraction=0.5,
+            )
+
+
+class TestTopology:
+    def test_multi_torrent_schemes_get_K_groups(self):
+        for scheme in (Scheme.MTCD, Scheme.MTSD):
+            config = ScenarioConfig(
+                scheme=scheme, params=small_params(), correlation=small_corr()
+            )
+            system, _ = build_simulation(config)
+            assert len(system.groups) == 3
+            for g in system.groups.values():
+                assert len(g.swarms) == 1
+
+    def test_multi_file_schemes_get_one_group(self):
+        for scheme, policy in (
+            (Scheme.MFCD, SeedPolicy.SUBTORRENT),
+            (Scheme.CMFSD, SeedPolicy.GLOBAL_POOL),
+        ):
+            config = ScenarioConfig(
+                scheme=scheme, params=small_params(), correlation=small_corr()
+            )
+            system, _ = build_simulation(config)
+            assert len(system.groups) == 1
+            assert system.groups[0].policy is policy
+            assert len(system.groups[0].swarms) == 3
+
+    def test_seed_policy_override(self):
+        config = ScenarioConfig(
+            scheme=Scheme.CMFSD,
+            params=small_params(),
+            correlation=small_corr(),
+            seed_policy=SeedPolicy.SUBTORRENT,
+        )
+        system, _ = build_simulation(config)
+        assert system.groups[0].policy is SeedPolicy.SUBTORRENT
+
+
+class TestRunScenario:
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_all_schemes_produce_finite_metrics(self, scheme):
+        config = ScenarioConfig(
+            scheme=scheme,
+            params=small_params(),
+            correlation=small_corr(rate=0.4),
+            t_end=1200.0,
+            warmup=300.0,
+            seed=3,
+        )
+        summary = run_scenario(config)
+        assert summary.n_users_completed > 20
+        assert np.isfinite(summary.avg_online_time_per_file)
+        assert summary.avg_online_time_per_file > summary.avg_download_time_per_file
+
+    def test_reproducible_with_same_seed(self):
+        config = ScenarioConfig(
+            scheme=Scheme.MTSD,
+            params=small_params(),
+            correlation=small_corr(rate=0.3),
+            t_end=600.0,
+            warmup=100.0,
+            seed=9,
+        )
+        a = run_scenario(config)
+        b = run_scenario(config)
+        assert a.avg_online_time_per_file == b.avg_online_time_per_file
+        assert a.n_users_completed == b.n_users_completed
+
+    def test_different_seeds_differ(self):
+        base = dict(
+            scheme=Scheme.MTSD,
+            params=small_params(),
+            correlation=small_corr(rate=0.3),
+            t_end=600.0,
+            warmup=100.0,
+        )
+        a = run_scenario(ScenarioConfig(seed=1, **base))
+        b = run_scenario(ScenarioConfig(seed=2, **base))
+        assert a.avg_online_time_per_file != b.avg_online_time_per_file
+
+    def test_cheater_fraction_marks_users(self):
+        config = ScenarioConfig(
+            scheme=Scheme.CMFSD,
+            params=small_params(),
+            correlation=small_corr(rate=0.4, p=0.9),
+            t_end=800.0,
+            warmup=100.0,
+            cheater_fraction=1.0,
+            seed=5,
+        )
+        system, arrivals = build_simulation(config)
+        arrivals.start()
+        system.run_until(config.t_end)
+        assert system.metrics.records
+        assert all(r.is_cheater for r in system.metrics.records.values())

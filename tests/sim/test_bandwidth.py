@@ -1,0 +1,71 @@
+"""Tests for the pure bandwidth-allocation rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import downloader_rates
+from repro.sim.bandwidth import seed_share
+
+
+class TestSeedShare:
+    def test_proportional_split(self):
+        shares = seed_share([1.0, 3.0], capacity=8.0)
+        np.testing.assert_allclose(shares, [2.0, 6.0])
+
+    def test_no_downloaders(self):
+        assert seed_share([], capacity=5.0).size == 0
+
+    def test_zero_capacity(self):
+        np.testing.assert_array_equal(seed_share([1.0, 1.0], 0.0), [0.0, 0.0])
+
+    def test_zero_total_caps(self):
+        np.testing.assert_array_equal(seed_share([0.0, 0.0], 5.0), [0.0, 0.0])
+
+    def test_negative_caps_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            seed_share([-1.0], 5.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        caps=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=10),
+        capacity=st.floats(0.0, 100.0),
+    )
+    def test_capacity_conserved(self, caps, capacity):
+        """All capacity is handed out whenever anyone can receive it."""
+        shares = seed_share(caps, capacity)
+        assert np.all(shares >= 0)
+        if sum(caps) > 0 and capacity > 0:
+            assert float(np.sum(shares)) == pytest.approx(capacity, rel=1e-9)
+        else:
+            assert float(np.sum(shares)) == 0.0
+
+
+class TestDownloaderRates:
+    def test_assumption_one_returns_own_contribution(self):
+        """Without seeds, each downloader gets eta times what it uploads."""
+        rates = downloader_rates([0.02, 0.01], [1.0, 1.0], eta=0.5, seed_capacity=0.0)
+        np.testing.assert_allclose(rates, [0.01, 0.005])
+
+    def test_assumption_two_adds_seed_share(self):
+        rates = downloader_rates([0.0, 0.0], [1.0, 3.0], eta=0.5, seed_capacity=0.04)
+        np.testing.assert_allclose(rates, [0.01, 0.03])
+
+    def test_combined(self):
+        rates = downloader_rates([0.02], [1.0], eta=0.5, seed_capacity=0.02)
+        assert rates[0] == pytest.approx(0.03)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            downloader_rates([1.0], [1.0, 2.0], eta=0.5, seed_capacity=0.0)
+
+    def test_eta_validated(self):
+        with pytest.raises(ValueError, match="eta"):
+            downloader_rates([1.0], [1.0], eta=0.0, seed_capacity=0.0)
+
+    def test_negative_uploads_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            downloader_rates([-1.0], [1.0], eta=0.5, seed_capacity=0.0)

@@ -1,0 +1,130 @@
+"""Tests for the bounded-concurrency (batched) user behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BatchedDownloadModel, CorrelationModel, PAPER_PARAMETERS
+from repro.sim import SeedPolicy, SimulationSystem, make_behavior
+from repro.sim.arrivals import ArrivalProcess
+from repro.sim.behaviors import BehaviorKind
+
+MU, ETA, GAMMA = 0.02, 0.5, 0.05
+
+
+def make_system(n_files, seed_time=20.0):
+    system = SimulationSystem(mu=MU, eta=ETA, gamma=GAMMA, num_classes=n_files)
+    for f in range(n_files):
+        system.add_group((f,), SeedPolicy.SUBTORRENT)
+    system.seed_lifetime = lambda: seed_time
+    return system
+
+
+class TestBatchedBehavior:
+    def test_batches_partition_files(self):
+        system = make_system(7)
+        uid = system.spawn_user(
+            make_behavior(BehaviorKind.BATCHED, max_concurrency=3),
+            tuple(range(7)),
+        )
+        behavior = system.behaviors[uid]
+        sizes = [len(b) for b in behavior.batches]
+        assert sizes == [3, 3, 1]
+        flattened = [f for batch in behavior.batches for f in batch]
+        assert sorted(flattened) == list(range(7))
+
+    def test_bandwidth_split_within_batch(self):
+        system = make_system(4)
+        uid = system.spawn_user(
+            make_behavior(BehaviorKind.BATCHED, max_concurrency=2), (0, 1, 2, 3)
+        )
+        system.run_until(1.0)
+        behavior = system.behaviors[uid]
+        first_batch = behavior.batches[0]
+        for f in first_batch:
+            e = system.groups[f].get_downloader(uid, f)
+            assert e.tft_upload == pytest.approx(MU / 2)
+
+    def test_deterministic_solo_timeline(self):
+        """Solo user, 3 files, m=2: batch (2 files at eta*mu/2 -> 200) +
+        seed 20, then batch (1 file at eta*mu -> 100) + seed 20."""
+        system = make_system(3, seed_time=20.0)
+        uid = system.spawn_user(
+            make_behavior(BehaviorKind.BATCHED, max_concurrency=2), (0, 1, 2)
+        )
+        system.run_until(10000.0)
+        rec = system.metrics.records[uid]
+        assert rec.downloads_done_time == pytest.approx(200.0 + 20.0 + 100.0)
+        assert rec.departure_time == pytest.approx(200.0 + 20.0 + 100.0 + 20.0)
+
+    def test_m1_matches_sequential_timing(self):
+        for kind, kwargs in (
+            (BehaviorKind.BATCHED, {"max_concurrency": 1}),
+            (BehaviorKind.SEQUENTIAL, {}),
+        ):
+            system = make_system(2, seed_time=15.0)
+            uid = system.spawn_user(make_behavior(kind, **kwargs), (0, 1))
+            system.run_until(10000.0)
+            rec = system.metrics.records[uid]
+            assert rec.departure_time == pytest.approx(230.0), kind
+
+    def test_validation(self):
+        system = make_system(2)
+        with pytest.raises(ValueError, match="max_concurrency"):
+            system.spawn_user(
+                make_behavior(BehaviorKind.BATCHED, max_concurrency=0), (0, 1)
+            )
+
+
+class TestBatchedVsFluid:
+    def test_sim_matches_mtbd_model(self):
+        """Poisson arrivals, m=2, K=4: per-user online times agree with the
+        BatchedDownloadModel within stochastic tolerance."""
+        K, m = 4, 2
+        params = PAPER_PARAMETERS.with_(num_files=K)
+        corr = CorrelationModel(num_files=K, p=0.6, visit_rate=0.8)
+        system = SimulationSystem(mu=MU, eta=ETA, gamma=GAMMA, num_classes=K)
+        for f in range(K):
+            system.add_group((f,), SeedPolicy.SUBTORRENT)
+        arrivals = ArrivalProcess(
+            system,
+            corr,
+            make_behavior(BehaviorKind.BATCHED, max_concurrency=m),
+            t_end=2500.0,
+        )
+        arrivals.start()
+        system.start_sampler(10.0, 2500.0)
+        system.run_until(2500.0)
+        summary = system.metrics.summarize(warmup=700.0, horizon=2500.0)
+
+        fluid = BatchedDownloadModel.from_correlation(params, corr, max_concurrency=m)
+        # Per-entry transfer time for a size-b batch entry is b*c; the
+        # summary's entry times mix batch sizes per class.  Check the
+        # aggregate download time per file instead (transfer-only in the
+        # fluid, wall-clock in the sim -- the sim value includes inter-batch
+        # seeding, so compare against the online metric which books it).
+        sim_online = summary.avg_online_time_per_file
+        fluid_online = fluid.system_metrics().avg_online_time_per_file
+        assert sim_online == pytest.approx(fluid_online, rel=0.12)
+
+    def test_sim_ordering_m1_beats_m4(self):
+        """The fluid's monotonicity in m holds in the simulator."""
+        K = 4
+        corr = CorrelationModel(num_files=K, p=0.9, visit_rate=0.8)
+        results = {}
+        for m in (1, 4):
+            system = SimulationSystem(mu=MU, eta=ETA, gamma=GAMMA, num_classes=K)
+            for f in range(K):
+                system.add_group((f,), SeedPolicy.SUBTORRENT)
+            arrivals = ArrivalProcess(
+                system,
+                corr,
+                make_behavior(BehaviorKind.BATCHED, max_concurrency=m),
+                t_end=2000.0,
+            )
+            arrivals.start()
+            system.run_until(2000.0)
+            summary = system.metrics.summarize(warmup=600.0, horizon=2000.0)
+            results[m] = summary.avg_online_time_per_file
+        assert results[1] < results[4]

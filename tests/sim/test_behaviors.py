@@ -1,0 +1,209 @@
+"""Tests for the per-scheme user state machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SeedPolicy, SimulationSystem, make_behavior
+from repro.sim.behaviors import BehaviorKind, CollaborativeBehavior
+
+MU, ETA, GAMMA = 0.02, 0.5, 0.05
+
+
+def make_system(n_files, policy=SeedPolicy.SUBTORRENT, seed_time=20.0):
+    system = SimulationSystem(mu=MU, eta=ETA, gamma=GAMMA, num_classes=n_files)
+    system.add_group(tuple(range(n_files)), policy)
+    system.seed_lifetime = lambda: seed_time
+    return system
+
+
+class TestFactory:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown behavior"):
+            make_behavior("torrentless")
+
+    def test_options_bound(self):
+        factory = make_behavior(BehaviorKind.COLLABORATIVE, rho=0.7)
+        system = make_system(2, policy=SeedPolicy.GLOBAL_POOL)
+        uid = system.spawn_user(factory, (0, 1))
+        assert isinstance(system.behaviors[uid], CollaborativeBehavior)
+        assert system.behaviors[uid].rho == 0.7
+
+    def test_per_user_override(self):
+        factory = make_behavior(BehaviorKind.COLLABORATIVE, rho=0.7)
+        system = make_system(2, policy=SeedPolicy.GLOBAL_POOL)
+        uid = system.spawn_user(factory, (0, 1), is_cheater=True)
+        assert system.behaviors[uid].is_cheater
+
+    def test_empty_files_rejected(self):
+        system = make_system(1)
+        with pytest.raises(ValueError, match="at least one"):
+            system.spawn_user(make_behavior(BehaviorKind.SEQUENTIAL), ())
+
+    def test_duplicate_files_rejected(self):
+        system = make_system(2)
+        with pytest.raises(ValueError, match="duplicate"):
+            system.spawn_user(make_behavior(BehaviorKind.SEQUENTIAL), (0, 0))
+
+
+class TestConcurrent:
+    def test_bandwidth_split_across_entries(self):
+        system = make_system(2)
+        uid = system.spawn_user(make_behavior(BehaviorKind.CONCURRENT), (0, 1))
+        system.run_until(1.0)
+        for f in (0, 1):
+            e = system.groups[0].get_downloader(uid, f)
+            assert e.tft_upload == pytest.approx(MU / 2)
+            assert e.rate == pytest.approx(ETA * MU / 2)
+
+    def test_independent_seed_phases(self):
+        """Each finished file seeds for exactly one deterministic lifetime."""
+        system = make_system(2, seed_time=30.0)
+        uid = system.spawn_user(make_behavior(BehaviorKind.CONCURRENT), (0, 1))
+        system.run_until(2000.0)
+        rec = system.metrics.records[uid]
+        # Both entries at rate eta*mu/2 = 0.005 -> done at 200; seeds 30 more.
+        assert rec.downloads_done_time == pytest.approx(200.0)
+        assert rec.departure_time == pytest.approx(230.0)
+
+    def test_depart_together_extends_seeding(self):
+        """depart_together keeps early seeds alive until one lifetime after
+        the final completion."""
+        system = make_system(2, seed_time=30.0)
+        # Give file 0 a helper seed so it finishes sooner than file 1.
+        system.add_seed(999, 0, MU, 1, virtual=False)
+        system.flush()
+        uid = system.spawn_user(
+            make_behavior(BehaviorKind.CONCURRENT, depart_together=True), (0, 1)
+        )
+        system.run_until(2000.0)
+        rec = system.metrics.records[uid]
+        t0 = rec.file_completions[0]
+        t1 = rec.file_completions[1]
+        assert t0 < t1
+        assert rec.departure_time == pytest.approx(t1 + 30.0)
+
+
+class TestSequential:
+    def test_phases_alternate_download_and_seed(self):
+        system = make_system(2, seed_time=15.0)
+        uid = system.spawn_user(make_behavior(BehaviorKind.SEQUENTIAL), (0, 1))
+        system.run_until(2000.0)
+        rec = system.metrics.records[uid]
+        times = sorted(rec.file_completions.values())
+        # File 1: [0, 100]; seed [100, 115]; file 2: [115, 215]; seed to 230.
+        assert times[0] == pytest.approx(100.0)
+        assert times[1] == pytest.approx(215.0)
+        assert rec.departure_time == pytest.approx(230.0)
+        assert rec.downloads_done_time == pytest.approx(215.0)
+
+    def test_full_bandwidth_used(self):
+        system = make_system(2)
+        uid = system.spawn_user(make_behavior(BehaviorKind.SEQUENTIAL), (0, 1))
+        system.run_until(1.0)
+        current = [
+            f for f in (0, 1)
+            if (uid, f) in system.groups[0].swarms[f].downloaders
+        ]
+        assert len(current) == 1  # only one file at a time
+        e = system.groups[0].get_downloader(uid, current[0])
+        assert e.tft_upload == pytest.approx(MU)
+
+
+class TestCollaborative:
+    def test_first_file_full_tft_then_split(self):
+        system = make_system(2, policy=SeedPolicy.GLOBAL_POOL, seed_time=20.0)
+        factory = make_behavior(BehaviorKind.COLLABORATIVE, rho=0.25)
+        uid = system.spawn_user(factory, (0, 1))
+        system.run_until(1.0)
+        behavior = system.behaviors[uid]
+        first = behavior.current_file
+        e = system.groups[0].get_downloader(uid, first)
+        assert e.tft_upload == pytest.approx(MU)  # P(i, 1) = 1
+        # Run past the first completion (t = 100 solo).
+        system.run_until(101.0)
+        second = behavior.current_file
+        assert second != first
+        e2 = system.groups[0].get_downloader(uid, second)
+        assert e2.tft_upload == pytest.approx(0.25 * MU)
+        assert behavior.virtual_seed_file is not None
+        assert system.groups[0].total_virtual_capacity() == pytest.approx(0.75 * MU)
+
+    def test_virtual_seed_feeds_back_into_own_download(self):
+        """Under the global pool, the sole downloader receives its own
+        virtual-seed bandwidth: rate = eta*rho*mu + (1-rho)*mu."""
+        system = make_system(2, policy=SeedPolicy.GLOBAL_POOL, seed_time=20.0)
+        factory = make_behavior(BehaviorKind.COLLABORATIVE, rho=0.25)
+        uid = system.spawn_user(factory, (0, 1))
+        system.run_until(101.0)
+        behavior = system.behaviors[uid]
+        e = system.groups[0].get_downloader(uid, behavior.current_file)
+        assert e.rate == pytest.approx(ETA * 0.25 * MU + 0.75 * MU)
+
+    def test_real_seed_after_all_files_then_depart(self):
+        system = make_system(2, policy=SeedPolicy.GLOBAL_POOL, seed_time=20.0)
+        factory = make_behavior(BehaviorKind.COLLABORATIVE, rho=1.0)
+        uid = system.spawn_user(factory, (0, 1))
+        system.run_until(5000.0)
+        rec = system.metrics.records[uid]
+        # rho=1: both files solo at 0.01 -> 100 + 100; then 20 seeding.
+        assert rec.downloads_done_time == pytest.approx(200.0)
+        assert rec.departure_time == pytest.approx(220.0)
+        assert system.groups[0].total_virtual_capacity() == 0.0
+        assert system.groups[0].total_real_capacity() == 0.0
+
+    def test_cheater_never_virtual_seeds(self):
+        system = make_system(3, policy=SeedPolicy.GLOBAL_POOL, seed_time=20.0)
+        factory = make_behavior(BehaviorKind.COLLABORATIVE, rho=0.0)
+        uid = system.spawn_user(factory, (0, 1, 2), is_cheater=True)
+        behavior = system.behaviors[uid]
+        assert behavior.rho == 1.0
+        system.run_until(150.0)  # inside the second file
+        assert behavior.virtual_seed_file is not None  # zero-bandwidth slot
+        assert system.groups[0].total_virtual_capacity() == 0.0
+        behavior.set_rho(0.0)  # cheaters ignore adjustments
+        assert behavior.rho == 1.0
+
+    def test_set_rho_updates_live_allocations(self):
+        system = make_system(2, policy=SeedPolicy.GLOBAL_POOL, seed_time=20.0)
+        factory = make_behavior(BehaviorKind.COLLABORATIVE, rho=0.0)
+        uid = system.spawn_user(factory, (0, 1))
+        system.run_until(101.0)  # second file in progress
+        behavior = system.behaviors[uid]
+        behavior.set_rho(0.6)
+        system.flush()
+        e = system.groups[0].get_downloader(uid, behavior.current_file)
+        assert e.tft_upload == pytest.approx(0.6 * MU)
+        assert system.groups[0].total_virtual_capacity() == pytest.approx(0.4 * MU)
+        assert behavior.record.rho_trace[-1][1] == 0.6
+
+    def test_set_rho_before_any_completion_only_records(self):
+        system = make_system(2, policy=SeedPolicy.GLOBAL_POOL, seed_time=20.0)
+        factory = make_behavior(BehaviorKind.COLLABORATIVE, rho=0.0)
+        uid = system.spawn_user(factory, (0, 1))
+        system.run_until(1.0)
+        behavior = system.behaviors[uid]
+        behavior.set_rho(0.5)
+        e = system.groups[0].get_downloader(uid, behavior.current_file)
+        assert e.tft_upload == pytest.approx(MU)  # first file keeps P = 1
+
+    def test_subtorrent_placement_prefers_demand(self):
+        """Under SUBTORRENT the virtual seed lands on the completed file
+        with the most downloaders."""
+        system = make_system(3, policy=SeedPolicy.SUBTORRENT, seed_time=20.0)
+        factory = make_behavior(BehaviorKind.COLLABORATIVE, rho=0.5)
+        uid = system.spawn_user(factory, (0, 1, 2))
+        behavior = system.behaviors[uid]
+        system.run_until(101.0)  # first file done
+        first = behavior.order[0]
+        assert behavior.virtual_seed_file == first  # only completed file
+        assert system.groups[0].swarms[first].virtual_capacity == pytest.approx(
+            0.5 * MU
+        )
+
+    def test_invalid_rho(self):
+        system = make_system(2)
+        with pytest.raises(ValueError, match="rho"):
+            system.spawn_user(
+                make_behavior(BehaviorKind.COLLABORATIVE, rho=1.5), (0, 1)
+            )

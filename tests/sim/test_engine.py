@@ -1,0 +1,134 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(2.0, lambda: fired.append("b"))
+        q.schedule(1.0, lambda: fired.append("a"))
+        q.schedule(3.0, lambda: fired.append("c"))
+        while (ev := q.pop()) is not None:
+            ev[1]()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append("low"), priority=5)
+        q.schedule(1.0, lambda: fired.append("high"), priority=0)
+        while (ev := q.pop()) is not None:
+            ev[1]()
+        assert fired == ["high", "low"]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        q = EventQueue()
+        fired = []
+        for k in range(5):
+            q.schedule(1.0, lambda k=k: fired.append(k))
+        while (ev := q.pop()) is not None:
+            ev[1]()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_cancel(self):
+        q = EventQueue()
+        fired = []
+        h = q.schedule(1.0, lambda: fired.append("x"))
+        q.schedule(2.0, lambda: fired.append("y"))
+        q.cancel(h)
+        while (ev := q.pop()) is not None:
+            ev[1]()
+        assert fired == ["y"]
+
+    def test_next_time_skips_cancelled(self):
+        q = EventQueue()
+        h = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        q.cancel(h)
+        assert q.next_time() == 2.0
+
+    def test_next_time_empty(self):
+        assert EventQueue().next_time() == math.inf
+
+    def test_infinite_time_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            EventQueue().schedule(math.inf, lambda: None)
+
+
+class TestSimulator:
+    def test_clock_advances_with_events(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(1.5, lambda: times.append(sim.now))
+        sim.schedule_at(0.5, lambda: times.append(sim.now))
+        fired = sim.run_until(2.0)
+        assert fired == 2
+        assert times == [0.5, 1.5]
+        assert sim.now == 2.0
+
+    def test_events_beyond_horizon_stay_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append("late"))
+        sim.run_until(2.0)
+        assert fired == []
+        sim.run_until(6.0)
+        assert fired == ["late"]
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_after(1.0, lambda: sim.schedule_after(1.0, lambda: out.append(sim.now)))
+        sim.run_until(3.0)
+        assert out == [2.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(ValueError, match="before now"):
+            sim.schedule_at(1.0, lambda: None)
+        with pytest.raises(ValueError, match="nonnegative"):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_cannot_run_backwards(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(ValueError, match="before now"):
+            sim.run_until(1.0)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule_after(0.001, rearm)
+
+        sim.schedule_after(0.0, rearm)
+        with pytest.raises(RuntimeError, match="max_events"):
+            sim.run_until(1e9, max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for k in range(3):
+            sim.schedule_at(float(k), lambda: None)
+        sim.run_until(10.0)
+        assert sim.events_processed == 3
+
+    def test_event_scheduled_now_during_event_fires(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule_at(sim.now, lambda: order.append("second"))
+
+        sim.schedule_at(1.0, first)
+        sim.run_until(1.0)
+        assert order == ["first", "second"]

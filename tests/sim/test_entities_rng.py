@@ -1,0 +1,64 @@
+"""Tests for runtime entities and the stream-split RNG."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import DownloadEntry, RandomStreams, UserRecord
+
+
+class TestDownloadEntry:
+    def test_eta_for_completion(self):
+        e = DownloadEntry(1, 0, 1, 1, 0.02, 0.2, remaining=0.5, rate=0.01)
+        assert e.eta_for_completion() == pytest.approx(50.0)
+
+    def test_eta_when_stalled(self):
+        e = DownloadEntry(1, 0, 1, 1, 0.0, 0.2, remaining=0.5, rate=0.0)
+        assert math.isinf(e.eta_for_completion())
+
+    def test_eta_when_done(self):
+        e = DownloadEntry(1, 0, 1, 1, 0.0, 0.2, remaining=0.0, rate=0.0)
+        assert e.eta_for_completion() == 0.0
+
+
+class TestUserRecord:
+    def test_times_nan_until_events_happen(self):
+        rec = UserRecord(1, 10.0, 2, (0, 1), "seq")
+        assert math.isnan(rec.total_download_time)
+        assert math.isnan(rec.total_online_time)
+        assert not rec.is_departed
+
+    def test_per_file_times(self):
+        rec = UserRecord(1, 10.0, 2, (0, 1), "seq")
+        rec.downloads_done_time = 110.0
+        rec.departure_time = 150.0
+        assert rec.total_download_time == pytest.approx(100.0)
+        assert rec.download_time_per_file == pytest.approx(50.0)
+        assert rec.online_time_per_file == pytest.approx(70.0)
+        assert rec.is_departed
+
+
+class TestRandomStreams:
+    def test_reproducible(self):
+        a, b = RandomStreams(42), RandomStreams(42)
+        assert a.arrivals.random() == b.arrivals.random()
+        assert a.seeding.random() == b.seeding.random()
+
+    def test_streams_differ_from_each_other(self):
+        s = RandomStreams(42)
+        draws = {name: getattr(s, name).random() for name in
+                 ("arrivals", "classes", "files", "order", "seeding", "misc")}
+        assert len(set(draws.values())) == len(draws)
+
+    def test_different_seeds_differ(self):
+        assert RandomStreams(1).arrivals.random() != RandomStreams(2).arrivals.random()
+
+    def test_common_random_numbers_across_purposes(self):
+        """Consuming one stream must not perturb another (CRN property)."""
+        a = RandomStreams(7)
+        b = RandomStreams(7)
+        a.classes.random(1000)  # burn a different stream
+        np.testing.assert_array_equal(a.arrivals.random(5), b.arrivals.random(5))

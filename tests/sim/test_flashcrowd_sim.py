@@ -1,0 +1,187 @@
+"""Simulator-side flash crowds and seed-lifetime ablations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CMFSDModel, CorrelationModel, PAPER_PARAMETERS, Scheme
+from repro.core.transient import cmfsd_flash_crowd_state, drain_profile
+from repro.sim import ScenarioConfig, build_simulation, run_scenario
+from repro.sim.arrivals import spawn_burst
+from repro.sim.behaviors import BehaviorKind
+from repro.sim import make_behavior
+from repro.sim.system import SimulationSystem
+from repro.sim.swarm import SeedPolicy
+
+K = 4
+PARAMS = PAPER_PARAMETERS.with_(num_files=K)
+
+
+def corr(p=0.9, rate=0.3):
+    return CorrelationModel(num_files=K, p=p, visit_rate=rate)
+
+
+class TestSpawnBurst:
+    def test_burst_size_and_timing(self):
+        system = SimulationSystem(mu=0.02, eta=0.5, gamma=0.05, num_classes=K)
+        system.add_group(tuple(range(K)), SeedPolicy.GLOBAL_POOL)
+        ids = spawn_burst(
+            system, corr(), make_behavior(BehaviorKind.COLLABORATIVE, rho=0.0), 25
+        )
+        assert len(ids) == 25
+        assert all(system.metrics.records[u].arrival_time == 0.0 for u in ids)
+
+    def test_negative_rejected(self):
+        system = SimulationSystem(mu=0.02, eta=0.5, gamma=0.05, num_classes=K)
+        system.add_group(tuple(range(K)), SeedPolicy.GLOBAL_POOL)
+        with pytest.raises(ValueError, match="n_users"):
+            spawn_burst(
+                system, corr(), make_behavior(BehaviorKind.SEQUENTIAL), -1
+            )
+
+
+class TestScenarioBurst:
+    def test_drain_config_validation(self):
+        with pytest.raises(ValueError, match="nothing to simulate"):
+            ScenarioConfig(
+                scheme=Scheme.CMFSD,
+                params=PARAMS,
+                correlation=corr(),
+                arrivals_enabled=False,
+            )
+
+    def test_pure_drain_empties_the_system(self):
+        config = ScenarioConfig(
+            scheme=Scheme.CMFSD,
+            params=PARAMS,
+            correlation=corr(),
+            t_end=4000.0,
+            warmup=0.0,
+            rho=0.0,
+            seed=5,
+            initial_burst=60,
+            arrivals_enabled=False,
+        )
+        summary = run_scenario(config)
+        assert summary.n_users_completed == 60
+
+    @staticmethod
+    def _drain_completions(rho: float, n: int = 150) -> list[float]:
+        config = ScenarioConfig(
+            scheme=Scheme.CMFSD,
+            params=PARAMS,
+            correlation=corr(),
+            t_end=4000.0,
+            warmup=0.0,
+            rho=rho,
+            seed=11,
+            initial_burst=n,
+            arrivals_enabled=False,
+        )
+        summary = run_scenario(config)
+        assert summary.n_users_completed == n
+        # run_scenario already drained everything; re-derive completion
+        # times from a fresh run to get the raw records.
+        system, arrivals = build_simulation(config)
+        for _ in range(n):
+            files = config.correlation.sample_file_set(system.rng.files)
+            system.spawn_user(arrivals.behavior_factory, files)
+        system.run_until(config.t_end)
+        return sorted(
+            rec.downloads_done_time
+            for rec in system.metrics.records.values()
+            if rec.downloads_done_time is not None
+        )
+
+    def test_sim_drain_mean_matches_fluid(self):
+        """Mean burst completion time lands near the Eq.-(5) drain.
+
+        Caveat built into the tolerance: the fluid treats every stage as an
+        exponential holding time (Markovian service) while the simulator
+        has deterministic unit work, so the burst drains in synchronised
+        per-class waves rather than a smooth exponential tail; means agree
+        to ~20%, quantiles are not comparable."""
+        n = 150
+        done_times = self._drain_completions(0.0, n)
+        sim_mean = float(np.mean(done_times))
+
+        fluid_params = PARAMS.with_(download_bandwidth=10 * PARAMS.mu)
+        model = CMFSDModel(params=fluid_params, class_rates=np.zeros(K), rho=0.0)
+        y0 = cmfsd_flash_crowd_state(model, corr(), float(n))
+        profile = drain_profile(
+            model.rhs, y0, slice(0, model.index.n_pairs), horizon=4000.0
+        )
+        # Mean time-in-system = area under the outstanding curve / n.
+        fluid_mean = float(
+            np.trapezoid(profile.outstanding, profile.times) / profile.initial
+        )
+        assert sim_mean == pytest.approx(fluid_mean, rel=0.2)
+
+    def test_collaboration_speeds_the_simulated_drain_too(self):
+        """The Fig.-X3 conclusion holds at the peer level: rho=0 drains the
+        burst strictly faster than rho=1 (no collaboration)."""
+        t_collab = self._drain_completions(0.0)
+        t_selfish = self._drain_completions(1.0)
+        assert t_collab[-1] < t_selfish[-1]
+        assert float(np.mean(t_collab)) < 0.8 * float(np.mean(t_selfish))
+
+    def test_burst_plus_arrivals_compose(self):
+        config = ScenarioConfig(
+            scheme=Scheme.MTSD,
+            params=PARAMS,
+            correlation=corr(rate=0.2),
+            t_end=1200.0,
+            warmup=300.0,
+            seed=2,
+            initial_burst=30,
+        )
+        summary = run_scenario(config)
+        assert summary.n_users_completed > 20
+
+
+class TestSeedLifetimeDistributions:
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError, match="seed_lifetime_distribution"):
+            SimulationSystem(
+                mu=0.02,
+                eta=0.5,
+                gamma=0.05,
+                num_classes=1,
+                seed_lifetime_distribution="pareto",
+            )
+
+    def test_fixed_is_deterministic(self):
+        system = SimulationSystem(
+            mu=0.02, eta=0.5, gamma=0.05, num_classes=1,
+            seed_lifetime_distribution="fixed",
+        )
+        assert system.seed_lifetime() == pytest.approx(20.0)
+        assert system.seed_lifetime() == pytest.approx(20.0)
+
+    def test_uniform_has_right_support_and_mean(self):
+        system = SimulationSystem(
+            mu=0.02, eta=0.5, gamma=0.05, num_classes=1,
+            seed_lifetime_distribution="uniform",
+        )
+        draws = np.array([system.seed_lifetime() for _ in range(2000)])
+        assert np.all((draws >= 0) & (draws <= 40.0))
+        assert float(draws.mean()) == pytest.approx(20.0, rel=0.05)
+
+    @pytest.mark.parametrize("dist", ["exponential", "fixed", "uniform"])
+    def test_fluid_agreement_insensitive_to_distribution(self, dist):
+        """The fluid models use only the mean seeding time; the simulated
+        steady state should agree regardless of the lifetime law."""
+        config = ScenarioConfig(
+            scheme=Scheme.MTSD,
+            params=PARAMS,
+            correlation=corr(p=0.6, rate=0.6),
+            t_end=2000.0,
+            warmup=600.0,
+            seed=13,
+            seed_lifetime_distribution=dist,
+        )
+        summary = run_scenario(config)
+        sim_T = float(np.nanmean(summary.entry_download_time_by_class))
+        assert sim_T == pytest.approx(60.0, rel=0.1)
+        assert summary.avg_online_time_per_file == pytest.approx(80.0, rel=0.1)

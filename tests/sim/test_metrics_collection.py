@@ -1,0 +1,91 @@
+"""Tests for the metrics collector and summary reduction."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.entities import EntrySpan, UserRecord
+from repro.sim.metrics import MetricsCollector, PopulationSample
+
+
+def record(uid, arrival, klass, departed_at=None, done_at=None):
+    rec = UserRecord(uid, arrival, klass, tuple(range(klass)), "test")
+    rec.downloads_done_time = done_at
+    rec.departure_time = departed_at
+    return rec
+
+
+class TestCollector:
+    def test_duplicate_user_rejected(self):
+        mc = MetricsCollector(num_classes=3)
+        mc.new_record(record(1, 0.0, 1))
+        with pytest.raises(ValueError, match="duplicate"):
+            mc.new_record(record(1, 0.0, 1))
+
+    def test_completed_users_filters_window_and_departure(self):
+        mc = MetricsCollector(num_classes=3)
+        mc.new_record(record(1, 50.0, 1, departed_at=100.0, done_at=80.0))
+        mc.new_record(record(2, 5.0, 1, departed_at=50.0, done_at=40.0))  # too early
+        mc.new_record(record(3, 60.0, 1))  # still active
+        users = mc.completed_users(warmup=10.0)
+        assert [u.user_id for u in users] == [1]
+
+
+class TestSummarize:
+    def test_per_class_and_aggregate(self):
+        mc = MetricsCollector(num_classes=2)
+        # Class 1: download 10, online 20.  Class 2: download 30, online 50.
+        mc.new_record(record(1, 0.0, 1, departed_at=20.0, done_at=10.0))
+        mc.new_record(record(2, 0.0, 2, departed_at=50.0, done_at=30.0))
+        s = mc.summarize()
+        assert s.n_users_completed == 2
+        assert s.download_time_per_file_by_class[0] == pytest.approx(10.0)
+        assert s.download_time_per_file_by_class[1] == pytest.approx(15.0)
+        # Aggregate: (20 + 50) / (1 + 2) files.
+        assert s.avg_online_time_per_file == pytest.approx(70.0 / 3.0)
+        assert s.avg_download_time_per_file == pytest.approx(40.0 / 3.0)
+        np.testing.assert_array_equal(s.class_counts, [1, 1])
+
+    def test_empty_classes_are_nan(self):
+        mc = MetricsCollector(num_classes=3)
+        mc.new_record(record(1, 0.0, 1, departed_at=20.0, done_at=10.0))
+        s = mc.summarize()
+        assert math.isnan(s.download_time_per_file_by_class[2])
+
+    def test_no_users_aggregate_nan(self):
+        s = MetricsCollector(num_classes=2).summarize()
+        assert math.isnan(s.avg_online_time_per_file)
+        assert s.n_users_completed == 0
+
+    def test_entry_spans_by_class_respect_window(self):
+        mc = MetricsCollector(num_classes=2)
+        mc.record_span(EntrySpan(1, 0, 2, 1, started_at=5.0, completed_at=30.0))
+        mc.record_span(EntrySpan(1, 1, 2, 2, started_at=100.0, completed_at=180.0))
+        s = mc.summarize(warmup=50.0)
+        assert math.isnan(s.entry_download_time_by_class[0])
+        assert s.entry_download_time_by_class[1] == pytest.approx(80.0)
+
+    def test_population_time_averages(self):
+        mc = MetricsCollector(num_classes=2)
+        for t, d in [(10.0, 2.0), (20.0, 4.0), (30.0, 6.0)]:
+            mc.record_sample(
+                PopulationSample(
+                    time=t,
+                    group_id=0,
+                    file_id=0,
+                    downloaders=np.array([d, 0.0]),
+                    seeds=np.array([1.0, 0.0]),
+                )
+            )
+        s = mc.summarize(warmup=15.0)
+        dl, seeds = s.swarm_population(0, 0)
+        assert dl[0] == pytest.approx(5.0)  # mean of 4 and 6
+        assert seeds[0] == pytest.approx(1.0)
+
+    def test_swarm_population_missing_key(self):
+        s = MetricsCollector(num_classes=1).summarize()
+        with pytest.raises(KeyError):
+            s.swarm_population(0, 0)

@@ -1,0 +1,99 @@
+"""Stateful property test: random users and time advances on the full DES.
+
+A hypothesis machine spawns users with random schemes/files and advances
+the clock by random amounts, checking conservation invariants after every
+step: nobody is lost (every spawned user is active or departed), departed
+users own all their files, progress/capacity bookkeeping stays consistent,
+and after a long quiet period the system fully drains.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.sim import SeedPolicy, SimulationSystem, make_behavior
+from repro.sim.behaviors import BehaviorKind
+
+N_FILES = 3
+KINDS = (
+    (BehaviorKind.CONCURRENT, {}),
+    (BehaviorKind.SEQUENTIAL, {}),
+    (BehaviorKind.COLLABORATIVE, {"rho": 0.3}),
+    (BehaviorKind.BATCHED, {"max_concurrency": 2}),
+)
+
+
+class SystemMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.system = SimulationSystem(
+            mu=0.02, eta=0.5, gamma=0.05, num_classes=N_FILES
+        )
+        self.system.add_group(tuple(range(N_FILES)), SeedPolicy.GLOBAL_POOL)
+        self.spawned: list[int] = []
+
+    @rule(
+        kind_idx=st.integers(0, len(KINDS) - 1),
+        file_mask=st.integers(1, 2**N_FILES - 1),
+    )
+    def spawn_user(self, kind_idx, file_mask):
+        files = tuple(f for f in range(N_FILES) if file_mask & (1 << f))
+        kind, options = KINDS[kind_idx]
+        uid = self.system.spawn_user(make_behavior(kind, **options), files)
+        self.spawned.append(uid)
+
+    @rule(dt=st.floats(0.0, 300.0))
+    def advance_time(self, dt):
+        self.system.run_until(self.system.now + dt)
+
+    # ----- invariants ---------------------------------------------------------------
+
+    @invariant()
+    def nobody_lost(self):
+        for uid in self.spawned:
+            rec = self.system.metrics.records[uid]
+            assert rec.is_departed or uid in self.system.behaviors
+
+    @invariant()
+    def departed_users_own_their_files(self):
+        for uid in self.spawned:
+            rec = self.system.metrics.records[uid]
+            if rec.is_departed:
+                assert set(rec.file_completions) == set(rec.files)
+                assert rec.departure_time >= rec.downloads_done_time
+
+    @invariant()
+    def remaining_work_in_bounds(self):
+        for group in self.system.groups.values():
+            for entry in group.all_entries():
+                assert -1e-9 <= entry.remaining <= 1.0 + 1e-9
+
+    @invariant()
+    def seed_capacity_nonnegative(self):
+        for group in self.system.groups.values():
+            assert group.total_virtual_capacity() >= -1e-12
+            assert group.total_real_capacity() >= -1e-12
+
+    @invariant()
+    def active_entries_belong_to_active_users(self):
+        for group in self.system.groups.values():
+            for entry in group.all_entries():
+                assert entry.user_id in self.system.behaviors
+
+    def teardown(self):
+        # Quiesce: with no further arrivals everything must drain.
+        self.system.run_until(self.system.now + 100_000.0)
+        for uid in self.spawned:
+            assert self.system.metrics.records[uid].is_departed
+        for group in self.system.groups.values():
+            assert group.n_downloaders == 0
+            assert group.total_real_capacity() == 0.0
+            assert group.total_virtual_capacity() == 0.0
+
+
+SystemMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestSystemStateful = SystemMachine.TestCase

@@ -1,0 +1,109 @@
+"""Tests for the event-trace subsystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AdaptPolicy
+from repro.sim import (
+    EventKind,
+    EventTrace,
+    SeedPolicy,
+    SimulationSystem,
+    make_behavior,
+)
+from repro.sim.adapt_runtime import AdaptRuntime
+from repro.sim.behaviors import BehaviorKind
+
+
+def traced_system(n_files=2, **kw):
+    trace = EventTrace()
+    system = SimulationSystem(
+        mu=0.02, eta=0.5, gamma=0.05, num_classes=n_files, trace=trace, **kw
+    )
+    system.add_group(tuple(range(n_files)), SeedPolicy.GLOBAL_POOL)
+    system.seed_lifetime = lambda: 20.0
+    return system, trace
+
+
+class TestEventTrace:
+    def test_record_and_query(self):
+        trace = EventTrace()
+        trace.record(1.0, EventKind.USER_ARRIVED, 1)
+        trace.record(2.0, EventKind.DOWNLOAD_STARTED, 1, 0)
+        trace.record(3.0, EventKind.USER_ARRIVED, 2)
+        assert len(trace) == 3
+        assert [e.user_id for e in trace.for_user(1)] == [1, 1]
+        assert list(trace.of_kind(EventKind.USER_ARRIVED))[1].user_id == 2
+        assert trace.counts()[EventKind.USER_ARRIVED] == 2
+        assert trace.for_file(0)[0].kind is EventKind.DOWNLOAD_STARTED
+
+    def test_capacity_bound_drops_oldest(self):
+        trace = EventTrace(capacity=3)
+        for k in range(5):
+            trace.record(float(k), EventKind.USER_ARRIVED, k)
+        assert len(trace) == 3
+        assert trace.dropped == 2
+        assert trace.events()[0].user_id == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventTrace(capacity=0)
+
+    def test_rows_export(self):
+        trace = EventTrace()
+        trace.record(1.0, EventKind.SEED_ADDED, 1, 0, 0.02)
+        assert trace.to_rows() == [(1.0, "seed_added", 1, 0, 0.02)]
+
+
+class TestSystemTracing:
+    def test_full_lifecycle_sequence(self):
+        system, trace = traced_system()
+        uid = system.spawn_user(
+            make_behavior(BehaviorKind.SEQUENTIAL), (0, 1)
+        )
+        system.run_until(10_000.0)
+        kinds = [e.kind for e in trace.for_user(uid)]
+        assert kinds == [
+            EventKind.USER_ARRIVED,
+            EventKind.DOWNLOAD_STARTED,
+            EventKind.FILE_COMPLETED,
+            EventKind.SEED_ADDED,
+            EventKind.SEED_REMOVED,
+            EventKind.DOWNLOAD_STARTED,
+            EventKind.FILE_COMPLETED,
+            EventKind.SEED_ADDED,
+            EventKind.SEED_REMOVED,
+            EventKind.USER_DEPARTED,
+        ]
+
+    def test_timestamps_monotone(self):
+        system, trace = traced_system()
+        for _ in range(3):
+            system.spawn_user(make_behavior(BehaviorKind.CONCURRENT), (0, 1))
+        system.run_until(10_000.0)
+        times = [e.time for e in trace.events()]
+        assert times == sorted(times)
+
+    def test_rho_changes_traced(self):
+        system, trace = traced_system(n_files=3)
+        policy = AdaptPolicy(
+            phi_increase=0.0, phi_decrease=-1.0, step_increase=0.25, initial_rho=0.0
+        )
+        runtime = AdaptRuntime(system, policy, period=30.0)
+        collab = make_behavior(BehaviorKind.COLLABORATIVE, rho=0.0, adapt=runtime)
+        system.spawn_user(collab, (0, 1, 2))
+
+        def spawn_taker():
+            system.spawn_user(collab, (0,))
+            system.schedule_after(40.0, spawn_taker)
+
+        system.schedule_after(0.0, spawn_taker)
+        system.run_until(400.0)
+        rho_events = list(trace.of_kind(EventKind.RHO_CHANGED))
+        assert rho_events
+        assert all(0.0 <= e.detail <= 1.0 for e in rho_events)
+
+    def test_disabled_by_default(self):
+        system = SimulationSystem(mu=0.02, eta=0.5, gamma=0.05, num_classes=1)
+        assert system.trace is None

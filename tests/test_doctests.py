@@ -1,0 +1,30 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.analysis.littles_law
+import repro.core.advisor
+import repro.core.batched
+import repro.core.correlation
+import repro.core.parameters
+import repro.core.schemes
+
+MODULES = [
+    repro.analysis.littles_law,
+    repro.core.advisor,
+    repro.core.batched,
+    repro.core.correlation,
+    repro.core.parameters,
+    repro.core.schemes,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests collected from {module.__name__}"
