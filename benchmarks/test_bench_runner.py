@@ -1,0 +1,51 @@
+"""Benchmarks: parallel runner speedup and cold-vs-warm cache replay.
+
+Three measurements over a fixed set of moderately heavy experiments:
+
+- serial baseline (``jobs=1``, no cache),
+- process-pool execution (``jobs=4``, no cache) -- the speedup ratio is
+  printed alongside the pytest-benchmark timing,
+- warm-cache replay -- asserts every experiment reports a cache hit and
+  that replay beats cold execution by a wide margin.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.runner import run_experiments
+
+#: heavy enough to amortize pool startup, light enough for a bench run
+BENCH_IDS = ("figure4a", "figure4bc", "sensitivity", "fairness", "lifetime", "flashcrowd")
+
+
+def test_bench_runner_serial(benchmark):
+    summary = run_once(benchmark, run_experiments, BENCH_IDS, jobs=1)
+    assert summary.executed == len(BENCH_IDS)
+    print()
+    print(summary.format_summary())
+
+
+def test_bench_runner_parallel(benchmark):
+    summary = run_once(benchmark, run_experiments, BENCH_IDS, jobs=4)
+    assert summary.executed == len(BENCH_IDS)
+    # wall-clock should beat the summed per-driver time once the pool is warm
+    speedup = summary.driver_seconds / summary.wall_clock
+    print()
+    print(summary.format_summary())
+    print(f"parallel speedup over summed driver time: {speedup:.2f}x")
+
+
+def test_bench_cache_cold_vs_warm(benchmark, tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = run_experiments(BENCH_IDS, jobs=1, cache_dir=cache_dir)
+    assert cold.executed == len(BENCH_IDS)
+    warm = run_once(
+        benchmark, run_experiments, BENCH_IDS, jobs=1, cache_dir=cache_dir
+    )
+    assert warm.cache_hits == len(BENCH_IDS)
+    assert warm.wall_clock < cold.wall_clock
+    print()
+    print(
+        f"cold: {cold.wall_clock:.2f}s, warm replay: {warm.wall_clock:.2f}s "
+        f"({cold.wall_clock / max(warm.wall_clock, 1e-9):.0f}x faster)"
+    )

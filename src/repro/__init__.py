@@ -45,7 +45,7 @@ from repro.core import (
     evaluate_scheme,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptController",

@@ -4,11 +4,16 @@ Subcommands
 -----------
 ``list``
     Show the available experiment ids with descriptions.
-``run <id> [--out DIR]``
+``run <id> [--out DIR] [--jobs N] [--cache/--no-cache] [--force]``
     Execute one experiment end to end; prints its report and writes the
     numeric series to ``<DIR>/<id>.csv`` (default ``results/``).
-``run all [--out DIR]``
-    Execute every registered experiment.
+``run all [--out DIR] [--jobs N] [--cache/--no-cache] [--force]``
+    Execute every registered experiment -- across ``N`` worker processes
+    when ``--jobs N`` is given -- and print a per-experiment telemetry
+    summary (wall-clock, cache hit vs ran).  Unchanged experiments are
+    replayed from the on-disk result cache (``<DIR>/.cache`` unless
+    ``--cache-dir`` overrides it); ``--no-cache`` disables the cache and
+    ``--force`` re-executes but refreshes the stored entries.
 ``params``
     Print Table 1 with the paper's evaluation values.
 ``simulate <scenario.json> [--json]``
@@ -24,7 +29,7 @@ import time
 from pathlib import Path
 
 from repro.core.parameters import PAPER_PARAMETERS, format_table1
-from repro.experiments import get_experiment, list_experiments
+from repro.experiments import list_experiments
 
 __all__ = ["main", "build_parser"]
 
@@ -39,6 +44,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_runner_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for parallel execution (default: 1, serial)",
+        )
+        p.add_argument(
+            "--cache",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="replay unchanged experiments from the result cache "
+            "(default: enabled; --no-cache disables)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="result cache directory (default: <out>/.cache)",
+        )
+        p.add_argument(
+            "--force",
+            action="store_true",
+            help="re-execute even on a cache hit (fresh results still stored)",
+        )
+
     sub.add_parser("list", help="list available experiments")
 
     run_p = sub.add_parser("run", help="run one experiment (or 'all')")
@@ -48,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="results",
         help="directory for CSV output (default: results/)",
     )
+    add_runner_options(run_p)
 
     sub.add_parser("params", help="print Table 1 with the paper's values")
 
@@ -64,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ID",
         help="restrict to these experiment ids",
     )
+    add_runner_options(report_p)
 
     sim_p = sub.add_parser(
         "simulate", help="run the flow-level simulator on a JSON scenario"
@@ -75,17 +109,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(experiment_id: str, out_dir: Path) -> None:
-    driver = get_experiment(experiment_id)
-    started = time.perf_counter()
-    result = driver()
-    elapsed = time.perf_counter() - started
+def _resolve_cache_dir(args) -> Path | None:
+    """Cache directory from CLI flags: ``None`` when caching is off."""
+    if not args.cache:
+        return None
+    if args.cache_dir is not None:
+        return Path(args.cache_dir)
+    return Path(args.out) / ".cache"
+
+
+def _print_outcome(outcome, out_dir: Path) -> None:
+    result = outcome.result
     print(result.rendered)
     csv_path = result.write_csv(out_dir)
     figure_paths = result.write_figures(out_dir)
-    print(f"\n[{experiment_id}] finished in {elapsed:.1f}s; series -> {csv_path}")
+    status = "cache hit" if outcome.cached else f"finished in {outcome.elapsed:.1f}s"
+    print(f"\n[{outcome.experiment_id}] {status}; series -> {csv_path}")
     for path in figure_paths:
-        print(f"[{experiment_id}] figure -> {path}")
+        print(f"[{outcome.experiment_id}] figure -> {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -101,8 +142,16 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.report import generate_report
 
         only = tuple(args.only) if args.only else None
+        cache_dir = _resolve_cache_dir(args)
         try:
-            path = generate_report(args.out, experiment_ids=only)
+            path = generate_report(
+                args.out,
+                experiment_ids=only,
+                jobs=args.jobs,
+                cache_dir=cache_dir,
+                use_cache=cache_dir is not None,
+                force=args.force,
+            )
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
@@ -140,17 +189,35 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 0
     if args.command == "run":
+        from repro.runner import run_experiments
+
         out_dir = Path(args.out)
-        if args.experiment == "all":
-            for eid, _ in list_experiments():
-                print(f"\n{'=' * 72}\n# {eid}\n{'=' * 72}")
-                _run_one(eid, out_dir)
-        else:
-            try:
-                _run_one(args.experiment, out_dir)
-            except KeyError as exc:
-                print(exc.args[0], file=sys.stderr)
-                return 2
+        running_all = args.experiment == "all"
+        ids = (
+            [eid for eid, _ in list_experiments()]
+            if running_all
+            else [args.experiment]
+        )
+        progress = (
+            (lambda line: print(line, flush=True)) if running_all else None
+        )
+        try:
+            summary = run_experiments(
+                ids,
+                jobs=args.jobs,
+                cache_dir=_resolve_cache_dir(args),
+                force=args.force,
+                progress=progress,
+            )
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        for outcome in summary.outcomes:
+            if running_all:
+                print(f"\n{'=' * 72}\n# {outcome.experiment_id}\n{'=' * 72}")
+            _print_outcome(outcome, out_dir)
+        if running_all:
+            print(f"\n{summary.format_summary()}")
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")
 

@@ -19,7 +19,20 @@ validation cross-check: simulator vs fluid predictions for all schemes
 ========== ================================================================
 """
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import (
+    ExperimentResult,
+    FigureBase,
+    FigureSpec,
+    HeatmapSpec,
+)
 from repro.experiments.registry import REGISTRY, get_experiment, list_experiments
 
-__all__ = ["ExperimentResult", "REGISTRY", "get_experiment", "list_experiments"]
+__all__ = [
+    "ExperimentResult",
+    "FigureBase",
+    "FigureSpec",
+    "HeatmapSpec",
+    "REGISTRY",
+    "get_experiment",
+    "list_experiments",
+]

@@ -1,43 +1,160 @@
-"""Shared result containers for experiment drivers."""
+"""Shared result containers for experiment drivers.
+
+``ExperimentResult`` round-trips losslessly to/from plain-JSON dictionaries
+(:meth:`ExperimentResult.to_dict` / :meth:`ExperimentResult.from_dict`) so
+the runner's on-disk cache can replay an experiment without re-executing
+its driver.  Figures share the :class:`FigureBase` root: line charts are
+:class:`FigureSpec`, heat maps :class:`HeatmapSpec`, and both serialize
+with a ``kind`` discriminator.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.analysis.svg_plot import svg_heatmap, write_svg
 from repro.analysis.tables import write_csv
 
-__all__ = ["ExperimentResult", "FigureSpec", "HeatmapSpec"]
+__all__ = [
+    "ExperimentResult",
+    "FigureBase",
+    "FigureSpec",
+    "HeatmapSpec",
+    "figure_from_dict",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert a result payload to JSON-serializable types.
+
+    Tuples become lists, numpy scalars/arrays become python numbers/lists;
+    mappings keep (stringified) keys.  Anything already JSON-native passes
+    through untouched.
+    """
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    # numpy scalars and arrays expose .item()/.tolist(); duck-type so this
+    # module keeps working for pure-python payloads too.
+    item = getattr(value, "item", None)
+    if item is not None and not isinstance(value, (str, bytes)):
+        tolist = getattr(value, "tolist", None)
+        if tolist is not None:
+            converted = tolist()
+            return _jsonable(converted) if isinstance(converted, list) else converted
+        return item()
+    return value
 
 
 @dataclass(frozen=True)
-class FigureSpec:
+class FigureBase:
+    """Common base for renderable figures attached to an experiment result.
+
+    Concrete kinds (:class:`FigureSpec` line charts, :class:`HeatmapSpec`
+    heat maps) subclass this so ``ExperimentResult.figures`` is uniformly
+    typed and :meth:`ExperimentResult.write_figures` / the cache serializer
+    can dispatch on the actual class.
+    """
+
+    name: str
+
+    def to_dict(self) -> dict:  # pragma: no cover - overridden by subclasses
+        raise NotImplementedError("use a concrete figure kind")
+
+
+@dataclass(frozen=True)
+class FigureSpec(FigureBase):
     """One renderable line chart attached to an experiment result.
 
     ``series`` maps legend names to ``(xs, ys)``; drivers attach these so
     the CLI/report can emit browser-viewable SVGs next to the CSVs.
     """
 
-    name: str
-    series: Mapping[str, tuple]
+    series: Mapping[str, tuple] = field(default_factory=dict)
     title: str = ""
     xlabel: str = ""
     ylabel: str = ""
 
+    def to_dict(self) -> dict:
+        return {
+            "kind": "line",
+            "name": self.name,
+            "series": _jsonable(self.series),
+            "title": self.title,
+            "xlabel": self.xlabel,
+            "ylabel": self.ylabel,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FigureSpec":
+        return cls(
+            name=payload["name"],
+            series={
+                label: tuple(tuple(axis) for axis in xy)
+                for label, xy in payload["series"].items()
+            },
+            title=payload.get("title", ""),
+            xlabel=payload.get("xlabel", ""),
+            ylabel=payload.get("ylabel", ""),
+        )
+
 
 @dataclass(frozen=True)
-class HeatmapSpec:
+class HeatmapSpec(FigureBase):
     """One renderable heat map attached to an experiment result."""
 
-    name: str
-    grid: tuple
-    row_labels: tuple
-    col_labels: tuple
+    grid: tuple = ()
+    row_labels: tuple = ()
+    col_labels: tuple = ()
     title: str = ""
     row_name: str = "row"
     col_name: str = "col"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "heatmap",
+            "name": self.name,
+            "grid": _jsonable(self.grid),
+            "row_labels": _jsonable(self.row_labels),
+            "col_labels": _jsonable(self.col_labels),
+            "title": self.title,
+            "row_name": self.row_name,
+            "col_name": self.col_name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "HeatmapSpec":
+        return cls(
+            name=payload["name"],
+            grid=tuple(tuple(row) for row in payload["grid"]),
+            row_labels=tuple(payload["row_labels"]),
+            col_labels=tuple(payload["col_labels"]),
+            title=payload.get("title", ""),
+            row_name=payload.get("row_name", "row"),
+            col_name=payload.get("col_name", "col"),
+        )
+
+
+#: serialized ``kind`` -> concrete figure class
+_FIGURE_KINDS: dict[str, type[FigureBase]] = {
+    "line": FigureSpec,
+    "heatmap": HeatmapSpec,
+}
+
+
+def figure_from_dict(payload: Mapping) -> FigureBase:
+    """Rebuild a figure spec from its serialized form (``kind`` dispatch)."""
+    kind = payload.get("kind")
+    try:
+        cls = _FIGURE_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure kind {kind!r}; expected one of {sorted(_FIGURE_KINDS)}"
+        ) from None
+    return cls.from_dict(payload)  # type: ignore[attr-defined]
 
 
 @dataclass(frozen=True)
@@ -66,7 +183,7 @@ class ExperimentResult:
     rows: tuple[tuple, ...] = field(repr=False)
     rendered: str = field(repr=False, default="")
     notes: str = ""
-    figures: tuple[FigureSpec, ...] = ()
+    figures: tuple[FigureBase, ...] = ()
 
     def write_csv(self, directory: str | Path) -> Path:
         """Write the series to ``<directory>/<experiment_id>.csv``."""
@@ -103,6 +220,36 @@ class ExperimentResult:
                     )
                 )
         return paths
+
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-safe dict (see :meth:`from_dict`)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": _jsonable(self.rows),
+            "rendered": self.rendered,
+            "notes": self.notes,
+            "figures": [fig.to_dict() for fig in self.figures],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExperimentResult":
+        """Rebuild a result serialized with :meth:`to_dict`.
+
+        ``to_dict`` -> ``from_dict`` is lossless for JSON-native payloads;
+        numpy values come back as the equivalent python numbers, which
+        format identically in CSVs and SVGs.
+        """
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            headers=tuple(payload["headers"]),
+            rows=tuple(tuple(row) for row in payload["rows"]),
+            rendered=payload.get("rendered", ""),
+            notes=payload.get("notes", ""),
+            figures=tuple(figure_from_dict(f) for f in payload.get("figures", ())),
+        )
 
     def column(self, name: str) -> list:
         """Extract one column by header name."""

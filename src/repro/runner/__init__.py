@@ -1,0 +1,27 @@
+"""Parallel experiment runner: process-pool execution + result caching.
+
+Public surface:
+
+- :func:`run_experiments` / :func:`run_sweep` -- execute registry
+  experiments (or one driver over a kwargs grid) across a process pool,
+  returning results in deterministic input order with per-task telemetry.
+- :class:`ResultCache` -- content-addressed on-disk cache keyed by
+  ``(experiment_id, kwargs, source digest)``.
+- :func:`source_digest` -- SHA-256 of the repro package's source tree.
+
+The CLI (``repro-bt run all --jobs N``) and ``repro-bt report`` are thin
+wrappers over this package.
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.digest import source_digest
+from repro.runner.executor import RunOutcome, RunSummary, run_experiments, run_sweep
+
+__all__ = [
+    "ResultCache",
+    "RunOutcome",
+    "RunSummary",
+    "run_experiments",
+    "run_sweep",
+    "source_digest",
+]

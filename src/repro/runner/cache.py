@@ -1,0 +1,93 @@
+"""Content-addressed on-disk cache of serialized experiment results.
+
+Layout: ``<cache_dir>/<key[:2]>/<key>.json`` where ``key`` is the SHA-256
+of the canonical JSON of ``(experiment_id, resolved kwargs, source digest
+of the repro package)``.  Entries are immutable -- any change to the
+inputs or to the source tree produces a different key, so stale entries
+are simply never addressed again (prune with ``rm -r <cache_dir>``).
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or concurrent
+run can never leave a half-written entry that a later run would load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Mapping
+
+from repro.experiments.base import ExperimentResult, _jsonable
+from repro.runner.digest import source_digest
+
+__all__ = ["ResultCache"]
+
+#: bump when the serialized entry format changes incompatibly
+_FORMAT_VERSION = 1
+
+
+class ResultCache:
+    """Load/store :class:`ExperimentResult` payloads under content keys."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+
+    def key(
+        self,
+        experiment_id: str,
+        kwargs: Mapping | None = None,
+        *,
+        digest: str | None = None,
+    ) -> str:
+        """Content key for one experiment invocation.
+
+        ``digest`` defaults to the live :func:`source_digest`; tests pass
+        an explicit value to model source-tree changes.
+        """
+        blob = json.dumps(
+            {
+                "experiment_id": experiment_id,
+                "kwargs": _jsonable(dict(kwargs or {})),
+                "source": digest if digest is not None else source_digest(),
+                "version": _FORMAT_VERSION,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of an entry (two-level fan-out by key prefix)."""
+        return self.directory / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> ExperimentResult | None:
+        """Return the cached result for ``key``, or ``None`` on a miss.
+
+        Unreadable or corrupt entries count as misses -- the runner will
+        recompute and overwrite them.
+        """
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("version") != _FORMAT_VERSION:
+                return None
+            return ExperimentResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(self, key: str, result: ExperimentResult) -> Path:
+        """Atomically write ``result`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "version": _FORMAT_VERSION,
+                "experiment_id": result.experiment_id,
+                "result": result.to_dict(),
+            }
+        )
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+        return path

@@ -1,0 +1,42 @@
+"""Source digest of the installed ``repro`` package.
+
+The runner's result cache keys include this digest so editing any module
+under ``src/repro/`` invalidates every cached experiment: a cache entry is
+only replayed when the code that produced it is byte-identical to the code
+that would run now.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from pathlib import Path
+
+import repro
+
+__all__ = ["source_digest", "package_root"]
+
+
+def package_root() -> Path:
+    """Directory of the imported ``repro`` package."""
+    return Path(repro.__file__).resolve().parent
+
+
+@lru_cache(maxsize=None)
+def _digest_of(root: Path) -> str:
+    sha = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        sha.update(str(path.relative_to(root)).encode())
+        sha.update(b"\0")
+        sha.update(path.read_bytes())
+        sha.update(b"\0")
+    return sha.hexdigest()
+
+
+def source_digest() -> str:
+    """SHA-256 over the path and content of every ``.py`` file in ``repro``.
+
+    Cached per package root for the lifetime of the process -- the tree is
+    not expected to change underneath a running invocation.
+    """
+    return _digest_of(package_root())

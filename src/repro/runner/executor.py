@@ -1,0 +1,224 @@
+"""Parallel experiment executor with deterministic result ordering.
+
+``run_experiments`` executes registry experiments across a process pool
+(``jobs > 1``) or inline (``jobs == 1``), consulting an optional
+:class:`~repro.runner.cache.ResultCache` first so unchanged experiments
+replay instantly.  Results always come back in *input* order regardless of
+completion order, and every result -- cached, serial or parallel -- has
+passed through the same JSON round-trip, so the three paths produce
+byte-identical CSVs and SVGs.
+
+``run_sweep`` is the intra-experiment variant: one driver, many kwargs
+dicts, same pooling/caching/ordering guarantees.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import get_experiment
+from repro.runner.cache import ResultCache
+from repro.runner.digest import source_digest
+
+__all__ = ["RunOutcome", "RunSummary", "run_experiments", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Telemetry for one executed (or replayed) experiment invocation."""
+
+    experiment_id: str
+    result: ExperimentResult
+    elapsed: float  #: driver wall-clock seconds (0.0 for a cache hit)
+    cached: bool  #: True when replayed from the result cache
+
+    @property
+    def source(self) -> str:
+        """``"cache"`` or ``"ran"`` -- how this result was obtained."""
+        return "cache" if self.cached else "ran"
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Outcomes of one ``run_experiments``/``run_sweep`` call, in input order."""
+
+    outcomes: tuple[RunOutcome, ...]
+    wall_clock: float  #: end-to-end seconds including pool + cache overhead
+    jobs: int
+
+    @property
+    def results(self) -> tuple[ExperimentResult, ...]:
+        return tuple(o.result for o in self.outcomes)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(o.cached for o in self.outcomes)
+
+    @property
+    def executed(self) -> int:
+        return len(self.outcomes) - self.cache_hits
+
+    @property
+    def driver_seconds(self) -> float:
+        """Summed driver wall-clock -- the work a cold serial run would do."""
+        return sum(o.elapsed for o in self.outcomes)
+
+    def format_summary(self) -> str:
+        """Per-experiment telemetry table for the CLI run summary."""
+        width = max([len(o.experiment_id) for o in self.outcomes] + [10])
+        lines = [f"{'experiment':<{width}}  {'time':>8}  source"]
+        lines.append("-" * (width + 18))
+        for o in self.outcomes:
+            lines.append(f"{o.experiment_id:<{width}}  {o.elapsed:>7.2f}s  {o.source}")
+        lines.append(
+            f"total: {len(self.outcomes)} experiments in {self.wall_clock:.2f}s "
+            f"({self.cache_hits} cache hits, {self.executed} executed, "
+            f"jobs={self.jobs})"
+        )
+        return "\n".join(lines)
+
+
+def _execute(experiment_id: str, kwargs: dict) -> tuple[dict, float]:
+    """Run one driver and return ``(serialized result, elapsed seconds)``.
+
+    Module-level so it pickles into pool workers; returning the serialized
+    dict (not the result object) keeps the parent's deserialization path
+    identical for cached, serial and parallel execution.
+    """
+    driver = get_experiment(experiment_id)
+    started = time.perf_counter()
+    result = driver(**kwargs)
+    return result.to_dict(), time.perf_counter() - started
+
+
+def _run_tasks(
+    tasks: Sequence[tuple[str, dict]],
+    *,
+    jobs: int,
+    cache: ResultCache | None,
+    force: bool,
+    progress: Callable[[str], None] | None,
+) -> tuple[RunOutcome, ...]:
+    """Shared machinery: cache probe, pooled execution, input-order results."""
+
+    def report(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    outcomes: list[RunOutcome | None] = [None] * len(tasks)
+    keys: list[str | None] = [None] * len(tasks)
+    pending: list[int] = []
+    digest = source_digest() if cache is not None else None
+    for i, (eid, kwargs) in enumerate(tasks):
+        if cache is not None:
+            keys[i] = cache.key(eid, kwargs, digest=digest)
+            if not force:
+                hit = cache.load(keys[i])
+                if hit is not None:
+                    outcomes[i] = RunOutcome(eid, hit, 0.0, True)
+                    report(f"[{eid}] cache hit")
+                    continue
+        pending.append(i)
+
+    def settle(i: int, payload: dict, elapsed: float) -> None:
+        result = ExperimentResult.from_dict(payload)
+        if cache is not None:
+            cache.store(keys[i], result)
+        outcomes[i] = RunOutcome(tasks[i][0], result, elapsed, False)
+        report(f"[{tasks[i][0]}] ran in {elapsed:.2f}s")
+
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_execute, tasks[i][0], tasks[i][1]): i for i in pending
+            }
+            for future in as_completed(futures):
+                payload, elapsed = future.result()
+                settle(futures[future], payload, elapsed)
+    else:
+        for i in pending:
+            payload, elapsed = _execute(tasks[i][0], tasks[i][1])
+            settle(i, payload, elapsed)
+
+    assert all(o is not None for o in outcomes)
+    return tuple(outcomes)  # type: ignore[arg-type]
+
+
+def run_experiments(
+    experiment_ids: Iterable[str],
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    force: bool = False,
+    kwargs_map: Mapping[str, Mapping] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> RunSummary:
+    """Execute registry experiments, possibly in parallel, with caching.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Registry ids to run; results come back in this order.
+    jobs:
+        Worker processes.  ``1`` (default) runs inline in this process.
+    cache_dir:
+        Directory of the result cache; ``None`` disables caching entirely.
+    force:
+        Skip cache lookups (re-execute everything) but still store the
+        fresh results.
+    kwargs_map:
+        Optional per-experiment driver kwargs, keyed by experiment id.
+        Kwargs participate in the cache key, so a sweep over different
+        kwargs caches each point separately.
+    progress:
+        Optional callback receiving one status line per experiment as it
+        settles (completion order, not input order).
+
+    Raises ``KeyError`` listing the unknown ids if any id is not
+    registered.
+    """
+    ids = list(experiment_ids)
+    from repro.experiments import registry
+
+    unknown = [e for e in ids if e not in registry.REGISTRY]
+    if unknown:
+        raise KeyError(
+            f"unknown experiments {unknown}; available: {sorted(registry.REGISTRY)}"
+        )
+    resolved = kwargs_map or {}
+    tasks = [(eid, dict(resolved.get(eid, {}))) for eid in ids]
+    started = time.perf_counter()
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    outcomes = _run_tasks(
+        tasks, jobs=jobs, cache=cache, force=force, progress=progress
+    )
+    return RunSummary(outcomes, time.perf_counter() - started, jobs)
+
+
+def run_sweep(
+    experiment_id: str,
+    kwargs_list: Sequence[Mapping],
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    force: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> RunSummary:
+    """Run one experiment driver over many kwargs dicts (a parameter sweep).
+
+    Each ``(experiment_id, kwargs)`` point caches independently; results
+    come back in ``kwargs_list`` order.
+    """
+    get_experiment(experiment_id)  # raise early on unknown ids
+    tasks = [(experiment_id, dict(kwargs)) for kwargs in kwargs_list]
+    started = time.perf_counter()
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    outcomes = _run_tasks(
+        tasks, jobs=jobs, cache=cache, force=force, progress=progress
+    )
+    return RunSummary(outcomes, time.perf_counter() - started, jobs)

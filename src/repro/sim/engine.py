@@ -114,7 +114,10 @@ class Simulator:
         """Fire events up to ``t_end``; return how many fired.
 
         ``max_events`` guards against runaway self-rescheduling loops in
-        user code; exceeding it raises ``RuntimeError``.
+        user code: at most ``max_events`` callbacks fire, and finding an
+        (N+1)-th live event within ``t_end`` raises ``RuntimeError``.  On
+        raise the clock stays at the last fired event's time and
+        :attr:`events_processed` counts exactly the callbacks that ran.
         """
         if t_end < self.now:
             raise ValueError(f"t_end={t_end} is before now={self.now}")
@@ -123,6 +126,10 @@ class Simulator:
             t_next = self.queue.next_time()
             if t_next > t_end:
                 break
+            if max_events is not None and fired >= max_events:
+                raise RuntimeError(
+                    f"exceeded max_events={max_events} before reaching t_end={t_end}"
+                )
             popped = self.queue.pop()
             if popped is None:
                 break
@@ -133,9 +140,5 @@ class Simulator:
             callback()
             fired += 1
             self._events_processed += 1
-            if max_events is not None and fired > max_events:
-                raise RuntimeError(
-                    f"exceeded max_events={max_events} before reaching t_end={t_end}"
-                )
         self.now = t_end
         return fired

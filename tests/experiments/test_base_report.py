@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.base import ExperimentResult, rows_from_columns
+from repro.experiments.base import (
+    ExperimentResult,
+    FigureBase,
+    FigureSpec,
+    HeatmapSpec,
+    figure_from_dict,
+    rows_from_columns,
+)
 from repro.experiments.report import generate_report
 
 
@@ -42,6 +49,114 @@ class TestExperimentResult:
     def test_rows_from_columns_length_mismatch(self):
         with pytest.raises(ValueError, match="differing lengths"):
             rows_from_columns([1, 2], [3])
+
+
+def make_heatmap(**overrides):
+    defaults = dict(
+        name="surface",
+        grid=((1.0, 2.0), (3.0, 4.0)),
+        row_labels=(0.1, 0.2),
+        col_labels=(10.0, 20.0),
+        title="demo surface",
+        row_name="p",
+        col_name="rho",
+    )
+    defaults.update(overrides)
+    return HeatmapSpec(**defaults)
+
+
+class TestFigureHierarchy:
+    def test_both_kinds_share_the_base(self):
+        assert isinstance(FigureSpec(name="f", series={}), FigureBase)
+        assert isinstance(make_heatmap(), FigureBase)
+
+    def test_heatmap_renders_through_write_figures(self, tmp_path):
+        result = make_result(figures=(make_heatmap(),))
+        (path,) = result.write_figures(tmp_path)
+        assert path.name == "demo_surface.svg"
+        text = path.read_text()
+        assert text.startswith("<svg")
+        assert "demo surface" in text
+
+    def test_line_and_heatmap_mix(self, tmp_path):
+        line = FigureSpec(
+            name="curve", series={"a": ((1.0, 2.0), (3.0, 4.0))}, title="curve"
+        )
+        result = make_result(figures=(line, make_heatmap()))
+        paths = result.write_figures(tmp_path)
+        assert [p.name for p in paths] == ["demo_curve.svg", "demo_surface.svg"]
+
+    def test_heatmap_dict_round_trip(self):
+        heat = make_heatmap()
+        rebuilt = figure_from_dict(heat.to_dict())
+        assert isinstance(rebuilt, HeatmapSpec)
+        assert rebuilt == heat
+
+    def test_line_dict_round_trip(self):
+        line = FigureSpec(
+            name="curve",
+            series={"a": ((1.0, 2.0), (3.0, 4.0))},
+            title="t",
+            xlabel="x",
+            ylabel="y",
+        )
+        assert figure_from_dict(line.to_dict()) == line
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown figure kind"):
+            figure_from_dict({"kind": "pie", "name": "n"})
+
+
+class TestSerialization:
+    def test_result_round_trip_is_lossless(self):
+        result = make_result(
+            figures=(
+                FigureSpec(name="curve", series={"a": ((1.0,), (2.0,))}),
+                make_heatmap(),
+            )
+        )
+        rebuilt = ExperimentResult.from_dict(result.to_dict())
+        assert rebuilt == result
+
+    def test_round_trip_through_json_text(self):
+        import json
+
+        result = make_result(figures=(make_heatmap(),))
+        rebuilt = ExperimentResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert rebuilt == result
+
+    def test_numpy_payloads_become_plain_numbers(self):
+        import numpy as np
+
+        result = make_result(
+            rows=tuple(map(tuple, np.array([[1.5, 2.5], [3.5, 4.5]]))),
+            figures=(
+                FigureSpec(
+                    name="curve",
+                    series={"a": (tuple(np.array([1.0])), tuple(np.array([2.0])))},
+                ),
+            ),
+        )
+        payload = result.to_dict()
+        assert payload["rows"] == [[1.5, 2.5], [3.5, 4.5]]
+        assert all(
+            type(v) is float for row in payload["rows"] for v in row
+        )
+        rebuilt = ExperimentResult.from_dict(payload)
+        assert rebuilt.rows == ((1.5, 2.5), (3.5, 4.5))
+
+    def test_round_trip_preserves_csv_bytes(self, tmp_path):
+        import numpy as np
+
+        result = make_result(
+            rows=tuple(map(tuple, np.linspace(0.0, 1.0, 7).reshape(-1, 1) * [1, 3]))
+        )
+        rebuilt = ExperimentResult.from_dict(result.to_dict())
+        a = result.write_csv(tmp_path / "a")
+        b = rebuilt.write_csv(tmp_path / "b")
+        assert a.read_bytes() == b.read_bytes()
 
 
 class TestReport:

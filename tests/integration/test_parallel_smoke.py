@@ -1,0 +1,68 @@
+"""Tier-1 smoke: ``repro-bt run all --jobs 2`` equals the serial path.
+
+The registry is narrowed to fast, deterministic experiments so the smoke
+stays cheap; the worker processes resolve ids against the real registry,
+so the parallel path is exercised end to end through the CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import registry
+
+FAST_IDS = (
+    "table1",
+    "figure2",
+    "figure3",
+    "flashcrowd",
+    "concurrency",
+    "fairness",
+    "lifetime",
+)
+
+
+@pytest.fixture
+def fast_registry(monkeypatch):
+    monkeypatch.setattr(
+        registry,
+        "REGISTRY",
+        {eid: registry.REGISTRY[eid] for eid in FAST_IDS},
+    )
+    return FAST_IDS
+
+
+def test_run_all_jobs2_matches_serial_byte_for_byte(fast_registry, tmp_path, capsys):
+    serial = tmp_path / "serial"
+    parallel = tmp_path / "parallel"
+    assert main(["run", "all", "--out", str(serial), "--no-cache"]) == 0
+    assert main(["run", "all", "--out", str(parallel), "--jobs", "2", "--no-cache"]) == 0
+    capsys.readouterr()
+    for eid in fast_registry:
+        a = (serial / f"{eid}.csv").read_bytes()
+        b = (parallel / f"{eid}.csv").read_bytes()
+        assert a == b, f"{eid}.csv differs between serial and --jobs 2"
+    # figures must match too
+    for svg in sorted(serial.glob("*.svg")):
+        assert svg.read_bytes() == (parallel / svg.name).read_bytes()
+
+
+def test_second_invocation_is_all_cache_hits(fast_registry, tmp_path, capsys):
+    out = tmp_path / "out"
+    assert main(["run", "all", "--out", str(out), "--jobs", "2"]) == 0
+    first = capsys.readouterr().out
+    assert "0 cache hits" in first
+    assert main(["run", "all", "--out", str(out), "--jobs", "2"]) == 0
+    second = capsys.readouterr().out
+    assert f"{len(fast_registry)} cache hits, 0 executed" in second
+    for eid in fast_registry:
+        assert f"[{eid}] cache hit" in second
+
+
+def test_force_reexecutes_despite_warm_cache(fast_registry, tmp_path, capsys):
+    out = tmp_path / "out"
+    assert main(["run", "all", "--out", str(out)]) == 0
+    capsys.readouterr()
+    assert main(["run", "all", "--out", str(out), "--force"]) == 0
+    assert "0 cache hits" in capsys.readouterr().out

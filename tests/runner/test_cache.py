@@ -1,0 +1,100 @@
+"""Cache behavior: hits on identical inputs, misses on any changed input."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.runner import ResultCache, source_digest
+
+
+def make_result(eid="demo"):
+    return ExperimentResult(
+        experiment_id=eid,
+        title="Demo",
+        headers=("a", "b"),
+        rows=((1, 2.0), (3, 4.0)),
+        rendered="rendered",
+        notes="notes",
+    )
+
+
+class TestKeying:
+    def test_hit_on_identical_kwargs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("demo", {"x": 1, "y": [1, 2]}, digest="d0")
+        assert cache.load(key) is None
+        cache.store(key, make_result())
+        again = cache.key("demo", {"y": [1, 2], "x": 1}, digest="d0")
+        assert again == key  # kwarg order is canonicalized away
+        assert cache.load(again) == make_result()
+
+    def test_miss_on_changed_kwargs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = cache.key("demo", {"x": 1}, digest="d0")
+        cache.store(base, make_result())
+        assert cache.load(cache.key("demo", {"x": 2}, digest="d0")) is None
+
+    def test_miss_on_source_digest_change(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("demo", {}, digest="d0")
+        cache.store(key, make_result())
+        assert cache.load(cache.key("demo", {}, digest="d1")) is None
+
+    def test_miss_on_different_experiment_id(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(cache.key("demo", {}, digest="d0"), make_result())
+        assert cache.load(cache.key("other", {}, digest="d0")) is None
+
+    def test_default_digest_is_live_source_digest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.key("demo", {}) == cache.key(
+            "demo", {}, digest=source_digest()
+        )
+
+    def test_numpy_kwargs_are_canonicalized(self, tmp_path):
+        import numpy as np
+
+        cache = ResultCache(tmp_path)
+        assert cache.key("demo", {"p": np.array([0.1, 0.2])}, digest="d") == (
+            cache.key("demo", {"p": [0.1, 0.2]}, digest="d")
+        )
+
+
+class TestStorage:
+    def test_layout_two_level_fanout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("demo", {}, digest="d0")
+        path = cache.store(key, make_result())
+        assert path == tmp_path / key[:2] / f"{key}.json"
+        assert path.exists()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("demo", {}, digest="d0")
+        path = cache.store(key, make_result())
+        path.write_text("{not json")
+        assert cache.load(key) is None
+
+    def test_figures_survive_the_cache(self, tmp_path):
+        from repro.experiments import figure4a
+
+        cache = ResultCache(tmp_path / "cache")
+        result = figure4a.run()
+        key = cache.key("figure4a", {})
+        cache.store(key, result)
+        replayed = cache.load(key)
+        assert replayed is not None
+        fresh = result.write_figures(tmp_path / "fresh")
+        cached = replayed.write_figures(tmp_path / "cached")
+        assert [p.name for p in fresh] == [p.name for p in cached]
+        for a, b in zip(fresh, cached):
+            assert a.read_bytes() == b.read_bytes()
+
+
+class TestSourceDigest:
+    def test_stable_within_process(self):
+        assert source_digest() == source_digest()
+
+    def test_is_hex_sha256(self):
+        digest = source_digest()
+        assert len(digest) == 64
+        int(digest, 16)

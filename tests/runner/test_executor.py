@@ -1,0 +1,118 @@
+"""Executor behavior: ordering, parallel/serial equivalence, cache wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import run_experiments, run_sweep
+from repro.runner import executor as executor_module
+
+FAST_IDS = ["table1", "figure2", "figure3", "concurrency"]
+
+
+class TestRunExperiments:
+    def test_results_in_input_order(self, tmp_path):
+        summary = run_experiments(FAST_IDS, jobs=2)
+        assert [o.experiment_id for o in summary.outcomes] == FAST_IDS
+        assert [r.experiment_id for r in summary.results] == FAST_IDS
+
+    def test_parallel_matches_serial_byte_for_byte(self, tmp_path):
+        serial = run_experiments(FAST_IDS, jobs=1)
+        parallel = run_experiments(FAST_IDS, jobs=3)
+        for a, b in zip(serial.outcomes, parallel.outcomes):
+            pa = a.result.write_csv(tmp_path / "serial")
+            pb = b.result.write_csv(tmp_path / "parallel")
+            assert pa.read_bytes() == pb.read_bytes()
+
+    def test_unknown_id_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown experiments"):
+            run_experiments(["table1", "bogus"])
+
+    def test_cache_hit_on_second_invocation(self, tmp_path):
+        cold = run_experiments(["table1", "figure2"], cache_dir=tmp_path)
+        assert cold.cache_hits == 0 and cold.executed == 2
+        warm = run_experiments(["table1", "figure2"], cache_dir=tmp_path)
+        assert warm.cache_hits == 2 and warm.executed == 0
+        assert [r.to_dict() for r in warm.results] == [
+            r.to_dict() for r in cold.results
+        ]
+
+    def test_kwargs_change_misses_cache(self, tmp_path):
+        run_experiments(
+            ["figure2"],
+            cache_dir=tmp_path,
+            kwargs_map={"figure2": {"p_values": [0.1, 0.5]}},
+        )
+        other = run_experiments(
+            ["figure2"],
+            cache_dir=tmp_path,
+            kwargs_map={"figure2": {"p_values": [0.2, 0.5]}},
+        )
+        assert other.cache_hits == 0
+
+    def test_source_digest_change_misses_cache(self, tmp_path, monkeypatch):
+        run_experiments(["table1"], cache_dir=tmp_path)
+        monkeypatch.setattr(
+            executor_module, "source_digest", lambda: "0" * 64
+        )
+        stale = run_experiments(["table1"], cache_dir=tmp_path)
+        assert stale.cache_hits == 0 and stale.executed == 1
+
+    def test_force_bypasses_lookup_but_refreshes_store(self, tmp_path):
+        run_experiments(["table1"], cache_dir=tmp_path)
+        forced = run_experiments(["table1"], cache_dir=tmp_path, force=True)
+        assert forced.cache_hits == 0 and forced.executed == 1
+        # the forced run refreshed the entry, so a plain run hits again
+        warm = run_experiments(["table1"], cache_dir=tmp_path)
+        assert warm.cache_hits == 1
+
+    def test_no_cache_dir_disables_caching(self):
+        first = run_experiments(["table1"])
+        second = run_experiments(["table1"])
+        assert first.cache_hits == 0 and second.cache_hits == 0
+
+    def test_telemetry_fields(self, tmp_path):
+        summary = run_experiments(["table1", "figure2"], cache_dir=tmp_path)
+        assert summary.jobs == 1
+        assert summary.wall_clock > 0
+        assert all(o.elapsed >= 0 and not o.cached for o in summary.outcomes)
+        assert summary.driver_seconds == pytest.approx(
+            sum(o.elapsed for o in summary.outcomes)
+        )
+        text = summary.format_summary()
+        assert "table1" in text and "ran" in text and "jobs=1" in text
+        warm = run_experiments(["table1", "figure2"], cache_dir=tmp_path)
+        assert "cache" in warm.format_summary()
+        assert all(o.source == "cache" for o in warm.outcomes)
+
+    def test_progress_callback_sees_every_experiment(self, tmp_path):
+        lines: list[str] = []
+        run_experiments(
+            ["table1", "figure2"], cache_dir=tmp_path, progress=lines.append
+        )
+        assert sorted(line.split("]")[0] for line in lines) == [
+            "[figure2",
+            "[table1",
+        ]
+        lines.clear()
+        run_experiments(
+            ["table1", "figure2"], cache_dir=tmp_path, progress=lines.append
+        )
+        assert all("cache hit" in line for line in lines)
+
+
+class TestRunSweep:
+    def test_sweep_orders_and_caches_per_point(self, tmp_path):
+        grid = [{"p_values": [0.1, 0.4]}, {"p_values": [0.2, 0.4]}]
+        sweep = run_sweep("figure2", grid, jobs=2, cache_dir=tmp_path)
+        assert [o.result.rows[0][0] for o in sweep.outcomes] == [0.1, 0.2]
+        warm = run_sweep("figure2", grid, cache_dir=tmp_path)
+        assert warm.cache_hits == 2
+        partial = run_sweep(
+            "figure2", grid + [{"p_values": [0.3, 0.4]}], cache_dir=tmp_path
+        )
+        assert partial.cache_hits == 2 and partial.executed == 1
+
+    def test_sweep_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_sweep("bogus", [{}])

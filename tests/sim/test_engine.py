@@ -114,6 +114,47 @@ class TestSimulator:
         with pytest.raises(RuntimeError, match="max_events"):
             sim.run_until(1e9, max_events=100)
 
+    def test_max_events_exact_boundary_does_not_raise(self):
+        # Exactly N events within t_end must fire without tripping the guard.
+        sim = Simulator()
+        fired = []
+        for k in range(5):
+            sim.schedule_at(float(k), lambda k=k: fired.append(k))
+        assert sim.run_until(10.0, max_events=5) == 5
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.now == 10.0
+
+    def test_max_events_fires_at_most_n(self):
+        # N+1 pending events with max_events=N: exactly N callbacks run.
+        sim = Simulator()
+        fired = []
+        for k in range(6):
+            sim.schedule_at(float(k), lambda k=k: fired.append(k))
+        with pytest.raises(RuntimeError, match="max_events=5"):
+            sim.run_until(10.0, max_events=5)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_max_events_raise_keeps_clock_and_counter_consistent(self):
+        sim = Simulator()
+        for k in range(4):
+            sim.schedule_at(float(k), lambda: None)
+        with pytest.raises(RuntimeError, match="max_events"):
+            sim.run_until(10.0, max_events=2)
+        # Clock sits at the last fired event, not t_end, and the counter
+        # reflects exactly the callbacks that ran.
+        assert sim.now == 1.0
+        assert sim.events_processed == 2
+        # The surviving events are still runnable afterwards.
+        assert sim.run_until(10.0) == 2
+        assert sim.events_processed == 4
+
+    def test_max_events_zero(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        with pytest.raises(RuntimeError, match="max_events=0"):
+            sim.run_until(10.0, max_events=0)
+        assert sim.events_processed == 0
+
     def test_events_processed_counter(self):
         sim = Simulator()
         for k in range(3):
