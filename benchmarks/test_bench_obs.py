@@ -1,0 +1,73 @@
+"""Observability overhead benchmark: profiled vs. un-profiled hot paths.
+
+The obs layer promises that un-profiled runs pay essentially nothing (the
+null-instrument fast path) and that full capture stays cheap enough to leave
+on for whole experiment fleets.  This bench times both modes over the two
+hottest consumers -- the adaptive solver and the event loop -- and asserts
+the instrumented run actually recorded what it claims to record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import capture
+from repro.ode import integrate_rk45
+from repro.sim import Simulator
+
+N_SOLVES = 50
+N_EVENTS = 20_000
+
+
+def _solve_batch() -> int:
+    total = 0
+    for k in range(N_SOLVES):
+        res = integrate_rk45(
+            lambda t, y: -y, np.ones(4), (0.0, 5.0 + 0.1 * k), rtol=1e-8
+        )
+        total += res.n_steps
+    return total
+
+
+def _event_batch() -> int:
+    sim = Simulator()
+
+    def tick(k: int) -> None:
+        if k + 1 < N_EVENTS:
+            sim.schedule_after(1.0, lambda: tick(k + 1))
+
+    sim.schedule_at(1.0, lambda: tick(0))
+    return sim.run_until(float(N_EVENTS + 1))
+
+
+@pytest.mark.parametrize("profiled", [False, True], ids=["plain", "profiled"])
+def test_bench_solver_instrumentation_overhead(benchmark, profiled):
+    def run():
+        if not profiled:
+            return _solve_batch(), None
+        with capture() as obs:
+            steps = _solve_batch()
+        return steps, obs
+
+    steps, obs = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert steps > 0
+    if profiled:
+        assert obs.registry.counters["ode.rk45.solves"] == N_SOLVES
+        assert obs.registry.histograms["ode.rk45.step_size"].count == steps
+
+
+@pytest.mark.parametrize("profiled", [False, True], ids=["plain", "profiled"])
+def test_bench_simulator_instrumentation_overhead(benchmark, profiled):
+    def run():
+        if not profiled:
+            return _event_batch(), None
+        with capture() as obs:
+            fired = _event_batch()
+        return fired, obs
+
+    fired, obs = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert fired == N_EVENTS
+    if profiled:
+        assert obs.registry.counters["sim.events"] == N_EVENTS
+        assert obs.registry.histograms["sim.queue_depth"].count == N_EVENTS

@@ -30,6 +30,7 @@ from repro.core import (
     CMFSDSteadyState,
     ClassMetrics,
     CorrelationModel,
+    FluidModel,
     FluidParameters,
     HeterogeneousModel,
     MFCDModel,
@@ -41,11 +42,12 @@ from repro.core import (
     SingleTorrentModel,
     SystemMetrics,
     adapt_fixed_point,
+    build_model,
     compare_schemes,
     evaluate_scheme,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdaptController",
@@ -55,6 +57,7 @@ __all__ = [
     "CMFSDSteadyState",
     "ClassMetrics",
     "CorrelationModel",
+    "FluidModel",
     "FluidParameters",
     "HeterogeneousModel",
     "MFCDModel",
@@ -66,6 +69,7 @@ __all__ = [
     "SingleTorrentModel",
     "SystemMetrics",
     "adapt_fixed_point",
+    "build_model",
     "compare_schemes",
     "evaluate_scheme",
     "__version__",

@@ -20,6 +20,7 @@ from repro.analysis.stats import SummaryStats, batch_means_ci, jain_fairness, su
 from repro.analysis.timeseries import mser_truncation, time_average, trim_warmup
 from repro.analysis.tables import format_table, write_csv
 from repro.analysis.ascii_plot import ascii_heatmap, ascii_plot
+from repro.analysis.obs_format import format_metrics_table
 from repro.analysis.svg_plot import svg_line_chart, write_svg
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "time_average",
     "trim_warmup",
     "format_table",
+    "format_metrics_table",
     "write_csv",
     "ascii_heatmap",
     "ascii_plot",

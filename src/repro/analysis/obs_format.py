@@ -1,0 +1,102 @@
+"""Render a :class:`repro.obs.MetricsRegistry` as aligned text tables.
+
+This is what ``repro run all --profile`` prints on stderr: one table per
+metric kind (counters, gauges, histograms) plus a short derived section
+(events/sec, RHS evals/sec and similar rates that need two raw metrics).
+Everything is plain text via :func:`repro.analysis.tables.format_table`, so
+the output pastes cleanly into issues and commit messages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.analysis.tables import format_table
+from repro.obs import MetricsRegistry
+
+__all__ = ["format_metrics_table"]
+
+
+def _fmt_count(value: float) -> object:
+    """Integers print as integers; everything else defers to the table."""
+    return int(value) if float(value).is_integer() else value
+
+
+def _derived_rows(reg: MetricsRegistry) -> list[list[object]]:
+    """Rates that combine two raw metrics; only rows whose inputs exist."""
+    rows: list[list[object]] = []
+    sim_events = reg.counters.get("sim.events")
+    sim_secs = reg.histograms.get("sim.run_until_seconds")
+    if sim_events and sim_secs is not None and sim_secs.total > 0:
+        rows.append(["sim.events_per_sec", sim_events / sim_secs.total])
+    rhs_evals = reg.counters.get("ode.rhs_evals")
+    driver_secs = reg.gauges.get("runner.driver_seconds")
+    if rhs_evals and driver_secs:
+        rows.append(["ode.rhs_evals_per_driver_sec", rhs_evals / driver_secs])
+    hits = reg.counters.get("runner.cache.hits", 0.0)
+    misses = reg.counters.get("runner.cache.misses", 0.0)
+    if hits + misses > 0:
+        rows.append(["runner.cache.hit_rate", hits / (hits + misses)])
+    return rows
+
+
+def format_metrics_table(
+    registry: MetricsRegistry | Mapping, *, title: str = "metrics"
+) -> str:
+    """Render the registry's counters, gauges and histograms as text tables.
+
+    Accepts a live registry or its :meth:`~repro.obs.MetricsRegistry.to_dict`
+    snapshot.  Sections with no entries are omitted; an entirely empty
+    registry renders as a one-line placeholder.
+    """
+    if isinstance(registry, Mapping):
+        registry = MetricsRegistry.from_dict(registry)
+
+    sections: list[str] = []
+    if registry.counters:
+        sections.append(
+            format_table(
+                ["counter", "total"],
+                [
+                    [name, _fmt_count(value)]
+                    for name, value in sorted(registry.counters.items())
+                ],
+                title=f"{title}: counters",
+            )
+        )
+    if registry.gauges:
+        sections.append(
+            format_table(
+                ["gauge", "value"],
+                [[name, value] for name, value in sorted(registry.gauges.items())],
+                title=f"{title}: gauges",
+            )
+        )
+    if registry.histograms:
+        sections.append(
+            format_table(
+                ["histogram", "count", "mean", "min", "max", "total"],
+                [
+                    [
+                        name,
+                        h.count,
+                        h.mean,
+                        h.min if h.count else math.nan,
+                        h.max if h.count else math.nan,
+                        h.total,
+                    ]
+                    for name, h in sorted(registry.histograms.items())
+                ],
+                precision=6,
+                title=f"{title}: histograms (timers in seconds)",
+            )
+        )
+    derived = _derived_rows(registry)
+    if derived:
+        sections.append(
+            format_table(["derived", "value"], derived, title=f"{title}: derived")
+        )
+    if not sections:
+        return f"{title}: (no metrics recorded)"
+    return "\n\n".join(sections)

@@ -13,7 +13,10 @@ Subcommands
     summary (wall-clock, cache hit vs ran).  Unchanged experiments are
     replayed from the on-disk result cache (``<DIR>/.cache`` unless
     ``--cache-dir`` overrides it); ``--no-cache`` disables the cache and
-    ``--force`` re-executes but refreshes the stored entries.
+    ``--force`` re-executes but refreshes the stored entries.  ``--profile``
+    prints a solver/simulator/runner metrics table on stderr and ``--trace
+    PATH`` writes a Chrome/Perfetto trace timeline of the fleet; neither
+    changes the CSV/SVG outputs by a single byte.
 ``params``
     Print Table 1 with the paper's evaluation values.
 ``simulate <scenario.json> [--json]``
@@ -26,12 +29,41 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.core.parameters import PAPER_PARAMETERS, format_table1
 from repro.experiments import list_experiments
 
 __all__ = ["main", "build_parser"]
+
+
+@contextmanager
+def _observing(args):
+    """Run the enclosed command under ``--profile``/``--trace`` observability.
+
+    Installs a metrics registry and/or tracer for the block, then prints the
+    metrics table on stderr and writes the trace JSON on clean exit.  With
+    neither flag this is a no-op, so un-profiled runs stay on the zero-cost
+    null instruments.
+    """
+    profile = getattr(args, "profile", False)
+    trace = getattr(args, "trace", None)
+    if not profile and trace is None:
+        yield
+        return
+    from repro.analysis import format_metrics_table
+    from repro.obs import MetricsRegistry, Tracer, use_registry, use_tracer
+
+    registry = MetricsRegistry() if profile else None
+    tracer = Tracer() if trace is not None else None
+    with use_registry(registry), use_tracer(tracer):
+        yield
+    if registry is not None:
+        print(format_metrics_table(registry, title="profile"), file=sys.stderr)
+    if tracer is not None:
+        path = tracer.write(trace)
+        print(f"[trace] {len(tracer.events)} events -> {path}", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +101,19 @@ def build_parser() -> argparse.ArgumentParser:
             "--force",
             action="store_true",
             help="re-execute even on a cache hit (fresh results still stored)",
+        )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="collect solver/simulator/runner metrics and print the "
+            "table on stderr (outputs stay byte-identical)",
+        )
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="write a Chrome/Perfetto trace JSON of the run to PATH "
+            "(load it at chrome://tracing or ui.perfetto.dev)",
         )
 
     sub.add_parser("list", help="list available experiments")
@@ -144,14 +189,15 @@ def main(argv: list[str] | None = None) -> int:
         only = tuple(args.only) if args.only else None
         cache_dir = _resolve_cache_dir(args)
         try:
-            path = generate_report(
-                args.out,
-                experiment_ids=only,
-                jobs=args.jobs,
-                cache_dir=cache_dir,
-                use_cache=cache_dir is not None,
-                force=args.force,
-            )
+            with _observing(args):
+                path = generate_report(
+                    args.out,
+                    experiment_ids=only,
+                    jobs=args.jobs,
+                    cache_dir=cache_dir,
+                    use_cache=cache_dir is not None,
+                    force=args.force,
+                )
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
@@ -202,13 +248,14 @@ def main(argv: list[str] | None = None) -> int:
             (lambda line: print(line, flush=True)) if running_all else None
         )
         try:
-            summary = run_experiments(
-                ids,
-                jobs=args.jobs,
-                cache_dir=_resolve_cache_dir(args),
-                force=args.force,
-                progress=progress,
-            )
+            with _observing(args):
+                summary = run_experiments(
+                    ids,
+                    jobs=args.jobs,
+                    cache_dir=_resolve_cache_dir(args),
+                    force=args.force,
+                    progress=progress,
+                )
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2

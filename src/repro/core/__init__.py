@@ -34,7 +34,13 @@ from repro.core.mtsd import MTSDModel
 from repro.core.mfcd import MFCDModel
 from repro.core.cmfsd import CMFSDModel, CMFSDSteadyState, StateIndex
 from repro.core.adapt import AdaptController, AdaptPolicy, AdaptTrace, adapt_fixed_point
-from repro.core.schemes import Scheme, compare_schemes, evaluate_scheme
+from repro.core.schemes import (
+    FluidModel,
+    Scheme,
+    build_model,
+    compare_schemes,
+    evaluate_scheme,
+)
 from repro.core.transient import (
     DrainProfile,
     cmfsd_flash_crowd_state,
@@ -72,7 +78,9 @@ __all__ = [
     "AdaptPolicy",
     "AdaptTrace",
     "adapt_fixed_point",
+    "FluidModel",
     "Scheme",
+    "build_model",
     "compare_schemes",
     "evaluate_scheme",
     "DrainProfile",

@@ -79,6 +79,21 @@ class MFCDModel:
         """Eq. (2) populations of one subtorrent."""
         return self.as_mtcd().steady_state()
 
+    # ----- FluidModel protocol (ODE view) -------------------------------------
+
+    @property
+    def state_dim(self) -> int:
+        """One subtorrent's state ``[x_1..x_K, y_1..y_K]`` (via MTCD)."""
+        return self.as_mtcd().state_dim
+
+    def rhs(self, t: float, state: np.ndarray) -> np.ndarray:
+        """Eq. (1) dynamics of one subtorrent (files are virtual torrents)."""
+        return self.as_mtcd().rhs(t, state)
+
+    def steady_state(self) -> MTCDSteadyState:
+        """Per-subtorrent operating point (alias of :meth:`subtorrent_steady_state`)."""
+        return self.subtorrent_steady_state()
+
     def download_time_per_file(self) -> float:
         """The constant per-file download time ``c`` (same as MTCD)."""
         return self.as_mtcd().download_time_per_file()

@@ -73,6 +73,27 @@ class MTSDModel:
         p = self.params
         return (p.gamma - p.mu) / (p.gamma * p.mu * p.eta)
 
+    # ----- FluidModel protocol (ODE view) -------------------------------------
+
+    @property
+    def state_dim(self) -> int:
+        """One torrent under MTSD is a single-torrent system: ``[x, y]``."""
+        return self._as_single_torrent().state_dim
+
+    def rhs(self, t: float, state: np.ndarray) -> np.ndarray:
+        """Eq. (3) dynamics of one torrent at the MTSD effective entry rate."""
+        return self._as_single_torrent().rhs(t, state)
+
+    def steady_state(self) -> SingleTorrentSteadyState:
+        """Per-torrent operating point (alias of :meth:`torrent_steady_state`)."""
+        return self.torrent_steady_state()
+
+    def _as_single_torrent(self) -> SingleTorrentModel:
+        """The Eq.-(3) model of one torrent under MTSD traffic."""
+        i = np.arange(1, self.params.num_files + 1, dtype=float)
+        torrent_rate = float(np.sum(i * self.class_rates)) / self.params.num_files
+        return SingleTorrentModel(self.params, torrent_rate)
+
     def torrent_steady_state(self) -> SingleTorrentSteadyState:
         """Populations of one torrent under MTSD traffic.
 
@@ -80,9 +101,7 @@ class MTSDModel:
         torrent's effective entry rate is ``sum_i lambda_j^i =
         sum_i i*lambda_i / K`` and Eq. (3) applies directly.
         """
-        i = np.arange(1, self.params.num_files + 1, dtype=float)
-        torrent_rate = float(np.sum(i * self.class_rates)) / self.params.num_files
-        return SingleTorrentModel(self.params, torrent_rate).steady_state()
+        return self._as_single_torrent().steady_state()
 
     def class_metrics(self, i: int) -> ClassMetrics:
         """Eq. (4): ``T_i = i*(T + 1/gamma)``."""

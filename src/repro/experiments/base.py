@@ -175,6 +175,12 @@ class ExperimentResult:
         the CLI.
     notes:
         Caveats and expected-shape commentary recorded alongside the data.
+    obs:
+        Optional observability snapshot (a
+        :meth:`repro.obs.MetricsRegistry.to_dict` payload) captured while
+        the driver ran under profiling.  ``None`` for un-profiled runs;
+        never part of the CSV/figure outputs, so enabling profiling leaves
+        those bytes untouched.
     """
 
     experiment_id: str
@@ -184,6 +190,7 @@ class ExperimentResult:
     rendered: str = field(repr=False, default="")
     notes: str = ""
     figures: tuple[FigureBase, ...] = ()
+    obs: Mapping | None = field(repr=False, compare=False, default=None)
 
     def write_csv(self, directory: str | Path) -> Path:
         """Write the series to ``<directory>/<experiment_id>.csv``."""
@@ -223,7 +230,7 @@ class ExperimentResult:
 
     def to_dict(self) -> dict:
         """Serialize to a JSON-safe dict (see :meth:`from_dict`)."""
-        return {
+        payload = {
             "experiment_id": self.experiment_id,
             "title": self.title,
             "headers": list(self.headers),
@@ -232,6 +239,11 @@ class ExperimentResult:
             "notes": self.notes,
             "figures": [fig.to_dict() for fig in self.figures],
         }
+        # Omitted (not null) when absent so un-profiled payloads keep their
+        # pre-obs shape byte-for-byte.
+        if self.obs is not None:
+            payload["obs"] = _jsonable(self.obs)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "ExperimentResult":
@@ -249,6 +261,7 @@ class ExperimentResult:
             rendered=payload.get("rendered", ""),
             notes=payload.get("notes", ""),
             figures=tuple(figure_from_dict(f) for f in payload.get("figures", ())),
+            obs=payload.get("obs"),
         )
 
     def column(self, name: str) -> list:

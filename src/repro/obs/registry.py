@@ -1,0 +1,247 @@
+"""Process-local metrics registry: counters, gauges, histograms, timers.
+
+The registry is deliberately tiny and dependency-free.  Instrumented code
+asks for the *current* registry (:func:`current_registry`) and records into
+it; when no registry is installed the shared :data:`NULL_REGISTRY` is
+returned, whose methods are no-ops, so un-profiled runs pay essentially
+nothing.  Hot loops can additionally check :attr:`MetricsRegistry.enabled`
+once and skip per-iteration bookkeeping entirely.
+
+Registries serialize to plain-JSON dicts (:meth:`MetricsRegistry.to_dict` /
+:meth:`MetricsRegistry.from_dict`) and merge associatively
+(:meth:`MetricsRegistry.merge`), which is how the parallel runner folds the
+per-worker registries of a process pool back into the parent: counters and
+histograms add, gauges take the incoming value.
+
+>>> reg = MetricsRegistry()
+>>> with use_registry(reg):
+...     current_registry().inc("demo.count", 2)
+...     current_registry().observe("demo.value", 1.5)
+>>> reg.counters["demo.count"]
+2.0
+>>> current_registry() is NULL_REGISTRY   # nothing installed outside the block
+True
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = [
+    "HistogramSummary",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "current_registry",
+    "use_registry",
+]
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of an observed distribution (no sample storage)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "HistogramSummary") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "HistogramSummary":
+        count = int(payload["count"])
+        return cls(
+            count=count,
+            total=float(payload["total"]),
+            min=float(payload["min"]) if payload.get("min") is not None else math.inf,
+            max=float(payload["max"]) if payload.get("max") is not None else -math.inf,
+        )
+
+
+class _NullTimer:
+    """Reusable no-op context manager handed out by the null registry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _Timer:
+    """Context manager recording its elapsed seconds into a histogram."""
+
+    __slots__ = ("_registry", "_name", "_started")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._registry.observe(self._name, time.perf_counter() - self._started)
+
+
+@dataclass
+class MetricsRegistry:
+    """Mutable bag of named counters, gauges and histograms.
+
+    Metric names are free-form dotted strings (``"ode.rk45.rhs_evals"``);
+    the instrumented modules document theirs in ``docs/API.md``.  Timers
+    are histograms of seconds recorded via :meth:`time`.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramSummary] = field(default_factory=dict)
+
+    #: False only on :data:`NULL_REGISTRY`; hot loops branch on this once.
+    enabled: bool = True
+
+    # ----- recording ----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = HistogramSummary()
+        hist.observe(float(value))
+
+    def time(self, name: str) -> _Timer:
+        """Context manager recording elapsed seconds into histogram ``name``."""
+        return _Timer(self, name)
+
+    # ----- aggregation --------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry | Mapping") -> None:
+        """Fold another registry (or its :meth:`to_dict` form) into this one.
+
+        Counters and histograms accumulate; gauges take the incoming value.
+        Merging is associative, so worker registries can be folded in any
+        completion order with the same final totals.
+        """
+        if isinstance(other, Mapping):
+            other = MetricsRegistry.from_dict(other)
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        self.gauges.update(other.gauges)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = HistogramSummary(
+                    hist.count, hist.total, hist.min, hist.max
+                )
+            else:
+                mine.merge(hist)
+
+    # ----- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON snapshot (see :meth:`from_dict`)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "MetricsRegistry":
+        return cls(
+            counters={k: float(v) for k, v in payload.get("counters", {}).items()},
+            gauges={k: float(v) for k, v in payload.get("gauges", {}).items()},
+            histograms={
+                k: HistogramSummary.from_dict(h)
+                for k, h in payload.get("histograms", {}).items()
+            },
+        )
+
+
+class _NullRegistry(MetricsRegistry):
+    """Shared default registry whose recording methods do nothing."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def time(self, name: str) -> _NullTimer:  # type: ignore[override]
+        return _NULL_TIMER
+
+
+#: the registry instrumented code sees when none is installed
+NULL_REGISTRY = _NullRegistry()
+
+_ACTIVE: MetricsRegistry | None = None
+
+
+def current_registry() -> MetricsRegistry:
+    """The installed registry, or :data:`NULL_REGISTRY` when profiling is off."""
+    return _ACTIVE if _ACTIVE is not None else NULL_REGISTRY
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the process-local current registry.
+
+    ``None`` re-installs the no-op default (useful for nesting tests).
+    Restores the previous registry on exit, so scopes nest cleanly.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    try:
+        yield registry if registry is not None else NULL_REGISTRY
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,205 @@
+"""Span tracer exporting Chrome ``chrome://tracing`` / Perfetto JSON.
+
+Spans are recorded as *complete* events (``"ph": "X"``) in the Trace Event
+Format: ``{name, cat, ph, ts, dur, pid, tid, args}`` with timestamps in
+microseconds.  ``ts`` comes from the wall clock (``time.time``) so events
+recorded in different worker processes line up on one timeline; ``dur``
+comes from ``time.perf_counter`` so short spans are measured accurately.
+
+Like the metrics registry, the tracer follows the current/null pattern:
+:func:`current_tracer` returns the installed tracer or the shared no-op
+:data:`NULL_TRACER`, so instrumentation costs nothing when tracing is off.
+
+>>> tracer = Tracer()
+>>> with use_tracer(tracer):
+...     with current_tracer().span("demo", category="test", n=3):
+...         pass
+>>> event = tracer.events[0]
+>>> event["name"], event["ph"], event["args"]["n"]
+('demo', 'X', 3)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+__all__ = [
+    "NULL_TRACER",
+    "Tracer",
+    "current_tracer",
+    "use_tracer",
+    "validate_chrome_trace",
+]
+
+
+class _Span:
+    """Context manager appending one complete ("ph": "X") event on exit."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_args", "_ts", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, args: dict):
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        self._ts = time.time() * 1e6
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        dur = (time.perf_counter() - self._t0) * 1e6
+        self._tracer.events.append(
+            {
+                "name": self._name,
+                "cat": self._category,
+                "ph": "X",
+                "ts": self._ts,
+                "dur": dur,
+                "pid": os.getpid(),
+                "tid": threading.get_ident() % 2**31,
+                "args": self._args,
+            }
+        )
+
+
+class _NullSpan:
+    """Reusable no-op span handed out by the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects trace events; exports the Chrome Trace Event JSON format."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    #: False only on :data:`NULL_TRACER`; hot paths branch on this once.
+    enabled: bool = True
+
+    def span(self, name: str, *, category: str = "repro", **args) -> _Span:
+        """Context manager recording a complete event around its body.
+
+        Keyword arguments become the event's ``args`` payload and must be
+        JSON-serializable.
+        """
+        return _Span(self, name, category, args)
+
+    def instant(self, name: str, *, category: str = "repro", **args) -> None:
+        """Record a zero-duration instant event (``"ph": "i"``)."""
+        self.events.append(
+            {
+                "name": name,
+                "cat": category,
+                "ph": "i",
+                "ts": time.time() * 1e6,
+                "s": "p",  # process-scoped instant
+                "pid": os.getpid(),
+                "tid": threading.get_ident() % 2**31,
+                "args": args,
+            }
+        )
+
+    def extend(self, events: Sequence[Mapping]) -> None:
+        """Absorb events recorded elsewhere (e.g. in a pool worker)."""
+        self.events.extend(dict(e) for e in events)
+
+    def to_chrome_trace(self) -> dict:
+        """The JSON object ``chrome://tracing`` / Perfetto loads directly."""
+        return {
+            "traceEvents": sorted(self.events, key=lambda e: e["ts"]),
+            "displayTimeUnit": "ms",
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Write the trace JSON to ``path``; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome_trace()))
+        return path
+
+
+class _NullTracer(Tracer):
+    """Shared default tracer whose recording methods do nothing."""
+
+    enabled = False
+
+    def span(self, name: str, *, category: str = "repro", **args) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def instant(self, name: str, *, category: str = "repro", **args) -> None:
+        return None
+
+    def extend(self, events: Sequence[Mapping]) -> None:
+        return None
+
+
+#: the tracer instrumented code sees when none is installed
+NULL_TRACER = _NullTracer()
+
+_ACTIVE: Tracer | None = None
+
+
+def current_tracer() -> Tracer:
+    """The installed tracer, or :data:`NULL_TRACER` when tracing is off."""
+    return _ACTIVE if _ACTIVE is not None else NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | None) -> Iterator[Tracer]:
+    """Install ``tracer`` as the process-local current tracer (nestable)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer if tracer is not None else NULL_TRACER
+    finally:
+        _ACTIVE = previous
+
+
+#: phases of the Trace Event Format that this exporter emits
+_KNOWN_PHASES = {"X", "i"}
+
+
+def validate_chrome_trace(payload: Mapping) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid Chrome trace object.
+
+    Checks the subset of the Trace Event Format that this module emits:
+    a ``traceEvents`` list whose entries carry the required keys with the
+    right types (``X`` events additionally need a nonnegative ``dur``).
+    Used by the test-suite and handy for sanity-checking merged traces.
+    """
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must have a 'traceEvents' list")
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event {i} missing required key {key!r}")
+        if event["ph"] not in _KNOWN_PHASES:
+            raise ValueError(f"event {i} has unknown phase {event['ph']!r}")
+        if not isinstance(event["ts"], (int, float)):
+            raise ValueError(f"event {i} ts must be a number")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {i} ('X') needs a nonnegative 'dur'")
+        if "args" in event and not isinstance(event["args"], Mapping):
+            raise ValueError(f"event {i} args must be a mapping")

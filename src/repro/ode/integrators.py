@@ -19,11 +19,32 @@ from typing import Callable, Sequence
 import numpy as np
 from scipy.integrate import solve_ivp
 
+from repro.obs import current_registry, current_tracer
 from repro.ode.types import IntegrationResult
 
 __all__ = ["integrate_rk4", "integrate_rk45", "integrate_scipy", "integrate"]
 
 RHS = Callable[[float, np.ndarray], np.ndarray]
+
+
+def _record_solve(result: IntegrationResult) -> IntegrationResult:
+    """Fold one finished solve into the current metrics registry.
+
+    Per-solve (not per-step) so the solvers' hot loops stay untouched; the
+    no-op default registry makes this a handful of dict lookups per solve.
+    """
+    reg = current_registry()
+    if reg.enabled:
+        prefix = f"ode.{result.method}"
+        reg.inc(f"{prefix}.solves")
+        reg.inc(f"{prefix}.steps", result.n_steps)
+        reg.inc(f"{prefix}.rejected", result.n_rejected)
+        reg.inc(f"{prefix}.rhs_evals", result.n_rhs_evals)
+        reg.inc(f"{prefix}.stop.{result.stop_reason}")
+        reg.inc("ode.solves")
+        reg.inc("ode.steps", result.n_steps)
+        reg.inc("ode.rhs_evals", result.n_rhs_evals)
+    return result
 
 # Dormand-Prince RK5(4) Butcher tableau (the pair used by MATLAB's ode45 and
 # scipy's RK45).  C/A define the stages, B the 5th-order weights and E the
@@ -85,21 +106,24 @@ def integrate_rk4(
     ts[0] = t0
     ys[0] = y
     t = t0
-    for k in range(n_steps):
-        k1 = np.asarray(rhs(t, y), dtype=float)
-        k2 = np.asarray(rhs(t + h / 2, y + h / 2 * k1), dtype=float)
-        k3 = np.asarray(rhs(t + h / 2, y + h / 2 * k2), dtype=float)
-        k4 = np.asarray(rhs(t + h, y + h * k3), dtype=float)
-        y = y + (h / 6) * (k1 + 2 * k2 + 2 * k3 + k4)
-        t = t0 + (k + 1) * h
-        ts[k + 1] = t
-        ys[k + 1] = y
-    return IntegrationResult(
-        t=ts,
-        y=ys,
-        n_steps=n_steps,
-        n_rhs_evals=4 * n_steps,
-        method="rk4",
+    with current_tracer().span("ode.integrate", method="rk4", n_steps=n_steps):
+        for k in range(n_steps):
+            k1 = np.asarray(rhs(t, y), dtype=float)
+            k2 = np.asarray(rhs(t + h / 2, y + h / 2 * k1), dtype=float)
+            k3 = np.asarray(rhs(t + h / 2, y + h / 2 * k2), dtype=float)
+            k4 = np.asarray(rhs(t + h, y + h * k3), dtype=float)
+            y = y + (h / 6) * (k1 + 2 * k2 + 2 * k3 + k4)
+            t = t0 + (k + 1) * h
+            ts[k + 1] = t
+            ys[k + 1] = y
+    return _record_solve(
+        IntegrationResult(
+            t=ts,
+            y=ys,
+            n_steps=n_steps,
+            n_rhs_evals=4 * n_steps,
+            method="rk4",
+        )
     )
 
 
@@ -141,50 +165,66 @@ def integrate_rk45(
     ts = [t0]
     ys = [y.copy()]
     k_stages = np.empty((7, y.size))
-    k_stages[0] = f(t, y)  # FSAL: stage 0 of the next step is stage 6 of this one
     n_accepted = 0
+    n_rejected = 0
     success = True
     message = "completed"
+    stop_reason = "completed"
     min_step = 1e-14 * max(abs(t1), 1.0)
+    # Profiling hooks: resolved once per solve so the step loop only pays
+    # for step-size observations when a registry is actually installed.
+    reg = current_registry()
+    record_steps = reg.enabled
 
-    while t < t1:
-        h = min(h, t1 - t)
-        if h < min_step:
-            success = False
-            message = "step size underflow"
-            break
-        if n_accepted >= max_steps:
-            success = False
-            message = f"exceeded max_steps={max_steps}"
-            break
-        for i in range(1, 6):
-            yi = y + h * (k_stages[:i].T @ _DP_A[i, :i])
-            k_stages[i] = f(t + _DP_C[i] * h, yi)
-        y_new = y + h * (k_stages[:6].T @ _DP_B[:6])
-        k_stages[6] = f(t + h, y_new)
-        err_vec = h * (k_stages.T @ _DP_E)
-        scale = atol + rtol * np.maximum(np.abs(y), np.abs(y_new))
-        err = float(np.sqrt(np.mean((err_vec / scale) ** 2)))
-        if err <= 1.0:
-            t = t + h
-            y = y_new
-            ts.append(t)
-            ys.append(y.copy())
-            k_stages[0] = k_stages[6]
-            n_accepted += 1
-            factor = 5.0 if err == 0.0 else min(5.0, 0.9 * err ** (-0.2))
-        else:
-            factor = max(0.1, 0.9 * err ** (-0.2))
-        h = h * factor
+    with current_tracer().span("ode.integrate", method="rk45", rtol=rtol):
+        k_stages[0] = f(t, y)  # FSAL: stage 0 of the next step is stage 6 of this one
+        while t < t1:
+            h = min(h, t1 - t)
+            if h < min_step:
+                success = False
+                message = "step size underflow"
+                stop_reason = "step_underflow"
+                break
+            if n_accepted >= max_steps:
+                success = False
+                message = f"exceeded max_steps={max_steps}"
+                stop_reason = "max_steps"
+                break
+            for i in range(1, 6):
+                yi = y + h * (k_stages[:i].T @ _DP_A[i, :i])
+                k_stages[i] = f(t + _DP_C[i] * h, yi)
+            y_new = y + h * (k_stages[:6].T @ _DP_B[:6])
+            k_stages[6] = f(t + h, y_new)
+            err_vec = h * (k_stages.T @ _DP_E)
+            scale = atol + rtol * np.maximum(np.abs(y), np.abs(y_new))
+            err = float(np.sqrt(np.mean((err_vec / scale) ** 2)))
+            if err <= 1.0:
+                if record_steps:
+                    reg.observe("ode.rk45.step_size", h)
+                t = t + h
+                y = y_new
+                ts.append(t)
+                ys.append(y.copy())
+                k_stages[0] = k_stages[6]
+                n_accepted += 1
+                factor = 5.0 if err == 0.0 else min(5.0, 0.9 * err ** (-0.2))
+            else:
+                n_rejected += 1
+                factor = max(0.1, 0.9 * err ** (-0.2))
+            h = h * factor
 
-    return IntegrationResult(
-        t=np.asarray(ts),
-        y=np.asarray(ys),
-        n_steps=n_accepted,
-        n_rhs_evals=n_evals,
-        method="rk45",
-        success=success,
-        message=message,
+    return _record_solve(
+        IntegrationResult(
+            t=np.asarray(ts),
+            y=np.asarray(ys),
+            n_steps=n_accepted,
+            n_rhs_evals=n_evals,
+            method="rk45",
+            success=success,
+            message=message,
+            stop_reason=stop_reason,
+            n_rejected=n_rejected,
+        )
     )
 
 
@@ -200,23 +240,29 @@ def integrate_scipy(
 ) -> IntegrationResult:
     """Integrate via :func:`scipy.integrate.solve_ivp` (production path)."""
     t0, t1 = _validate_span(t_span)
-    sol = solve_ivp(
-        rhs,
-        (t0, t1),
-        np.asarray(y0, dtype=float),
-        method=method,
-        rtol=rtol,
-        atol=atol,
-        t_eval=t_eval,
-    )
-    return IntegrationResult(
-        t=sol.t,
-        y=sol.y.T,
-        n_steps=len(sol.t) - 1,
-        n_rhs_evals=int(sol.nfev),
-        method=f"scipy-{method}",
-        success=bool(sol.success),
-        message=str(sol.message),
+    with current_tracer().span("ode.integrate", method=f"scipy-{method}", rtol=rtol):
+        sol = solve_ivp(
+            rhs,
+            (t0, t1),
+            np.asarray(y0, dtype=float),
+            method=method,
+            rtol=rtol,
+            atol=atol,
+            t_eval=t_eval,
+        )
+    # solve_ivp status: 0 = reached t_end, 1 = terminal event, -1 = failure.
+    stop_reason = {0: "completed", 1: "event"}.get(int(sol.status), "failure")
+    return _record_solve(
+        IntegrationResult(
+            t=sol.t,
+            y=sol.y.T,
+            n_steps=len(sol.t) - 1,
+            n_rhs_evals=int(sol.nfev),
+            method=f"scipy-{method}",
+            success=bool(sol.success),
+            message=str(sol.message),
+            stop_reason=stop_reason,
+        )
     )
 
 

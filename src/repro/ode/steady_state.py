@@ -25,6 +25,7 @@ from typing import Callable
 import numpy as np
 from scipy import optimize
 
+from repro.obs import current_registry, current_tracer
 from repro.ode.integrators import RHS, integrate_scipy
 from repro.ode.types import IntegrationResult, SteadyStateResult
 
@@ -296,6 +297,22 @@ def find_steady_state(
     the final digits cheaply.  If Newton fails to improve, the integration
     answer is returned (tagged with its own convergence status).
     """
+    with current_tracer().span("ode.find_steady_state", dim=int(np.size(y0))):
+        result = _find_steady_state(rhs, y0, options)
+    reg = current_registry()
+    if reg.enabled:
+        reg.inc("ode.steady_state.solves")
+        reg.inc("ode.steady_state.iterations", result.n_iterations)
+        if not result.converged:
+            reg.inc("ode.steady_state.not_converged")
+    return result
+
+
+def _find_steady_state(
+    rhs: RHS,
+    y0: np.ndarray,
+    options: SteadyStateOptions | None = None,
+) -> SteadyStateResult:
     opts = options or SteadyStateOptions()
     coarse_opts = SteadyStateOptions(
         tol=max(opts.tol, 1e-8),

@@ -30,6 +30,16 @@ class IntegrationResult:
         ``False`` if the solver aborted (e.g. step-size underflow).
     message:
         Human-readable completion status.
+    stop_reason:
+        Machine-readable termination cause -- one of ``"completed"`` (the
+        solver reached the end of ``t_span``), ``"max_steps"`` (step budget
+        exhausted), ``"step_underflow"`` (adaptive step collapsed),
+        ``"event"`` (a terminal event fired) or ``"failure"`` (backend
+        error).  Callers previously had to infer this from ``success`` +
+        ``message`` string matching.
+    n_rejected:
+        Number of trial steps rejected by the error control (adaptive
+        solvers only; ``0`` for fixed-step and backend solvers).
     """
 
     t: np.ndarray
@@ -39,6 +49,8 @@ class IntegrationResult:
     method: str
     success: bool = True
     message: str = "completed"
+    stop_reason: str = "completed"
+    n_rejected: int = 0
 
     def __post_init__(self) -> None:
         t = np.asarray(self.t, dtype=float)

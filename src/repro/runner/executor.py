@@ -22,6 +22,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import get_experiment
+from repro.obs import capture, current_registry, current_tracer
 from repro.runner.cache import ResultCache
 from repro.runner.digest import source_digest
 
@@ -83,17 +84,51 @@ class RunSummary:
         return "\n".join(lines)
 
 
-def _execute(experiment_id: str, kwargs: dict) -> tuple[dict, float]:
-    """Run one driver and return ``(serialized result, elapsed seconds)``.
+def _execute(
+    experiment_id: str, kwargs: dict, profile: bool = False
+) -> tuple[dict, float, list[dict] | None]:
+    """Run one driver; return ``(serialized result, elapsed, trace events)``.
 
     Module-level so it pickles into pool workers; returning the serialized
     dict (not the result object) keeps the parent's deserialization path
     identical for cached, serial and parallel execution.
+
+    With ``profile`` the driver runs under a *fresh* registry/tracer pair
+    (whether inline or in a pool worker, so serial and parallel runs count
+    identically); the registry snapshot travels back inside the payload's
+    ``obs`` key and the trace events alongside, for the parent to merge.
     """
     driver = get_experiment(experiment_id)
-    started = time.perf_counter()
-    result = driver(**kwargs)
-    return result.to_dict(), time.perf_counter() - started
+    if not profile:
+        started = time.perf_counter()
+        result = driver(**kwargs)
+        return result.to_dict(), time.perf_counter() - started, None
+    with capture() as obs:
+        with obs.tracer.span(
+            "runner.experiment", category="runner", experiment_id=experiment_id
+        ):
+            started = time.perf_counter()
+            result = driver(**kwargs)
+            elapsed = time.perf_counter() - started
+    payload = result.to_dict()
+    payload["obs"] = obs.registry.to_dict()
+    return payload, elapsed, obs.tracer.events
+
+
+def _record_summary(summary: RunSummary) -> None:
+    """Fold run-level telemetry into the active registry (no-op default).
+
+    This is the registry counterpart of :meth:`RunSummary.format_summary`:
+    cache hits/misses accumulate in ``_run_tasks``; here the end-to-end
+    wall-clock and pool shape land next to them so ``--profile`` shows one
+    coherent table instead of ad-hoc prints.
+    """
+    reg = current_registry()
+    if reg.enabled:
+        reg.set_gauge("runner.jobs", summary.jobs)
+        reg.set_gauge("runner.wall_clock_seconds", summary.wall_clock)
+        reg.set_gauge("runner.driver_seconds", summary.driver_seconds)
+        reg.inc("runner.experiments", len(summary.outcomes))
 
 
 def _run_tasks(
@@ -110,6 +145,15 @@ def _run_tasks(
         if progress is not None:
             progress(line)
 
+    # Observability: when the caller installed a registry/tracer (the CLI's
+    # --profile/--trace flags do this via repro.obs.capture), every driver
+    # runs under its own fresh pair -- inline or in a worker -- and the
+    # snapshots merge back here, so counter totals are identical for any
+    # ``jobs`` value.  Cache bookkeeping lands in the same registry.
+    reg = current_registry()
+    tracer = current_tracer()
+    profile = reg.enabled or tracer.enabled
+
     outcomes: list[RunOutcome | None] = [None] * len(tasks)
     keys: list[str | None] = [None] * len(tasks)
     pending: list[int] = []
@@ -121,29 +165,44 @@ def _run_tasks(
                 hit = cache.load(keys[i])
                 if hit is not None:
                     outcomes[i] = RunOutcome(eid, hit, 0.0, True)
+                    reg.inc("runner.cache.hits")
+                    tracer.instant(
+                        "runner.cache_hit", category="runner", experiment_id=eid
+                    )
                     report(f"[{eid}] cache hit")
                     continue
+            reg.inc("runner.cache.misses")
         pending.append(i)
 
-    def settle(i: int, payload: dict, elapsed: float) -> None:
+    def settle(
+        i: int, payload: dict, elapsed: float, events: list[dict] | None
+    ) -> None:
         result = ExperimentResult.from_dict(payload)
         if cache is not None:
             cache.store(keys[i], result)
         outcomes[i] = RunOutcome(tasks[i][0], result, elapsed, False)
+        if profile:
+            if result.obs is not None:
+                reg.merge(result.obs)
+            if events:
+                tracer.extend(events)
+            reg.observe("runner.experiment.seconds", elapsed)
+            reg.set_gauge(f"runner.experiment.{tasks[i][0]}.seconds", elapsed)
         report(f"[{tasks[i][0]}] ran in {elapsed:.2f}s")
 
     if jobs > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = {
-                pool.submit(_execute, tasks[i][0], tasks[i][1]): i for i in pending
+                pool.submit(_execute, tasks[i][0], tasks[i][1], profile): i
+                for i in pending
             }
             for future in as_completed(futures):
-                payload, elapsed = future.result()
-                settle(futures[future], payload, elapsed)
+                payload, elapsed, events = future.result()
+                settle(futures[future], payload, elapsed, events)
     else:
         for i in pending:
-            payload, elapsed = _execute(tasks[i][0], tasks[i][1])
-            settle(i, payload, elapsed)
+            payload, elapsed, events = _execute(tasks[i][0], tasks[i][1], profile)
+            settle(i, payload, elapsed, events)
 
     assert all(o is not None for o in outcomes)
     return tuple(outcomes)  # type: ignore[arg-type]
@@ -194,10 +253,15 @@ def run_experiments(
     tasks = [(eid, dict(resolved.get(eid, {}))) for eid in ids]
     started = time.perf_counter()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    outcomes = _run_tasks(
-        tasks, jobs=jobs, cache=cache, force=force, progress=progress
-    )
-    return RunSummary(outcomes, time.perf_counter() - started, jobs)
+    with current_tracer().span(
+        "runner.run_experiments", category="runner", n_tasks=len(tasks), jobs=jobs
+    ):
+        outcomes = _run_tasks(
+            tasks, jobs=jobs, cache=cache, force=force, progress=progress
+        )
+    summary = RunSummary(outcomes, time.perf_counter() - started, jobs)
+    _record_summary(summary)
+    return summary
 
 
 def run_sweep(
@@ -218,7 +282,12 @@ def run_sweep(
     tasks = [(experiment_id, dict(kwargs)) for kwargs in kwargs_list]
     started = time.perf_counter()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    outcomes = _run_tasks(
-        tasks, jobs=jobs, cache=cache, force=force, progress=progress
-    )
-    return RunSummary(outcomes, time.perf_counter() - started, jobs)
+    with current_tracer().span(
+        "runner.run_sweep", category="runner", n_tasks=len(tasks), jobs=jobs
+    ):
+        outcomes = _run_tasks(
+            tasks, jobs=jobs, cache=cache, force=force, progress=progress
+        )
+    summary = RunSummary(outcomes, time.perf_counter() - started, jobs)
+    _record_summary(summary)
+    return summary

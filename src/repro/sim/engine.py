@@ -12,11 +12,33 @@ a plain ``heapq`` without the cost of re-heapifying.
 
 from __future__ import annotations
 
+import functools
 import heapq
 import math
+import time
 from typing import Callable
 
-__all__ = ["EventHandle", "EventQueue", "Simulator"]
+from repro.obs import current_registry, current_tracer
+
+__all__ = ["EventHandle", "EventQueue", "Simulator", "callback_name"]
+
+
+def callback_name(callback: Callable[[], None]) -> str:
+    """Short classifying name for an event callback (metric label).
+
+    Unwraps ``functools.partial`` and falls back through ``__qualname__`` /
+    ``__name__`` / the type name, keeping only the last two qualname parts
+    (``UserBehavior.on_complete``-style labels, not full module paths).
+    """
+    while isinstance(callback, functools.partial):
+        callback = callback.func
+    name = getattr(callback, "__qualname__", None) or getattr(
+        callback, "__name__", None
+    )
+    if name is None:
+        return type(callback).__name__
+    parts = [p for p in name.split(".") if p != "<locals>"]
+    return ".".join(parts[-2:])
 
 
 class EventHandle:
@@ -121,6 +143,9 @@ class Simulator:
         """
         if t_end < self.now:
             raise ValueError(f"t_end={t_end} is before now={self.now}")
+        reg = current_registry()
+        if reg.enabled:
+            return self._run_until_instrumented(t_end, max_events, reg)
         fired = 0
         while True:
             t_next = self.queue.next_time()
@@ -133,12 +158,58 @@ class Simulator:
             popped = self.queue.pop()
             if popped is None:
                 break
-            time, callback = popped
+            event_time, callback = popped
             # The clock never runs backwards even if an event was scheduled
             # "now" while another event at the same timestamp was firing.
-            self.now = max(self.now, time)
+            self.now = max(self.now, event_time)
             callback()
             fired += 1
             self._events_processed += 1
         self.now = t_end
+        return fired
+
+    def _run_until_instrumented(
+        self, t_end: float, max_events: int | None, reg
+    ) -> int:
+        """The ``run_until`` loop with per-callback-type metrics.
+
+        Kept separate so the un-profiled hot path has zero extra work per
+        event.  Records total events, queue depth and per-callback-type
+        timing into the active registry, plus one trace span per call.
+        """
+        fired = 0
+        with current_tracer().span("sim.run_until", t_end=t_end):
+            started = time.perf_counter()
+            while True:
+                t_next = self.queue.next_time()
+                if t_next > t_end:
+                    break
+                if max_events is not None and fired >= max_events:
+                    reg.inc("sim.events", fired)
+                    reg.observe(
+                        "sim.run_until_seconds", time.perf_counter() - started
+                    )
+                    raise RuntimeError(
+                        f"exceeded max_events={max_events} before reaching "
+                        f"t_end={t_end}"
+                    )
+                popped = self.queue.pop()
+                if popped is None:
+                    break
+                event_time, callback = popped
+                self.now = max(self.now, event_time)
+                reg.observe("sim.queue_depth", len(self.queue))
+                t0 = time.perf_counter()
+                callback()
+                reg.observe(
+                    f"sim.callback.{callback_name(callback)}",
+                    time.perf_counter() - t0,
+                )
+                fired += 1
+                self._events_processed += 1
+            self.now = t_end
+            elapsed = time.perf_counter() - started
+        reg.inc("sim.events", fired)
+        reg.inc("sim.run_until_calls")
+        reg.observe("sim.run_until_seconds", elapsed)
         return fired

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.metrics import ClassMetrics, SystemMetrics, aggregate_metrics
 from repro.sim.entities import EntrySpan, UserRecord
 
 __all__ = ["PopulationSample", "MetricsCollector", "SimulationSummary"]
@@ -165,6 +166,17 @@ class SimulationSummary:
     mean_stage_downloaders:
         ``(group_id, file_id) -> (class, stage) matrix`` when stage-level
         sampling was enabled (the Eq.-(5) ``x^{i,j}`` observable).
+
+    Notes
+    -----
+    The summary speaks the same metric vocabulary as the fluid models'
+    :class:`~repro.core.metrics.SystemMetrics`: the aggregate fields
+    ``avg_online_time_per_file`` / ``avg_download_time_per_file`` carry the
+    same names and definitions, and :meth:`class_metrics` /
+    :meth:`to_system_metrics` re-express the per-class arrays as
+    :class:`~repro.core.metrics.ClassMetrics`, so experiments can tabulate
+    simulated and fluid results through one code path (see the
+    "metric vocabulary" section of ``docs/API.md`` for the full mapping).
     """
 
     n_users_completed: int
@@ -184,3 +196,41 @@ class SimulationSummary:
         """``(mean downloaders by class, mean real seeds by class)``."""
         key = (group_id, file_id)
         return self.mean_downloaders[key], self.mean_seeds[key]
+
+    # ----- core-metrics vocabulary (parity with the fluid models) -------------
+
+    @property
+    def classes(self) -> tuple[int, ...]:
+        """Class indices ``1..K`` (mirrors ``SystemMetrics.classes``)."""
+        return tuple(range(1, len(self.class_counts) + 1))
+
+    def class_metrics(self, i: int) -> ClassMetrics:
+        """Class ``i`` estimates as a :class:`~repro.core.metrics.ClassMetrics`.
+
+        The ``arrival_rate`` slot carries the *completed-user count* of the
+        class -- over a fixed measurement window counts are proportional to
+        rates, so rate-weighted aggregation over these objects reproduces
+        the summary's own user-level aggregates.  Empty classes have NaN
+        times, exactly like zero-rate classes in the fluid models.
+        """
+        if not 1 <= i <= len(self.class_counts):
+            raise ValueError(f"class index must be in 1..{len(self.class_counts)}")
+        per_file_dl = float(self.download_time_per_file_by_class[i - 1])
+        per_file_online = float(self.online_time_per_file_by_class[i - 1])
+        return ClassMetrics(
+            class_index=i,
+            arrival_rate=float(self.class_counts[i - 1]),
+            total_download_time=i * per_file_dl,
+            total_online_time=i * per_file_online,
+        )
+
+    def to_system_metrics(self, scheme: str = "simulation") -> SystemMetrics:
+        """Re-express the summary as a :class:`~repro.core.metrics.SystemMetrics`.
+
+        The aggregates equal ``avg_online_time_per_file`` /
+        ``avg_download_time_per_file`` up to floating-point rounding (count
+        weighting is algebraically identical to the user-level sums), so
+        simulated and fluid results can flow through the same tables.
+        """
+        per_class = [self.class_metrics(i) for i in self.classes]
+        return aggregate_metrics(scheme, per_class)

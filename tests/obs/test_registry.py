@@ -1,0 +1,151 @@
+"""Registry semantics: recording, merging, serialization, the null default."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    capture,
+    current_registry,
+    use_registry,
+)
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 2.5)
+        assert reg.counters["a"] == 3.5
+
+    def test_gauges_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.0)
+        reg.set_gauge("g", 7.0)
+        assert reg.gauges["g"] == 7.0
+
+    def test_histogram_summary_stats(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("h", v)
+        h = reg.histograms["h"]
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_empty_histogram_mean_is_nan(self):
+        from repro.obs import HistogramSummary
+
+        assert math.isnan(HistogramSummary().mean)
+
+    def test_timer_records_elapsed_seconds(self):
+        reg = MetricsRegistry()
+        with reg.time("t"):
+            pass
+        h = reg.histograms["t"]
+        assert h.count == 1
+        assert 0.0 <= h.total < 1.0
+
+
+class TestCurrentAndNull:
+    def test_default_is_null_registry(self):
+        assert current_registry() is NULL_REGISTRY
+        assert not NULL_REGISTRY.enabled
+
+    def test_null_registry_records_nothing(self):
+        NULL_REGISTRY.inc("x")
+        NULL_REGISTRY.set_gauge("g", 1.0)
+        NULL_REGISTRY.observe("h", 1.0)
+        with NULL_REGISTRY.time("t"):
+            pass
+        assert NULL_REGISTRY.counters == {}
+        assert NULL_REGISTRY.gauges == {}
+        assert NULL_REGISTRY.histograms == {}
+
+    def test_use_registry_installs_and_restores(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            assert current_registry() is reg
+            current_registry().inc("seen")
+        assert current_registry() is NULL_REGISTRY
+        assert reg.counters["seen"] == 1.0
+
+    def test_use_registry_nests(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_registry(outer):
+            with use_registry(inner):
+                current_registry().inc("x")
+            assert current_registry() is outer
+        assert inner.counters == {"x": 1.0}
+        assert outer.counters == {}
+
+    def test_use_registry_restores_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with use_registry(reg):
+                raise RuntimeError("boom")
+        assert current_registry() is NULL_REGISTRY
+
+    def test_capture_installs_both(self):
+        with capture() as obs:
+            assert current_registry() is obs.registry
+            assert obs.registry.enabled and obs.tracer.enabled
+        assert current_registry() is NULL_REGISTRY
+
+    def test_capture_metrics_only(self):
+        with capture(trace=False) as obs:
+            assert obs.registry.enabled
+            assert not obs.tracer.enabled
+
+
+class TestMergeAndSerialization:
+    def _populated(self, scale: float) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.inc("c", 2 * scale)
+        reg.set_gauge("g", scale)
+        reg.observe("h", scale)
+        reg.observe("h", 2 * scale)
+        return reg
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = self._populated(1.0), self._populated(10.0)
+        a.merge(b)
+        assert a.counters["c"] == 22.0
+        assert a.gauges["g"] == 10.0  # incoming gauge wins
+        h = a.histograms["h"]
+        assert h.count == 4
+        assert h.total == 33.0
+        assert h.min == 1.0
+        assert h.max == 20.0
+
+    def test_merge_is_associative_over_order(self):
+        parts = [self._populated(s) for s in (1.0, 3.0, 5.0)]
+        ab = MetricsRegistry()
+        for p in parts:
+            ab.merge(p)
+        ba = MetricsRegistry()
+        for p in reversed(parts):
+            ba.merge(p)
+        assert ab.counters == ba.counters
+        assert ab.histograms["h"].to_dict() == ba.histograms["h"].to_dict()
+
+    def test_round_trip_through_json(self):
+        reg = self._populated(2.0)
+        payload = json.loads(json.dumps(reg.to_dict()))
+        rebuilt = MetricsRegistry.from_dict(payload)
+        assert rebuilt.counters == reg.counters
+        assert rebuilt.gauges == reg.gauges
+        assert rebuilt.histograms["h"].to_dict() == reg.histograms["h"].to_dict()
+
+    def test_merge_accepts_snapshot_dict(self):
+        a = MetricsRegistry()
+        a.merge(self._populated(1.0).to_dict())
+        assert a.counters["c"] == 2.0
+        assert a.histograms["h"].count == 2

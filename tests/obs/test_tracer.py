@@ -1,0 +1,150 @@
+"""Tracer semantics: span/instant events, Chrome-trace export, validation."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    current_tracer,
+    use_tracer,
+    validate_chrome_trace,
+)
+
+
+class TestSpans:
+    def test_span_records_complete_event(self):
+        tracer = Tracer()
+        with tracer.span("work", category="test", n=3):
+            pass
+        (event,) = tracer.events
+        assert event["name"] == "work"
+        assert event["cat"] == "test"
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0.0
+        assert event["pid"] == os.getpid()
+        assert event["args"] == {"n": 3}
+
+    def test_span_recorded_even_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        assert len(tracer.events) == 1
+
+    def test_instant_event(self):
+        tracer = Tracer()
+        tracer.instant("tick", key="v")
+        (event,) = tracer.events
+        assert event["ph"] == "i"
+        assert event["args"] == {"key": "v"}
+
+    def test_extend_absorbs_foreign_events(self):
+        tracer = Tracer()
+        with tracer.span("local"):
+            pass
+        other = Tracer()
+        with other.span("remote"):
+            pass
+        tracer.extend(other.events)
+        assert [e["name"] for e in tracer.events] == ["local", "remote"]
+
+    def test_nested_spans_both_recorded(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        # inner exits (and is appended) first
+        assert [e["name"] for e in tracer.events] == ["inner", "outer"]
+
+
+class TestCurrentAndNull:
+    def test_default_is_null_tracer(self):
+        assert current_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("x"):
+            pass
+        NULL_TRACER.instant("y")
+        NULL_TRACER.extend([{"name": "z"}])
+        assert NULL_TRACER.events == []
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with current_tracer().span("seen"):
+                pass
+        assert current_tracer() is NULL_TRACER
+        assert tracer.events[0]["name"] == "seen"
+
+
+class TestExportAndValidation:
+    def _traced(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("a", size=1):
+            pass
+        tracer.instant("b")
+        return tracer
+
+    def test_export_shape_and_ordering(self):
+        payload = self._traced().to_chrome_trace()
+        assert payload["displayTimeUnit"] == "ms"
+        ts = [e["ts"] for e in payload["traceEvents"]]
+        assert ts == sorted(ts)
+
+    def test_export_is_json_serializable(self):
+        text = json.dumps(self._traced().to_chrome_trace())
+        assert json.loads(text)["traceEvents"]
+
+    def test_export_validates(self):
+        validate_chrome_trace(self._traced().to_chrome_trace())
+
+    def test_write_produces_valid_file(self, tmp_path):
+        out = self._traced().write(tmp_path / "sub" / "trace.json")
+        validate_chrome_trace(json.loads(out.read_text()))
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"traceEvents": "not-a-list"},
+            {"traceEvents": [{"ph": "X", "ts": 0, "pid": 1, "tid": 1, "dur": 1}]},
+            {"traceEvents": [{"name": "n", "ph": "Q", "ts": 0, "pid": 1, "tid": 1}]},
+            {"traceEvents": [{"name": "n", "ph": "X", "ts": 0, "pid": 1, "tid": 1}]},
+            {
+                "traceEvents": [
+                    {"name": "n", "ph": "X", "ts": 0, "pid": 1, "tid": 1, "dur": -1}
+                ]
+            },
+            {
+                "traceEvents": [
+                    {
+                        "name": "n",
+                        "ph": "i",
+                        "ts": 0,
+                        "pid": 1,
+                        "tid": 1,
+                        "args": "oops",
+                    }
+                ]
+            },
+        ],
+        ids=[
+            "no-events",
+            "events-not-list",
+            "missing-name",
+            "unknown-phase",
+            "X-missing-dur",
+            "negative-dur",
+            "args-not-mapping",
+        ],
+    )
+    def test_validation_rejects_malformed(self, payload):
+        with pytest.raises(ValueError):
+            validate_chrome_trace(payload)

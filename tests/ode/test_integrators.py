@@ -89,6 +89,14 @@ class TestRK45:
         assert not res.success
         assert "max_steps" in res.message
 
+    def test_rejections_counted_for_oversized_initial_step(self):
+        res = integrate_rk45(
+            decay, np.array([1.0]), (0.0, 10.0), rtol=1e-10, atol=1e-12, h0=5.0
+        )
+        assert res.success
+        assert res.n_rejected >= 1
+        assert res.stop_reason == "completed"
+
     @settings(max_examples=15, deadline=None)
     @given(
         seed=st.integers(0, 10_000),
@@ -125,6 +133,36 @@ class TestScipyWrapper:
         ours = integrate_rk45(oscillator, y0, (0.0, 15.0), rtol=1e-10, atol=1e-12)
         theirs = integrate_scipy(oscillator, y0, (0.0, 15.0), rtol=1e-10, atol=1e-12)
         np.testing.assert_allclose(ours.final_state, theirs.final_state, rtol=1e-6)
+
+
+class TestStopReason:
+    """``IntegrationResult.stop_reason`` classifies why a solve ended."""
+
+    def test_completed(self):
+        res = integrate_rk45(decay, np.array([1.0]), (0.0, 1.0))
+        assert res.success
+        assert res.stop_reason == "completed"
+        assert res.n_rejected == 0
+
+    def test_max_steps(self):
+        res = integrate_rk45(decay, np.array([1.0]), (0.0, 100.0), max_steps=3)
+        assert not res.success
+        assert res.stop_reason == "max_steps"
+
+    def test_step_underflow_at_finite_time_blowup(self):
+        """dy/dt = y**2 blows up at t = 1/y0; the step must underflow."""
+        res = integrate_rk45(
+            lambda t, y: y * y, np.array([1.0]), (0.0, 2.0), max_steps=10_000
+        )
+        assert not res.success
+        assert res.stop_reason == "step_underflow"
+        assert res.final_time < 2.0
+
+    def test_fixed_step_and_scipy_report_completed(self):
+        rk4 = integrate_rk4(decay, np.array([1.0]), (0.0, 1.0), n_steps=10)
+        scipy_res = integrate_scipy(decay, np.array([1.0]), (0.0, 1.0))
+        assert rk4.stop_reason == "completed"
+        assert scipy_res.stop_reason == "completed"
 
 
 class TestDispatch:

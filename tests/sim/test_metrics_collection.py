@@ -89,3 +89,41 @@ class TestSummarize:
         s = MetricsCollector(num_classes=1).summarize()
         with pytest.raises(KeyError):
             s.swarm_population(0, 0)
+
+
+class TestCoreMetricsVocabulary:
+    """The summary re-expresses itself in the fluid models' metric types."""
+
+    def _summary(self):
+        mc = MetricsCollector(num_classes=2)
+        mc.new_record(record(1, 0.0, 1, departed_at=20.0, done_at=10.0))
+        mc.new_record(record(2, 0.0, 1, departed_at=30.0, done_at=12.0))
+        mc.new_record(record(3, 0.0, 2, departed_at=50.0, done_at=30.0))
+        return mc.summarize()
+
+    def test_classes_property(self):
+        assert self._summary().classes == (1, 2)
+
+    def test_class_metrics_carries_counts_and_totals(self):
+        s = self._summary()
+        cm = s.class_metrics(2)
+        assert cm.class_index == 2
+        assert cm.arrival_rate == 1.0  # count, proportional to the rate
+        assert cm.total_online_time == pytest.approx(
+            2 * s.online_time_per_file_by_class[1]
+        )
+
+    def test_class_metrics_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="class index"):
+            self._summary().class_metrics(3)
+
+    def test_to_system_metrics_matches_user_level_aggregates(self):
+        s = self._summary()
+        sm = s.to_system_metrics()
+        assert sm.scheme == "simulation"
+        assert sm.avg_online_time_per_file == pytest.approx(
+            s.avg_online_time_per_file
+        )
+        assert sm.avg_download_time_per_file == pytest.approx(
+            s.avg_download_time_per_file
+        )
