@@ -5,15 +5,28 @@ the expected qualitative shape, writes the numeric series to ``results/``
 and reports wall-clock timing through pytest-benchmark.  Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Every benchmark test additionally runs under a fresh
+:class:`repro.obs.MetricsRegistry`, and the session writes
+``results/BENCH_results.json`` -- per-test wall-clock plus every obs
+counter the run produced -- so CI can archive machine-readable evidence
+alongside the human-readable pytest-benchmark table.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
 
+from repro.obs import MetricsRegistry, use_registry
+
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: test nodeid -> {"wall_clock_s": ..., "counters": {...}}, in run order
+_BENCH_RECORDS: dict[str, dict] = {}
 
 
 @pytest.fixture(scope="session")
@@ -25,3 +38,43 @@ def results_dir() -> Path:
 def run_once(benchmark, fn, *args, **kwargs):
     """Time one full execution of a heavy experiment driver."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(autouse=True)
+def bench_registry() -> MetricsRegistry:
+    """Fresh metrics registry around every benchmark test.
+
+    Kernel invocations, solver iterations and RHS evaluations recorded by
+    the instrumented layers land here and end up in BENCH_results.json.
+    Tests may also ``inc`` their own ``bench.*`` counters for numbers they
+    computed themselves (speedup ratios, eval savings).
+    """
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        yield registry
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    started = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - started
+    registry = item.funcargs.get("bench_registry")
+    _BENCH_RECORDS[item.nodeid] = {
+        "wall_clock_s": round(elapsed, 6),
+        "counters": dict(sorted(registry.counters.items())) if registry else {},
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH_RECORDS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema": "repro-bt/bench-results/v1",
+        "generated_unix": round(time.time(), 3),
+        "exit_status": int(exitstatus),
+        "results": _BENCH_RECORDS,
+    }
+    path = RESULTS_DIR / "BENCH_results.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")

@@ -1,0 +1,186 @@
+"""Benchmarks pinning the two perf layers of this PR.
+
+* The vectorised bandwidth-allocation kernels against their scalar
+  reference oracles (:mod:`repro.sim.reference`) -- the neighbour-aware
+  kernel must beat the scalar O(n^2) loop by >= 3x at 250 concurrent
+  peers.
+* The warm-start continuation sweep against cold per-point solves on a
+  CMFSD rho path -- same stationary points, measurably fewer RHS
+  evaluations.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import CorrelationModel, PAPER_PARAMETERS
+from repro.core.cmfsd import CMFSDModel, steady_state_path
+from repro.obs import capture, current_registry
+from repro.sim import DownloadEntry, SwarmGroup
+from repro.sim.reference import recompute_rates_scalar
+
+ETA = 0.5
+
+
+def _build_neighbor_swarm(n_peers: int, n_seeds: int, degree: int, seed: int):
+    """A neighbour-aware swarm with random capacities and tracker samples."""
+    rng = np.random.default_rng(seed)
+    group = SwarmGroup(0, (0,), eta=ETA)
+    swarm = group.swarms[0]
+    swarm.neighbor_aware = True
+    for uid in range(n_peers):
+        group.add_downloader(
+            DownloadEntry(
+                user_id=uid,
+                file_id=0,
+                user_class=1,
+                stage=1,
+                tft_upload=float(rng.uniform(0.005, 0.04)),
+                download_cap=float(rng.uniform(0.05, 0.5)),
+                remaining=float(rng.uniform(0.05, 1.0)),
+            )
+        )
+    for k in range(n_seeds):
+        group.add_seed(
+            n_peers + k,
+            0,
+            bandwidth=float(rng.uniform(0.1, 0.6)),
+            user_class=1,
+            virtual=(k % 2 == 0),
+        )
+    everyone = list(range(n_peers + n_seeds))
+    for uid in everyone:
+        others = [u for u in everyone if u != uid]
+        sample = rng.choice(others, size=min(degree, len(others)), replace=False)
+        swarm.neighbors[uid] = set(int(u) for u in sample)
+    return group, swarm
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_neighbor_kernel_speedup(benchmark):
+    """Adjacency+matmul kernel >= 3x over the scalar loop at 250 peers.
+
+    This is the PR's headline acceptance number: the scalar reference
+    walks every (downloader, downloader) pair and every (seed, downloader)
+    pair in Python; the vectorised kernel builds a boolean adjacency
+    matrix and allocates seed bandwidth with one matrix product.
+    """
+    group, swarm = _build_neighbor_swarm(n_peers=250, n_seeds=25, degree=40, seed=3)
+
+    # Equivalence first: both kernels on the same swarm, same answer.
+    recompute_rates_scalar(swarm, ETA)
+    expected_rate = swarm.store.column("rate").copy()
+    expected_rfv = swarm.store.column("rate_from_virtual").copy()
+    swarm.recompute_rates(ETA)
+    np.testing.assert_allclose(swarm.store.column("rate"), expected_rate, rtol=1e-9)
+    np.testing.assert_allclose(
+        swarm.store.column("rate_from_virtual"), expected_rfv, rtol=1e-9, atol=1e-15
+    )
+
+    scalar_s = _best_of(lambda: recompute_rates_scalar(swarm, ETA), repeats=3)
+    run_once(benchmark, lambda: swarm.recompute_rates(ETA))
+    vector_s = _best_of(lambda: swarm.recompute_rates(ETA), repeats=10)
+    speedup = scalar_s / vector_s
+
+    def cold_recompute():
+        swarm._topology_cache = None  # force the adjacency rebuild
+        swarm.recompute_rates(ETA)
+
+    cold_s = _best_of(cold_recompute, repeats=5)
+    benchmark.extra_info["peers"] = swarm.n_downloaders
+    benchmark.extra_info["scalar_ms"] = round(scalar_s * 1e3, 3)
+    benchmark.extra_info["vector_ms"] = round(vector_s * 1e3, 3)
+    benchmark.extra_info["vector_cold_ms"] = round(cold_s * 1e3, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["cold_speedup"] = round(scalar_s / cold_s, 2)
+    reg = current_registry()
+    reg.inc("bench.kernels.neighbor.speedup_x100", round(speedup * 100))
+    assert speedup >= 3.0, (
+        f"neighbor-aware kernel speedup {speedup:.2f}x < 3x "
+        f"(scalar {scalar_s * 1e3:.2f}ms, vector {vector_s * 1e3:.2f}ms)"
+    )
+
+
+def test_bench_mesh_kernel_speedup(benchmark):
+    """Full-mesh kernel vs scalar loop at 500 peers (informational)."""
+    rng = np.random.default_rng(11)
+    group = SwarmGroup(0, (0,), eta=ETA)
+    swarm = group.swarms[0]
+    for uid in range(500):
+        group.add_downloader(
+            DownloadEntry(
+                user_id=uid,
+                file_id=0,
+                user_class=1,
+                stage=1,
+                tft_upload=float(rng.uniform(0.005, 0.04)),
+                download_cap=float(rng.uniform(0.05, 0.5)),
+                remaining=float(rng.uniform(0.05, 1.0)),
+            )
+        )
+    for k in range(10):
+        group.add_seed(500 + k, 0, 0.4, 1, virtual=(k % 2 == 0))
+
+    recompute_rates_scalar(swarm, ETA)
+    expected = swarm.store.column("rate").copy()
+    swarm.recompute_rates(ETA)
+    np.testing.assert_allclose(swarm.store.column("rate"), expected, rtol=1e-9)
+
+    scalar_s = _best_of(lambda: recompute_rates_scalar(swarm, ETA), repeats=5)
+    run_once(benchmark, lambda: swarm.recompute_rates(ETA))
+    vector_s = _best_of(lambda: swarm.recompute_rates(ETA), repeats=20)
+    speedup = scalar_s / vector_s
+    benchmark.extra_info["peers"] = swarm.n_downloaders
+    benchmark.extra_info["scalar_ms"] = round(scalar_s * 1e3, 3)
+    benchmark.extra_info["vector_ms"] = round(vector_s * 1e3, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    current_registry().inc("bench.kernels.mesh.speedup_x100", round(speedup * 100))
+    assert speedup > 1.0
+
+
+def test_bench_warm_start_rhs_savings(benchmark):
+    """Warm continuation along a rho path: same answers, fewer RHS evals."""
+    corr = CorrelationModel(num_files=PAPER_PARAMETERS.num_files, p=0.6)
+    rho_values = np.linspace(0.0, 1.0, 6)
+    models = [
+        CMFSDModel.from_correlation(PAPER_PARAMETERS, corr, rho=float(r))
+        for r in rho_values
+    ]
+
+    with capture(trace=False) as cold_obs:
+        cold = steady_state_path(models, warm_start=False)
+    cold_evals = cold_obs.registry.counters["ode.rhs_evals"]
+
+    def warm_run():
+        with capture(trace=False) as warm_obs:
+            states = steady_state_path(models, warm_start=True)
+        return states, warm_obs.registry.counters["ode.rhs_evals"]
+
+    warm, warm_evals = run_once(benchmark, warm_run)
+
+    assert all(s.converged for s in cold) and all(s.converged for s in warm)
+    for c, w in zip(cold, warm):
+        np.testing.assert_allclose(c.state, w.state, rtol=1e-6, atol=1e-8)
+    saving = 1.0 - warm_evals / cold_evals
+    benchmark.extra_info["cold_rhs_evals"] = int(cold_evals)
+    benchmark.extra_info["warm_rhs_evals"] = int(warm_evals)
+    benchmark.extra_info["rhs_eval_saving"] = round(saving, 3)
+    reg = current_registry()
+    reg.inc("bench.warm_start.cold_rhs_evals", cold_evals)
+    reg.inc("bench.warm_start.warm_rhs_evals", warm_evals)
+    assert warm_evals < cold_evals, (
+        f"warm sweep used {warm_evals} RHS evals vs {cold_evals} cold"
+    )

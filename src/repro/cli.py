@@ -103,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="re-execute even on a cache hit (fresh results still stored)",
         )
         p.add_argument(
+            "--warm-start",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="thread each stationary point into the next solve on "
+            "CMFSD parameter sweeps (default: enabled; --no-warm-start "
+            "forces cold solves at every sweep point)",
+        )
+        p.add_argument(
             "--profile",
             action="store_true",
             help="collect solver/simulator/runner metrics and print the "
@@ -163,6 +171,21 @@ def _resolve_cache_dir(args) -> Path | None:
     return Path(args.out) / ".cache"
 
 
+#: experiments whose drivers take a ``warm_start`` keyword (CMFSD sweeps)
+_WARM_START_EXPERIMENTS = ("figure4a", "figure4bc", "adapt", "sensitivity")
+
+
+def _warm_start_kwargs(args) -> dict[str, dict] | None:
+    """Per-experiment overrides for ``--no-warm-start``.
+
+    Only the disabled case injects kwargs: the default run keeps empty
+    kwargs so its cache keys are identical to runs from older versions.
+    """
+    if args.warm_start:
+        return None
+    return {eid: {"warm_start": False} for eid in _WARM_START_EXPERIMENTS}
+
+
 def _print_outcome(outcome, out_dir: Path) -> None:
     result = outcome.result
     print(result.rendered)
@@ -197,6 +220,7 @@ def main(argv: list[str] | None = None) -> int:
                     cache_dir=cache_dir,
                     use_cache=cache_dir is not None,
                     force=args.force,
+                    kwargs_map=_warm_start_kwargs(args),
                 )
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
@@ -254,6 +278,7 @@ def main(argv: list[str] | None = None) -> int:
                     jobs=args.jobs,
                     cache_dir=_resolve_cache_dir(args),
                     force=args.force,
+                    kwargs_map=_warm_start_kwargs(args),
                     progress=progress,
                 )
         except KeyError as exc:

@@ -32,7 +32,7 @@ from repro.core.batched import BatchedDownloadModel
 from repro.core.mtcd import MTCDModel, MTCDSteadyState
 from repro.core.mtsd import MTSDModel
 from repro.core.mfcd import MFCDModel
-from repro.core.cmfsd import CMFSDModel, CMFSDSteadyState, StateIndex
+from repro.core.cmfsd import CMFSDModel, CMFSDSteadyState, StateIndex, steady_state_path
 from repro.core.adapt import AdaptController, AdaptPolicy, AdaptTrace, adapt_fixed_point
 from repro.core.schemes import (
     FluidModel,
@@ -74,6 +74,7 @@ __all__ = [
     "CMFSDModel",
     "CMFSDSteadyState",
     "StateIndex",
+    "steady_state_path",
     "AdaptController",
     "AdaptPolicy",
     "AdaptTrace",

@@ -50,6 +50,7 @@ import numpy as np
 from repro.core.correlation import CorrelationModel
 from repro.core.metrics import ClassMetrics, SystemMetrics, aggregate_metrics
 from repro.core.parameters import FluidParameters
+from repro.obs import current_registry
 from repro.ode import (
     IntegrationResult,
     SteadyStateOptions,
@@ -57,9 +58,10 @@ from repro.ode import (
     find_steady_state,
     integrate,
     newton_steady_state,
+    solve_path,
 )
 
-__all__ = ["CMFSDModel", "CMFSDSteadyState", "StateIndex"]
+__all__ = ["CMFSDModel", "CMFSDSteadyState", "StateIndex", "steady_state_path"]
 
 
 @dataclass(frozen=True)
@@ -229,18 +231,25 @@ class CMFSDModel:
     # ----- dynamics (Eq. 5) ---------------------------------------------------
 
     def rhs(self, t: float, state: np.ndarray) -> np.ndarray:
-        """Vectorised right-hand side of Eq. (5)."""
+        """Vectorised right-hand side of Eq. (5).
+
+        Accepts a single state vector of shape ``(dim,)`` or a batch of
+        shape ``(dim, k)`` evaluated column-wise (the scipy ``vectorized``
+        convention) -- the batched form lets the Newton solver build its
+        finite-difference Jacobian in one call.
+        """
         idx: StateIndex = self._index
         mu, eta, gamma = self.params.mu, self.params.eta, self.params.gamma
-        x = state[: idx.n_pairs]
-        y = state[idx.n_pairs :]
-        p_vec = self._p_vec
-        total_x = float(np.sum(x))
-        if total_x > 0.0:
-            pooled = float(np.sum((1.0 - p_vec) * x) + np.sum(y))
-            s_vec = mu * x * (pooled / total_x)
-        else:
-            s_vec = np.zeros(idx.n_pairs)
+        state = np.asarray(state, dtype=float)
+        single = state.ndim == 1
+        cols = state[:, None] if single else state
+        x = cols[: idx.n_pairs]
+        y = cols[idx.n_pairs :]
+        p_vec = self._p_vec[:, None]
+        total_x = np.sum(x, axis=0)
+        pooled = np.sum((1.0 - p_vec) * x, axis=0) + np.sum(y, axis=0)
+        safe_total = np.where(total_x > 0.0, total_x, 1.0)
+        s_vec = np.where(total_x > 0.0, mu * x * (pooled / safe_total), 0.0)
         out = mu * eta * p_vec * x + s_vec
         c = self.params.download_bandwidth
         if c is not None:
@@ -248,13 +257,14 @@ class CMFSDModel:
             # group's service at c per peer (positivity-preserving drains).
             out = np.minimum(out, c * np.maximum(x, 0.0))
         inflow = np.where(
-            idx.j_of_pair == 1,
-            self.class_rates[idx.i_of_pair - 1],
+            (idx.j_of_pair == 1)[:, None],
+            self.class_rates[idx.i_of_pair - 1][:, None],
             out[idx.prev_pair],
         )
         dx = inflow - out
         dy = out[idx.last_pair_of_class] - gamma * y
-        return np.concatenate([dx, dy])
+        derivative = np.concatenate([dx, dy], axis=0)
+        return derivative[:, 0] if single else derivative
 
     def transient(
         self,
@@ -291,6 +301,7 @@ class CMFSDModel:
                 residual=0.0,
                 converged=True,
             )
+        reg = current_registry()
         if initial_state is not None:
             guess = np.asarray(initial_state, dtype=float)
             if guess.shape != (self.state_dim,):
@@ -300,12 +311,16 @@ class CMFSDModel:
                 )
             warm = newton_steady_state(self.rhs, guess, options)
             if warm.converged:
+                if reg.enabled:
+                    reg.inc("core.cmfsd.steady_state.warm_hits")
                 return CMFSDSteadyState(
                     index=self._index,
                     state=np.clip(warm.state, 0.0, None),
                     residual=warm.residual,
                     converged=True,
                 )
+        if reg.enabled:
+            reg.inc("core.cmfsd.steady_state.cold_solves")
         result: SteadyStateResult = find_steady_state(
             self.rhs, np.zeros(self.state_dim), options
         )
@@ -380,3 +395,45 @@ class CMFSDModel:
             take = pop * virtual_pool / total_x
             deltas[i - 1] = (give - take) / pop
         return deltas
+
+
+def steady_state_path(
+    models: "list[CMFSDModel] | tuple[CMFSDModel, ...]",
+    options: SteadyStateOptions | None = None,
+    *,
+    warm_start: bool = True,
+) -> list[CMFSDSteadyState]:
+    """Stationary points along a sequence of CMFSD models (continuation).
+
+    The models must share one state dimension (same ``K``) and should vary
+    a parameter smoothly -- a rho grid, an arrival-rate sweep -- so each
+    stationary point is a good Newton guess for the next
+    (:func:`repro.ode.solve_path` does the threading; with
+    ``warm_start=False`` every point is solved cold from the empty
+    torrent, which is the reference the warm path is tested against).
+    """
+    models = list(models)
+    if not models:
+        return []
+    dim = models[0].state_dim
+    for m in models[1:]:
+        if m.state_dim != dim:
+            raise ValueError(
+                f"all models on a path must share state_dim={dim}, got {m.state_dim}"
+            )
+    path = solve_path(
+        lambda m: m.rhs,
+        models,
+        np.zeros(dim),
+        options,
+        warm_start=warm_start,
+    )
+    return [
+        CMFSDSteadyState(
+            index=m.index,
+            state=np.clip(r.state, 0.0, None),
+            residual=r.residual,
+            converged=r.converged,
+        )
+        for m, r in zip(models, path.results)
+    ]

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.analysis.ascii_plot import ascii_heatmap, ascii_plot
 from repro.analysis.tables import format_table
-from repro.core.cmfsd import CMFSDModel
+from repro.core.cmfsd import CMFSDModel, steady_state_path
 from repro.core.correlation import CorrelationModel
 from repro.core.mfcd import MFCDModel
 from repro.core.parameters import FluidParameters, PAPER_PARAMETERS
@@ -27,8 +27,14 @@ def run(
     *,
     p_values: np.ndarray | None = None,
     rho_values: np.ndarray | None = None,
+    warm_start: bool = True,
 ) -> ExperimentResult:
-    """Sweep (p, rho) and solve the CMFSD steady state at each point."""
+    """Sweep (p, rho) and solve the CMFSD steady state at each point.
+
+    Each grid row is solved as a continuation path along rho
+    (:func:`repro.core.cmfsd.steady_state_path`); ``warm_start=False``
+    solves every grid point cold, for cross-checking.
+    """
     if p_values is None:
         p_values = np.linspace(0.1, 1.0, 10)
     if rho_values is None:
@@ -50,13 +56,14 @@ def run(
             .system_metrics()
             .avg_online_time_per_file
         )
-        # Warm-start each rho solve from the previous point on the grid row:
-        # neighbouring steady states are close, so Newton converges directly.
-        warm: np.ndarray | None = None
-        for b, rho in enumerate(rho_values):
-            model = CMFSDModel.from_correlation(params, corr, rho=float(rho))
-            steady = model.steady_state(initial_state=warm)
-            warm = steady.state
+        # Each row is a continuation path along rho: neighbouring steady
+        # states are close, so each one seeds the next point's Newton solve.
+        models = [
+            CMFSDModel.from_correlation(params, corr, rho=float(rho))
+            for rho in rho_values
+        ]
+        steadies = steady_state_path(models, warm_start=warm_start)
+        for b, (rho, model, steady) in enumerate(zip(rho_values, models, steadies)):
             grid[a, b] = model.system_metrics(steady).avg_online_time_per_file
             rows.append((float(p), float(rho), float(grid[a, b]), float(mfcd_ref[a])))
 

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.analysis.ascii_plot import ascii_plot
 from repro.analysis.tables import format_table
-from repro.core.cmfsd import CMFSDModel
+from repro.core.cmfsd import CMFSDModel, steady_state_path
 from repro.core.correlation import CorrelationModel
 from repro.core.mfcd import MFCDModel
 from repro.core.parameters import FluidParameters, PAPER_PARAMETERS
@@ -32,8 +32,14 @@ def run(
     *,
     correlations: tuple[float, ...] = (0.9, 0.1),
     rho_values: tuple[float, ...] = (0.1, 0.9),
+    warm_start: bool = True,
 ) -> ExperimentResult:
-    """Per-class CMFSD/MFCD comparison at the paper's settings."""
+    """Per-class CMFSD/MFCD comparison at the paper's settings.
+
+    The CMFSD stationary points along the rho grid are solved as a
+    continuation path (each point warm-starting the next); pass
+    ``warm_start=False`` to solve every point cold.
+    """
     classes = list(range(1, params.num_files + 1))
     headers = (
         "p",
@@ -61,9 +67,11 @@ def run(
         corr = CorrelationModel(num_files=params.num_files, p=p)
         mfcd = MFCDModel.from_correlation(params, corr)
         cmfsd_metrics = {}
-        for rho in rho_values:
-            model = CMFSDModel.from_correlation(params, corr, rho=rho)
-            steady = model.steady_state()
+        models = [
+            CMFSDModel.from_correlation(params, corr, rho=rho) for rho in rho_values
+        ]
+        steadies = steady_state_path(models, warm_start=warm_start)
+        for rho, model, steady in zip(rho_values, models, steadies):
             cmfsd_metrics[rho] = [model.class_metrics(i, steady) for i in classes]
         series: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         xs = np.asarray(classes, dtype=float)

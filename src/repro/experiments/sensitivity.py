@@ -22,21 +22,34 @@ import numpy as np
 
 from repro.analysis.ascii_plot import ascii_plot
 from repro.analysis.tables import format_table
+from repro.core.cmfsd import CMFSDModel
 from repro.core.correlation import CorrelationModel
 from repro.core.parameters import FluidParameters, PAPER_PARAMETERS
-from repro.core.schemes import Scheme, compare_schemes
+from repro.core.schemes import Scheme, evaluate_scheme
 from repro.experiments.base import ExperimentResult, FigureSpec
 
 __all__ = ["run"]
 
 
-def _evaluate(params: FluidParameters, p: float) -> tuple[float, float, float, float]:
+def _evaluate(
+    params: FluidParameters, p: float, guess: np.ndarray | None
+) -> tuple[tuple[float, float, float, float], np.ndarray | None]:
+    """Times of all four schemes, threading the CMFSD stationary point.
+
+    MTCD/MTSD/MFCD have closed forms; only CMFSD needs an ODE solve, so it
+    is evaluated directly and the converged state is returned for the next
+    sweep point to warm-start from (``guess=None`` forces a cold solve).
+    """
     corr = CorrelationModel(num_files=params.num_files, p=p)
-    results = compare_schemes(params, corr, rho=0.0)
-    return tuple(
-        results[s].avg_online_time_per_file
-        for s in (Scheme.MTCD, Scheme.MTSD, Scheme.MFCD, Scheme.CMFSD)
+    closed = tuple(
+        evaluate_scheme(s, params, corr).avg_online_time_per_file
+        for s in (Scheme.MTCD, Scheme.MTSD, Scheme.MFCD)
     )
+    model = CMFSDModel.from_correlation(params, corr, rho=0.0)
+    steady = model.steady_state(initial_state=guess)
+    cmfsd = model.system_metrics(steady).avg_online_time_per_file
+    next_guess = steady.state if steady.converged else None
+    return closed + (cmfsd,), next_guess
 
 
 def run(
@@ -45,8 +58,14 @@ def run(
     p: float = 0.9,
     eta_values: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 1.0),
     gamma_values: tuple[float, ...] = (0.022, 0.03, 0.05, 0.1, 0.2),
+    warm_start: bool = True,
 ) -> ExperimentResult:
-    """Sweep eta and gamma; record scheme times and headline ratios."""
+    """Sweep eta and gamma; record scheme times and headline ratios.
+
+    ``warm_start`` threads each CMFSD stationary point into the next sweep
+    point's Newton solve (each sweep is a continuation path); disable it
+    to solve every point cold.
+    """
     headers = (
         "parameter",
         "value",
@@ -58,13 +77,19 @@ def run(
         "mfcd_over_cmfsd0",
     )
     rows: list[tuple] = []
+    guess: np.ndarray | None = None
     for eta in eta_values:
-        mtcd, mtsd, mfcd, cmfsd = _evaluate(params.with_(eta=eta), p)
+        (mtcd, mtsd, mfcd, cmfsd), state = _evaluate(params.with_(eta=eta), p, guess)
+        if warm_start:
+            guess = state
         rows.append(("eta", eta, mtcd, mtsd, mfcd, cmfsd, mtcd / mtsd, mfcd / cmfsd))
+    guess = None  # gamma is a fresh sweep; don't warm-start across sweeps
     for gamma in gamma_values:
         if gamma <= params.mu:
             raise ValueError(f"gamma={gamma} violates the stability condition gamma > mu")
-        mtcd, mtsd, mfcd, cmfsd = _evaluate(params.with_(gamma=gamma), p)
+        (mtcd, mtsd, mfcd, cmfsd), state = _evaluate(params.with_(gamma=gamma), p, guess)
+        if warm_start:
+            guess = state
         rows.append(
             ("gamma", gamma, mtcd, mtsd, mfcd, cmfsd, mtcd / mtsd, mfcd / cmfsd)
         )

@@ -26,11 +26,13 @@ from repro.ode.integrators import (
 )
 from repro.ode.steady_state import (
     SteadyStateOptions,
+    PathResult,
     integrate_to_steady_state,
     newton_steady_state,
     anderson_steady_state,
     scipy_steady_state,
     find_steady_state,
+    solve_path,
     residual_norm,
 )
 from repro.ode.events import time_grid, sample_dense
@@ -43,11 +45,13 @@ __all__ = [
     "integrate_scipy",
     "integrate",
     "SteadyStateOptions",
+    "PathResult",
     "integrate_to_steady_state",
     "newton_steady_state",
     "anderson_steady_state",
     "scipy_steady_state",
     "find_steady_state",
+    "solve_path",
     "residual_norm",
     "time_grid",
     "sample_dense",

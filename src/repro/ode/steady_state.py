@@ -19,8 +19,9 @@ complementary strategies:
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 from scipy import optimize
@@ -31,12 +32,14 @@ from repro.ode.types import IntegrationResult, SteadyStateResult
 
 __all__ = [
     "SteadyStateOptions",
+    "PathResult",
     "residual_norm",
     "integrate_to_steady_state",
     "newton_steady_state",
     "anderson_steady_state",
     "scipy_steady_state",
     "find_steady_state",
+    "solve_path",
 ]
 
 
@@ -130,16 +133,123 @@ def integrate_to_steady_state(
     )
 
 
+class _CountingRHS:
+    """RHS wrapper that tallies scalar-equivalent evaluations.
+
+    A 2-D call with ``k`` columns counts as ``k`` evaluations, so the
+    counter measures *work requested of the model*, not Python call
+    overhead -- warm-start savings show up in it, Jacobian batching does
+    not (batching saves interpreter time, not model evaluations).
+    """
+
+    __slots__ = ("rhs", "evals", "batch_key")
+
+    def __init__(self, rhs: RHS):
+        self.rhs = rhs
+        self.evals = 0
+        self.batch_key = _rhs_batch_key(rhs)
+
+    def __call__(self, t: float, y: np.ndarray) -> np.ndarray:
+        out = self.rhs(t, y)
+        self.evals += y.shape[1] if getattr(y, "ndim", 1) == 2 else 1
+        return out
+
+    def publish(self, counter: str) -> None:
+        """Fold the tally into ``counter`` and the canonical total."""
+        reg = current_registry()
+        if reg.enabled and self.evals:
+            reg.inc(counter, self.evals)
+            reg.inc("ode.rhs_evals", self.evals)
+
+
+#: per-RHS-function memo of whether it accepts 2-D state batches
+#: (scipy ``vectorized`` convention: ``(dim, k) -> (dim, k)``).
+_BATCH_CAPABLE: "weakref.WeakKeyDictionary[object, bool]" = weakref.WeakKeyDictionary()
+
+
+def _rhs_batch_key(rhs: RHS) -> object:
+    """Key batch capability by the underlying function, not the instance.
+
+    Bound methods are recreated on every attribute access and counting
+    wrappers are per-solve, so caching on the callable object itself would
+    never hit; ``__func__`` (or a wrapper's forwarded key) is stable.
+    """
+    forwarded = getattr(rhs, "batch_key", None)
+    if forwarded is not None:
+        return forwarded
+    return getattr(rhs, "__func__", rhs)
+
+
+def _batch_capability(rhs: RHS) -> bool | None:
+    try:
+        return _BATCH_CAPABLE.get(_rhs_batch_key(rhs))
+    except TypeError:  # unhashable / non-weakrefable callable
+        return False
+
+
+def _remember_batch_capability(rhs: RHS, capable: bool) -> None:
+    try:
+        _BATCH_CAPABLE[_rhs_batch_key(rhs)] = capable
+    except TypeError:
+        pass
+
+
+def _batched_jacobian_columns(
+    rhs: RHS, y: np.ndarray, steps: np.ndarray
+) -> np.ndarray | None:
+    """All ``n`` perturbed evaluations in one 2-D RHS call, if supported.
+
+    The first probe of a given RHS function verifies column 0 against a
+    scalar evaluation before trusting the batch: an RHS written for 1-D
+    states may broadcast into the right *shape* while computing the wrong
+    values (e.g. a ``sum`` over all elements instead of per column).
+    Verified capability is memoised per underlying function.
+    """
+    capable = _batch_capability(rhs)
+    if capable is False:
+        return None
+    yp = y[:, None] + np.diag(steps)
+    try:
+        fp = np.asarray(rhs(0.0, yp), dtype=float)
+    except Exception:
+        fp = None
+    if fp is None or fp.shape != yp.shape:
+        _remember_batch_capability(rhs, False)
+        return None
+    if capable is None:
+        reference = np.asarray(rhs(0.0, yp[:, 0].copy()), dtype=float)
+        if not np.allclose(fp[:, 0], reference, rtol=1e-9, atol=1e-12):
+            _remember_batch_capability(rhs, False)
+            return None
+        _remember_batch_capability(rhs, True)
+    return fp
+
+
 def _numerical_jacobian(rhs: RHS, y: np.ndarray, eps_rel: float) -> np.ndarray:
-    """Forward-difference Jacobian of ``f(0, .)`` at ``y``."""
+    """Forward-difference Jacobian of ``f(0, .)`` at ``y``.
+
+    The ``n`` column perturbations are evaluated in a single batched 2-D
+    RHS call when the RHS supports it (see :func:`_batched_jacobian_columns`);
+    otherwise the classic one-column-per-call loop runs.
+    """
     n = y.size
     f0 = np.asarray(rhs(0.0, y), dtype=float)
+    steps = eps_rel * np.maximum(np.abs(y), 1.0)
+    reg = current_registry()
+    if reg.enabled:
+        reg.inc("ode.newton.jacobian_builds")
+    fp = _batched_jacobian_columns(rhs, y, steps)
+    if fp is not None:
+        if reg.enabled:
+            reg.inc("ode.newton.jacobian_batched")
+        return (fp - f0[:, None]) / steps[None, :]
+    if reg.enabled:
+        reg.inc("ode.newton.jacobian_loops")
     jac = np.empty((n, n))
     for j in range(n):
-        step = eps_rel * max(abs(y[j]), 1.0)
         yp = y.copy()
-        yp[j] += step
-        jac[:, j] = (np.asarray(rhs(0.0, yp), dtype=float) - f0) / step
+        yp[j] += steps[j]
+        jac[:, j] = (np.asarray(rhs(0.0, yp), dtype=float) - f0) / steps[j]
     return jac
 
 
@@ -154,6 +264,18 @@ def newton_steady_state(
     decreases (Armijo-free sufficient-decrease on ``||f||``); iterates are
     optionally projected onto the nonnegative orthant.
     """
+    counted = _CountingRHS(rhs)
+    try:
+        return _newton_steady_state(counted, y0, options)
+    finally:
+        counted.publish("ode.newton.rhs_evals")
+
+
+def _newton_steady_state(
+    rhs: RHS,
+    y0: np.ndarray,
+    options: SteadyStateOptions | None = None,
+) -> SteadyStateResult:
     opts = options or SteadyStateOptions()
     y = np.array(y0, dtype=float)
     for it in range(1, opts.max_newton_iter + 1):
@@ -210,6 +332,24 @@ def anderson_steady_state(
     least-squares extrapolation.  Derivative-free, often dramatically faster
     than plain iteration on stiff-ish contraction maps.
     """
+    counted = _CountingRHS(rhs)
+    try:
+        return _anderson_steady_state(
+            counted, y0, options, dt=dt, memory=memory, max_iter=max_iter
+        )
+    finally:
+        counted.publish("ode.anderson.rhs_evals")
+
+
+def _anderson_steady_state(
+    rhs: RHS,
+    y0: np.ndarray,
+    options: SteadyStateOptions | None = None,
+    *,
+    dt: float,
+    memory: int,
+    max_iter: int,
+) -> SteadyStateResult:
     opts = options or SteadyStateOptions()
     y = np.array(y0, dtype=float)
 
@@ -268,15 +408,17 @@ def scipy_steady_state(
 ) -> SteadyStateResult:
     """Locate the root of ``f(0, y)`` with :func:`scipy.optimize.root`."""
     opts = options or SteadyStateOptions()
+    counted = _CountingRHS(rhs)
 
     def fun(y: np.ndarray) -> np.ndarray:
-        return np.asarray(rhs(0.0, y), dtype=float)
+        return np.asarray(counted(0.0, y), dtype=float)
 
     sol = optimize.root(fun, np.asarray(y0, dtype=float), method=method)
     y = np.asarray(sol.x, dtype=float)
     if opts.nonnegative:
         y = np.clip(y, 0.0, None)
-    res = residual_norm(rhs, y)
+    res = residual_norm(counted, y)
+    counted.publish("ode.scipy_root.rhs_evals")
     return SteadyStateResult(
         state=y,
         residual=res,
@@ -344,4 +486,95 @@ def _find_steady_state(
         n_iterations=coarse.n_iterations + polished.n_iterations,
         method="integrate+newton",
         trajectory=coarse.trajectory,
+    )
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """Outcome of a :func:`solve_path` continuation sweep.
+
+    Attributes
+    ----------
+    parameters:
+        The parameter points, in sweep order.
+    results:
+        One :class:`SteadyStateResult` per point (same order).
+    warm_hits:
+        Points solved by Newton directly from the previous stationary point.
+    cold_solves:
+        Points that needed the full integrate+Newton driver (always
+        includes the first point unless an initial guess converged).
+    """
+
+    parameters: tuple
+    results: tuple[SteadyStateResult, ...]
+    warm_hits: int
+    cold_solves: int
+
+    @property
+    def states(self) -> list[np.ndarray]:
+        return [r.state for r in self.results]
+
+    @property
+    def converged(self) -> bool:
+        return all(r.converged for r in self.results)
+
+
+def solve_path(
+    make_rhs: Callable[[object], RHS],
+    parameters: Sequence | Iterable,
+    y0: np.ndarray,
+    options: SteadyStateOptions | None = None,
+    *,
+    warm_start: bool = True,
+) -> PathResult:
+    """Continuation sweep: stationary points along a parameter path.
+
+    Solves ``f_p(y) = 0`` for each ``p`` in ``parameters`` (in order),
+    where ``make_rhs(p)`` builds the RHS for one parameter point.  With
+    ``warm_start`` (the default) each stationary point seeds a direct
+    Newton solve at the next point -- natural parameter continuation --
+    which skips the coarse integration phase entirely whenever consecutive
+    points are close.  If Newton fails to converge from the warm guess,
+    the point falls back to the cold :func:`find_steady_state` driver
+    started from ``y0``, and the sweep continues.
+
+    With ``warm_start=False`` every point runs the cold driver from
+    ``y0``; results are identical within solver tolerance, which is
+    exactly what the equivalence tests assert.
+
+    Observability: increments ``ode.solve_path.points``,
+    ``ode.solve_path.warm_hits`` and ``ode.solve_path.cold_solves``.
+    """
+    opts = options or SteadyStateOptions()
+    y0 = np.asarray(y0, dtype=float)
+    params = tuple(parameters)
+    results: list[SteadyStateResult] = []
+    warm_hits = 0
+    cold_solves = 0
+    guess: np.ndarray | None = None
+    with current_tracer().span("ode.solve_path", points=len(params)):
+        for p in params:
+            rhs = make_rhs(p)
+            result: SteadyStateResult | None = None
+            if warm_start and guess is not None:
+                polished = newton_steady_state(rhs, guess, opts)
+                if polished.converged:
+                    result = polished
+                    warm_hits += 1
+            if result is None:
+                result = find_steady_state(rhs, y0, opts)
+                cold_solves += 1
+            guess = result.state
+            results.append(result)
+    reg = current_registry()
+    if reg.enabled:
+        reg.inc("ode.solve_path.points", len(params))
+        reg.inc("ode.solve_path.warm_hits", warm_hits)
+        reg.inc("ode.solve_path.cold_solves", cold_solves)
+    return PathResult(
+        parameters=params,
+        results=tuple(results),
+        warm_hits=warm_hits,
+        cold_solves=cold_solves,
     )

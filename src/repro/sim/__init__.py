@@ -23,7 +23,8 @@ machines) -> :mod:`scenarios` (ready-made experiment setups).
 from repro.sim.engine import EventQueue, Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.entities import DownloadEntry, EntrySpan, UserRecord
-from repro.sim.swarm import SeedPolicy, Swarm, SwarmGroup
+from repro.sim.peerstore import PeerStore
+from repro.sim.swarm import SeedPolicy, Swarm, SwarmGroup, WorkSnapshot
 from repro.sim.trace import EventKind, EventTrace, TraceEvent
 from repro.sim.tracker import AnnounceEvent, ScrapeStats, Tracker
 from repro.sim.bandwidth import downloader_rates
@@ -45,9 +46,11 @@ __all__ = [
     "DownloadEntry",
     "EntrySpan",
     "UserRecord",
+    "PeerStore",
     "SeedPolicy",
     "Swarm",
     "SwarmGroup",
+    "WorkSnapshot",
     "AnnounceEvent",
     "ScrapeStats",
     "Tracker",

@@ -4,17 +4,54 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.peerstore import PeerStore
 
 __all__ = ["DownloadEntry", "EntrySpan", "UserRecord"]
 
 
-@dataclass
+def _store_backed(name: str) -> property:
+    """Float attribute that lives in the owning store's arrays when attached.
+
+    Detached entries (not yet added to a swarm, or already removed by a
+    completion) keep the value in a private slot; attached entries read and
+    write their :class:`~repro.sim.peerstore.PeerStore` row directly, so
+    the vectorised kernels and the object API always observe one state.
+    """
+    private = "_" + name
+
+    def getter(self: "DownloadEntry") -> float:
+        store = self._store
+        if store is not None:
+            return float(getattr(store, name)[self._slot])
+        return getattr(self, private)
+
+    def setter(self: "DownloadEntry", value: float) -> None:
+        store = self._store
+        if store is not None:
+            getattr(store, name)[self._slot] = value
+        else:
+            object.__setattr__(self, private, float(value))
+
+    return property(getter, setter)
+
+
 class DownloadEntry:
     """One active download: a (user, file) pair progressing through a swarm.
 
     Progress is tracked as *remaining work* (file size units); between
     bandwidth-changing events the download rate is constant, so the system
     advances ``remaining`` lazily whenever it refreshes a swarm group.
+
+    While the entry is attached to a swarm, its mutable numeric fields
+    (``tft_upload``, ``download_cap``, ``remaining``, ``rate``,
+    ``rate_from_virtual``) are views into the swarm's structure-of-arrays
+    :class:`~repro.sim.peerstore.PeerStore`, which is what the vectorised
+    allocation kernels operate on.  Detached entries hold the values
+    locally, so the object reads identically before insertion and after
+    removal.
 
     Attributes
     ----------
@@ -38,24 +75,72 @@ class DownloadEntry:
         Simulation time the entry was created.
     """
 
-    user_id: int
-    file_id: int
-    user_class: int
-    stage: int
-    tft_upload: float
-    download_cap: float
-    remaining: float
-    rate: float = 0.0
-    rate_from_virtual: float = 0.0
-    started_at: float = 0.0
+    __slots__ = (
+        "user_id",
+        "file_id",
+        "user_class",
+        "stage",
+        "started_at",
+        "_store",
+        "_slot",
+        "_tft_upload",
+        "_download_cap",
+        "_remaining",
+        "_rate",
+        "_rate_from_virtual",
+    )
+
+    def __init__(
+        self,
+        user_id: int,
+        file_id: int,
+        user_class: int,
+        stage: int,
+        tft_upload: float,
+        download_cap: float,
+        remaining: float,
+        rate: float = 0.0,
+        rate_from_virtual: float = 0.0,
+        started_at: float = 0.0,
+    ):
+        self.user_id = user_id
+        self.file_id = file_id
+        self.user_class = user_class
+        self.stage = stage
+        self.started_at = started_at
+        self._store: "PeerStore | None" = None
+        self._slot = -1
+        self._tft_upload = float(tft_upload)
+        self._download_cap = float(download_cap)
+        self._remaining = float(remaining)
+        self._rate = float(rate)
+        self._rate_from_virtual = float(rate_from_virtual)
+
+    tft_upload = _store_backed("tft_upload")
+    download_cap = _store_backed("download_cap")
+    remaining = _store_backed("remaining")
+    rate = _store_backed("rate")
+    rate_from_virtual = _store_backed("rate_from_virtual")
 
     def eta_for_completion(self) -> float:
         """Time until completion at the current rate (``inf`` when stalled)."""
-        if self.remaining <= 0:
+        remaining = self.remaining
+        if remaining <= 0:
             return 0.0
-        if self.rate <= 0:
+        rate = self.rate
+        if rate <= 0:
             return math.inf
-        return self.remaining / self.rate
+        return remaining / rate
+
+    def __repr__(self) -> str:
+        return (
+            f"DownloadEntry(user_id={self.user_id}, file_id={self.file_id}, "
+            f"user_class={self.user_class}, stage={self.stage}, "
+            f"tft_upload={self.tft_upload}, download_cap={self.download_cap}, "
+            f"remaining={self.remaining}, rate={self.rate}, "
+            f"rate_from_virtual={self.rate_from_virtual}, "
+            f"started_at={self.started_at})"
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,129 @@
+"""Structure-of-arrays backing store for a swarm's downloader state.
+
+The bandwidth-allocation kernels in :mod:`repro.sim.swarm` are pure array
+math: every downloader contributes a download cap, a tit-for-tat upload and
+a remaining-work figure, and receives back a rate.  Keeping those per-peer
+scalars in Python objects forces every kernel invocation into an O(n)
+attribute-chasing loop (O(n^2) for the neighbour-aware path).  The
+:class:`PeerStore` keeps them in contiguous NumPy arrays instead, so the
+kernels become a handful of vectorised operations.
+
+The store is maintained *incrementally*: :meth:`attach` appends a row in
+amortised O(1) (capacity doubles when full) and :meth:`detach` removes one
+in O(1) by swapping the last row into the vacated slot.  Attached
+:class:`~repro.sim.entities.DownloadEntry` objects become live views into
+their row -- reads and writes of ``entry.rate`` etc. go straight to the
+arrays -- so the scalar reference implementations, behaviours and tests
+keep working unchanged on top of the same storage.  On detach the row's
+values are copied back into the entry, which then behaves like a plain
+record again (completion handling reads ``entry.remaining`` after removal).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.entities import DownloadEntry
+
+__all__ = ["PeerStore"]
+
+#: float columns mirrored between entries and the store (order matters: it
+#: matches the ``DownloadEntry`` slot layout used by attach/detach).
+FLOAT_FIELDS = ("tft_upload", "download_cap", "remaining", "rate", "rate_from_virtual")
+
+#: static integer columns (never written back -- they are immutable on the entry)
+INT_FIELDS = ("user_id", "user_class", "stage")
+
+
+class PeerStore:
+    """Contiguous per-peer arrays for one swarm, plus the slot -> entry map."""
+
+    __slots__ = ("n", "version", "entries") + FLOAT_FIELDS + INT_FIELDS
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.n = 0
+        #: bumped on every attach/detach -- slot layout changed, so any
+        #: slot-indexed state derived from the store must be rebuilt
+        self.version = 0
+        #: slot index -> attached entry (parallel to the array rows)
+        self.entries: list[DownloadEntry] = []
+        for name in FLOAT_FIELDS:
+            setattr(self, name, np.zeros(capacity, dtype=float))
+        for name in INT_FIELDS:
+            setattr(self, name, np.zeros(capacity, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def capacity(self) -> int:
+        return int(self.user_id.size)
+
+    def column(self, name: str) -> np.ndarray:
+        """Live view of the first ``n`` rows of column ``name``."""
+        return getattr(self, name)[: self.n]
+
+    def _grow(self) -> None:
+        new_capacity = max(8, 2 * self.capacity)
+        for name in FLOAT_FIELDS + INT_FIELDS:
+            old = getattr(self, name)
+            fresh = np.zeros(new_capacity, dtype=old.dtype)
+            fresh[: self.n] = old[: self.n]
+            setattr(self, name, fresh)
+
+    def attach(self, entry: "DownloadEntry") -> int:
+        """Adopt ``entry`` into the arrays; it becomes a view of its row."""
+        if entry._store is not None:
+            raise ValueError(
+                f"entry (user={entry.user_id}, file={entry.file_id}) is "
+                "already attached to a store"
+            )
+        if self.n == self.capacity:
+            self._grow()
+        slot = self.n
+        self.tft_upload[slot] = entry._tft_upload
+        self.download_cap[slot] = entry._download_cap
+        self.remaining[slot] = entry._remaining
+        self.rate[slot] = entry._rate
+        self.rate_from_virtual[slot] = entry._rate_from_virtual
+        self.user_id[slot] = entry.user_id
+        self.user_class[slot] = entry.user_class
+        self.stage[slot] = entry.stage
+        self.entries.append(entry)
+        self.n += 1
+        self.version += 1
+        entry._store = self
+        entry._slot = slot
+        return slot
+
+    def detach(self, entry: "DownloadEntry") -> None:
+        """Release ``entry`` (values copied back), swap-filling its slot."""
+        if entry._store is not self:
+            raise ValueError(
+                f"entry (user={entry.user_id}, file={entry.file_id}) is not "
+                "attached to this store"
+            )
+        slot = entry._slot
+        entry._tft_upload = float(self.tft_upload[slot])
+        entry._download_cap = float(self.download_cap[slot])
+        entry._remaining = float(self.remaining[slot])
+        entry._rate = float(self.rate[slot])
+        entry._rate_from_virtual = float(self.rate_from_virtual[slot])
+        entry._store = None
+        entry._slot = -1
+        last = self.n - 1
+        if slot != last:
+            moved = self.entries[last]
+            self.entries[slot] = moved
+            moved._slot = slot
+            for name in FLOAT_FIELDS + INT_FIELDS:
+                column = getattr(self, name)
+                column[slot] = column[last]
+        self.entries.pop()
+        self.n = last
+        self.version += 1

@@ -1,0 +1,149 @@
+"""Scalar reference implementations of the bandwidth-allocation kernels.
+
+These are the original per-entry Python loops that
+:meth:`repro.sim.swarm.Swarm.recompute_rates`,
+:meth:`repro.sim.swarm.SwarmGroup.recompute_rates_all`,
+:meth:`repro.sim.swarm.Swarm.advance` and the completion queries were built
+from, kept verbatim as an *oracle*: the vectorised kernels that replaced
+them must produce the same allocations on any swarm, and the equivalence
+tests in ``tests/sim/test_kernels.py`` assert exactly that on randomised
+populations.  They also serve as the baseline side of the kernel
+benchmarks (``benchmarks/test_bench_kernels.py``).
+
+All functions mutate the swarm's entries through the ordinary attribute
+API, which writes through to the structure-of-arrays store -- so a scalar
+pass and a vectorised pass run on the *same* swarm object and can be
+compared directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.entities import DownloadEntry, UserRecord
+    from repro.sim.swarm import Swarm, SwarmGroup
+
+__all__ = [
+    "recompute_rates_scalar",
+    "recompute_rates_all_scalar",
+    "advance_scalar",
+    "next_completion_time_scalar",
+    "due_entries_scalar",
+]
+
+
+def recompute_rates_scalar(swarm: "Swarm", eta: float) -> None:
+    """Per-entry loop equivalent of :meth:`Swarm.recompute_rates`.
+
+    Bumps the swarm epoch exactly like the production kernel so the two
+    are interchangeable in front of the event system.
+    """
+    swarm.epoch += 1
+    if swarm.neighbor_aware:
+        _recompute_rates_neighbor_aware_scalar(swarm, eta)
+        return
+    entries = swarm.downloaders.values()
+    total_cap = sum(e.download_cap for e in entries)
+    sv = swarm.virtual_capacity
+    sr = swarm.real_capacity
+    for entry in entries:
+        share = entry.download_cap / total_cap if total_cap > 0 else 0.0
+        rate = eta * entry.tft_upload + share * (sv + sr)
+        if rate > entry.download_cap > 0:
+            scale = entry.download_cap / rate
+            entry.rate = entry.download_cap
+            entry.rate_from_virtual = share * sv * scale
+        else:
+            entry.rate = rate
+            entry.rate_from_virtual = share * sv
+
+
+def _recompute_rates_neighbor_aware_scalar(swarm: "Swarm", eta: float) -> None:
+    """O(n^2) connection-by-connection bounded-connectivity allocation."""
+    entries = list(swarm.downloaders.values())
+    for entry in entries:
+        has_partner = any(
+            swarm.connected(entry.user_id, other.user_id)
+            for other in entries
+            if other.user_id != entry.user_id
+        )
+        entry.rate = eta * entry.tft_upload if has_partner else 0.0
+        entry.rate_from_virtual = 0.0
+    for virtual, table in ((True, swarm.virtual_seeds), (False, swarm.real_seeds)):
+        for seed_user, (bw, _) in table.items():
+            if bw <= 0:
+                continue
+            receivers = [e for e in entries if swarm.connected(seed_user, e.user_id)]
+            total_cap = sum(e.download_cap for e in receivers)
+            if total_cap <= 0:
+                continue
+            for e in receivers:
+                share = e.download_cap / total_cap * bw
+                e.rate += share
+                if virtual:
+                    e.rate_from_virtual += share
+    for entry in entries:
+        if entry.rate > entry.download_cap > 0:
+            scale = entry.download_cap / entry.rate
+            entry.rate = entry.download_cap
+            entry.rate_from_virtual *= scale
+
+
+def recompute_rates_all_scalar(group: "SwarmGroup") -> None:
+    """Per-entry loop equivalent of :meth:`SwarmGroup.recompute_rates_all`."""
+    eta = group.eta
+    entries = list(group.all_entries())
+    total_cap = sum(e.download_cap for e in entries)
+    pool_virtual = group.total_virtual_capacity()
+    pool_real = group.total_real_capacity()
+    for swarm in group.swarms.values():
+        swarm.epoch += 1
+    for entry in entries:
+        share = entry.download_cap / total_cap if total_cap > 0 else 0.0
+        rate = eta * entry.tft_upload + share * (pool_virtual + pool_real)
+        if rate > entry.download_cap > 0:
+            scale = entry.download_cap / rate
+            entry.rate = entry.download_cap
+            entry.rate_from_virtual = share * pool_virtual * scale
+        else:
+            entry.rate = rate
+            entry.rate_from_virtual = share * pool_virtual
+
+
+def advance_scalar(
+    swarm: "Swarm", t: float, records: "Mapping[int, UserRecord] | None"
+) -> None:
+    """Per-entry loop equivalent of :meth:`Swarm.advance`."""
+    dt = t - swarm.last_update
+    if dt < -1e-9:
+        raise ValueError(f"cannot advance swarm backwards ({swarm.last_update} -> {t})")
+    if dt <= 0:
+        swarm.last_update = t
+        return
+    for entry in swarm.downloaders.values():
+        entry.remaining = max(0.0, entry.remaining - entry.rate * dt)
+        if records is not None and entry.rate_from_virtual > 0:
+            rec = records.get(entry.user_id)
+            if rec is not None:
+                rec.received_virtual += entry.rate_from_virtual * dt
+    if records is not None and swarm.downloaders:
+        for user_id, (bw, _) in swarm.virtual_seeds.items():
+            rec = records.get(user_id)
+            if rec is not None:
+                rec.uploaded_virtual += bw * dt
+    swarm.last_update = t
+
+
+def next_completion_time_scalar(swarm: "Swarm") -> float:
+    """Full-scan equivalent of :meth:`Swarm.next_completion_time`."""
+    eta = math.inf
+    for entry in swarm.downloaders.values():
+        eta = min(eta, entry.eta_for_completion())
+    return swarm.last_update + eta
+
+
+def due_entries_scalar(swarm: "Swarm", slack: float) -> "list[DownloadEntry]":
+    """Full-scan equivalent of :meth:`Swarm.due_entries`."""
+    return [e for e in swarm.downloaders.values() if e.remaining <= slack]

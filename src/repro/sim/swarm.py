@@ -26,19 +26,31 @@ laziness matches the unit of rate coupling -- the whole group under
 rate), but a single swarm under ``SUBTORRENT`` (rates never cross swarm
 boundaries).  This per-swarm fast path is what keeps large MFCD/MTCD runs
 tractable: an event touches one swarm, not a 10-file torrent.
+
+Per-peer numeric state lives in a structure-of-arrays
+:class:`~repro.sim.peerstore.PeerStore` per swarm, so every kernel here --
+rate recomputation, progress advancement, completion queries -- is a
+handful of NumPy array operations rather than a Python loop over entries.
+The neighbour-aware path builds a boolean adjacency matrix from the
+tracker samples and allocates seed bandwidth with one matrix product.  The
+original per-entry loops survive verbatim in :mod:`repro.sim.reference` as
+the oracle the vectorised kernels are tested against.
 """
 
 from __future__ import annotations
 
 import enum
 import math
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 import numpy as np
 
+from repro.obs import current_registry
 from repro.sim.entities import DownloadEntry, UserRecord
+from repro.sim.peerstore import PeerStore
 
-__all__ = ["SeedPolicy", "Swarm", "SwarmGroup"]
+__all__ = ["SeedPolicy", "Swarm", "SwarmGroup", "WorkSnapshot"]
 
 
 class SeedPolicy(enum.Enum):
@@ -48,26 +60,148 @@ class SeedPolicy(enum.Enum):
     GLOBAL_POOL = "global_pool"
 
 
+class _VersionedDict(dict):
+    """Dict that counts its mutations, so kernels can cache derived state.
+
+    The neighbour-aware kernel derives adjacency/connectivity matrices from
+    the tracker samples and seed tables; rebuilding them is the expensive
+    part, so it keys a cache on these version counters.  Values must be
+    *replaced*, never mutated in place (the tracker always assigns fresh
+    sets) -- in-place value mutation is invisible to the counter.
+    """
+
+    __slots__ = ("version",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.version = 0
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self.version += 1
+
+    def __delitem__(self, key):
+        super().__delitem__(key)
+        self.version += 1
+
+    def pop(self, *args):
+        result = super().pop(*args)
+        self.version += 1
+        return result
+
+    def popitem(self):
+        result = super().popitem()
+        self.version += 1
+        return result
+
+    def clear(self):
+        super().clear()
+        self.version += 1
+
+    def update(self, *args, **kwargs):
+        super().update(*args, **kwargs)
+        self.version += 1
+
+    def setdefault(self, key, default=None):
+        self.version += 1
+        return super().setdefault(key, default)
+
+
+@dataclass(frozen=True)
+class WorkSnapshot:
+    """One consistent view of a swarm's remaining work and rates.
+
+    Completion handling needs two answers -- *which entries are due* and
+    *when is the next completion* -- and they must come from the same
+    progress state: deriving them from live arrays at two different moments
+    can mix rates from two allocation epochs (e.g. when a behaviour
+    callback triggers a flush halfway through).  A snapshot copies
+    ``remaining`` and ``rate`` once, records the epoch it was taken under,
+    and answers every query from those frozen arrays.
+    """
+
+    epoch: int
+    time: float
+    entries: tuple[DownloadEntry, ...]
+    remaining: np.ndarray
+    rate: np.ndarray
+
+    def etas(self) -> np.ndarray:
+        """Per-entry time to completion (0 when done, ``inf`` when stalled)."""
+        safe_rate = np.where(self.rate > 0, self.rate, 1.0)
+        with np.errstate(over="ignore"):  # tiny rate / huge remaining -> inf is right
+            return np.where(
+                self.remaining <= 0,
+                0.0,
+                np.where(self.rate > 0, self.remaining / safe_rate, math.inf),
+            )
+
+    def next_completion_time(self) -> float:
+        """Absolute time of the earliest completion (``inf`` if none)."""
+        if not self.entries:
+            return math.inf
+        return self.time + float(np.min(self.etas()))
+
+    def due(self, slack: float) -> list[DownloadEntry]:
+        """Entries whose snapshotted remaining work is within ``slack``."""
+        return [self.entries[i] for i in np.flatnonzero(self.remaining <= slack)]
+
+    def earliest(self) -> tuple[DownloadEntry, float] | None:
+        """The entry closest to completion and its eta (``None`` if empty)."""
+        if not self.entries:
+            return None
+        etas = self.etas()
+        i = int(np.argmin(etas))
+        return self.entries[i], float(etas[i])
+
+
 class Swarm:
     """Population of one file, with its own lazy-progress clock."""
 
     def __init__(self, file_id: int):
         self.file_id = file_id
-        #: entry key -> active download
+        #: entry key -> active download (membership / identity view)
         self.downloaders: dict[tuple[int, int], DownloadEntry] = {}
+        #: structure-of-arrays numeric state backing the entries above
+        self.store = PeerStore()
         #: user id -> (bandwidth, user class), seeds that finished everything
-        self.real_seeds: dict[int, tuple[float, int]] = {}
+        self.real_seeds: dict[int, tuple[float, int]] = _VersionedDict()
         #: user id -> (bandwidth, user class), partial seeds (CMFSD)
-        self.virtual_seeds: dict[int, tuple[float, int]] = {}
+        self.virtual_seeds: dict[int, tuple[float, int]] = _VersionedDict()
         #: time up to which this swarm's progress has been integrated
         self.last_update = 0.0
         #: bumped whenever rates change; completion events carry the epoch
         #: they were planned under so stale ones can be recognised
         self.epoch = 0
         #: tracker-sampled neighbour sets per user (empty dict = full mesh)
-        self.neighbors: dict[int, set[int]] = {}
+        self._neighbors: _VersionedDict = _VersionedDict()
         #: when True, rates only flow along neighbour connections
         self.neighbor_aware = False
+        #: (versions) -> topology-derived kernel state; see
+        #: :meth:`_neighbor_topology`
+        self._topology_cache: tuple | None = None
+
+    @property
+    def neighbors(self) -> dict[int, set[int]]:
+        return self._neighbors
+
+    @neighbors.setter
+    def neighbors(self, value: Mapping[int, set[int]]) -> None:
+        # wholesale replacement (tests, scenario setup) gets a fresh counter
+        self._neighbors = _VersionedDict(value)
+
+    # ----- membership (store + dict kept in lockstep) ---------------------------
+
+    def add_entry(self, entry: DownloadEntry) -> None:
+        """Insert an entry: dict membership plus a store row, atomically."""
+        self.downloaders[(entry.user_id, entry.file_id)] = entry
+        self.store.attach(entry)
+
+    def pop_entry(self, key: tuple[int, int]) -> DownloadEntry:
+        """Remove and detach an entry (raises ``KeyError`` when absent)."""
+        entry = self.downloaders.pop(key)
+        self.store.detach(entry)
+        return entry
 
     @property
     def n_downloaders(self) -> int:
@@ -83,10 +217,10 @@ class Swarm:
 
     def downloader_count_by_class(self, num_classes: int) -> np.ndarray:
         """Vector of downloader counts indexed by user class (1..K)."""
-        counts = np.zeros(num_classes, dtype=float)
-        for entry in self.downloaders.values():
-            counts[entry.user_class - 1] += 1
-        return counts
+        classes = self.store.column("user_class")
+        return np.bincount(classes - 1, minlength=num_classes)[:num_classes].astype(
+            float
+        )
 
     def seed_count_by_class(self, num_classes: int) -> np.ndarray:
         """Vector of *real* seed counts indexed by user class (1..K)."""
@@ -101,10 +235,16 @@ class Swarm:
         The simulator counterpart of Eq. (5)'s ``x^{i,j}`` state (for one
         subtorrent; sum over subtorrents for the torrent-wide population).
         """
-        counts = np.zeros((num_classes, num_classes), dtype=float)
-        for entry in self.downloaders.values():
-            counts[entry.user_class - 1, entry.stage - 1] += 1
-        return counts
+        classes = self.store.column("user_class")
+        stages = self.store.column("stage")
+        flat = (classes - 1) * num_classes + (stages - 1)
+        return (
+            np.bincount(flat, minlength=num_classes * num_classes)[
+                : num_classes * num_classes
+            ]
+            .reshape(num_classes, num_classes)
+            .astype(float)
+        )
 
     # ----- per-swarm lazy progress (SUBTORRENT fast path) -------------------------
 
@@ -116,12 +256,19 @@ class Swarm:
         if dt <= 0:
             self.last_update = t
             return
-        for entry in self.downloaders.values():
-            entry.remaining = max(0.0, entry.remaining - entry.rate * dt)
-            if records is not None and entry.rate_from_virtual > 0:
-                rec = records.get(entry.user_id)
-                if rec is not None:
-                    rec.received_virtual += entry.rate_from_virtual * dt
+        store = self.store
+        n = store.n
+        if n:
+            remaining = store.remaining[:n]
+            np.subtract(remaining, store.rate[:n] * dt, out=remaining)
+            np.maximum(remaining, 0.0, out=remaining)
+            if records is not None:
+                rfv = store.rate_from_virtual[:n]
+                user_ids = store.user_id[:n]
+                for i in np.flatnonzero(rfv > 0):
+                    rec = records.get(int(user_ids[i]))
+                    if rec is not None:
+                        rec.received_virtual += float(rfv[i]) * dt
         if records is not None and self.downloaders:
             for user_id, (bw, _) in self.virtual_seeds.items():
                 rec = records.get(user_id)
@@ -144,26 +291,36 @@ class Swarm:
         :meth:`_recompute_rates_neighbor_aware`).
         """
         self.epoch += 1
+        reg = current_registry()
         if self.neighbor_aware:
             self._recompute_rates_neighbor_aware(eta)
+            if reg.enabled:
+                reg.inc("sim.kernel.neighbor.recomputes")
+                reg.inc("sim.kernel.neighbor.peers", self.store.n)
             return
-        entries = self.downloaders.values()
-        total_cap = sum(e.download_cap for e in entries)
+        if reg.enabled:
+            reg.inc("sim.kernel.mesh.recomputes")
+            reg.inc("sim.kernel.mesh.peers", self.store.n)
+        store = self.store
+        n = store.n
+        if n == 0:
+            return
+        caps = store.column("download_cap")
+        total_cap = float(np.sum(caps))
         sv = self.virtual_capacity
         sr = self.real_capacity
-        for entry in entries:
-            share = entry.download_cap / total_cap if total_cap > 0 else 0.0
-            rate = eta * entry.tft_upload + share * (sv + sr)
-            if rate > entry.download_cap > 0:
-                scale = entry.download_cap / rate
-                entry.rate = entry.download_cap
-                entry.rate_from_virtual = share * sv * scale
-            else:
-                entry.rate = rate
-                entry.rate_from_virtual = share * sv
+        if total_cap > 0:
+            share = caps / total_cap
+        else:
+            share = np.zeros(n)
+        rate = eta * store.column("tft_upload") + share * (sv + sr)
+        rate_from_virtual = share * sv
+        _apply_download_caps(rate, rate_from_virtual, caps)
+        store.rate[:n] = rate
+        store.rate_from_virtual[:n] = rate_from_virtual
 
     def _recompute_rates_neighbor_aware(self, eta: float) -> None:
-        """Bounded-connectivity allocation.
+        """Bounded-connectivity allocation as adjacency matrix + matmul.
 
         * Tit-for-tat returns ``eta * upload`` only to downloaders with at
           least one connected downloader partner to trade with.
@@ -171,46 +328,197 @@ class Swarm:
           to that seed*, proportionally to their download capacity; a seed
           with no connected downloader idles (the mixing loss the fluid
           models assume away).
+
+        Connections are mutual, so the downloader adjacency is the
+        symmetrised sample matrix; seed service is a single matrix-vector
+        product of the seed-connectivity matrix against per-seed
+        bandwidth-per-unit-capacity coefficients.
         """
-        entries = list(self.downloaders.values())
-        for entry in entries:
-            has_partner = any(
-                self.connected(entry.user_id, other.user_id)
-                for other in entries
-                if other.user_id != entry.user_id
+        store = self.store
+        n = store.n
+        if n == 0:
+            return
+        caps = store.column("download_cap")
+        tft = store.column("tft_upload")
+
+        has_partner, connectivity, bandwidth, virtual_vec = self._neighbor_topology()
+        rate = np.where(has_partner, eta * tft, 0.0)
+        if connectivity is not None:
+            reachable_cap = connectivity @ caps
+            coeff = np.divide(
+                bandwidth,
+                reachable_cap,
+                out=np.zeros(bandwidth.size),
+                where=reachable_cap > 0,
             )
-            entry.rate = eta * entry.tft_upload if has_partner else 0.0
-            entry.rate_from_virtual = 0.0
-        for virtual, table in ((True, self.virtual_seeds), (False, self.real_seeds)):
-            for seed_user, (bw, _) in table.items():
-                if bw <= 0:
-                    continue
-                receivers = [
-                    e for e in entries if self.connected(seed_user, e.user_id)
-                ]
-                total_cap = sum(e.download_cap for e in receivers)
-                if total_cap <= 0:
-                    continue
-                for e in receivers:
-                    share = e.download_cap / total_cap * bw
-                    e.rate += share
-                    if virtual:
-                        e.rate_from_virtual += share
-        for entry in entries:
-            if entry.rate > entry.download_cap > 0:
-                scale = entry.download_cap / entry.rate
-                entry.rate = entry.download_cap
-                entry.rate_from_virtual *= scale
+            rate = rate + caps * (connectivity.T @ coeff)
+            rate_from_virtual = caps * (connectivity.T @ (coeff * virtual_vec))
+        else:
+            rate_from_virtual = np.zeros(n)
+        _apply_download_caps(rate, rate_from_virtual, caps)
+        store.rate[:n] = rate
+        store.rate_from_virtual[:n] = rate_from_virtual
+
+    def _neighbor_topology(self):
+        """Topology-derived kernel state, cached across unchanged epochs.
+
+        Returns ``(has_partner, connectivity, bandwidth, virtual_vec)``:
+        which downloaders have a connected downloader partner, the
+        seed-allocation x downloader-slot connectivity matrix (``None``
+        when no seed has positive bandwidth), per-allocation bandwidths
+        and a 0/1 virtual-allocation indicator.
+
+        Everything here depends only on membership (store slots), the
+        tracker samples and the seed tables -- not on capacities or
+        progress -- so it is cached and rebuilt only when one of those
+        version counters moves.  In the event-driven simulator a rate
+        recompute usually *follows* a membership change (cache miss), but
+        repeated recomputes between topology changes (eta sweeps, pool
+        re-flushes, benchmarks) hit the cache and reduce to two
+        matrix-vector products.
+        """
+        neighbors = self._neighbors
+        versions = (
+            neighbors.version,
+            self.store.version,
+            self.virtual_seeds.version,
+            self.real_seeds.version,
+        )
+        if self._topology_cache is not None and self._topology_cache[0] == versions:
+            return self._topology_cache[1]
+
+        store = self.store
+        n = store.n
+        user_ids = store.column("user_id")
+
+        # Flatten the tracker samples into one (src, dst) edge array; all
+        # subsequent id -> slot mapping is vectorised (searchsorted), which
+        # is what keeps this kernel ahead of the scalar loop -- per-edge
+        # Python dict lookups would dominate the matmul.
+        if neighbors:
+            keys = np.fromiter(neighbors.keys(), dtype=np.int64, count=len(neighbors))
+            degrees = np.fromiter(
+                (len(s) for s in neighbors.values()),
+                dtype=np.int64,
+                count=len(neighbors),
+            )
+            n_edges = int(degrees.sum())
+            dst = np.fromiter(
+                (u for s in neighbors.values() for u in s),
+                dtype=np.int64,
+                count=n_edges,
+            )
+            src = np.repeat(keys, degrees)
+        else:
+            src = dst = np.empty(0, dtype=np.int64)
+
+        slot_order = np.argsort(user_ids, kind="stable")
+        sorted_ids = user_ids[slot_order]
+
+        def to_slot(ids: np.ndarray) -> np.ndarray:
+            """Downloader slot of each user id (-1 when not a downloader)."""
+            pos = np.minimum(np.searchsorted(sorted_ids, ids), n - 1)
+            return np.where(sorted_ids[pos] == ids, slot_order[pos], -1)
+
+        src_slot = to_slot(src)
+        dst_slot = to_slot(dst)
+
+        adjacency = np.zeros((n, n), dtype=bool)
+        both = (src_slot >= 0) & (dst_slot >= 0)
+        adjacency[src_slot[both], dst_slot[both]] = True
+        adjacency |= adjacency.T
+        np.fill_diagonal(adjacency, False)
+        has_partner = adjacency.any(axis=1)
+
+        seeds = [
+            (seed_user, bw, virtual)
+            for virtual, table in ((True, self.virtual_seeds), (False, self.real_seeds))
+            for seed_user, (bw, _) in table.items()
+            if bw > 0
+        ]
+        if seeds:
+            seed_ids = np.array([s for s, _, _ in seeds], dtype=np.int64)
+            # A user may hold a virtual and a real seed at once; connection
+            # rows are per *user*, then expanded back to per-allocation.
+            unique_ids, inverse = np.unique(seed_ids, return_inverse=True)
+
+            def to_seed_row(ids: np.ndarray) -> np.ndarray:
+                if ids.size == 0:
+                    return np.empty(0, dtype=np.int64)
+                pos = np.minimum(
+                    np.searchsorted(unique_ids, ids), unique_ids.size - 1
+                )
+                return np.where(unique_ids[pos] == ids, pos, -1)
+
+            reach = np.zeros((unique_ids.size, n))
+            # downloader sampled the seed (src is a slot, dst is a seed)
+            seed_of_dst = to_seed_row(dst)
+            hit = (src_slot >= 0) & (seed_of_dst >= 0)
+            reach[seed_of_dst[hit], src_slot[hit]] = 1.0
+            # seed sampled the downloader (src is a seed, dst is a slot)
+            seed_of_src = to_seed_row(src)
+            hit = (seed_of_src >= 0) & (dst_slot >= 0)
+            reach[seed_of_src[hit], dst_slot[hit]] = 1.0
+            connectivity = reach[inverse]
+            bandwidth = np.array([bw for _, bw, _ in seeds])
+            virtual_vec = np.array([float(v) for *_, v in seeds])
+        else:
+            connectivity = bandwidth = virtual_vec = None
+
+        topology = (has_partner, connectivity, bandwidth, virtual_vec)
+        self._topology_cache = (versions, topology)
+        return topology
+
+    # ----- completion queries (one shared snapshot) -----------------------------
+
+    def work_snapshot(self) -> WorkSnapshot:
+        """Freeze (entries, remaining, rate) under the current epoch."""
+        store = self.store
+        n = store.n
+        return WorkSnapshot(
+            epoch=self.epoch,
+            time=self.last_update,
+            entries=tuple(store.entries),
+            remaining=store.remaining[:n].copy(),
+            rate=store.rate[:n].copy(),
+        )
 
     def next_completion_time(self) -> float:
         """Absolute time of the earliest completion (``inf`` if none)."""
-        eta = math.inf
-        for entry in self.downloaders.values():
-            eta = min(eta, entry.eta_for_completion())
-        return self.last_update + eta
+        store = self.store
+        n = store.n
+        if n == 0:
+            return math.inf
+        remaining = store.remaining[:n]
+        rate = store.rate[:n]
+        safe_rate = np.where(rate > 0, rate, 1.0)
+        with np.errstate(over="ignore"):  # tiny rate / huge remaining -> inf is right
+            etas = np.where(
+                remaining <= 0,
+                0.0,
+                np.where(rate > 0, remaining / safe_rate, math.inf),
+            )
+        return self.last_update + float(np.min(etas))
 
     def due_entries(self, slack: float) -> list[DownloadEntry]:
-        return [e for e in self.downloaders.values() if e.remaining <= slack]
+        store = self.store
+        remaining = store.remaining[: store.n]
+        return [store.entries[i] for i in np.flatnonzero(remaining <= slack)]
+
+
+def _apply_download_caps(
+    rate: np.ndarray, rate_from_virtual: np.ndarray, caps: np.ndarray
+) -> None:
+    """Clip rates at the download link in place, rescaling the virtual part.
+
+    Mirrors the scalar rule ``if rate > cap > 0``: entries with a zero cap
+    are never clipped (they already receive no seed share).
+    """
+    over = (rate > caps) & (caps > 0)
+    if np.any(over):
+        scale = caps[over] / rate[over]
+        rate_from_virtual[over] *= scale
+        rate[over] = caps[over]
 
 
 class SwarmGroup:
@@ -266,12 +574,12 @@ class SwarmGroup:
         swarm = self._swarm(entry.file_id)
         if key in swarm.downloaders:
             raise ValueError(f"duplicate download entry {key} in group {self.group_id}")
-        swarm.downloaders[key] = entry
+        swarm.add_entry(entry)
 
     def remove_downloader(self, user_id: int, file_id: int) -> DownloadEntry:
         swarm = self._swarm(file_id)
         try:
-            return swarm.downloaders.pop((user_id, file_id))
+            return swarm.pop_entry((user_id, file_id))
         except KeyError:
             raise KeyError(
                 f"no download entry (user={user_id}, file={file_id}) "
@@ -369,12 +677,19 @@ class SwarmGroup:
             if dt <= 0:
                 swarm.last_update = t
                 continue
-            for entry in swarm.downloaders.values():
-                entry.remaining = max(0.0, entry.remaining - entry.rate * dt)
-                if records is not None and entry.rate_from_virtual > 0:
-                    rec = records.get(entry.user_id)
-                    if rec is not None:
-                        rec.received_virtual += entry.rate_from_virtual * dt
+            store = swarm.store
+            n = store.n
+            if n:
+                remaining = store.remaining[:n]
+                np.subtract(remaining, store.rate[:n] * dt, out=remaining)
+                np.maximum(remaining, 0.0, out=remaining)
+                if records is not None:
+                    rfv = store.rate_from_virtual[:n]
+                    user_ids = store.user_id[:n]
+                    for i in np.flatnonzero(rfv > 0):
+                        rec = records.get(int(user_ids[i]))
+                        if rec is not None:
+                            rec.received_virtual += float(rfv[i]) * dt
             if records is not None and group_busy:
                 for user_id, (bw, _) in swarm.virtual_seeds.items():
                     rec = records.get(user_id)
@@ -386,25 +701,37 @@ class SwarmGroup:
         """Refresh every entry's rate from the group-wide pool.
 
         As in :meth:`Swarm.recompute_rates`, rates are capped at the
-        entry's download bandwidth.
+        entry's download bandwidth.  The pool totals are computed once and
+        each swarm's store is updated with vectorised operations.
         """
         eta = self.eta
-        entries = list(self.all_entries())
-        total_cap = sum(e.download_cap for e in entries)
+        total_cap = 0.0
+        for swarm in self.swarms.values():
+            store = swarm.store
+            total_cap += float(np.sum(store.download_cap[: store.n]))
         pool_virtual = self.total_virtual_capacity()
         pool_real = self.total_real_capacity()
+        pool = pool_virtual + pool_real
+        reg = current_registry()
+        if reg.enabled:
+            reg.inc("sim.kernel.pool.recomputes")
+            reg.inc("sim.kernel.pool.peers", self.n_downloaders)
         for swarm in self.swarms.values():
             swarm.epoch += 1
-        for entry in entries:
-            share = entry.download_cap / total_cap if total_cap > 0 else 0.0
-            rate = eta * entry.tft_upload + share * (pool_virtual + pool_real)
-            if rate > entry.download_cap > 0:
-                scale = entry.download_cap / rate
-                entry.rate = entry.download_cap
-                entry.rate_from_virtual = share * pool_virtual * scale
+            store = swarm.store
+            n = store.n
+            if n == 0:
+                continue
+            caps = store.column("download_cap")
+            if total_cap > 0:
+                share = caps / total_cap
             else:
-                entry.rate = rate
-                entry.rate_from_virtual = share * pool_virtual
+                share = np.zeros(n)
+            rate = eta * store.column("tft_upload") + share * pool
+            rate_from_virtual = share * pool_virtual
+            _apply_download_caps(rate, rate_from_virtual, caps)
+            store.rate[:n] = rate
+            store.rate_from_virtual[:n] = rate_from_virtual
 
     def next_completion_time(self) -> float:
         """Earliest completion over the whole group (``inf`` if none)."""

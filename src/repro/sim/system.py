@@ -362,21 +362,24 @@ class SimulationSystem:
             group.advance_all(self.now)
         else:
             group.swarms[key[1]].advance(self.now, self.metrics.records)
+        # One snapshot per swarm: both the due set and the fallback
+        # candidate must be judged against the *same* (remaining, rate)
+        # state, or a flush sneaking in between the two reads could mix
+        # rates from two allocation epochs.
+        snapshots = [s.work_snapshot() for s in self._domain_swarms(key)]
         due: list[DownloadEntry] = []
-        for swarm in self._domain_swarms(key):
-            due.extend(swarm.due_entries(self._completion_slack))
+        for snapshot in snapshots:
+            due.extend(snapshot.due(self._completion_slack))
         if not due:
             # Numerical slack: the closest entry should be within float
             # error of done; force the earliest one to completion.  A
             # genuinely early wake-up (possible only through a logic bug)
             # falls back to re-planning.
-            candidates = [
-                e for s in self._domain_swarms(key) for e in s.downloaders.values()
-            ]
-            if not candidates:
+            earliest = [e for s in snapshots if (e := s.earliest()) is not None]
+            if not earliest:
                 return
-            entry = min(candidates, key=lambda e: e.eta_for_completion())
-            if entry.eta_for_completion() > 1e-6:
+            entry, eta = min(earliest, key=lambda pair: pair[1])
+            if eta > 1e-6:
                 self._dirty.add(key)
                 self.flush()
                 return
