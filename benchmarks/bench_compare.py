@@ -1,0 +1,185 @@
+"""Compare a fresh ``results/BENCH_results.json`` against a baseline.
+
+CI runs this as a non-blocking step after the benchmark job: the committed
+baseline (``git show HEAD:results/BENCH_results.json``) is diffed against
+the freshly generated file and per-benchmark wall-clock regressions beyond
+the threshold (default 25%) are printed, so the perf trajectory of every
+PR is visible without making noisy timings a merge gate.
+
+Usage::
+
+    python benchmarks/bench_compare.py                  # baseline = HEAD
+    python benchmarks/bench_compare.py --baseline old.json --fresh new.json
+    python benchmarks/bench_compare.py --threshold 0.5
+
+Exits 1 when regressions are found (callers that want the step advisory
+mark it ``continue-on-error``), 0 otherwise -- including when either file
+is missing, which is normal on branches that have not run the benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FRESH = REPO_ROOT / "results" / "BENCH_results.json"
+GIT_BASELINE = "HEAD:results/BENCH_results.json"
+
+#: ignore absolute drifts below this many seconds -- sub-50ms benchmarks
+#: jitter far beyond 25% between runs without meaning anything
+MIN_ABS_DELTA_S = 0.05
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Wall-clock change of one benchmark between baseline and fresh."""
+
+    nodeid: str
+    baseline_s: float
+    fresh_s: float
+
+    @property
+    def ratio(self) -> float:
+        """Relative change; +0.30 means 30% slower than baseline."""
+        if self.baseline_s <= 0:
+            return 0.0
+        return self.fresh_s / self.baseline_s - 1.0
+
+
+def load_results(text: str) -> dict[str, float]:
+    """Map nodeid -> wall_clock_s from a BENCH_results.json payload."""
+    payload = json.loads(text)
+    results = payload.get("results", {})
+    return {
+        nodeid: float(record["wall_clock_s"])
+        for nodeid, record in results.items()
+        if "wall_clock_s" in record
+    }
+
+
+def compare(
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    *,
+    threshold: float = 0.25,
+) -> tuple[list[Delta], list[str], list[str]]:
+    """Diff two result maps.
+
+    Returns (regressions beyond ``threshold``, benchmarks only in fresh,
+    benchmarks only in baseline).  Regressions are sorted worst first.
+    """
+    regressions = [
+        d
+        for nodeid in sorted(baseline.keys() & fresh.keys())
+        if (d := Delta(nodeid, baseline[nodeid], fresh[nodeid])).ratio > threshold
+        and d.fresh_s - d.baseline_s >= MIN_ABS_DELTA_S
+    ]
+    regressions.sort(key=lambda d: d.ratio, reverse=True)
+    added = sorted(fresh.keys() - baseline.keys())
+    removed = sorted(baseline.keys() - fresh.keys())
+    return regressions, added, removed
+
+
+def format_report(
+    regressions: list[Delta],
+    added: list[str],
+    removed: list[str],
+    *,
+    threshold: float,
+    n_compared: int,
+) -> str:
+    lines = [
+        f"bench-compare: {n_compared} benchmarks compared, "
+        f"threshold {threshold:.0%}"
+    ]
+    if regressions:
+        lines.append(f"{len(regressions)} regression(s) beyond threshold:")
+        for d in regressions:
+            lines.append(
+                f"  {d.nodeid}: {d.baseline_s:.3f}s -> {d.fresh_s:.3f}s "
+                f"({d.ratio:+.0%})"
+            )
+    else:
+        lines.append("no wall-clock regressions beyond threshold")
+    if added:
+        lines.append(f"new benchmarks ({len(added)}): " + ", ".join(added))
+    if removed:
+        lines.append(f"missing vs baseline ({len(removed)}): " + ", ".join(removed))
+    return "\n".join(lines)
+
+
+def _read_baseline(spec: str | None) -> str | None:
+    """Baseline JSON text from a file path, or from git when unset."""
+    if spec is not None:
+        path = Path(spec)
+        if not path.exists():
+            return None
+        return path.read_text()
+    proc = subprocess.run(
+        ["git", "show", GIT_BASELINE],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return proc.stdout
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline JSON file (default: `git show {GIT_BASELINE}`)",
+    )
+    parser.add_argument(
+        "--fresh",
+        default=str(DEFAULT_FRESH),
+        help="fresh JSON file (default: results/BENCH_results.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative wall-clock regression to report (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_text = _read_baseline(args.baseline)
+    if baseline_text is None:
+        print("bench-compare: no baseline available, skipping")
+        return 0
+    fresh_path = Path(args.fresh)
+    if not fresh_path.exists():
+        print(f"bench-compare: no fresh results at {fresh_path}, skipping")
+        return 0
+    try:
+        baseline = load_results(baseline_text)
+        fresh = load_results(fresh_path.read_text())
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        print(f"bench-compare: unreadable results ({exc}), skipping")
+        return 0
+
+    regressions, added, removed = compare(
+        baseline, fresh, threshold=args.threshold
+    )
+    print(
+        format_report(
+            regressions,
+            added,
+            removed,
+            threshold=args.threshold,
+            n_compared=len(baseline.keys() & fresh.keys()),
+        )
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

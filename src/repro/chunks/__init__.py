@@ -12,14 +12,20 @@ downloader upload capacity that actually delivers useful bytes -- the
 quantity the fluid ``eta`` stands for.
 
 * :mod:`repro.chunks.config` -- swarm configuration.
-* :mod:`repro.chunks.peer` -- per-peer piece/transfer state.
-* :mod:`repro.chunks.swarm` -- the round-based engine.
+* :mod:`repro.chunks.store` -- structure-of-arrays swarm state.
+* :mod:`repro.chunks.peer` -- per-peer piece/transfer state (scalar object
+  and live store-row view).
+* :mod:`repro.chunks.swarm` -- the vectorised round-based engine.
+* :mod:`repro.chunks.reference` -- the scalar oracle engine the vectorised
+  kernels are pinned bit-for-bit against.
 * :mod:`repro.chunks.measurement` -- utilization accounting and the
   ``measure_eta`` entry point.
 """
 
 from repro.chunks.config import ChunkSwarmConfig
-from repro.chunks.peer import ChunkPeer
+from repro.chunks.peer import ChunkPeer, ChunkPeerView
+from repro.chunks.reference import ReferenceChunkSwarm
+from repro.chunks.store import ChunkStore
 from repro.chunks.swarm import ChunkSwarm
 from repro.chunks.measurement import (
     EtaMeasurement,
@@ -31,7 +37,10 @@ from repro.chunks.measurement import (
 __all__ = [
     "ChunkSwarmConfig",
     "ChunkPeer",
+    "ChunkPeerView",
+    "ChunkStore",
     "ChunkSwarm",
+    "ReferenceChunkSwarm",
     "EtaMeasurement",
     "OpenSwarmMeasurement",
     "measure_eta",

@@ -1,4 +1,10 @@
-"""Configuration of the chunk-level swarm."""
+"""Configuration of the chunk-level swarm.
+
+One frozen :class:`ChunkSwarmConfig` drives both engines -- the vectorised
+:class:`repro.chunks.swarm.ChunkSwarm` and the scalar oracle
+:class:`repro.chunks.reference.ReferenceChunkSwarm` -- which are pinned to
+produce bit-identical runs for any config and seed.
+"""
 
 from __future__ import annotations
 

@@ -16,9 +16,37 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.chunks.config import ChunkSwarmConfig
+from repro.chunks.reference import ReferenceChunkSwarm
 from repro.chunks.swarm import ChunkSwarm
+from repro.obs import current_registry
 
 __all__ = ["EtaMeasurement", "measure_eta", "OpenSwarmMeasurement", "measure_eta_open"]
+
+#: selectable engines -- "vector" is the default; "reference" runs the
+#: scalar oracle (bit-for-bit identical results, O(peers^2) per round)
+_ENGINES = {"vector": ChunkSwarm, "reference": ReferenceChunkSwarm}
+
+
+def _make_swarm(engine: str, cfg: ChunkSwarmConfig, seed: int):
+    try:
+        cls = _ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {sorted(_ENGINES)}"
+        ) from None
+    return cls(cfg, seed=seed)
+
+
+def _record_run(swarm, rounds: int) -> None:
+    """Fold one finished run's totals into the active obs registry."""
+    reg = current_registry()
+    if not reg.enabled:
+        return
+    reg.inc("chunks.runs")
+    reg.inc("chunks.wasted_bytes", swarm.wasted_bytes)
+    reg.inc("chunks.downloader_useful", swarm.downloader_useful)
+    reg.inc("chunks.downloader_capacity", swarm.downloader_capacity)
+    reg.observe("chunks.run_rounds", rounds)
 
 
 @dataclass(frozen=True)
@@ -56,6 +84,7 @@ def measure_eta(
     config: ChunkSwarmConfig | None = None,
     seed: int = 0,
     max_rounds: int = 100_000,
+    engine: str = "vector",
 ) -> EtaMeasurement:
     """Run one flash-crowd swarm and measure the effective ``eta``.
 
@@ -63,16 +92,20 @@ def measure_eta(
     seed after finishing (``config.seed_stays``); the measurement window is
     the whole run, so it covers the startup phase (no chunks to share --
     the main source of downloader idleness) through the endgame.
+
+    ``engine`` selects ``"vector"`` (default) or ``"reference"`` (the
+    scalar oracle); both produce bit-identical measurements.
     """
     if n_peers < 1:
         raise ValueError(f"n_peers must be >= 1, got {n_peers}")
     if n_seeds < 1:
         raise ValueError(f"n_seeds must be >= 1 (someone must hold the file), got {n_seeds}")
     cfg = config if config is not None else ChunkSwarmConfig()
-    swarm = ChunkSwarm(cfg, seed=seed)
+    swarm = _make_swarm(engine, cfg, seed)
     swarm.add_peers(n_seeds, is_seed=True)
     leechers = swarm.add_peers(n_peers, is_seed=False)
     rounds = swarm.run(max_rounds=max_rounds)
+    _record_run(swarm, rounds)
 
     times = np.array([p.finished_at - p.joined_at for p in leechers])
     eta_eff = (
@@ -132,6 +165,7 @@ def measure_eta_open(
     t_end: float = 2500.0,
     warmup: float = 800.0,
     seed: int = 0,
+    engine: str = "vector",
 ) -> OpenSwarmMeasurement:
     """Run an open chunk-level swarm and compare with the fluid steady state.
 
@@ -145,7 +179,7 @@ def measure_eta_open(
     if not 0 <= warmup < t_end:
         raise ValueError(f"need 0 <= warmup < t_end, got {warmup}, {t_end}")
     cfg = config if config is not None else ChunkSwarmConfig()
-    swarm = ChunkSwarm(cfg, seed=seed)
+    swarm = _make_swarm(engine, cfg, seed)
     rng = np.random.default_rng(seed + 77_000)
     origin = swarm.add_peer(is_seed=True)
     departures: dict[int, float] = {}
@@ -186,6 +220,7 @@ def measure_eta_open(
             pop_dl.append(record[5])
             pop_seed.append(record[6])
 
+    _record_run(swarm, n_rounds)
     dl_useful = swarm.downloader_useful - window_start[0]
     dl_capacity = swarm.downloader_capacity - window_start[1]
     seed_useful = swarm.seed_useful - window_start[2]

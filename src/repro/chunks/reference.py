@@ -1,0 +1,331 @@
+"""Scalar reference implementation of the chunk-level swarm engine.
+
+This is the original per-peer/dict round engine that
+:class:`repro.chunks.swarm.ChunkSwarm` was vectorised from, preserved as an
+*oracle*: the array kernels that replaced it (interest matmul, row-wise
+tit-for-tat ranking, masked rarest-first picking, scatter-add transfer
+accounting) must reproduce this engine **bit for bit** -- same RNG draw
+order, same float accumulation order -- and
+``tests/chunks/test_vector_equivalence.py`` asserts exactly that on seeded
+configurations across every unchoke policy and super-seeding setting.  It
+is also the baseline side of ``benchmarks/test_bench_chunk_kernels.py``.
+
+Each round (BitTorrent's rechoke interval):
+
+1. **Interest** -- peer ``d`` is interested in ``u`` iff ``u`` owns a chunk
+   ``d`` lacks.
+2. **Choking** -- a downloader unchokes the ``n_upload_slots`` interested
+   peers that sent it the most data *last round* (tit-for-tat), plus
+   ``optimistic_slots`` random interested peers.  A seed has no reciprocity
+   signal and unchokes random interested peers across all its slots
+   (altruistic).
+3. **Transfer** -- each unchoked link carries ``mu / (active links)`` for
+   the round.  The receiver continues its partially downloaded chunk from
+   that uploader, or picks a new one by **local rarest first** among the
+   chunks the uploader has, the receiver needs, and no other link of the
+   receiver is already fetching.
+4. Completed chunks flip bitmap bits; fully complete peers become seeds
+   (and keep seeding or leave, per config).
+
+The engine is deliberately synchronous and O(peers^2) per round; use the
+vectorised :class:`repro.chunks.swarm.ChunkSwarm` for swarms beyond a few
+hundred peers.
+
+The only change from the engine as originally shipped is the
+``finished_at is not None`` guard in the completion loop: a receiver
+unchoked by several uploaders in its completion round used to land in
+``completions`` once per link, and the duplicate ``del`` crashed
+``seed_stays=False`` runs.  The guard skips the duplicates and is
+observably identical on every run that did not crash (both engines carry
+it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chunks.config import ChunkSwarmConfig
+from repro.chunks.peer import ChunkPeer
+
+__all__ = ["ReferenceChunkSwarm"]
+
+
+class ReferenceChunkSwarm:
+    """A single-file chunk-level swarm (scalar oracle engine)."""
+
+    def __init__(self, config: ChunkSwarmConfig, *, seed: int = 0):
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+        self.peers: dict[int, ChunkPeer] = {}
+        self.now = 0.0
+        self.rounds_run = 0
+        self._next_id = 0
+        #: work units uploaded by peers while *downloaders*, and the
+        #: capacity they had available in that time (the eta numerator
+        #: and denominator).  "Useful" is credited when a chunk completes;
+        #: bytes spent on endgame duplicates that lose the race accrue to
+        #: ``wasted_bytes`` instead.
+        self.downloader_useful = 0.0
+        self.downloader_capacity = 0.0
+        self.seed_useful = 0.0
+        self.seed_capacity = 0.0
+        self.wasted_bytes = 0.0
+        #: per-round records (t_end, dl_useful, dl_capacity, seed_useful,
+        #: seed_capacity, n_downloaders, n_seeds) for time-varying analyses
+        self.history: list[tuple[float, float, float, float, float, int, int]] = []
+
+    # ----- membership ---------------------------------------------------------
+
+    def add_peer(self, *, is_seed: bool = False) -> ChunkPeer:
+        peer = ChunkPeer(
+            self._next_id, self.config.n_chunks, is_seed=is_seed, joined_at=self.now
+        )
+        self._next_id += 1
+        self.peers[peer.peer_id] = peer
+        return peer
+
+    def add_peers(self, n: int, *, is_seed: bool = False) -> list[ChunkPeer]:
+        return [self.add_peer(is_seed=is_seed) for _ in range(n)]
+
+    def remove_peer(self, peer_id: int) -> ChunkPeer:
+        """Remove a peer (churn); its unfinished partials become waste."""
+        try:
+            peer = self.peers.pop(peer_id)
+        except KeyError:
+            raise KeyError(f"no peer {peer_id} in the swarm") from None
+        for entry in peer.partials.values():
+            self.wasted_bytes += entry[0]
+        peer.partials.clear()
+        return peer
+
+    @property
+    def downloaders(self) -> list[ChunkPeer]:
+        return [p for p in self.peers.values() if not p.is_seed]
+
+    @property
+    def seeds(self) -> list[ChunkPeer]:
+        return [p for p in self.peers.values() if p.is_seed]
+
+    @property
+    def all_done(self) -> bool:
+        return not self.downloaders
+
+    # ----- chunk availability ---------------------------------------------------
+
+    def availability(self) -> np.ndarray:
+        """How many peers own each chunk (drives rarest-first)."""
+        counts = np.zeros(self.config.n_chunks, dtype=int)
+        for p in self.peers.values():
+            counts += p.bitmap
+        return counts
+
+    def _pick_chunk(
+        self, receiver: ChunkPeer, uploader: ChunkPeer, availability: np.ndarray
+    ) -> int | None:
+        """Local rarest first among needed, offered, not-in-flight chunks."""
+        candidates = uploader.bitmap & ~receiver.bitmap
+        # Resume a partial chunk first (block re-request from anyone),
+        # preferring ones no other link is pumping this round.
+        resumable = [
+            chunk
+            for chunk in receiver.partials
+            if candidates[chunk] and chunk not in receiver.active_chunks
+        ]
+        if resumable:
+            return int(max(resumable, key=lambda ch: receiver.partials[ch][0]))
+        fresh = candidates.copy()
+        for chunk in receiver.active_chunks:
+            fresh[chunk] = False
+        for chunk in receiver.partials:
+            fresh[chunk] = False
+        idx = np.nonzero(fresh)[0]
+        if idx.size == 0:
+            # Endgame mode: join an actively transferring chunk rather than
+            # idle the link (block-level parallelism, no byte duplication in
+            # this model's granularity).
+            idx = np.nonzero(candidates)[0]
+            if idx.size == 0:
+                return None
+        if self.config.super_seeding and uploader.initially_seed:
+            # Super-seeding: the origin doles out its least-offered pieces
+            # first, maximising diversity during the bootstrap.
+            offers = uploader.offered_counts[idx]
+            idx = idx[offers == offers.min()]
+        rarity = availability[idx]
+        rarest = idx[rarity == rarity.min()]
+        chunk = int(self.rng.choice(rarest))
+        uploader.offered_counts[chunk] += 1
+        return chunk
+
+    # ----- choking ----------------------------------------------------------------
+
+    def _select_unchoked(self, uploader: ChunkPeer) -> list[int]:
+        """Whom ``uploader`` serves this round."""
+        interested = [
+            p.peer_id
+            for p in self.peers.values()
+            if p.peer_id != uploader.peer_id and p.needs_from(uploader)
+        ]
+        if not interested:
+            return []
+        cfg = self.config
+        if uploader.is_seed:
+            k = min(cfg.total_slots, len(interested))
+            if cfg.seed_unchoke == "round_robin":
+                ordered = sorted(interested)
+                start = uploader.rotation_cursor % len(ordered)
+                uploader.rotation_cursor = start + k
+                return [ordered[(start + j) % len(ordered)] for j in range(k)]
+            if cfg.seed_unchoke == "fastest":
+                by_speed = sorted(
+                    interested,
+                    key=lambda pid: sum(
+                        self.peers[pid].received_last_round.values()
+                    ),
+                    reverse=True,
+                )
+                return by_speed[:k]
+            return list(self.rng.choice(interested, size=k, replace=False))
+        # Tit-for-tat: rank by bytes received from them last round.
+        ranked = sorted(
+            interested,
+            key=lambda pid: uploader.received_last_round.get(pid, 0.0),
+            reverse=True,
+        )
+        regular = ranked[: cfg.n_upload_slots]
+        rest = [pid for pid in interested if pid not in regular]
+        optimistic: list[int] = []
+        if rest and cfg.optimistic_slots > 0:
+            k = min(cfg.optimistic_slots, len(rest))
+            optimistic = list(self.rng.choice(rest, size=k, replace=False))
+        return regular + optimistic
+
+    # ----- the round ----------------------------------------------------------------
+
+    def run_round(self) -> None:
+        """Advance the swarm by one choking round."""
+        cfg = self.config
+        availability = self.availability()
+        unchoke_map = {
+            p.peer_id: self._select_unchoked(p) for p in self.peers.values()
+        }
+        was_downloader = {
+            p.peer_id: not p.is_seed for p in self.peers.values()
+        }
+        round_start = (
+            self.downloader_useful,
+            self.downloader_capacity,
+            self.seed_useful,
+            self.seed_capacity,
+        )
+        n_downloaders = sum(was_downloader.values())
+        n_seeds = len(self.peers) - n_downloaders
+        budget = cfg.upload_rate * cfg.round_length
+        completions: list[ChunkPeer] = []
+        for uploader_id, receivers in unchoke_map.items():
+            uploader = self.peers[uploader_id]
+            if was_downloader[uploader_id]:
+                self.downloader_capacity += budget
+            else:
+                self.seed_capacity += budget
+            if not receivers:
+                continue
+            per_link = budget / len(receivers)
+            for receiver_id in receivers:
+                receiver = self.peers[receiver_id]
+                sent = self._transfer(
+                    uploader,
+                    receiver,
+                    per_link,
+                    availability,
+                    uploader_is_downloader=was_downloader[uploader_id],
+                )
+                if sent > 0:
+                    # Tit-for-tat ranks by transfer effort, duplicates and all.
+                    receiver.received_this_round[uploader_id] = (
+                        receiver.received_this_round.get(uploader_id, 0.0) + sent
+                    )
+                if receiver.is_seed and receiver.finished_at is None:
+                    completions.append(receiver)
+        self.now += cfg.round_length
+        self.rounds_run += 1
+        self.history.append(
+            (
+                self.now,
+                self.downloader_useful - round_start[0],
+                self.downloader_capacity - round_start[1],
+                self.seed_useful - round_start[2],
+                self.seed_capacity - round_start[3],
+                n_downloaders,
+                n_seeds,
+            )
+        )
+        for peer in completions:
+            if peer.finished_at is not None:
+                continue  # unchoked by several uploaders: one entry per link
+            peer.finished_at = self.now
+            # A finished peer has no partials left by construction, but any
+            # stragglers (numerical slack) are written off as waste.
+            for entry in peer.partials.values():
+                self.wasted_bytes += entry[0]
+            peer.partials.clear()
+            if not cfg.seed_stays:
+                del self.peers[peer.peer_id]
+        for peer in self.peers.values():
+            peer.rollover_round()
+            peer.active_chunks.clear()
+
+    def _transfer(
+        self,
+        uploader: ChunkPeer,
+        receiver: ChunkPeer,
+        amount: float,
+        availability: np.ndarray,
+        *,
+        uploader_is_downloader: bool,
+    ) -> float:
+        """Move up to ``amount`` work units across one unchoked link.
+
+        Returns the raw bytes moved.  Usefulness is credited per completed
+        chunk: the link that finishes a chunk banks its accumulated bytes
+        into the downloader/seed useful counters; a duplicate that finds
+        its chunk already owned surrenders its bytes to ``wasted_bytes``.
+        """
+        cfg = self.config
+        sent = 0.0
+        while amount > 1e-15:
+            chunk = self._pick_chunk(receiver, uploader, availability)
+            if chunk is None:
+                break  # nothing useful to send
+            entry = receiver.partials.setdefault(chunk, [0.0, 0.0, 0.0])
+            receiver.active_chunks.add(chunk)
+            need = cfg.chunk_size - entry[0]
+            step = min(need, amount)
+            entry[0] += step
+            amount -= step
+            sent += step
+            if uploader_is_downloader:
+                entry[1] += step
+            else:
+                entry[2] += step
+            uploader.uploaded_useful += step
+            if entry[0] >= cfg.chunk_size - 1e-15:
+                receiver.bitmap[chunk] = True
+                availability[chunk] += 1
+                self.downloader_useful += entry[1]
+                self.seed_useful += entry[2]
+                receiver.partials.pop(chunk, None)
+                receiver.active_chunks.discard(chunk)
+        return sent
+
+    def run(self, *, max_rounds: int = 100_000) -> int:
+        """Run rounds until every downloader finishes; return rounds used."""
+        start = self.rounds_run
+        while not self.all_done:
+            if self.rounds_run - start >= max_rounds:
+                raise RuntimeError(
+                    f"swarm did not finish within {max_rounds} rounds "
+                    f"({len(self.downloaders)} downloaders left)"
+                )
+            self.run_round()
+        return self.rounds_run - start

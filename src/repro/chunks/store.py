@@ -1,0 +1,279 @@
+"""Structure-of-arrays state for the vectorised chunk-level swarm engine.
+
+One :class:`ChunkStore` holds every per-peer and per-link quantity of a
+swarm as contiguous NumPy arrays, so the round kernels in
+:mod:`repro.chunks.swarm` operate on matrices instead of per-peer objects:
+
+* ``own`` -- the P x C boolean ownership matrix (one row per peer, one
+  column per chunk).  The interest step is a single boolean matmul over it.
+* ``partial_done`` / ``partial_dl`` / ``partial_sc`` / ``partial_seq`` --
+  P x C partial-download accounting: work units received, the split of
+  those units by uploader kind (downloader vs seed; banked as "useful" on
+  chunk completion), and a global creation sequence number.  ``seq > 0``
+  marks a live partial; the sequence number reproduces the scalar engine's
+  dict-insertion tie-breaking (oldest partial wins a resume tie).
+* ``active`` -- P x C "some link is pumping this chunk this round" flags,
+  cleared at round end.
+* ``offered`` -- P x C per-uploader offer counts (super-seeding picks the
+  least-offered piece).
+* ``r_prev`` / ``r_cur`` -- P x P received-bytes matrices driving the
+  tit-for-tat ranking; ``r_cur[receiver, uploader]`` accumulates this
+  round and rolls into ``r_prev`` at round end.
+* ``recv_total_prev`` / ``recv_total_cur`` -- per-receiver running totals
+  of the same bytes, accumulated link by link in transfer order so they
+  stay bit-identical to the scalar engine's ``sum(dict.values())`` (which
+  also sees uploaders in first-contribution order).  Kept separate from
+  the matrices because the scalar totals *include* bytes from uploaders
+  that have since left the swarm, while their matrix rows are compacted
+  away.
+
+Rows are kept **in peer-insertion order** (peer ids are assigned
+monotonically, so row order == ascending id order).  This is load-bearing:
+the scalar engine iterates its peer dict in insertion order, and RNG-draw
+equivalence requires candidate lists to be presented in exactly that
+order.  Removal therefore *compacts* (stable order-preserving shift, both
+axes for the P x P matrices) rather than swap-removing; removals are rare
+(churn events, at most O(peers) per run) while rounds are many, so the
+O(P^2) compaction is off the hot path.
+
+Capacity grows by doubling; :meth:`add` zeroes the row it hands out, so
+rows freed by a compaction can be reused without leaking stale state.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["ChunkStore"]
+
+_NAN = float("nan")
+
+
+class ChunkStore:
+    """Array-backed state for one chunk-level swarm."""
+
+    def __init__(self, n_chunks: int, *, capacity: int = 16):
+        if n_chunks < 1:
+            raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.n_chunks = int(n_chunks)
+        self.n = 0
+        self._cap = int(capacity)
+        #: monotone creation counter for partial entries (0 = no partial)
+        self.partial_counter = 0
+        #: peer id -> row index (rows stay in insertion == id order)
+        self.row_of: dict[int, int] = {}
+        c = self._cap
+        C = self.n_chunks
+        self.own = np.zeros((c, C), dtype=bool)
+        self.partial_done = np.zeros((c, C), dtype=np.float64)
+        self.partial_dl = np.zeros((c, C), dtype=np.float64)
+        self.partial_sc = np.zeros((c, C), dtype=np.float64)
+        self.partial_seq = np.zeros((c, C), dtype=np.int64)
+        self.active = np.zeros((c, C), dtype=bool)
+        self.offered = np.zeros((c, C), dtype=np.int64)
+        self.r_prev = np.zeros((c, c), dtype=np.float64)
+        self.r_cur = np.zeros((c, c), dtype=np.float64)
+        self.recv_total_prev = np.zeros(c, dtype=np.float64)
+        self.recv_total_cur = np.zeros(c, dtype=np.float64)
+        self.peer_id = np.zeros(c, dtype=np.int64)
+        self.joined_at = np.zeros(c, dtype=np.float64)
+        self.finished_at = np.full(c, _NAN, dtype=np.float64)
+        self.initially_seed = np.zeros(c, dtype=bool)
+        self.uploaded_useful = np.zeros(c, dtype=np.float64)
+        self.rotation_cursor = np.zeros(c, dtype=np.int64)
+        self.n_owned = np.zeros(c, dtype=np.int64)
+
+    # ----- membership ---------------------------------------------------------
+
+    def add(self, peer_id: int, *, is_seed: bool, joined_at: float) -> int:
+        """Append a peer row (zeroed) and return its index.
+
+        ``peer_id`` must exceed every id ever added -- rows double as the
+        insertion order the round kernels rely on.
+        """
+        if self.n and peer_id <= int(self.peer_id[self.n - 1]):
+            raise ValueError(
+                f"peer ids must be strictly increasing (got {peer_id} after "
+                f"{int(self.peer_id[self.n - 1])})"
+            )
+        if self.n == self._cap:
+            self._grow()
+        row = self.n
+        self.n += 1
+        C = self.n_chunks
+        self.own[row] = is_seed
+        self.partial_done[row] = 0.0
+        self.partial_dl[row] = 0.0
+        self.partial_sc[row] = 0.0
+        self.partial_seq[row] = 0
+        self.active[row] = False
+        self.offered[row] = 0
+        n = self.n
+        self.r_prev[row, :n] = 0.0
+        self.r_prev[:n, row] = 0.0
+        self.r_cur[row, :n] = 0.0
+        self.r_cur[:n, row] = 0.0
+        self.recv_total_prev[row] = 0.0
+        self.recv_total_cur[row] = 0.0
+        self.peer_id[row] = peer_id
+        self.joined_at[row] = joined_at
+        self.finished_at[row] = joined_at if is_seed else _NAN
+        self.initially_seed[row] = is_seed
+        self.uploaded_useful[row] = 0.0
+        self.rotation_cursor[row] = 0
+        self.n_owned[row] = C if is_seed else 0
+        self.row_of[peer_id] = row
+        return row
+
+    def _grow(self) -> None:
+        new_cap = max(2 * self._cap, 16)
+        n = self.n
+
+        def grown_2d(old: np.ndarray, cols: int) -> np.ndarray:
+            arr = np.zeros((new_cap, cols), dtype=old.dtype)
+            arr[:n] = old[:n]
+            return arr
+
+        def grown_1d(old: np.ndarray, fill: float = 0.0) -> np.ndarray:
+            arr = np.full(new_cap, fill, dtype=old.dtype)
+            arr[:n] = old[:n]
+            return arr
+
+        C = self.n_chunks
+        self.own = grown_2d(self.own, C)
+        self.partial_done = grown_2d(self.partial_done, C)
+        self.partial_dl = grown_2d(self.partial_dl, C)
+        self.partial_sc = grown_2d(self.partial_sc, C)
+        self.partial_seq = grown_2d(self.partial_seq, C)
+        self.active = grown_2d(self.active, C)
+        self.offered = grown_2d(self.offered, C)
+        for name in ("r_prev", "r_cur"):
+            old = getattr(self, name)
+            arr = np.zeros((new_cap, new_cap), dtype=np.float64)
+            arr[:n, :n] = old[:n, :n]
+            setattr(self, name, arr)
+        self.recv_total_prev = grown_1d(self.recv_total_prev)
+        self.recv_total_cur = grown_1d(self.recv_total_cur)
+        self.peer_id = grown_1d(self.peer_id)
+        self.joined_at = grown_1d(self.joined_at)
+        self.finished_at = grown_1d(self.finished_at, _NAN)
+        self.initially_seed = grown_1d(self.initially_seed)
+        self.uploaded_useful = grown_1d(self.uploaded_useful)
+        self.rotation_cursor = grown_1d(self.rotation_cursor)
+        self.n_owned = grown_1d(self.n_owned)
+        self._cap = new_cap
+
+    def compact(self, drop_rows: list[int]) -> None:
+        """Remove ``drop_rows``, shifting later rows down (order-preserving).
+
+        Both axes of the received matrices are compacted; the per-receiver
+        ``recv_total_*`` entries of the *surviving* peers are carried over
+        untouched, deliberately keeping contributions from the dropped
+        uploaders (the scalar engine's per-peer dicts behave the same way:
+        a departed uploader's bytes still count in ``sum(values())``).
+        """
+        if not drop_rows:
+            return
+        n = self.n
+        keep = np.ones(n, dtype=bool)
+        keep[np.asarray(drop_rows, dtype=np.intp)] = False
+        m = int(keep.sum())
+        if m == n:
+            return
+        for pid in self.peer_id[:n][~keep]:
+            del self.row_of[int(pid)]
+        for arr in (
+            self.own,
+            self.partial_done,
+            self.partial_dl,
+            self.partial_sc,
+            self.partial_seq,
+            self.active,
+            self.offered,
+        ):
+            arr[:m] = arr[:n][keep]
+        for arr in (self.r_prev, self.r_cur):
+            arr[:m, :m] = arr[:n, :n][np.ix_(keep, keep)]
+        for arr in (
+            self.recv_total_prev,
+            self.recv_total_cur,
+            self.peer_id,
+            self.joined_at,
+            self.finished_at,
+            self.initially_seed,
+            self.uploaded_useful,
+            self.rotation_cursor,
+            self.n_owned,
+        ):
+            arr[:m] = arr[:n][keep]
+        self.n = m
+        for row, pid in enumerate(self.peer_id[:m]):
+            self.row_of[int(pid)] = row
+
+    # ----- round bookkeeping --------------------------------------------------
+
+    def rollover(self) -> None:
+        """Close the round: this round's received tallies become last round's."""
+        n = self.n
+        self.r_prev, self.r_cur = self.r_cur, self.r_prev
+        self.r_cur[:n, :n] = 0.0
+        self.recv_total_prev, self.recv_total_cur = (
+            self.recv_total_cur,
+            self.recv_total_prev,
+        )
+        self.recv_total_cur[:n] = 0.0
+        self.active[:n] = False
+
+    def next_partial_seq(self) -> int:
+        self.partial_counter += 1
+        return self.partial_counter
+
+    # ----- per-peer reconstruction (views / snapshots) ------------------------
+
+    def partials_dict(self, row: int) -> dict[int, list[float]]:
+        """``chunk -> [done, credit_downloader, credit_seed]`` in creation order.
+
+        Matches the scalar engine's dict-insertion ordering, which the
+        resume tie-break depends on.
+        """
+        seq_row = self.partial_seq[row]
+        chunks = np.nonzero(seq_row > 0)[0]
+        chunks = chunks[np.argsort(seq_row[chunks], kind="stable")]
+        return {
+            int(c): [
+                float(self.partial_done[row, c]),
+                float(self.partial_dl[row, c]),
+                float(self.partial_sc[row, c]),
+            ]
+            for c in chunks
+        }
+
+    def received_dict(self, row: int, *, prev: bool) -> dict[int, float]:
+        """Per-uploader received bytes (chunk of the tit-for-tat signal)."""
+        mat = self.r_prev if prev else self.r_cur
+        vals = mat[row, : self.n]
+        cols = np.nonzero(vals > 0)[0]
+        return {int(self.peer_id[c]): float(vals[c]) for c in cols}
+
+    def partial_chunks_in_order(self, row: int) -> np.ndarray:
+        """Chunks with live partials, in creation (dict-insertion) order.
+
+        Write-offs iterate this so the float adds into ``wasted_bytes``
+        happen in the scalar engine's order.
+        """
+        seq_row = self.partial_seq[row]
+        chunks = np.nonzero(seq_row > 0)[0]
+        return chunks[np.argsort(seq_row[chunks], kind="stable")]
+
+    def clear_partials(self, row: int) -> None:
+        self.partial_done[row] = 0.0
+        self.partial_dl[row] = 0.0
+        self.partial_sc[row] = 0.0
+        self.partial_seq[row] = 0
+
+    def is_finished(self, row: int) -> bool:
+        return not math.isnan(self.finished_at[row])

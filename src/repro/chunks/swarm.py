@@ -1,52 +1,71 @@
-"""Round-based chunk-level swarm engine.
+"""Round-based chunk-level swarm engine, vectorised.
 
-Each round (BitTorrent's rechoke interval):
+Same model as the scalar oracle (:mod:`repro.chunks.reference`) -- each
+round runs interest, choking, transfer, completion -- but the per-peer
+dict/bitmap state lives in a :class:`repro.chunks.store.ChunkStore`
+(structure of arrays) and the O(peers^2) phases are array kernels:
 
-1. **Interest** -- peer ``d`` is interested in ``u`` iff ``u`` owns a chunk
-   ``d`` lacks.
-2. **Choking** -- a downloader unchokes the ``n_upload_slots`` interested
-   peers that sent it the most data *last round* (tit-for-tat), plus
-   ``optimistic_slots`` random interested peers.  A seed has no reciprocity
-   signal and unchokes random interested peers across all its slots
-   (altruistic).
-3. **Transfer** -- each unchoked link carries ``mu / (active links)`` for
-   the round.  The receiver continues its partially downloaded chunk from
-   that uploader, or picks a new one by **local rarest first** among the
-   chunks the uploader has, the receiver needs, and no other link of the
-   receiver is already fetching.
-4. Completed chunks flip bitmap bits; fully complete peers become seeds
-   (and keep seeding or leave, per config).
+* **Interest** is one boolean matmul over the P x C ownership matrix:
+  ``interest[u, d] = (own[u] & ~own[d]).any()`` via
+  ``own @ (1 - own).T > 0`` -- the scalar engine's P^2 bitmap scans
+  collapse into a single BLAS call.
+* **Tit-for-tat choking** ranks each downloader's interested peers with a
+  stable argsort over one row of the P x P received-bytes matrix; the
+  seed policies read a rotation-cursor array, the per-receiver received
+  totals, or draw from the RNG exactly as the scalar engine does.
+* **Local rarest first** picks chunks through boolean masks over the
+  ownership/partial/active rows plus the availability column counts.
+* **Transfer accounting** is scatter-adds into the P x C partial matrices
+  and the P x P received matrix.
 
-The engine is deliberately synchronous and O(peers^2) per round -- swarms
-of tens to hundreds of peers, which is the regime the eta measurement
-needs, run in well under a second.
+The engine is **bit-for-bit equivalent** to the reference: every RNG call
+site fires in the same order with the same population sizes (so the
+underlying ``Generator`` state evolves identically), candidate lists are
+presented in the scalar engine's dict-insertion order (store rows are kept
+in insertion == ascending-id order; see ``ChunkStore``), and every float
+accumulator is updated in the same sequence, so not just the statistics
+but the exact download times, eta numerators/denominators and history
+tuples match.  ``tests/chunks/test_vector_equivalence.py`` pins this
+across seeds, unchoke policies and super-seeding.
+
+Per-round obs metrics (``chunks.rounds``, ``chunks.kernel.*`` timers,
+link/pick counters) flow into :mod:`repro.obs` when a registry is
+installed and cost nothing otherwise.
 """
 
 from __future__ import annotations
 
+import math
+import time
+
 import numpy as np
 
 from repro.chunks.config import ChunkSwarmConfig
-from repro.chunks.peer import ChunkPeer
+from repro.chunks.peer import ChunkPeer, ChunkPeerView
+from repro.chunks.store import ChunkStore
+from repro.obs import current_registry
 
 __all__ = ["ChunkSwarm"]
 
+_EMPTY_ROWS = np.empty(0, dtype=np.intp)
+
 
 class ChunkSwarm:
-    """A single-file chunk-level swarm."""
+    """A single-file chunk-level swarm (vectorised engine)."""
 
     def __init__(self, config: ChunkSwarmConfig, *, seed: int = 0):
         self.config = config
         self.rng = np.random.default_rng(seed)
-        self.peers: dict[int, ChunkPeer] = {}
+        self.store = ChunkStore(config.n_chunks)
+        #: peer id -> live row view, in insertion order (== store row order)
+        self.peers: dict[int, ChunkPeerView] = {}
         self.now = 0.0
         self.rounds_run = 0
         self._next_id = 0
         #: work units uploaded by peers while *downloaders*, and the
         #: capacity they had available in that time (the eta numerator
         #: and denominator).  "Useful" is credited when a chunk completes;
-        #: bytes spent on endgame duplicates that lose the race accrue to
-        #: ``wasted_bytes`` instead.
+        #: unfinished partials of departing peers accrue to ``wasted_bytes``.
         self.downloader_useful = 0.0
         self.downloader_capacity = 0.0
         self.seed_useful = 0.0
@@ -55,180 +74,231 @@ class ChunkSwarm:
         #: per-round records (t_end, dl_useful, dl_capacity, seed_useful,
         #: seed_capacity, n_downloaders, n_seeds) for time-varying analyses
         self.history: list[tuple[float, float, float, float, float, int, int]] = []
+        self._round_picks = 0
 
     # ----- membership ---------------------------------------------------------
 
-    def add_peer(self, *, is_seed: bool = False) -> ChunkPeer:
-        peer = ChunkPeer(
-            self._next_id, self.config.n_chunks, is_seed=is_seed, joined_at=self.now
-        )
+    def add_peer(self, *, is_seed: bool = False) -> ChunkPeerView:
+        pid = self._next_id
         self._next_id += 1
-        self.peers[peer.peer_id] = peer
-        return peer
+        self.store.add(pid, is_seed=is_seed, joined_at=self.now)
+        view = ChunkPeerView(self.store, pid)
+        self.peers[pid] = view
+        return view
 
-    def add_peers(self, n: int, *, is_seed: bool = False) -> list[ChunkPeer]:
+    def add_peers(self, n: int, *, is_seed: bool = False) -> list[ChunkPeerView]:
         return [self.add_peer(is_seed=is_seed) for _ in range(n)]
 
-    def remove_peer(self, peer_id: int) -> ChunkPeer:
+    def remove_peer(self, peer_id: int) -> ChunkPeerView:
         """Remove a peer (churn); its unfinished partials become waste."""
+        st = self.store
         try:
-            peer = self.peers.pop(peer_id)
+            row = st.row_of[peer_id]
         except KeyError:
             raise KeyError(f"no peer {peer_id} in the swarm") from None
-        for entry in peer.partials.values():
-            self.wasted_bytes += entry[0]
-        peer.partials.clear()
-        return peer
+        for chunk in st.partial_chunks_in_order(row):
+            self.wasted_bytes += float(st.partial_done[row, chunk])
+        st.clear_partials(row)
+        view = self.peers.pop(peer_id)
+        view.detach()
+        st.compact([row])
+        return view
 
     @property
-    def downloaders(self) -> list[ChunkPeer]:
-        return [p for p in self.peers.values() if not p.is_seed]
+    def downloaders(self) -> list[ChunkPeerView]:
+        st = self.store
+        done = st.n_owned[: st.n] == st.n_chunks
+        return [
+            self.peers[int(pid)]
+            for pid, is_done in zip(st.peer_id[: st.n], done)
+            if not is_done
+        ]
 
     @property
-    def seeds(self) -> list[ChunkPeer]:
-        return [p for p in self.peers.values() if p.is_seed]
+    def seeds(self) -> list[ChunkPeerView]:
+        st = self.store
+        done = st.n_owned[: st.n] == st.n_chunks
+        return [
+            self.peers[int(pid)]
+            for pid, is_done in zip(st.peer_id[: st.n], done)
+            if is_done
+        ]
 
     @property
     def all_done(self) -> bool:
-        return not self.downloaders
+        st = self.store
+        return bool((st.n_owned[: st.n] == st.n_chunks).all())
 
     # ----- chunk availability ---------------------------------------------------
 
     def availability(self) -> np.ndarray:
         """How many peers own each chunk (drives rarest-first)."""
-        counts = np.zeros(self.config.n_chunks, dtype=int)
-        for p in self.peers.values():
-            counts += p.bitmap
-        return counts
+        return self.store.own[: self.store.n].sum(axis=0, dtype=int)
 
     def _pick_chunk(
-        self, receiver: ChunkPeer, uploader: ChunkPeer, availability: np.ndarray
+        self, r: int, u: int, availability: np.ndarray
     ) -> int | None:
-        """Local rarest first among needed, offered, not-in-flight chunks."""
-        candidates = uploader.bitmap & ~receiver.bitmap
+        """Local rarest first among needed, offered, not-in-flight chunks.
+
+        Row-mask port of the reference ``_pick_chunk``; consumes the RNG
+        at exactly the same call sites with the same population sizes.
+        """
+        st = self.store
+        candidates = st.own[u] & ~st.own[r]
+        if not candidates.any():
+            return None
+        pseq_r = st.partial_seq[r]
+        pmask = pseq_r > 0
+        act_r = st.active[r]
         # Resume a partial chunk first (block re-request from anyone),
-        # preferring ones no other link is pumping this round.
-        resumable = [
-            chunk
-            for chunk in receiver.partials
-            if candidates[chunk] and chunk not in receiver.active_chunks
-        ]
-        if resumable:
-            return int(max(resumable, key=lambda ch: receiver.partials[ch][0]))
-        fresh = candidates.copy()
-        for chunk in receiver.active_chunks:
-            fresh[chunk] = False
-        for chunk in receiver.partials:
-            fresh[chunk] = False
+        # preferring the most-complete one; ties go to the oldest partial
+        # (the scalar engine's dict-insertion order).
+        resumable = candidates & pmask & ~act_r
+        if resumable.any():
+            idx = np.nonzero(resumable)[0]
+            dones = st.partial_done[r, idx]
+            tied = idx[dones == dones.max()]
+            if tied.size == 1:
+                return int(tied[0])
+            return int(tied[np.argmin(pseq_r[tied])])
+        fresh = candidates & ~act_r & ~pmask
         idx = np.nonzero(fresh)[0]
         if idx.size == 0:
             # Endgame mode: join an actively transferring chunk rather than
             # idle the link (block-level parallelism, no byte duplication in
-            # this model's granularity).
+            # this model's granularity).  candidates is non-empty here.
             idx = np.nonzero(candidates)[0]
-            if idx.size == 0:
-                return None
-        if self.config.super_seeding and uploader.initially_seed:
+        if self.config.super_seeding and st.initially_seed[u]:
             # Super-seeding: the origin doles out its least-offered pieces
             # first, maximising diversity during the bootstrap.
-            offers = uploader.offered_counts[idx]
+            offers = st.offered[u, idx]
             idx = idx[offers == offers.min()]
         rarity = availability[idx]
         rarest = idx[rarity == rarity.min()]
         chunk = int(self.rng.choice(rarest))
-        uploader.offered_counts[chunk] += 1
+        st.offered[u, chunk] += 1
         return chunk
 
     # ----- choking ----------------------------------------------------------------
 
-    def _select_unchoked(self, uploader: ChunkPeer) -> list[int]:
-        """Whom ``uploader`` serves this round."""
-        interested = [
-            p.peer_id
-            for p in self.peers.values()
-            if p.peer_id != uploader.peer_id and p.needs_from(uploader)
-        ]
-        if not interested:
-            return []
+    def _select_rows(
+        self, u: int, irows: np.ndarray, is_seed_u: bool
+    ) -> np.ndarray:
+        """Rows ``u`` serves this round; ``irows`` in insertion order."""
         cfg = self.config
-        if uploader.is_seed:
-            k = min(cfg.total_slots, len(interested))
-            if cfg.seed_unchoke == "round_robin":
-                ordered = sorted(interested)
-                start = uploader.rotation_cursor % len(ordered)
-                uploader.rotation_cursor = start + k
-                return [ordered[(start + j) % len(ordered)] for j in range(k)]
-            if cfg.seed_unchoke == "fastest":
-                by_speed = sorted(
-                    interested,
-                    key=lambda pid: sum(
-                        self.peers[pid].received_last_round.values()
-                    ),
-                    reverse=True,
-                )
-                return by_speed[:k]
-            return list(self.rng.choice(interested, size=k, replace=False))
+        st = self.store
+        rng = self.rng
+        if is_seed_u:
+            k = min(cfg.total_slots, irows.size)
+            policy = cfg.seed_unchoke
+            if policy == "round_robin":
+                start = int(st.rotation_cursor[u]) % irows.size
+                st.rotation_cursor[u] = start + k
+                return irows[(start + np.arange(k)) % irows.size]
+            if policy == "fastest":
+                order = np.argsort(-st.recv_total_prev[irows], kind="stable")
+                return irows[order[:k]]
+            return rng.choice(irows, size=k, replace=False)
         # Tit-for-tat: rank by bytes received from them last round.
-        ranked = sorted(
-            interested,
-            key=lambda pid: uploader.received_last_round.get(pid, 0.0),
-            reverse=True,
-        )
-        regular = ranked[: cfg.n_upload_slots]
-        rest = [pid for pid in interested if pid not in regular]
-        optimistic: list[int] = []
-        if rest and cfg.optimistic_slots > 0:
-            k = min(cfg.optimistic_slots, len(rest))
-            optimistic = list(self.rng.choice(rest, size=k, replace=False))
-        return regular + optimistic
+        order = np.argsort(-st.r_prev[u, irows], kind="stable")
+        top = order[: cfg.n_upload_slots]
+        regular = irows[top]
+        if cfg.optimistic_slots > 0 and irows.size > regular.size:
+            rest_mask = np.ones(irows.size, dtype=bool)
+            rest_mask[top] = False
+            rest = irows[rest_mask]
+            k = min(cfg.optimistic_slots, rest.size)
+            optimistic = rng.choice(rest, size=k, replace=False)
+            return np.concatenate((regular, optimistic))
+        return regular
+
+    def _select_unchoked(self, uploader: ChunkPeerView) -> list[int]:
+        """Whom ``uploader`` serves this round (peer ids)."""
+        st = self.store
+        n = st.n
+        u = st.row_of[uploader.peer_id]
+        own = st.own[:n]
+        counts = (~own).astype(np.float32) @ own[u].astype(np.float32)
+        irows = np.nonzero(counts > 0.5)[0]
+        if irows.size == 0:
+            return []
+        is_seed_u = int(st.n_owned[u]) == st.n_chunks
+        return [int(pid) for pid in st.peer_id[self._select_rows(u, irows, is_seed_u)]]
 
     # ----- the round ----------------------------------------------------------------
 
     def run_round(self) -> None:
         """Advance the swarm by one choking round."""
         cfg = self.config
-        availability = self.availability()
-        unchoke_map = {
-            p.peer_id: self._select_unchoked(p) for p in self.peers.values()
-        }
-        was_downloader = {
-            p.peer_id: not p.is_seed for p in self.peers.values()
-        }
+        st = self.store
+        reg = current_registry()
+        obs = reg.enabled
+        n = st.n
+        C = cfg.n_chunks
+        own = st.own[:n]
+
+        t0 = time.perf_counter() if obs else 0.0
+        availability = own.sum(axis=0, dtype=int)
+        # interest[u, d]: d is interested in u (u owns a chunk d lacks);
+        # the diagonal is structurally False.
+        ownf = own.astype(np.float32)
+        interest = (ownf @ (1.0 - ownf).T) > 0.5
+        if obs:
+            t1 = time.perf_counter()
+            reg.observe("chunks.kernel.interest", t1 - t0)
+
+        n_owned = st.n_owned
+        was_dl = n_owned[:n] < C
+        receivers_per: list[np.ndarray] = []
+        for u in range(n):
+            irows = np.nonzero(interest[u])[0]
+            if irows.size == 0:
+                receivers_per.append(_EMPTY_ROWS)
+            else:
+                receivers_per.append(
+                    self._select_rows(u, irows, not was_dl[u])
+                )
+        if obs:
+            t2 = time.perf_counter()
+            reg.observe("chunks.kernel.choke", t2 - t1)
+
         round_start = (
             self.downloader_useful,
             self.downloader_capacity,
             self.seed_useful,
             self.seed_capacity,
         )
-        n_downloaders = sum(was_downloader.values())
-        n_seeds = len(self.peers) - n_downloaders
+        n_downloaders = int(was_dl.sum())
+        n_seeds = n - n_downloaders
         budget = cfg.upload_rate * cfg.round_length
-        completions: list[ChunkPeer] = []
-        for uploader_id, receivers in unchoke_map.items():
-            uploader = self.peers[uploader_id]
-            if was_downloader[uploader_id]:
+        completions: list[int] = []
+        fin = st.finished_at
+        r_cur = st.r_cur
+        recv_total_cur = st.recv_total_cur
+        n_links = 0
+        self._round_picks = 0
+        for u in range(n):
+            u_is_dl = bool(was_dl[u])
+            if u_is_dl:
                 self.downloader_capacity += budget
             else:
                 self.seed_capacity += budget
-            if not receivers:
+            receivers = receivers_per[u]
+            if receivers.size == 0:
                 continue
-            per_link = budget / len(receivers)
-            for receiver_id in receivers:
-                receiver = self.peers[receiver_id]
+            n_links += receivers.size
+            per_link = budget / receivers.size
+            for r in receivers:
+                r = int(r)
                 sent = self._transfer(
-                    uploader,
-                    receiver,
-                    per_link,
-                    availability,
-                    uploader_is_downloader=was_downloader[uploader_id],
+                    u, r, per_link, availability, uploader_is_downloader=u_is_dl
                 )
                 if sent > 0:
                     # Tit-for-tat ranks by transfer effort, duplicates and all.
-                    receiver.received_this_round[uploader_id] = (
-                        receiver.received_this_round.get(uploader_id, 0.0) + sent
-                    )
-                if receiver.is_seed and receiver.finished_at is None:
-                    completions.append(receiver)
+                    r_cur[r, u] += sent
+                    recv_total_cur[r] += sent
+                if n_owned[r] == C and math.isnan(fin[r]):
+                    completions.append(r)
         self.now += cfg.round_length
         self.rounds_run += 1
         self.history.append(
@@ -242,23 +312,37 @@ class ChunkSwarm:
                 n_seeds,
             )
         )
-        for peer in completions:
-            peer.finished_at = self.now
+        n_finished = 0
+        drop_rows: list[int] = []
+        for r in completions:
+            if not math.isnan(fin[r]):
+                continue  # unchoked by several uploaders: one entry per link
+            fin[r] = self.now
+            n_finished += 1
             # A finished peer has no partials left by construction, but any
             # stragglers (numerical slack) are written off as waste.
-            for entry in peer.partials.values():
-                self.wasted_bytes += entry[0]
-            peer.partials.clear()
+            for chunk in st.partial_chunks_in_order(r):
+                self.wasted_bytes += float(st.partial_done[r, chunk])
+            st.clear_partials(r)
             if not cfg.seed_stays:
-                del self.peers[peer.peer_id]
-        for peer in self.peers.values():
-            peer.rollover_round()
-            peer.active_chunks.clear()
+                pid = int(st.peer_id[r])
+                self.peers.pop(pid).detach()
+                drop_rows.append(r)
+        if drop_rows:
+            st.compact(drop_rows)
+        st.rollover()
+        if obs:
+            t3 = time.perf_counter()
+            reg.observe("chunks.kernel.transfer", t3 - t2)
+            reg.inc("chunks.rounds")
+            reg.inc("chunks.kernel.links", n_links)
+            reg.inc("chunks.kernel.picks", self._round_picks)
+            reg.inc("chunks.peers_finished", n_finished)
 
     def _transfer(
         self,
-        uploader: ChunkPeer,
-        receiver: ChunkPeer,
+        u: int,
+        r: int,
         amount: float,
         availability: np.ndarray,
         *,
@@ -268,34 +352,51 @@ class ChunkSwarm:
 
         Returns the raw bytes moved.  Usefulness is credited per completed
         chunk: the link that finishes a chunk banks its accumulated bytes
-        into the downloader/seed useful counters; a duplicate that finds
-        its chunk already owned surrenders its bytes to ``wasted_bytes``.
+        into the downloader/seed useful counters.
         """
-        cfg = self.config
+        st = self.store
+        chunk_size = self.config.chunk_size
+        threshold = chunk_size - 1e-15
+        own = st.own
+        pd = st.partial_done
+        pdl = st.partial_dl
+        psc = st.partial_sc
+        pseq = st.partial_seq
+        active = st.active
+        picks = 0
         sent = 0.0
         while amount > 1e-15:
-            chunk = self._pick_chunk(receiver, uploader, availability)
+            chunk = self._pick_chunk(r, u, availability)
             if chunk is None:
                 break  # nothing useful to send
-            entry = receiver.partials.setdefault(chunk, [0.0, 0.0, 0.0])
-            receiver.active_chunks.add(chunk)
-            need = cfg.chunk_size - entry[0]
-            step = min(need, amount)
-            entry[0] += step
+            picks += 1
+            if pseq[r, chunk] == 0:
+                pseq[r, chunk] = st.next_partial_seq()
+            active[r, chunk] = True
+            done = pd[r, chunk]
+            need = chunk_size - done
+            step = need if need < amount else amount
+            done = done + step
+            pd[r, chunk] = done
             amount -= step
             sent += step
             if uploader_is_downloader:
-                entry[1] += step
+                pdl[r, chunk] += step
             else:
-                entry[2] += step
-            uploader.uploaded_useful += step
-            if entry[0] >= cfg.chunk_size - 1e-15:
-                receiver.bitmap[chunk] = True
+                psc[r, chunk] += step
+            st.uploaded_useful[u] += step
+            if done >= threshold:
+                own[r, chunk] = True
+                st.n_owned[r] += 1
                 availability[chunk] += 1
-                self.downloader_useful += entry[1]
-                self.seed_useful += entry[2]
-                receiver.partials.pop(chunk, None)
-                receiver.active_chunks.discard(chunk)
+                self.downloader_useful += pdl[r, chunk]
+                self.seed_useful += psc[r, chunk]
+                pd[r, chunk] = 0.0
+                pdl[r, chunk] = 0.0
+                psc[r, chunk] = 0.0
+                pseq[r, chunk] = 0
+                active[r, chunk] = False
+        self._round_picks += picks
         return sent
 
     def run(self, *, max_rounds: int = 100_000) -> int:
@@ -303,9 +404,12 @@ class ChunkSwarm:
         start = self.rounds_run
         while not self.all_done:
             if self.rounds_run - start >= max_rounds:
+                n_left = int(
+                    (self.store.n_owned[: self.store.n] < self.config.n_chunks).sum()
+                )
                 raise RuntimeError(
                     f"swarm did not finish within {max_rounds} rounds "
-                    f"({len(self.downloaders)} downloaders left)"
+                    f"({n_left} downloaders left)"
                 )
             self.run_round()
         return self.rounds_run - start

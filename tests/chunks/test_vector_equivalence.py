@@ -1,0 +1,164 @@
+"""Bit-for-bit equivalence: vectorised ``ChunkSwarm`` vs the scalar oracle.
+
+The vectorised engine is not "statistically similar" to
+:class:`repro.chunks.reference.ReferenceChunkSwarm` -- it replays the exact
+same RNG draw sequence and float accumulation order, so *every* observable
+must match exactly: final bitmaps, download times, the eta numerator and
+denominator, per-peer counters, the full round history, and even the
+terminal ``Generator`` state.  These tests pin that across all unchoke
+policies, super-seeding on/off, seed departure on/off and multiple seeds
+(>= 24 seeded configurations).
+
+One documented representational difference: the scalar engine's
+``received_*`` dicts keep stale entries from uploaders that have since left
+the swarm, while the store compacts those columns away (the bytes survive
+in the totals that the ``"fastest"`` policy sums).  The dict comparison is
+therefore restricted to peers still present -- dynamics never read the
+stale entries, which the matching RNG states prove.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chunks import ChunkSwarm, ChunkSwarmConfig, ReferenceChunkSwarm
+
+POLICIES = ("random", "round_robin", "fastest")
+
+
+def assert_swarms_equal(vec: ChunkSwarm, ref: ReferenceChunkSwarm) -> None:
+    """Every observable of the two engines matches exactly."""
+    assert vec.rng.bit_generator.state == ref.rng.bit_generator.state
+    assert vec.now == ref.now
+    assert vec.rounds_run == ref.rounds_run
+    assert vec.downloader_useful == ref.downloader_useful
+    assert vec.downloader_capacity == ref.downloader_capacity
+    assert vec.seed_useful == ref.seed_useful
+    assert vec.seed_capacity == ref.seed_capacity
+    assert vec.wasted_bytes == ref.wasted_bytes
+    assert vec.history == ref.history
+    assert set(vec.peers) == set(ref.peers)
+    live = set(ref.peers)
+    for pid, rp in ref.peers.items():
+        vp = vec.peers[pid]
+        assert np.array_equal(vp.bitmap, rp.bitmap), pid
+        assert vp.finished_at == rp.finished_at, pid
+        assert vp.joined_at == rp.joined_at, pid
+        assert vp.uploaded_useful == rp.uploaded_useful, pid
+        assert vp.partials == rp.partials, pid
+        assert vp.active_chunks == rp.active_chunks, pid
+        assert np.array_equal(vp.offered_counts, rp.offered_counts), pid
+        assert vp.rotation_cursor == rp.rotation_cursor, pid
+        for attr in ("received_last_round", "received_this_round"):
+            vd = {k: v for k, v in getattr(vp, attr).items() if k in live}
+            rd = {k: v for k, v in getattr(rp, attr).items() if k in live}
+            assert vd == rd, (pid, attr)
+
+
+def run_both(cfg: ChunkSwarmConfig, *, seed: int, n_seeds: int, n_leech: int,
+             max_rounds: int = 400) -> tuple[ChunkSwarm, ReferenceChunkSwarm]:
+    vec = ChunkSwarm(cfg, seed=seed)
+    ref = ReferenceChunkSwarm(cfg, seed=seed)
+    for s in (vec, ref):
+        s.add_peers(n_seeds, is_seed=True)
+        s.add_peers(n_leech)
+        s.run(max_rounds=max_rounds)
+    return vec, ref
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("super_seeding", [False, True])
+@pytest.mark.parametrize("policy", POLICIES)
+def test_flash_crowd_equivalence(policy: str, super_seeding: bool, seed: int):
+    """Seeds stay: the full flash-crowd lifecycle matches bit for bit."""
+    cfg = ChunkSwarmConfig(
+        n_chunks=20, seed_unchoke=policy, super_seeding=super_seeding
+    )
+    vec, ref = run_both(cfg, seed=seed, n_seeds=2, n_leech=12)
+    assert_swarms_equal(vec, ref)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("super_seeding", [False, True])
+@pytest.mark.parametrize("policy", POLICIES)
+def test_departing_seeds_equivalence(policy: str, super_seeding: bool, seed: int):
+    """seed_stays=False: finished peers leave; compaction must not disturb
+    the draw order of the remaining rows."""
+    cfg = ChunkSwarmConfig(
+        n_chunks=15,
+        seed_unchoke=policy,
+        super_seeding=super_seeding,
+        seed_stays=False,
+    )
+    vec = ChunkSwarm(cfg, seed=seed)
+    ref = ReferenceChunkSwarm(cfg, seed=seed)
+    for s in (vec, ref):
+        s.add_peers(2, is_seed=True)
+        s.add_peers(10)
+        for _ in range(250):
+            if s.all_done:
+                break
+            s.run_round()
+    assert_swarms_equal(vec, ref)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_churn_equivalence(policy: str):
+    """Scripted joins and removals mid-download stay in lockstep."""
+    cfg = ChunkSwarmConfig(n_chunks=12, seed_unchoke=policy)
+    vec = ChunkSwarm(cfg, seed=7)
+    ref = ReferenceChunkSwarm(cfg, seed=7)
+    for s in (vec, ref):
+        s.add_peer(is_seed=True)
+        s.add_peers(8)
+    # interleave rounds with churn events at fixed times
+    script = {3: ("remove", 4), 5: ("add", None), 8: ("remove", 2), 10: ("add", None)}
+    for k in range(40):
+        event = script.get(k)
+        removed = []
+        for s in (vec, ref):
+            if event is not None:
+                kind, pid = event
+                if kind == "remove" and pid in s.peers:
+                    removed.append(s.remove_peer(pid))
+                elif kind == "add":
+                    s.add_peer()
+            s.run_round()
+        if len(removed) == 2:
+            v, r = removed
+            assert np.array_equal(v.bitmap, r.bitmap)
+            assert v.partials == r.partials == {}
+    assert_swarms_equal(vec, ref)
+
+
+def test_eta_accounting_equivalence():
+    """The eta numerator/denominator (the paper's measured quantity) match
+    exactly on a larger config than the lifecycle tests use."""
+    cfg = ChunkSwarmConfig(n_chunks=40)
+    vec, ref = run_both(cfg, seed=3, n_seeds=1, n_leech=25, max_rounds=2000)
+    assert vec.downloader_useful == ref.downloader_useful
+    assert vec.downloader_capacity == ref.downloader_capacity
+    assert vec.seed_useful == ref.seed_useful
+    assert vec.seed_capacity == ref.seed_capacity
+    times_v = sorted(p.finished_at for p in vec.peers.values())
+    times_r = sorted(p.finished_at for p in ref.peers.values())
+    assert times_v == times_r
+
+
+def test_select_unchoked_standalone_equivalence():
+    """The public choking entry point consumes RNG identically standalone."""
+    for policy in POLICIES:
+        cfg = ChunkSwarmConfig(n_chunks=10, seed_unchoke=policy)
+        vec = ChunkSwarm(cfg, seed=11)
+        ref = ReferenceChunkSwarm(cfg, seed=11)
+        for s in (vec, ref):
+            s.add_peer(is_seed=True)
+            s.add_peers(7)
+            for _ in range(5):
+                s.run_round()
+        for pid in list(ref.peers):
+            assert vec._select_unchoked(vec.peers[pid]) == ref._select_unchoked(
+                ref.peers[pid]
+            ), (policy, pid)
+        assert vec.rng.bit_generator.state == ref.rng.bit_generator.state

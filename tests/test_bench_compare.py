@@ -1,0 +1,143 @@
+"""Unit tests for the benchmark-regression comparator (benchmarks/bench_compare.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "bench_compare.py",
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+sys.modules["bench_compare"] = bench_compare
+_SPEC.loader.exec_module(bench_compare)
+
+
+def _payload(results: dict[str, float]) -> str:
+    return json.dumps(
+        {
+            "schema": "repro-bt/bench-results/v1",
+            "results": {
+                nodeid: {"wall_clock_s": s, "counters": {}}
+                for nodeid, s in results.items()
+            },
+        }
+    )
+
+
+class TestLoadResults:
+    def test_extracts_wall_clock(self):
+        loaded = bench_compare.load_results(_payload({"a": 1.5, "b": 0.25}))
+        assert loaded == {"a": 1.5, "b": 0.25}
+
+    def test_skips_records_without_wall_clock(self):
+        text = json.dumps({"results": {"a": {"counters": {}}}})
+        assert bench_compare.load_results(text) == {}
+
+
+class TestCompare:
+    def test_flags_regressions_beyond_threshold(self):
+        base = {"a": 1.0, "b": 1.0, "c": 1.0}
+        fresh = {"a": 1.4, "b": 1.1, "c": 0.5}
+        regs, added, removed = bench_compare.compare(base, fresh, threshold=0.25)
+        assert [d.nodeid for d in regs] == ["a"]
+        assert regs[0].ratio == pytest.approx(0.4)
+        assert added == [] and removed == []
+
+    def test_sorted_worst_first(self):
+        base = {"a": 1.0, "b": 1.0}
+        fresh = {"a": 1.5, "b": 2.0}
+        regs, _, _ = bench_compare.compare(base, fresh, threshold=0.25)
+        assert [d.nodeid for d in regs] == ["b", "a"]
+
+    def test_reports_added_and_removed(self):
+        regs, added, removed = bench_compare.compare(
+            {"old": 1.0}, {"new": 1.0}, threshold=0.25
+        )
+        assert regs == []
+        assert added == ["new"] and removed == ["old"]
+
+    def test_ignores_sub_jitter_absolute_drift(self):
+        """A 0.001s -> 0.002s flip is 100% 'slower' but pure noise."""
+        regs, _, _ = bench_compare.compare(
+            {"tiny": 0.001}, {"tiny": 0.002}, threshold=0.25
+        )
+        assert regs == []
+
+    def test_improvements_never_flagged(self):
+        regs, _, _ = bench_compare.compare(
+            {"a": 10.0}, {"a": 1.0}, threshold=0.25
+        )
+        assert regs == []
+
+
+class TestFormatReport:
+    def test_mentions_each_regression_with_percent(self):
+        d = bench_compare.Delta("bench::slow", 1.0, 2.0)
+        report = bench_compare.format_report(
+            [d], [], [], threshold=0.25, n_compared=5
+        )
+        assert "bench::slow" in report
+        assert "+100%" in report
+        assert "threshold 25%" in report
+
+    def test_clean_run_message(self):
+        report = bench_compare.format_report(
+            [], ["newbie"], [], threshold=0.25, n_compared=3
+        )
+        assert "no wall-clock regressions" in report
+        assert "newbie" in report
+
+
+class TestMain:
+    def test_exit_zero_without_regressions(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        base.write_text(_payload({"a": 1.0}))
+        fresh.write_text(_payload({"a": 1.0}))
+        rc = bench_compare.main(
+            ["--baseline", str(base), "--fresh", str(fresh)]
+        )
+        assert rc == 0
+        assert "no wall-clock regressions" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        base.write_text(_payload({"a": 1.0}))
+        fresh.write_text(_payload({"a": 2.0}))
+        rc = bench_compare.main(
+            ["--baseline", str(base), "--fresh", str(fresh)]
+        )
+        assert rc == 1
+        assert "+100%" in capsys.readouterr().out
+
+    def test_missing_files_skip_cleanly(self, tmp_path, capsys):
+        rc = bench_compare.main(
+            ["--baseline", str(tmp_path / "nope.json"), "--fresh", str(tmp_path / "also_nope.json")]
+        )
+        assert rc == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_garbage_fresh_file_skips_cleanly(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        base.write_text(_payload({"a": 1.0}))
+        fresh.write_text("not json {")
+        rc = bench_compare.main(
+            ["--baseline", str(base), "--fresh", str(fresh)]
+        )
+        assert rc == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_default_baseline_reads_git_head(self, capsys):
+        """Against the real repo: HEAD has a committed BENCH_results.json."""
+        rc = bench_compare.main(["--threshold", "1000.0"])
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "bench-compare" in captured
