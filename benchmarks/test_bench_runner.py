@@ -35,6 +35,27 @@ def test_bench_runner_parallel(benchmark):
     print(f"parallel speedup over summed driver time: {speedup:.2f}x")
 
 
+def test_bench_runner_fault_tolerant_overhead(benchmark):
+    """Retries/timeout/keep_going on the success path must cost ~nothing.
+
+    The fault machinery (per-attempt time limit, retry loop, keep-going
+    bookkeeping) wraps every driver call; this pins the overhead on a
+    healthy run so the fault-path counters stay effectively free.
+    """
+    fast_ids = ("table1", "figure2", "figure3", "concurrency")
+    summary = run_once(
+        benchmark,
+        run_experiments,
+        fast_ids,
+        jobs=1,
+        retries=2,
+        task_timeout=600.0,
+        keep_going=True,
+    )
+    assert summary.ok and summary.executed == len(fast_ids)
+    assert all(o.attempts == 1 for o in summary.outcomes)
+
+
 def test_bench_cache_cold_vs_warm(benchmark, tmp_path):
     cache_dir = tmp_path / "cache"
     cold = run_experiments(BENCH_IDS, jobs=1, cache_dir=cache_dir)

@@ -38,6 +38,10 @@ def _derived_rows(reg: MetricsRegistry) -> list[list[object]]:
     misses = reg.counters.get("runner.cache.misses", 0.0)
     if hits + misses > 0:
         rows.append(["runner.cache.hit_rate", hits / (hits + misses)])
+    failures = reg.counters.get("runner.failures", 0.0)
+    experiments = reg.counters.get("runner.experiments", 0.0)
+    if failures and experiments:
+        rows.append(["runner.failure_rate", failures / experiments])
     return rows
 
 

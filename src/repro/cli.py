@@ -16,7 +16,13 @@ Subcommands
     ``--force`` re-executes but refreshes the stored entries.  ``--profile``
     prints a solver/simulator/runner metrics table on stderr and ``--trace
     PATH`` writes a Chrome/Perfetto trace timeline of the fleet; neither
-    changes the CSV/SVG outputs by a single byte.
+    changes the CSV/SVG outputs by a single byte.  ``--retries N``,
+    ``--task-timeout SECONDS`` and ``--keep-going`` make long runs
+    fault-tolerant: flaky experiments retry with exponential backoff,
+    runaway drivers time out, and with ``--keep-going`` the run completes
+    anyway, prints a failure table on stderr and exits 1 -- successful
+    results are cached as they settle, so re-running resumes from the
+    failures.
 ``params``
     Print Table 1 with the paper's evaluation values.
 ``simulate <scenario.json> [--json]``
@@ -103,6 +109,30 @@ def build_parser() -> argparse.ArgumentParser:
             help="re-execute even on a cache hit (fresh results still stored)",
         )
         p.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            metavar="N",
+            help="retry a failed experiment up to N extra times with "
+            "exponential backoff + jitter (default: 0)",
+        )
+        p.add_argument(
+            "--task-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-attempt wall-clock limit; an experiment exceeding it "
+            "fails with status 'timeout' (default: no limit)",
+        )
+        p.add_argument(
+            "--keep-going",
+            action="store_true",
+            help="run every experiment even when some fail; failures are "
+            "listed in a table on stderr and the exit code is 1 "
+            "(successes land in the cache, so a re-run resumes from "
+            "the failures)",
+        )
+        p.add_argument(
             "--warm-start",
             action=argparse.BooleanOptionalAction,
             default=True,
@@ -187,6 +217,12 @@ def _warm_start_kwargs(args) -> dict[str, dict] | None:
 
 
 def _print_outcome(outcome, out_dir: Path) -> None:
+    if not outcome.ok:
+        print(
+            f"[{outcome.experiment_id}] {outcome.status} after "
+            f"{outcome.attempts} attempt(s): {outcome.error.summary()}"
+        )
+        return
     result = outcome.result
     print(result.rendered)
     csv_path = result.write_csv(out_dir)
@@ -195,6 +231,20 @@ def _print_outcome(outcome, out_dir: Path) -> None:
     print(f"\n[{outcome.experiment_id}] {status}; series -> {csv_path}")
     for path in figure_paths:
         print(f"[{outcome.experiment_id}] figure -> {path}")
+
+
+def _report_failures(summary) -> int:
+    """Print the failure table on stderr; exit code for the command."""
+    if summary.ok:
+        return 0
+    print(f"\n{summary.format_failures()}", file=sys.stderr)
+    print(
+        f"{len(summary.failures)} of {len(summary.outcomes)} experiment(s) "
+        "failed; successful results are cached, so re-running resumes "
+        "from the failures",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -208,12 +258,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "report":
         from repro.experiments.report import generate_report
+        from repro.runner import TaskFailedError
 
         only = tuple(args.only) if args.only else None
         cache_dir = _resolve_cache_dir(args)
         try:
             with _observing(args):
-                path = generate_report(
+                path, summary = generate_report(
                     args.out,
                     experiment_ids=only,
                     jobs=args.jobs,
@@ -221,12 +272,18 @@ def main(argv: list[str] | None = None) -> int:
                     use_cache=cache_dir is not None,
                     force=args.force,
                     kwargs_map=_warm_start_kwargs(args),
+                    retries=args.retries,
+                    task_timeout=args.task_timeout,
+                    keep_going=args.keep_going,
                 )
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
+        except TaskFailedError as exc:
+            print(exc, file=sys.stderr)
+            return 1
         print(f"report written to {path}")
-        return 0
+        return _report_failures(summary)
     if args.command == "simulate":
         import json as _json
 
@@ -259,7 +316,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 0
     if args.command == "run":
-        from repro.runner import run_experiments
+        from repro.runner import TaskFailedError, run_experiments
 
         out_dir = Path(args.out)
         running_all = args.experiment == "all"
@@ -280,17 +337,23 @@ def main(argv: list[str] | None = None) -> int:
                     force=args.force,
                     kwargs_map=_warm_start_kwargs(args),
                     progress=progress,
+                    retries=args.retries,
+                    task_timeout=args.task_timeout,
+                    keep_going=args.keep_going,
                 )
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
+        except TaskFailedError as exc:
+            print(exc, file=sys.stderr)
+            return 1
         for outcome in summary.outcomes:
             if running_all:
                 print(f"\n{'=' * 72}\n# {outcome.experiment_id}\n{'=' * 72}")
             _print_outcome(outcome, out_dir)
         if running_all:
             print(f"\n{summary.format_summary()}")
-        return 0
+        return _report_failures(summary)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -25,7 +25,12 @@ from repro.experiments.base import (
     FigureSpec,
     HeatmapSpec,
 )
-from repro.experiments.registry import REGISTRY, get_experiment, list_experiments
+from repro.experiments.registry import (
+    REGISTRY,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -35,4 +40,5 @@ __all__ = [
     "REGISTRY",
     "get_experiment",
     "list_experiments",
+    "register_experiment",
 ]

@@ -24,7 +24,12 @@ from repro.experiments import (
 )
 from repro.experiments.base import ExperimentResult
 
-__all__ = ["REGISTRY", "get_experiment", "list_experiments"]
+__all__ = [
+    "REGISTRY",
+    "get_experiment",
+    "list_experiments",
+    "register_experiment",
+]
 
 #: experiment id -> (driver, one-line description)
 REGISTRY: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
@@ -45,6 +50,25 @@ REGISTRY: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
     "fairness": (fairness.run, "Extension: Jain fairness vs efficiency frontier"),
     "lifetime": (lifetime.run, "Extension: torrent lifetime under decaying arrivals"),
 }
+
+
+def register_experiment(
+    experiment_id: str,
+    driver: Callable[..., ExperimentResult],
+    description: str = "",
+    *,
+    replace: bool = False,
+) -> None:
+    """Register an extra driver at runtime (plugins, fault-injection tests).
+
+    The runner's pool workers look drivers up by id inside the worker, so
+    with fork-started pools a runtime-registered driver runs under
+    ``--jobs N`` too.  Registering over an existing id raises unless
+    ``replace=True``.
+    """
+    if not replace and experiment_id in REGISTRY:
+        raise ValueError(f"experiment {experiment_id!r} is already registered")
+    REGISTRY[experiment_id] = (driver, description)
 
 
 def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:

@@ -5,8 +5,14 @@ Public surface:
 - :func:`run_experiments` / :func:`run_sweep` -- execute registry
   experiments (or one driver over a kwargs grid) across a process pool,
   returning results in deterministic input order with per-task telemetry.
+  Per-task ``retries``/``task_timeout`` and ``keep_going`` make long
+  sweeps fault-tolerant: failures come back as structured
+  :class:`RunOutcome` records instead of aborting the run.
 - :class:`ResultCache` -- content-addressed on-disk cache keyed by
-  ``(experiment_id, kwargs, source digest)``.
+  ``(experiment_id, kwargs, source digest)``.  Successes are stored as
+  they settle, so re-invoking a crashed sweep resumes from the failures.
+- :class:`TaskError` / :class:`TaskFailedError` / :class:`FaultPolicy` --
+  the failure vocabulary (see :mod:`repro.runner.faults`).
 - :func:`source_digest` -- SHA-256 of the repro package's source tree.
 
 The CLI (``repro-bt run all --jobs N``) and ``repro-bt report`` are thin
@@ -16,11 +22,21 @@ wrappers over this package.
 from repro.runner.cache import ResultCache
 from repro.runner.digest import source_digest
 from repro.runner.executor import RunOutcome, RunSummary, run_experiments, run_sweep
+from repro.runner.faults import (
+    FaultPolicy,
+    TaskError,
+    TaskFailedError,
+    TaskTimeoutError,
+)
 
 __all__ = [
+    "FaultPolicy",
     "ResultCache",
     "RunOutcome",
     "RunSummary",
+    "TaskError",
+    "TaskFailedError",
+    "TaskTimeoutError",
     "run_experiments",
     "run_sweep",
     "source_digest",

@@ -15,6 +15,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 from typing import Mapping
 
@@ -26,12 +27,36 @@ __all__ = ["ResultCache"]
 #: bump when the serialized entry format changes incompatibly
 _FORMAT_VERSION = 1
 
+#: stray ``*.tmp.<pid>`` files older than this are swept at construction --
+#: generous enough that a concurrent run's in-flight write is never touched
+_TMP_GRACE_SECONDS = 3600.0
+
 
 class ResultCache:
     """Load/store :class:`ExperimentResult` payloads under content keys."""
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self, grace: float = _TMP_GRACE_SECONDS) -> None:
+        """Remove ``*.tmp.<pid>`` leftovers of workers that died mid-store.
+
+        A worker killed between ``write_text`` and ``os.replace`` leaks its
+        temp file forever (its pid is gone, so no one else will ever
+        ``os.replace`` it).  Anything older than ``grace`` seconds predates
+        the current run and is safe to delete; recent temps may belong to a
+        live concurrent writer and are left alone.
+        """
+        if not self.directory.is_dir():
+            return
+        cutoff = time.time() - grace
+        for tmp in self.directory.glob("*/*.tmp.*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:
+                continue  # racing writer finished or swept it first
 
     def key(
         self,
@@ -88,6 +113,10 @@ class ResultCache:
             }
         )
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(payload)
-        os.replace(tmp, path)
+        try:
+            tmp.write_text(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         return path

@@ -10,12 +10,33 @@ byte-identical CSVs and SVGs.
 
 ``run_sweep`` is the intra-experiment variant: one driver, many kwargs
 dicts, same pooling/caching/ordering guarantees.
+
+Fault tolerance
+---------------
+Every task runs under a :class:`~repro.runner.faults.FaultPolicy`:
+``retries`` extra attempts with exponential backoff + jitter and an
+optional per-attempt ``task_timeout`` are enforced *inside* the process
+running the driver, so a flaky or hung driver never blocks the parent.
+A worker that dies abruptly (SIGKILL, segfault) breaks the process pool;
+the executor rebuilds it, re-runs the implicated tasks, and isolates
+repeat offenders in a single-task pool so the poisoning task is
+quarantined instead of taking innocent neighbours down with it.
+
+With ``keep_going=False`` (default) the first terminal failure raises
+:class:`~repro.runner.faults.TaskFailedError`.  With ``keep_going=True``
+the run always returns a complete input-ordered summary: failed tasks
+carry ``status`` ``"failed"``/``"timeout"`` and a structured
+:class:`~repro.runner.faults.TaskError` instead of a result.  Successful
+results land in the cache *as they settle*, so re-invoking a crashed or
+partially failed sweep replays the successes from cache and re-executes
+only the failures.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Mapping, Sequence
@@ -25,8 +46,20 @@ from repro.experiments.registry import get_experiment
 from repro.obs import capture, current_registry, current_tracer
 from repro.runner.cache import ResultCache
 from repro.runner.digest import source_digest
+from repro.runner.faults import (
+    FaultPolicy,
+    TaskError,
+    TaskFailedError,
+    TaskTimeoutError,
+    error_from_exception,
+    time_limit,
+)
 
 __all__ = ["RunOutcome", "RunSummary", "run_experiments", "run_sweep"]
+
+#: pool breaks a task may witness before it is re-run in isolation; a task
+#: whose *solo* pool also breaks is definitively the poisoner
+_SUSPECT_CRASHES = 2
 
 
 @dataclass(frozen=True)
@@ -34,14 +67,26 @@ class RunOutcome:
     """Telemetry for one executed (or replayed) experiment invocation."""
 
     experiment_id: str
-    result: ExperimentResult
+    result: ExperimentResult | None  #: ``None`` when the task failed
     elapsed: float  #: driver wall-clock seconds (0.0 for a cache hit)
-    cached: bool  #: True when replayed from the result cache
+    status: str = "ok"  #: ``ok`` | ``cache`` | ``failed`` | ``timeout``
+    error: TaskError | None = None  #: structured failure record, if any
+    attempts: int = 1  #: attempts made (1 unless retries kicked in)
+
+    @property
+    def ok(self) -> bool:
+        """True when a result exists (fresh run or cache replay)."""
+        return self.status in ("ok", "cache")
+
+    @property
+    def cached(self) -> bool:
+        """True when replayed from the result cache."""
+        return self.status == "cache"
 
     @property
     def source(self) -> str:
-        """``"cache"`` or ``"ran"`` -- how this result was obtained."""
-        return "cache" if self.cached else "ran"
+        """``"cache"``, ``"ran"``, ``"failed"`` or ``"timeout"``."""
+        return {"ok": "ran", "cache": "cache"}.get(self.status, self.status)
 
 
 @dataclass(frozen=True)
@@ -53,8 +98,18 @@ class RunSummary:
     jobs: int
 
     @property
-    def results(self) -> tuple[ExperimentResult, ...]:
+    def results(self) -> tuple[ExperimentResult | None, ...]:
         return tuple(o.result for o in self.outcomes)
+
+    @property
+    def failures(self) -> tuple[RunOutcome, ...]:
+        """Failed/timed-out outcomes, in input order (empty on a clean run)."""
+        return tuple(o for o in self.outcomes if not o.ok)
+
+    @property
+    def ok(self) -> bool:
+        """True when every task produced a result."""
+        return not self.failures
 
     @property
     def cache_hits(self) -> int:
@@ -76,11 +131,32 @@ class RunSummary:
         lines.append("-" * (width + 18))
         for o in self.outcomes:
             lines.append(f"{o.experiment_id:<{width}}  {o.elapsed:>7.2f}s  {o.source}")
+        failed = f", {len(self.failures)} failed" if self.failures else ""
         lines.append(
             f"total: {len(self.outcomes)} experiments in {self.wall_clock:.2f}s "
-            f"({self.cache_hits} cache hits, {self.executed} executed, "
+            f"({self.cache_hits} cache hits, {self.executed} executed{failed}, "
             f"jobs={self.jobs})"
         )
+        return "\n".join(lines)
+
+    def format_failures(self, *, tracebacks: bool = True) -> str:
+        """Failure table (and tracebacks) for the CLI's stderr report."""
+        if not self.failures:
+            return "no failures"
+        width = max([len(o.experiment_id) for o in self.failures] + [10])
+        lines = [f"{'experiment':<{width}}  {'status':<8}  attempts  error"]
+        lines.append("-" * (width + 30))
+        for o in self.failures:
+            summary = o.error.summary() if o.error is not None else ""
+            lines.append(
+                f"{o.experiment_id:<{width}}  {o.status:<8}  "
+                f"{o.attempts:>8}  {summary}"
+            )
+        if tracebacks:
+            for o in self.failures:
+                if o.error is not None and o.error.traceback:
+                    lines.append(f"\n[{o.experiment_id}] traceback:")
+                    lines.append(o.error.traceback.rstrip())
         return "\n".join(lines)
 
 
@@ -115,6 +191,94 @@ def _execute(
     return payload, elapsed, obs.tracer.events
 
 
+def _execute_guarded(
+    experiment_id: str, kwargs: dict, profile: bool, policy: FaultPolicy
+) -> dict:
+    """Run one driver under ``policy``; never raises, returns a record.
+
+    Retries (with backoff sleeps) and the per-attempt time limit are
+    enforced *here*, in the process actually running the driver, so a
+    pool worker handles its own flakiness and the parent only ever sees
+    a settled record -- or a broken pool when the worker itself died.
+
+    Success:  ``{"ok": True, "payload", "elapsed", "events", "attempts",
+    "timeouts"}``.  Failure: ``{"ok": False, "status": "failed"|"timeout",
+    "error": TaskError, "elapsed", "attempts", "timeouts"}``.
+    """
+    timeouts = 0
+    total_elapsed = 0.0
+    error: TaskError | None = None
+    status = "failed"
+    for attempt in range(1, policy.retries + 2):
+        if attempt > 1:
+            time.sleep(policy.delay(attempt - 1, key=experiment_id))
+        started = time.perf_counter()
+        try:
+            with time_limit(policy.timeout):
+                payload, elapsed, events = _execute(experiment_id, kwargs, profile)
+        except TaskTimeoutError as exc:
+            total_elapsed += time.perf_counter() - started
+            timeouts += 1
+            status = "timeout"
+            error = error_from_exception(exc, attempt)
+        except Exception as exc:
+            total_elapsed += time.perf_counter() - started
+            status = "failed"
+            error = error_from_exception(exc, attempt)
+        else:
+            return {
+                "ok": True,
+                "payload": payload,
+                "elapsed": elapsed,
+                "events": events,
+                "attempts": attempt,
+                "timeouts": timeouts,
+            }
+    return {
+        "ok": False,
+        "status": status,
+        "error": error,
+        "elapsed": total_elapsed,
+        "attempts": policy.retries + 1,
+        "timeouts": timeouts,
+    }
+
+
+def _crash_error(experiment_id: str, crashes: int) -> TaskError:
+    """Synthesized :class:`TaskError` for a quarantined pool-poisoning task."""
+    return TaskError(
+        type="BrokenProcessPool",
+        message=(
+            "worker process died abruptly (killed or crashed) while running "
+            f"{experiment_id!r}; task quarantined after breaking "
+            f"{crashes} pool(s)"
+        ),
+        traceback=(
+            "worker process terminated without a Python traceback "
+            "(SIGKILL/segfault); see the failure message for details"
+        ),
+        attempts=crashes,
+    )
+
+
+def _require_complete(
+    outcomes: Sequence["RunOutcome | None"], tasks: Sequence[tuple[str, dict]]
+) -> None:
+    """Raise if any task never settled (runner bookkeeping bug guard).
+
+    A real exception rather than an ``assert`` so the check survives
+    ``python -O`` instead of silently returning ``None`` outcomes.
+    """
+    unfilled = [
+        f"#{i} ({tasks[i][0]})" for i, o in enumerate(outcomes) if o is None
+    ]
+    if unfilled:
+        raise RuntimeError(
+            f"runner internal error: {len(unfilled)} task(s) never settled: "
+            + ", ".join(unfilled)
+        )
+
+
 def _record_summary(summary: RunSummary) -> None:
     """Fold run-level telemetry into the active registry (no-op default).
 
@@ -138,6 +302,8 @@ def _run_tasks(
     cache: ResultCache | None,
     force: bool,
     progress: Callable[[str], None] | None,
+    policy: FaultPolicy,
+    keep_going: bool,
 ) -> tuple[RunOutcome, ...]:
     """Shared machinery: cache probe, pooled execution, input-order results."""
 
@@ -161,50 +327,130 @@ def _run_tasks(
     for i, (eid, kwargs) in enumerate(tasks):
         if cache is not None:
             keys[i] = cache.key(eid, kwargs, digest=digest)
-            if not force:
+            if force:
+                # no lookup happened, so neither hit nor miss is truthful
+                reg.inc("runner.cache.forced")
+            else:
                 hit = cache.load(keys[i])
                 if hit is not None:
-                    outcomes[i] = RunOutcome(eid, hit, 0.0, True)
+                    outcomes[i] = RunOutcome(eid, hit, 0.0, "cache")
                     reg.inc("runner.cache.hits")
                     tracer.instant(
                         "runner.cache_hit", category="runner", experiment_id=eid
                     )
                     report(f"[{eid}] cache hit")
                     continue
-            reg.inc("runner.cache.misses")
+                reg.inc("runner.cache.misses")
         pending.append(i)
 
-    def settle(
-        i: int, payload: dict, elapsed: float, events: list[dict] | None
-    ) -> None:
-        result = ExperimentResult.from_dict(payload)
-        if cache is not None:
-            cache.store(keys[i], result)
-        outcomes[i] = RunOutcome(tasks[i][0], result, elapsed, False)
-        if profile:
-            if result.obs is not None:
-                reg.merge(result.obs)
-            if events:
-                tracer.extend(events)
-            reg.observe("runner.experiment.seconds", elapsed)
-            reg.set_gauge(f"runner.experiment.{tasks[i][0]}.seconds", elapsed)
-        report(f"[{tasks[i][0]}] ran in {elapsed:.2f}s")
+    def settle(i: int, record: dict) -> None:
+        eid = tasks[i][0]
+        attempts = record.get("attempts", 1)
+        if attempts > 1:
+            reg.inc("runner.retries", attempts - 1)
+        if record.get("timeouts"):
+            reg.inc("runner.timeouts", record["timeouts"])
+        if record["ok"]:
+            result = ExperimentResult.from_dict(record["payload"])
+            if cache is not None:
+                cache.store(keys[i], result)
+            elapsed = record["elapsed"]
+            outcomes[i] = RunOutcome(eid, result, elapsed, "ok", None, attempts)
+            if profile:
+                if result.obs is not None:
+                    reg.merge(result.obs)
+                if record.get("events"):
+                    tracer.extend(record["events"])
+                reg.observe("runner.experiment.seconds", elapsed)
+                reg.set_gauge(f"runner.task.{i}.{eid}.seconds", elapsed)
+            retried = f" (attempt {attempts})" if attempts > 1 else ""
+            report(f"[{eid}] ran in {elapsed:.2f}s{retried}")
+        else:
+            error: TaskError = record["error"]
+            outcomes[i] = RunOutcome(
+                eid, None, record.get("elapsed", 0.0), record["status"], error, attempts
+            )
+            reg.inc("runner.failures")
+            tracer.instant(
+                "runner.task_failed", category="runner", experiment_id=eid
+            )
+            report(
+                f"[{eid}] {record['status']} after {attempts} attempt(s): "
+                f"{error.summary()}"
+            )
+            if not keep_going:
+                raise TaskFailedError(eid, error)
+
+    def quarantine(i: int, crashes: int) -> None:
+        eid = tasks[i][0]
+        error = _crash_error(eid, crashes)
+        outcomes[i] = RunOutcome(eid, None, 0.0, "failed", error, crashes)
+        reg.inc("runner.failures")
+        tracer.instant("runner.task_failed", category="runner", experiment_id=eid)
+        report(f"[{eid}] failed: {error.message}")
+        if not keep_going:
+            raise TaskFailedError(eid, error)
 
     if jobs > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_execute, tasks[i][0], tasks[i][1], profile): i
-                for i in pending
-            }
-            for future in as_completed(futures):
-                payload, elapsed, events = future.result()
-                settle(futures[future], payload, elapsed, events)
+        # Unfinished tasks cycle through rebuilt pools when a worker dies
+        # abruptly (BrokenProcessPool): every task still unfinished at the
+        # break gets a crash mark, and a task marked _SUSPECT_CRASHES times
+        # is re-run alone in a single-task pool -- if *that* pool breaks
+        # too, the task is definitively the poisoner and is quarantined,
+        # so innocent neighbours are never blamed for a shared break.
+        unfinished: list[int] = list(pending)
+        crash_counts: dict[int, int] = dict.fromkeys(pending, 0)
+        while unfinished:
+            suspects = [
+                i for i in unfinished if crash_counts[i] >= _SUSPECT_CRASHES
+            ]
+            batch = suspects[:1] if suspects else list(unfinished)
+            broken = False
+            with ProcessPoolExecutor(max_workers=min(jobs, len(batch))) as pool:
+                futures = {
+                    pool.submit(
+                        _execute_guarded, tasks[i][0], tasks[i][1], profile, policy
+                    ): i
+                    for i in batch
+                }
+                for future in as_completed(futures):
+                    i = futures[future]
+                    try:
+                        record = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        continue
+                    except Exception as exc:  # unpicklable result edge case
+                        record = {
+                            "ok": False,
+                            "status": "failed",
+                            "error": error_from_exception(exc, 1),
+                            "elapsed": 0.0,
+                            "attempts": 1,
+                            "timeouts": 0,
+                        }
+                    settle(i, record)
+                    unfinished.remove(i)
+            if broken:
+                reg.inc("runner.pool_rebuilds")
+                tracer.instant("runner.pool_rebuild", category="runner")
+                report(
+                    f"[runner] process pool broke with {len(unfinished)} "
+                    "task(s) unfinished; rebuilding"
+                )
+                for i in list(unfinished):
+                    if i not in futures.values():
+                        continue
+                    crash_counts[i] += 1
+                    if crash_counts[i] > _SUSPECT_CRASHES:
+                        unfinished.remove(i)
+                        quarantine(i, crash_counts[i])
     else:
         for i in pending:
-            payload, elapsed, events = _execute(tasks[i][0], tasks[i][1], profile)
-            settle(i, payload, elapsed, events)
+            record = _execute_guarded(tasks[i][0], tasks[i][1], profile, policy)
+            settle(i, record)
 
-    assert all(o is not None for o in outcomes)
+    _require_complete(outcomes, tasks)
     return tuple(outcomes)  # type: ignore[arg-type]
 
 
@@ -216,6 +462,9 @@ def run_experiments(
     force: bool = False,
     kwargs_map: Mapping[str, Mapping] | None = None,
     progress: Callable[[str], None] | None = None,
+    retries: int = 0,
+    task_timeout: float | None = None,
+    keep_going: bool = False,
 ) -> RunSummary:
     """Execute registry experiments, possibly in parallel, with caching.
 
@@ -237,6 +486,18 @@ def run_experiments(
     progress:
         Optional callback receiving one status line per experiment as it
         settles (completion order, not input order).
+    retries:
+        Extra attempts after a failed one, with exponential backoff +
+        jitter between attempts (enforced in the worker).
+    task_timeout:
+        Per-attempt wall-clock limit in seconds; an attempt exceeding it
+        fails with status ``"timeout"``.  ``None`` disables the limit.
+    keep_going:
+        ``False`` (default): the first terminal failure raises
+        :class:`~repro.runner.faults.TaskFailedError`.  ``True``: always
+        return a complete input-ordered summary with failures marked
+        (``RunSummary.failures``); successes settle into the cache either
+        way, so re-invoking resumes from where the failures were.
 
     Raises ``KeyError`` listing the unknown ids if any id is not
     registered.
@@ -253,11 +514,18 @@ def run_experiments(
     tasks = [(eid, dict(resolved.get(eid, {}))) for eid in ids]
     started = time.perf_counter()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
+    policy = FaultPolicy(retries=retries, timeout=task_timeout)
     with current_tracer().span(
         "runner.run_experiments", category="runner", n_tasks=len(tasks), jobs=jobs
     ):
         outcomes = _run_tasks(
-            tasks, jobs=jobs, cache=cache, force=force, progress=progress
+            tasks,
+            jobs=jobs,
+            cache=cache,
+            force=force,
+            progress=progress,
+            policy=policy,
+            keep_going=keep_going,
         )
     summary = RunSummary(outcomes, time.perf_counter() - started, jobs)
     _record_summary(summary)
@@ -272,21 +540,35 @@ def run_sweep(
     cache_dir: str | Path | None = None,
     force: bool = False,
     progress: Callable[[str], None] | None = None,
+    retries: int = 0,
+    task_timeout: float | None = None,
+    keep_going: bool = False,
 ) -> RunSummary:
     """Run one experiment driver over many kwargs dicts (a parameter sweep).
 
     Each ``(experiment_id, kwargs)`` point caches independently; results
-    come back in ``kwargs_list`` order.
+    come back in ``kwargs_list`` order.  Fault handling matches
+    :func:`run_experiments`: with ``keep_going=True`` a crashed or partly
+    failed sweep returns every point (failures marked), and because each
+    success is cached as it settles, a second invocation replays the
+    successes and re-executes only the failures.
     """
     get_experiment(experiment_id)  # raise early on unknown ids
     tasks = [(experiment_id, dict(kwargs)) for kwargs in kwargs_list]
     started = time.perf_counter()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
+    policy = FaultPolicy(retries=retries, timeout=task_timeout)
     with current_tracer().span(
         "runner.run_sweep", category="runner", n_tasks=len(tasks), jobs=jobs
     ):
         outcomes = _run_tasks(
-            tasks, jobs=jobs, cache=cache, force=force, progress=progress
+            tasks,
+            jobs=jobs,
+            cache=cache,
+            force=force,
+            progress=progress,
+            policy=policy,
+            keep_going=keep_going,
         )
     summary = RunSummary(outcomes, time.perf_counter() - started, jobs)
     _record_summary(summary)

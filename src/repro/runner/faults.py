@@ -1,0 +1,157 @@
+"""Fault-handling primitives for the experiment runner.
+
+Long parameter sweeps treat task failure as routine, the way swarm
+software treats peer failure: a worker exception, a hung driver or a
+killed worker process must not take down the whole run.  This module
+holds the pieces the executor composes:
+
+- :class:`FaultPolicy` -- per-task retry/timeout knobs with exponential
+  backoff and deterministic jitter;
+- :class:`TaskError` -- the structured record (exception type, message,
+  traceback text, attempt count) a failed task carries on its
+  :class:`~repro.runner.executor.RunOutcome`;
+- :class:`TaskFailedError` / :class:`TaskTimeoutError` -- what the
+  executor raises when ``keep_going`` is off;
+- :func:`time_limit` -- SIGALRM-based wall-clock limit enforced inside
+  the (worker) process actually running the driver.
+"""
+
+from __future__ import annotations
+
+import random
+import signal
+import threading
+import traceback as _tb
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+__all__ = [
+    "FaultPolicy",
+    "TaskError",
+    "TaskFailedError",
+    "TaskTimeoutError",
+    "error_from_exception",
+    "time_limit",
+]
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """Structured record of one task's terminal failure."""
+
+    type: str  #: exception class name (``"ValueError"``, ``"BrokenProcessPool"``)
+    message: str  #: ``str(exc)`` of the final attempt
+    traceback: str  #: formatted traceback text ("" only when none exists)
+    attempts: int  #: how many attempts were made before giving up
+
+    def summary(self) -> str:
+        """One-line ``Type: message`` rendering for tables and logs."""
+        return f"{self.type}: {self.message}" if self.message else self.type
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TaskError":
+        return cls(
+            type=str(payload["type"]),
+            message=str(payload["message"]),
+            traceback=str(payload.get("traceback", "")),
+            attempts=int(payload.get("attempts", 1)),
+        )
+
+
+def error_from_exception(exc: BaseException, attempts: int) -> TaskError:
+    """Capture ``exc`` (with its traceback text) as a :class:`TaskError`."""
+    return TaskError(
+        type=type(exc).__name__,
+        message=str(exc),
+        traceback="".join(
+            _tb.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+        attempts=attempts,
+    )
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted its attempts and ``keep_going`` was off.
+
+    Carries the failing ``experiment_id`` and the structured
+    :class:`TaskError`; the message embeds the original traceback text so
+    nothing is lost when this crosses the CLI boundary.
+    """
+
+    def __init__(self, experiment_id: str, error: TaskError):
+        self.experiment_id = experiment_id
+        self.error = error
+        detail = f"\n{error.traceback}" if error.traceback else ""
+        super().__init__(
+            f"[{experiment_id}] failed after {error.attempts} attempt(s) -- "
+            f"{error.summary()}{detail}"
+        )
+
+
+class TaskTimeoutError(Exception):
+    """Raised inside the running process when :func:`time_limit` expires."""
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Retry/timeout policy applied to every task of one runner call.
+
+    ``retries`` extra attempts follow a failed one after an exponential
+    backoff delay (``backoff_base * 2**(retry-1)``, capped at
+    ``backoff_cap``) with deterministic jitter in ``[0.5, 1.0)`` of the
+    base delay, seeded from the task key so reruns sleep identically but
+    concurrent tasks do not thundering-herd.
+    """
+
+    retries: int = 0  #: extra attempts after the first failure
+    timeout: float | None = None  #: per-attempt wall-clock seconds (None = off)
+    backoff_base: float = 0.1
+    backoff_cap: float = 30.0
+
+    def delay(self, retry: int, key: str = "") -> float:
+        """Seconds to sleep before retry number ``retry`` (1-based)."""
+        if retry <= 0:
+            return 0.0
+        base = min(self.backoff_cap, self.backoff_base * 2 ** (retry - 1))
+        jitter = random.Random(f"{key}:{retry}").random()
+        return base * (0.5 + 0.5 * jitter)
+
+
+@contextmanager
+def time_limit(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`TaskTimeoutError` in this thread after ``seconds``.
+
+    SIGALRM-based, so it interrupts pure-Python *and* most native-loop
+    drivers without cooperation.  Only armed when a positive limit is
+    given, the platform has ``setitimer`` and we are on the main thread
+    of the process (pool workers run tasks there); otherwise a no-op.
+    The previous handler/timer is restored on exit.
+    """
+    if (
+        not seconds
+        or seconds <= 0
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TaskTimeoutError(f"exceeded the {seconds:g}s task time limit")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

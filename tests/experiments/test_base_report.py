@@ -161,11 +161,12 @@ class TestSerialization:
 
 class TestReport:
     def test_subset_report(self, tmp_path):
-        path = generate_report(tmp_path, experiment_ids=("table1",))
+        path, summary = generate_report(tmp_path, experiment_ids=("table1",))
         text = path.read_text()
         assert "# Reproduction report" in text
         assert "## table1" in text
         assert (tmp_path / "table1.csv").exists()
+        assert summary.ok and len(summary.outcomes) == 1
 
     def test_unknown_id_rejected(self, tmp_path):
         with pytest.raises(KeyError, match="unknown experiments"):

@@ -196,4 +196,5 @@ class TestRunnerInstrumentation:
         g = obs.registry.gauges
         assert g["runner.jobs"] == 1
         assert g["runner.wall_clock_seconds"] > 0
-        assert "runner.experiment.table1.seconds" in g
+        # gauges key by task index so sweep points never overwrite each other
+        assert "runner.task.0.table1.seconds" in g

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments.base import ExperimentResult
 from repro.runner import ResultCache, source_digest
 
@@ -88,6 +90,52 @@ class TestStorage:
         assert [p.name for p in fresh] == [p.name for p in cached]
         for a, b in zip(fresh, cached):
             assert a.read_bytes() == b.read_bytes()
+
+
+class TestTmpSweep:
+    def test_stale_tmp_files_swept_on_construction(self, tmp_path):
+        import os
+        import time
+
+        stale = tmp_path / "ab" / ("a" * 64 + ".tmp.12345")
+        stale.parent.mkdir(parents=True)
+        stale.write_text("half-written entry from a killed worker")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "cd" / ("c" * 64 + ".tmp.67890")
+        fresh.parent.mkdir(parents=True)
+        fresh.write_text("concurrent writer, still in flight")
+
+        ResultCache(tmp_path)
+        assert not stale.exists()  # predates the run: swept
+        assert fresh.exists()  # recent: left for its (live) writer
+
+    def test_sweep_ignores_real_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("demo", {}, digest="d0")
+        path = cache.store(key, make_result())
+        import os
+        import time
+
+        old = time.time() - 7200
+        os.utime(path, (old, old))
+        ResultCache(tmp_path)  # re-construction must not touch entries
+        assert path.exists()
+        assert cache.load(key) == make_result()
+
+    def test_store_cleans_tmp_on_write_failure(self, tmp_path, monkeypatch):
+        import os
+
+        cache = ResultCache(tmp_path)
+        key = cache.key("demo", {}, digest="d0")
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="disk full"):
+            cache.store(key, make_result())
+        assert not list(tmp_path.glob("*/*.tmp.*"))
 
 
 class TestSourceDigest:

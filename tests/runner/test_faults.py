@@ -1,0 +1,419 @@
+"""Fault tolerance: retries, timeouts, crashes, quarantine and resume.
+
+The failure paths are exercised with fault-injection drivers registered at
+runtime through :func:`repro.experiments.register_experiment`.  Pool
+workers look drivers up by id *inside* the worker, so with fork-started
+pools (the default on Linux) runtime-registered drivers run under
+``jobs > 1`` too; pool-based tests skip on other start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import register_experiment
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import REGISTRY
+from repro.obs import capture
+from repro.runner import (
+    FaultPolicy,
+    TaskError,
+    TaskFailedError,
+    run_experiments,
+    run_sweep,
+)
+from repro.runner.executor import _require_complete
+from repro.runner.faults import TaskTimeoutError, time_limit
+
+needs_fork = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="runtime-registered drivers reach pool workers only via fork",
+)
+
+
+def _result(tag: str, experiment_id: str = "faulty") -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"fault-injection result ({tag})",
+        headers=("tag",),
+        rows=((tag,),),
+        rendered=f"ok: {tag}",
+        notes="",
+    )
+
+
+# --- fault-injection drivers (module-level so they survive the fork) -----
+
+
+def flaky_driver(*, state_file: str, fail_times: int = 2) -> ExperimentResult:
+    """Fail the first ``fail_times`` attempts, then succeed."""
+    path = Path(state_file)
+    attempt = int(path.read_text()) + 1 if path.exists() else 1
+    path.write_text(str(attempt))
+    if attempt <= fail_times:
+        raise ValueError(f"injected flaky failure on attempt {attempt}")
+    return _result(f"attempt {attempt}")
+
+
+def sweep_point_driver(
+    *, p: int, fail_points: list | tuple = (), marker: str = ""
+) -> ExperimentResult:
+    """One sweep point; raises at ``fail_points`` while ``marker`` exists."""
+    if p in tuple(fail_points) and (not marker or Path(marker).exists()):
+        raise RuntimeError(f"injected failure at sweep point {p}")
+    return _result(f"point {p}")
+
+
+def crash_driver(*, p: int = 0, crash_points: list | tuple = (0,)) -> ExperimentResult:
+    """SIGKILL our own process at the crash points (a poisoned task)."""
+    if p in tuple(crash_points):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _result(f"survived {p}")
+
+
+def sleepy_driver(*, seconds: float) -> ExperimentResult:
+    import time
+
+    time.sleep(seconds)
+    return _result(f"slept {seconds}")
+
+
+@pytest.fixture
+def faulty(request):
+    """Register a driver under the id ``"faulty"`` for one test."""
+
+    def _install(driver):
+        register_experiment("faulty", driver, "fault-injection test driver")
+        request.addfinalizer(lambda: REGISTRY.pop("faulty", None))
+        return "faulty"
+
+    return _install
+
+
+class TestWorkerRaise:
+    def test_keep_going_false_raises_task_failed(self, faulty, tmp_path):
+        eid = faulty(sweep_point_driver)
+        with pytest.raises(TaskFailedError) as exc_info:
+            run_sweep(eid, [{"p": 0, "fail_points": [0]}])
+        err = exc_info.value.error
+        assert err.type == "RuntimeError"
+        assert "injected failure at sweep point 0" in err.message
+        assert "sweep_point_driver" in err.traceback
+
+    def test_keep_going_true_marks_failures_in_order(self, faulty):
+        eid = faulty(sweep_point_driver)
+        grid = [{"p": p, "fail_points": [1, 2]} for p in range(4)]
+        summary = run_sweep(eid, grid, keep_going=True)
+        assert [o.status for o in summary.outcomes] == [
+            "ok",
+            "failed",
+            "failed",
+            "ok",
+        ]
+        assert not summary.ok and len(summary.failures) == 2
+        for o in summary.failures:
+            assert o.result is None
+            assert o.error.type == "RuntimeError"
+            assert "Traceback" in o.error.traceback
+        assert "failed" in summary.format_summary()
+        table = summary.format_failures()
+        assert "RuntimeError" in table and "Traceback" in table
+
+    @needs_fork
+    def test_parallel_failures_preserve_order_and_tracebacks(self, faulty):
+        eid = faulty(sweep_point_driver)
+        grid = [{"p": p, "fail_points": [0, 3]} for p in range(5)]
+        summary = run_sweep(eid, grid, jobs=2, keep_going=True)
+        assert [o.status for o in summary.outcomes] == [
+            "failed",
+            "ok",
+            "ok",
+            "failed",
+            "ok",
+        ]
+        assert all("sweep_point_driver" in o.error.traceback for o in summary.failures)
+
+
+class TestRetries:
+    def test_retry_then_succeed(self, faulty, tmp_path):
+        eid = faulty(flaky_driver)
+        state = tmp_path / "attempts"
+        with capture() as obs:
+            summary = run_experiments(
+                [eid],
+                kwargs_map={eid: {"state_file": str(state), "fail_times": 2}},
+                retries=2,
+            )
+        (outcome,) = summary.outcomes
+        assert outcome.status == "ok" and outcome.attempts == 3
+        assert int(state.read_text()) == 3
+        assert obs.registry.counters["runner.retries"] == 2
+        assert "runner.failures" not in obs.registry.counters
+
+    def test_retries_exhausted_counts_attempts(self, faulty, tmp_path):
+        eid = faulty(flaky_driver)
+        state = tmp_path / "attempts"
+        with capture() as obs:
+            summary = run_experiments(
+                [eid],
+                kwargs_map={eid: {"state_file": str(state), "fail_times": 99}},
+                retries=2,
+                keep_going=True,
+            )
+        (outcome,) = summary.outcomes
+        assert outcome.status == "failed" and outcome.attempts == 3
+        assert outcome.error.attempts == 3
+        assert obs.registry.counters["runner.failures"] == 1
+        assert obs.registry.counters["runner.retries"] == 2
+
+    @needs_fork
+    def test_retry_in_pool_worker(self, faulty, tmp_path):
+        eid = faulty(flaky_driver)
+        grid = [
+            {"state_file": str(tmp_path / f"attempts{k}"), "fail_times": 1}
+            for k in range(2)
+        ]
+        summary = run_sweep(eid, grid, jobs=2, retries=1)
+        assert all(o.status == "ok" and o.attempts == 2 for o in summary.outcomes)
+
+    def test_backoff_delay_deterministic_and_bounded(self):
+        policy = FaultPolicy(retries=3, backoff_base=0.2, backoff_cap=0.5)
+        delays = [policy.delay(r, key="faulty") for r in (1, 2, 3)]
+        assert delays == [policy.delay(r, key="faulty") for r in (1, 2, 3)]
+        assert all(0.1 <= d <= 0.5 for d in delays)
+        assert policy.delay(0) == 0.0
+        # a different key jitters differently
+        assert policy.delay(1, key="other") != delays[0]
+
+
+class TestTimeouts:
+    def test_timeout_inline(self, faulty):
+        eid = faulty(sleepy_driver)
+        with capture() as obs:
+            summary = run_experiments(
+                [eid],
+                kwargs_map={eid: {"seconds": 30.0}},
+                task_timeout=0.2,
+                keep_going=True,
+            )
+        (outcome,) = summary.outcomes
+        assert outcome.status == "timeout"
+        assert outcome.error.type == "TaskTimeoutError"
+        assert "0.2" in outcome.error.message
+        assert obs.registry.counters["runner.timeouts"] == 1
+
+    @needs_fork
+    def test_timeout_in_pool_leaves_others_alone(self, faulty):
+        eid = faulty(sleepy_driver)
+        grid = [{"seconds": 30.0}, {"seconds": 0.0}]
+        summary = run_sweep(eid, grid, jobs=2, task_timeout=0.5, keep_going=True)
+        assert [o.status for o in summary.outcomes] == ["timeout", "ok"]
+
+    def test_time_limit_noop_without_limit(self):
+        with time_limit(None):
+            pass
+        with time_limit(0):
+            pass
+
+    def test_time_limit_raises(self):
+        import time as _time
+
+        with pytest.raises(TaskTimeoutError):
+            with time_limit(0.05):
+                _time.sleep(5.0)
+
+
+@needs_fork
+class TestWorkerCrash:
+    def test_sigkill_rebuilds_pool_and_quarantines(self, faulty):
+        eid = faulty(crash_driver)
+        grid = [{"p": p, "crash_points": [1]} for p in range(4)]
+        with capture() as obs:
+            summary = run_sweep(eid, grid, jobs=2, keep_going=True)
+        assert [o.status for o in summary.outcomes] == [
+            "ok",
+            "failed",
+            "ok",
+            "ok",
+        ]
+        (failure,) = summary.failures
+        assert failure.error.type == "BrokenProcessPool"
+        assert "quarantined" in failure.error.message
+        assert obs.registry.counters["runner.pool_rebuilds"] >= 1
+        assert obs.registry.counters["runner.failures"] == 1
+
+    def test_sigkill_keep_going_false_raises(self, faulty):
+        eid = faulty(crash_driver)
+        grid = [{"p": p, "crash_points": [0]} for p in range(3)]
+        with pytest.raises(TaskFailedError, match="BrokenProcessPool"):
+            run_sweep(eid, grid, jobs=2)
+
+
+class TestCrashResume:
+    """The ISSUE acceptance scenario: 8 points, 2 failures, cache resume."""
+
+    def test_sweep_fails_partially_then_resumes_from_cache(self, faulty, tmp_path):
+        eid = faulty(sweep_point_driver)
+        marker = tmp_path / "failures-armed"
+        marker.write_text("armed")
+        grid = [
+            {"p": p, "fail_points": [2, 5], "marker": str(marker)}
+            for p in range(8)
+        ]
+        cache_dir = tmp_path / "cache"
+
+        first = run_sweep(eid, grid, jobs=2, cache_dir=cache_dir, keep_going=True)
+        assert len(first.outcomes) == 8
+        statuses = [o.status for o in first.outcomes]
+        assert statuses.count("ok") == 6 and statuses.count("failed") == 2
+        assert [o.result.rows[0][0] for o in first.outcomes if o.ok] == [
+            f"point {p}" for p in (0, 1, 3, 4, 6, 7)
+        ]
+        for o in first.failures:
+            assert o.error.traceback and "RuntimeError" in o.error.traceback
+
+        # second invocation: successes replay from cache, failures re-run
+        second = run_sweep(eid, grid, jobs=2, cache_dir=cache_dir, keep_going=True)
+        assert second.cache_hits == 6 and second.executed == 2
+        assert len(second.failures) == 2
+
+        # fix the fault: only the two failed points execute, and succeed
+        marker.unlink()
+        third = run_sweep(eid, grid, jobs=2, cache_dir=cache_dir, keep_going=True)
+        assert third.cache_hits == 6 and third.executed == 2
+        assert third.ok
+        assert [o.result.rows[0][0] for o in third.outcomes] == [
+            f"point {p}" for p in range(8)
+        ]
+
+    def test_failures_are_never_cached(self, faulty, tmp_path):
+        eid = faulty(sweep_point_driver)
+        cache_dir = tmp_path / "cache"
+        summary = run_sweep(
+            eid,
+            [{"p": 0, "fail_points": [0]}],
+            cache_dir=cache_dir,
+            keep_going=True,
+        )
+        assert not summary.ok
+        again = run_sweep(
+            eid,
+            [{"p": 0, "fail_points": [0]}],
+            cache_dir=cache_dir,
+            keep_going=True,
+        )
+        assert again.cache_hits == 0 and again.executed == 1
+
+
+class TestCacheCounters:
+    def test_force_counts_forced_not_misses(self, faulty, tmp_path):
+        eid = faulty(sweep_point_driver)
+        run_sweep(eid, [{"p": 0}], cache_dir=tmp_path)
+        with capture() as obs:
+            run_sweep(eid, [{"p": 0}], cache_dir=tmp_path, force=True)
+        counters = obs.registry.counters
+        assert counters["runner.cache.forced"] == 1
+        assert "runner.cache.misses" not in counters
+        assert "runner.cache.hits" not in counters
+
+
+def always_fail_driver() -> ExperimentResult:
+    raise RuntimeError("injected CLI failure")
+
+
+class TestCLI:
+    def test_run_keep_going_exits_nonzero_with_failure_table(
+        self, faulty, tmp_path, capsys
+    ):
+        faulty(always_fail_driver)
+        from repro.cli import main
+
+        code = main(
+            ["run", "faulty", "--out", str(tmp_path), "--no-cache", "--keep-going"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "failed" in captured.out
+        assert "RuntimeError: injected CLI failure" in captured.err
+        assert "re-running resumes" in captured.err
+
+    def test_run_without_keep_going_exits_nonzero(self, faulty, tmp_path, capsys):
+        faulty(always_fail_driver)
+        from repro.cli import main
+
+        code = main(["run", "faulty", "--out", str(tmp_path), "--no-cache"])
+        assert code == 1
+        assert "injected CLI failure" in capsys.readouterr().err
+
+    def test_retries_flag_recovers_flaky_run(self, faulty, tmp_path, capsys):
+        import functools
+
+        faulty(
+            functools.partial(
+                flaky_driver, state_file=str(tmp_path / "attempts"), fail_times=1
+            )
+        )
+        from repro.cli import main
+
+        code = main(
+            [
+                "run",
+                "faulty",
+                "--out",
+                str(tmp_path),
+                "--no-cache",
+                "--retries",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "faulty.csv").exists()
+
+    def test_report_keep_going_writes_failure_section(
+        self, faulty, tmp_path, capsys
+    ):
+        faulty(always_fail_driver)
+        from repro.cli import main
+
+        code = main(
+            [
+                "report",
+                "--out",
+                str(tmp_path),
+                "--only",
+                "table1",
+                "faulty",
+                "--no-cache",
+                "--keep-going",
+            ]
+        )
+        assert code == 1
+        text = (tmp_path / "REPORT.md").read_text()
+        assert "**FAILED**" in text
+        assert "injected CLI failure" in text
+        assert "## table1" in text  # successes still render normally
+
+
+class TestInternals:
+    def test_require_complete_raises_runtime_error(self):
+        tasks = [("table1", {}), ("figure2", {})]
+        outcomes = [None, object()]
+        with pytest.raises(RuntimeError, match=r"#0 \(table1\)"):
+            _require_complete(outcomes, tasks)
+        _require_complete([object(), object()], tasks)  # complete: no raise
+
+    def test_task_error_round_trip(self):
+        err = TaskError("ValueError", "boom", "Traceback ...", 3)
+        assert TaskError.from_dict(err.to_dict()) == err
+        assert err.summary() == "ValueError: boom"
+
+    def test_register_experiment_rejects_duplicates(self, faulty):
+        eid = faulty(sweep_point_driver)
+        with pytest.raises(ValueError, match="already registered"):
+            register_experiment(eid, sweep_point_driver)
+        register_experiment(eid, sweep_point_driver, replace=True)
