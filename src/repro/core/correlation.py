@@ -70,10 +70,27 @@ class CorrelationModel:
         """Alias matching the paper's notation."""
         return self.num_files
 
+    def _cached(self, key: str, compute) -> np.ndarray:
+        """Memoise an immutable derived array on this frozen instance.
+
+        The model's parameters are fixed at construction, so derived
+        vectors never change; recomputing ``binom.pmf`` on every arrival
+        dominated the arrival hot path.  Cached arrays are marked
+        read-only so sharing them is safe.
+        """
+        cached = self.__dict__.get(key)
+        if cached is None:
+            cached = compute()
+            cached.setflags(write=False)
+            object.__setattr__(self, key, cached)
+        return cached
+
     @property
     def classes(self) -> np.ndarray:
         """The class indices ``i = 1..K`` (users requesting ``i`` files)."""
-        return np.arange(1, self.num_files + 1)
+        return self._cached(
+            "_classes", lambda: np.arange(1, self.num_files + 1)
+        )
 
     def class_rates(self) -> np.ndarray:
         """``lambda_i`` for ``i = 1..K`` (system arrival rate of class-i users).
@@ -82,9 +99,12 @@ class CorrelationModel:
         that mass; consequently ``sum(class_rates()) =
         visit_rate * (1 - (1-p)^K)``.
         """
-        i = self.classes
-        pmf = binom.pmf(i, self.num_files, self.p)
-        return self.visit_rate * pmf
+
+        def compute() -> np.ndarray:
+            pmf = binom.pmf(self.classes, self.num_files, self.p)
+            return self.visit_rate * pmf
+
+        return self._cached("_class_rates", compute)
 
     def per_torrent_rates(self) -> np.ndarray:
         """``lambda_j^i`` for ``i = 1..K`` (class-i peer entry rate into one torrent).
@@ -121,7 +141,7 @@ class CorrelationModel:
         total = float(np.sum(rates))
         if total == 0.0:
             raise ValueError("p = 0: no users enter, class distribution undefined")
-        return rates / total
+        return self._cached("_class_distribution", lambda: rates / total)
 
     def sample_class(self, rng: np.random.Generator) -> int:
         """Draw the class of one entering user (binomial conditioned on >= 1)."""

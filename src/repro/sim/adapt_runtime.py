@@ -53,6 +53,9 @@ class AdaptRuntime:
         def tick() -> None:
             if behavior.done or record.is_departed:
                 return
+            # give/take integrals are accumulated lazily; settle this
+            # user's pending accounting before reading them
+            self.system.sync_user_accounting(record.user_id)
             give = record.uploaded_virtual - state["up"]
             take = record.received_virtual - state["down"]
             state["up"] = record.uploaded_virtual

@@ -6,15 +6,165 @@ Kept free of simulator state so the rules are unit-testable in isolation:
   tit-for-tat upload contribution from the downloader pool.
 * Assumption 2 (altruistic seeds): aggregate seed capacity is divided among
   downloaders proportionally to their download bandwidth.
+
+The module also hosts :class:`RateWindow`, the deferred-integration state
+that lets the event-driven simulator handle rate changes in O(1): under
+assumptions 1+2 every unclipped full-mesh rate factorises as
+
+    ``rate_k = eta * tft_k + cap_k * q``   with   ``q = pool / total_cap``
+
+so between completions the *entire* per-peer trajectory is parameterised by
+the scalars ``q`` (and ``qv`` for the virtual-seed part), and integrating
+progress only needs the running integrals ``B = int q dt`` /
+``C = int qv dt`` plus the elapsed time.  Per-row state is materialised
+(folded) only at completion events or when something actually reads it.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
 
-__all__ = ["downloader_rates", "seed_share"]
+__all__ = ["RateWindow", "downloader_rates", "seed_share"]
+
+
+class RateWindow:
+    """Deferred-integration window for one rate domain.
+
+    While ``active``, the store's ``remaining`` / ``received_virtual_acc``
+    arrays are *frozen at window start* (plus per-row join biases) and the
+    true values are implied by the accumulated integrals:
+
+    ``remaining_k(t) = stored_k - eta*tft_k*(t - t_start) - cap_k*B``
+    ``received_k(t)  = stored_k + cap_k*C``
+
+    Rows that join mid-window are *biased* on attach (their stored values
+    are pre-charged with the integrals accumulated so far) so one uniform
+    vector fold materialises every row correctly, with no per-row anchors.
+
+    Invariants the owner must maintain:
+
+    * ``accumulate`` runs **before** any mutation (the integrals up to now
+      were produced under the old ``q``/``qv``);
+    * ``q <= q_max`` at all times (no row's unclipped rate may exceed its
+      download cap inside a window; ``q_max`` is a conservative lower bound
+      for the true clip threshold ``min_k (1 - eta*tft_k/cap_k)``);
+    * ``bound`` is a lower bound on the domain's next completion time --
+      the completion event fires at ``bound`` and re-plans exactly, so a
+      conservative bound costs a wasted wake-up, never a wrong trajectory.
+    """
+
+    __slots__ = (
+        "active",
+        "eta",
+        "t_start",
+        "t",
+        "B",
+        "C",
+        "q",
+        "qv",
+        "q_max",
+        "ratio_min",
+        "total_cap",
+        "bound",
+    )
+
+    def __init__(self) -> None:
+        self.active = False
+        self.eta = 0.0
+        self.t_start = 0.0
+        self.t = 0.0
+        self.B = 0.0
+        self.C = 0.0
+        self.q = 0.0
+        self.qv = 0.0
+        self.q_max = math.inf
+        self.ratio_min = math.inf
+        self.total_cap = 0.0
+        self.bound = math.inf
+
+    def start(
+        self,
+        *,
+        eta: float,
+        t: float,
+        q: float,
+        qv: float,
+        q_max: float,
+        ratio_min: float,
+        total_cap: float,
+        bound: float,
+    ) -> None:
+        self.active = True
+        self.eta = eta
+        self.t_start = t
+        self.t = t
+        self.B = 0.0
+        self.C = 0.0
+        self.q = q
+        self.qv = qv
+        self.q_max = q_max
+        self.ratio_min = ratio_min
+        self.total_cap = total_cap
+        self.bound = bound
+
+    def accumulate(self, t: float) -> float:
+        """Extend the integrals to ``t`` under the current ``q``/``qv``.
+
+        Returns the elapsed ``dt`` (0 for same-timestamp batches) so the
+        caller can advance its busy-time integrals alongside.
+        """
+        dt = t - self.t
+        if dt <= 0.0:
+            return 0.0
+        self.B += self.q * dt
+        if self.qv:
+            self.C += self.qv * dt
+        self.t = t
+        return dt
+
+    def refresh(self, q: float, qv: float, n: int) -> bool:
+        """Adopt new rate parameters after a mutation; update the bound.
+
+        Returns ``False`` when the window cannot absorb the change (a row
+        could clip, or previously stalled rows might start moving, which a
+        scalar bound cannot track) -- the caller must then materialise and
+        fall back to the exact per-event path.
+        """
+        if q > self.q_max:
+            return False  # a row's unclipped rate would exceed its cap
+        old = self.q
+        if q > old:
+            bound = self.bound
+            if bound == math.inf:
+                # stalled rows (rate 0) may start moving under a larger q;
+                # only an empty domain keeps an infinite bound safely
+                if n > 0:
+                    return False
+            else:
+                # row ``i`` speeds up by ``(x_i + q') / (x_i + q)`` with
+                # ``x_i = eta*tft_i/cap_i``, which is largest at the
+                # smallest ratio -- so every completion shrinks toward now
+                # by at most ``(m + q') / (m + q)``.  (With ``m = 0`` this
+                # degrades to the plain ``q'/q`` factor.)
+                m = self.ratio_min
+                num = m + old
+                if num <= 0.0:
+                    self.bound = self.t  # unbounded speed-up: re-plan now
+                else:
+                    self.bound = self.t + (bound - self.t) * (num / (m + q))
+        self.q = q
+        self.qv = qv
+        return True
+
+    def note_row(self, eta_row: float) -> None:
+        """Fold one row's time-to-completion into the bound (joins)."""
+        if eta_row < math.inf:
+            t = self.t + eta_row
+            if t < self.bound:
+                self.bound = t
 
 
 def seed_share(download_caps: Sequence[float], capacity: float) -> np.ndarray:

@@ -67,6 +67,7 @@ _SCENARIO_KEYS = {
     "arrivals_enabled",
     "seed_lifetime_distribution",
     "neighbor_limit",
+    "incremental_rates",
 }
 
 

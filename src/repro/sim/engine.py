@@ -7,7 +7,13 @@ with closures or ``functools.partial``.
 
 Cancellation uses the standard lazy scheme: :meth:`EventQueue.cancel` marks
 the handle, and the pop loop discards marked entries.  This keeps the queue
-a plain ``heapq`` without the cost of re-heapifying.
+a plain ``heapq`` without the cost of re-heapifying on every cancel.
+Tombstones below the heap top are reclaimed by an occasional compaction:
+when more than half the heap (and at least :data:`COMPACT_MIN_TOMBSTONES`)
+is cancelled entries, the heap is rebuilt without them -- amortised O(1)
+per cancel, bounding both memory and the ``log`` factor of every push in
+workloads that cancel and reschedule constantly (the simulator's
+completion events do exactly that on every flush).
 """
 
 from __future__ import annotations
@@ -41,8 +47,35 @@ def callback_name(callback: Callable[[], None]) -> str:
     return ".".join(parts[-2:])
 
 
+#: qualname -> full metric name; callbacks are fresh closures every event,
+#: but their qualnames are a small fixed set, so the per-event label work
+#: reduces to one dict hit
+_CALLBACK_METRICS: dict[str, str] = {}
+
+
+def _callback_metric(callback: Callable[[], None]) -> str:
+    """``sim.callback.<label>`` metric name, cached by ``__qualname__``."""
+    qual = getattr(callback, "__qualname__", None)
+    if qual is None:  # partials / odd callables: take the slow path
+        return "sim.callback." + callback_name(callback)
+    metric = _CALLBACK_METRICS.get(qual)
+    if metric is None:
+        metric = _CALLBACK_METRICS[qual] = "sim.callback." + callback_name(callback)
+    return metric
+
+
+#: never compact below this many tombstones -- rebuilding tiny heaps costs
+#: more than the dead entries they carry
+COMPACT_MIN_TOMBSTONES = 64
+
+
 class EventHandle:
-    """Opaque handle returned by :meth:`EventQueue.schedule`."""
+    """Opaque handle returned by :meth:`EventQueue.schedule`.
+
+    ``cancelled`` is also set when the event fires (a spent handle), so
+    cancelling an already-fired handle is a no-op and the queue's
+    tombstone count stays exact.
+    """
 
     __slots__ = ("time", "cancelled")
 
@@ -57,6 +90,12 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, int, EventHandle, Callable[[], None]]] = []
         self._seq = 0
+        #: cancelled entries still sitting in the heap
+        self._n_tombstones = 0
+        #: lifetime cancels (source of the ``sim.queue.cancelled`` counter)
+        self.cancelled_total = 0
+        #: lifetime heap rebuilds (``sim.queue.compactions``)
+        self.compactions = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -77,13 +116,35 @@ class EventQueue:
         return handle
 
     def cancel(self, handle: EventHandle) -> None:
-        """Mark a scheduled event so the pop loop skips it."""
+        """Mark a scheduled event so the pop loop skips it.
+
+        When tombstones outnumber live events (beyond a small floor) the
+        heap is compacted, so cancel-heavy workloads cannot grow the heap
+        past roughly twice the live event count.
+        """
+        if handle.cancelled:
+            return  # already cancelled, or already fired
         handle.cancelled = True
+        self._n_tombstones += 1
+        self.cancelled_total += 1
+        if (
+            self._n_tombstones >= COMPACT_MIN_TOMBSTONES
+            and 2 * self._n_tombstones > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones (linear-time heapify)."""
+        self._heap = [item for item in self._heap if not item[3].cancelled]
+        heapq.heapify(self._heap)
+        self._n_tombstones = 0
+        self.compactions += 1
 
     def next_time(self) -> float:
         """Time of the earliest live event, or ``inf`` if the queue is empty."""
         while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
+            self._n_tombstones -= 1
         return self._heap[0][0] if self._heap else math.inf
 
     def pop(self) -> tuple[float, Callable[[], None]] | None:
@@ -91,7 +152,9 @@ class EventQueue:
         while self._heap:
             time, _, _, handle, callback = heapq.heappop(self._heap)
             if not handle.cancelled:
+                handle.cancelled = True  # spent: late cancels are no-ops
                 return time, callback
+            self._n_tombstones -= 1
         return None
 
 
@@ -178,6 +241,9 @@ class Simulator:
         timing into the active registry, plus one trace span per call.
         """
         fired = 0
+        queue = self.queue
+        cancelled_before = queue.cancelled_total
+        compactions_before = queue.compactions
         with current_tracer().span("sim.run_until", t_end=t_end):
             started = time.perf_counter()
             while True:
@@ -201,15 +267,14 @@ class Simulator:
                 reg.observe("sim.queue_depth", len(self.queue))
                 t0 = time.perf_counter()
                 callback()
-                reg.observe(
-                    f"sim.callback.{callback_name(callback)}",
-                    time.perf_counter() - t0,
-                )
+                reg.observe(_callback_metric(callback), time.perf_counter() - t0)
                 fired += 1
                 self._events_processed += 1
             self.now = t_end
             elapsed = time.perf_counter() - started
         reg.inc("sim.events", fired)
         reg.inc("sim.run_until_calls")
+        reg.inc("sim.queue.cancelled", queue.cancelled_total - cancelled_before)
+        reg.inc("sim.queue.compactions", queue.compactions - compactions_before)
         reg.observe("sim.run_until_seconds", elapsed)
         return fired

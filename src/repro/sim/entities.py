@@ -12,25 +12,47 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["DownloadEntry", "EntrySpan", "UserRecord"]
 
 
-def _store_backed(name: str) -> property:
+def _store_backed(name: str, volatile: bool = False) -> property:
     """Float attribute that lives in the owning store's arrays when attached.
 
     Detached entries (not yet added to a swarm, or already removed by a
     completion) keep the value in a private slot; attached entries read and
     write their :class:`~repro.sim.peerstore.PeerStore` row directly, so
     the vectorised kernels and the object API always observe one state.
+
+    ``volatile`` marks fields whose stored value is only meaningful once
+    the owning rate domain has integrated progress to *now* (``remaining``,
+    ``rate``, ...).  While the domain defers integration inside a
+    :class:`~repro.sim.bandwidth.RateWindow`, the store carries a ``_sync``
+    callback; reading a volatile field (or writing any field) through the
+    entry triggers it first, so the object API never observes deferred
+    state.
     """
     private = "_" + name
 
-    def getter(self: "DownloadEntry") -> float:
-        store = self._store
-        if store is not None:
-            return float(getattr(store, name)[self._slot])
-        return getattr(self, private)
+    if volatile:
+
+        def getter(self: "DownloadEntry") -> float:
+            store = self._store
+            if store is not None:
+                if store._sync is not None:
+                    store._sync()
+                return float(getattr(store, name)[self._slot])
+            return getattr(self, private)
+
+    else:
+
+        def getter(self: "DownloadEntry") -> float:
+            store = self._store
+            if store is not None:
+                return float(getattr(store, name)[self._slot])
+            return getattr(self, private)
 
     def setter(self: "DownloadEntry", value: float) -> None:
         store = self._store
         if store is not None:
+            if store._sync is not None:
+                store._sync()
             getattr(store, name)[self._slot] = value
         else:
             object.__setattr__(self, private, float(value))
@@ -88,6 +110,7 @@ class DownloadEntry:
         "_remaining",
         "_rate",
         "_rate_from_virtual",
+        "_received_virtual_acc",
     )
 
     def __init__(
@@ -115,12 +138,16 @@ class DownloadEntry:
         self._remaining = float(remaining)
         self._rate = float(rate)
         self._rate_from_virtual = float(rate_from_virtual)
+        #: received-from-virtual bandwidth integrated since the last
+        #: accounting sync (flushed into the user record, then zeroed)
+        self._received_virtual_acc = 0.0
 
     tft_upload = _store_backed("tft_upload")
     download_cap = _store_backed("download_cap")
-    remaining = _store_backed("remaining")
-    rate = _store_backed("rate")
-    rate_from_virtual = _store_backed("rate_from_virtual")
+    remaining = _store_backed("remaining", volatile=True)
+    rate = _store_backed("rate", volatile=True)
+    rate_from_virtual = _store_backed("rate_from_virtual", volatile=True)
+    received_virtual_acc = _store_backed("received_virtual_acc", volatile=True)
 
     def eta_for_completion(self) -> float:
         """Time until completion at the current rate (``inf`` when stalled)."""

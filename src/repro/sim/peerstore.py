@@ -32,7 +32,17 @@ __all__ = ["PeerStore"]
 
 #: float columns mirrored between entries and the store (order matters: it
 #: matches the ``DownloadEntry`` slot layout used by attach/detach).
-FLOAT_FIELDS = ("tft_upload", "download_cap", "remaining", "rate", "rate_from_virtual")
+#: ``received_virtual_acc`` is the deferred received-from-virtual-seeds
+#: integral, accumulated vectorised during advances and flushed into the
+#: user records by the swarm's accounting-sync methods.
+FLOAT_FIELDS = (
+    "tft_upload",
+    "download_cap",
+    "remaining",
+    "rate",
+    "rate_from_virtual",
+    "received_virtual_acc",
+)
 
 #: static integer columns (never written back -- they are immutable on the entry)
 INT_FIELDS = ("user_id", "user_class", "stage")
@@ -41,7 +51,7 @@ INT_FIELDS = ("user_id", "user_class", "stage")
 class PeerStore:
     """Contiguous per-peer arrays for one swarm, plus the slot -> entry map."""
 
-    __slots__ = ("n", "version", "entries") + FLOAT_FIELDS + INT_FIELDS
+    __slots__ = ("n", "version", "entries", "_sync") + FLOAT_FIELDS + INT_FIELDS
 
     def __init__(self, capacity: int = 8):
         if capacity < 1:
@@ -50,6 +60,11 @@ class PeerStore:
         #: bumped on every attach/detach -- slot layout changed, so any
         #: slot-indexed state derived from the store must be rebuilt
         self.version = 0
+        #: set while the owning rate domain defers integration (see
+        #: :class:`~repro.sim.bandwidth.RateWindow`): a zero-argument
+        #: callable that materialises the domain, so entry-level reads of
+        #: time-integrated fields never observe deferred (biased) state
+        self._sync = None
         #: slot index -> attached entry (parallel to the array rows)
         self.entries: list[DownloadEntry] = []
         for name in FLOAT_FIELDS:
@@ -91,6 +106,7 @@ class PeerStore:
         self.remaining[slot] = entry._remaining
         self.rate[slot] = entry._rate
         self.rate_from_virtual[slot] = entry._rate_from_virtual
+        self.received_virtual_acc[slot] = entry._received_virtual_acc
         self.user_id[slot] = entry.user_id
         self.user_class[slot] = entry.user_class
         self.stage[slot] = entry.stage
@@ -114,6 +130,7 @@ class PeerStore:
         entry._remaining = float(self.remaining[slot])
         entry._rate = float(self.rate[slot])
         entry._rate_from_virtual = float(self.rate_from_virtual[slot])
+        entry._received_virtual_acc = float(self.received_virtual_acc[slot])
         entry._store = None
         entry._slot = -1
         last = self.n - 1

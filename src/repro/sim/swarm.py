@@ -47,10 +47,20 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from repro.obs import current_registry
+from repro.sim.bandwidth import RateWindow
 from repro.sim.entities import DownloadEntry, UserRecord
 from repro.sim.peerstore import PeerStore
 
 __all__ = ["SeedPolicy", "Swarm", "SwarmGroup", "WorkSnapshot"]
+
+#: swarms at or below this size take scalar (pure-Python) kernel paths --
+#: a dozen ufunc launches cost ~40us regardless of n, which dwarfs the
+#: arithmetic for the small swarms event-driven runs are made of.  The
+#: scalar loops perform the same IEEE operations element-wise, so results
+#: are identical; only the capacity *sum* differs in rounding from NumPy's
+#: pairwise reduction, and the path choice depends only on n (part of the
+#: simulation state), so every run makes the same choice deterministically.
+_SCALAR_N = 64
 
 
 class SeedPolicy(enum.Enum):
@@ -103,7 +113,67 @@ class _VersionedDict(dict):
         self.version += 1
 
     def setdefault(self, key, default=None):
+        # Only an actual insert is a mutation: a read-through setdefault on
+        # a present key must not invalidate caches keyed on ``version``.
+        if key in self:
+            return self[key]
         self.version += 1
+        return super().setdefault(key, default)
+
+
+class _SeedTable(_VersionedDict):
+    """Seed table ``user_id -> (bandwidth, user_class)`` with a running total.
+
+    Every rate recompute needs the aggregate seed capacity; summing the
+    dict is O(#seeds) per recompute and dominates seed-heavy swarms.  The
+    table maintains ``total`` across mutations instead, so kernels read it
+    in O(1).  The total snaps back to exactly ``0.0`` whenever the table
+    empties, keeping ``capacity == 0.0`` assertions exact despite float
+    accumulation.
+    """
+
+    __slots__ = ("total",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # dict.__init__ bypasses __setitem__, so recount whatever landed
+        self.total = sum(bw for bw, _ in self.values())
+
+    def __setitem__(self, key, value):
+        old = self.get(key)
+        if old is not None:
+            self.total -= old[0]
+        self.total += value[0]
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key):
+        bw = self[key][0]
+        super().__delitem__(key)
+        self.total = self.total - bw if self else 0.0
+
+    def pop(self, *args):
+        had = args[0] in self
+        result = super().pop(*args)
+        if had:
+            self.total = self.total - result[0] if self else 0.0
+        return result
+
+    def popitem(self):
+        key, value = super().popitem()
+        self.total = self.total - value[0] if self else 0.0
+        return key, value
+
+    def clear(self):
+        super().clear()
+        self.total = 0.0
+
+    def update(self, *args, **kwargs):
+        super().update(*args, **kwargs)
+        self.total = sum(bw for bw, _ in self.values())
+
+    def setdefault(self, key, default=None):
+        if key not in self:
+            self.total += default[0]
         return super().setdefault(key, default)
 
 
@@ -165,9 +235,9 @@ class Swarm:
         #: structure-of-arrays numeric state backing the entries above
         self.store = PeerStore()
         #: user id -> (bandwidth, user class), seeds that finished everything
-        self.real_seeds: dict[int, tuple[float, int]] = _VersionedDict()
+        self.real_seeds: dict[int, tuple[float, int]] = _SeedTable()
         #: user id -> (bandwidth, user class), partial seeds (CMFSD)
-        self.virtual_seeds: dict[int, tuple[float, int]] = _VersionedDict()
+        self.virtual_seeds: dict[int, tuple[float, int]] = _SeedTable()
         #: time up to which this swarm's progress has been integrated
         self.last_update = 0.0
         #: bumped whenever rates change; completion events carry the epoch
@@ -180,6 +250,20 @@ class Swarm:
         #: (versions) -> topology-derived kernel state; see
         #: :meth:`_neighbor_topology`
         self._topology_cache: tuple | None = None
+        #: (store.version, total_cap, share) from the last full-mesh kernel
+        #: pass; reused by :meth:`recompute_rates_incremental` while swarm
+        #: membership is unchanged (the share vector only depends on it)
+        self._mesh_cache: tuple | None = None
+        #: integral of time this swarm's virtual seeds were uploading
+        #: (advanced lazily; see :meth:`settle_virtual_seed`)
+        self.virtual_busy_time = 0.0
+        #: virtual-seed user id -> ``virtual_busy_time`` at its last settle
+        self._virtual_anchor: dict[int, float] = {}
+        #: deferred-integration window for this swarm's rate domain.  Under
+        #: ``GLOBAL_POOL`` the group rebinds this to its own shared window
+        #: (the pool is one rate domain), so :meth:`settle_received` always
+        #: sees the integrals that govern this swarm's rows.
+        self.win = RateWindow()
 
     @property
     def neighbors(self) -> dict[int, set[int]]:
@@ -209,11 +293,11 @@ class Swarm:
 
     @property
     def real_capacity(self) -> float:
-        return sum(bw for bw, _ in self.real_seeds.values())
+        return self.real_seeds.total
 
     @property
     def virtual_capacity(self) -> float:
-        return sum(bw for bw, _ in self.virtual_seeds.values())
+        return self.virtual_seeds.total
 
     def downloader_count_by_class(self, num_classes: int) -> np.ndarray:
         """Vector of downloader counts indexed by user class (1..K)."""
@@ -248,8 +332,18 @@ class Swarm:
 
     # ----- per-swarm lazy progress (SUBTORRENT fast path) -------------------------
 
-    def advance(self, t: float, records: Mapping[int, UserRecord] | None) -> None:
-        """Integrate current rates up to ``t`` (swarm-local)."""
+    def advance(self, t: float, records: Mapping[int, UserRecord] | None = None) -> None:
+        """Integrate current rates up to ``t`` (swarm-local).
+
+        Virtual-seed give/take is *not* pushed into user records here:
+        received bandwidth accumulates in the store's
+        ``received_virtual_acc`` column and upload time in the
+        :attr:`virtual_busy_time` integral, both flushed into records by
+        :meth:`sync_virtual_accounting` (or the per-user settle hooks).
+        The ``records`` argument is kept for interface compatibility with
+        the scalar oracle, which still accounts eagerly.
+        """
+        del records  # accounting is deferred; see docstring
         dt = t - self.last_update
         if dt < -1e-9:
             raise ValueError(f"cannot advance swarm backwards ({self.last_update} -> {t})")
@@ -262,19 +356,88 @@ class Swarm:
             remaining = store.remaining[:n]
             np.subtract(remaining, store.rate[:n] * dt, out=remaining)
             np.maximum(remaining, 0.0, out=remaining)
-            if records is not None:
-                rfv = store.rate_from_virtual[:n]
-                user_ids = store.user_id[:n]
-                for i in np.flatnonzero(rfv > 0):
-                    rec = records.get(int(user_ids[i]))
-                    if rec is not None:
-                        rec.received_virtual += float(rfv[i]) * dt
-        if records is not None and self.downloaders:
-            for user_id, (bw, _) in self.virtual_seeds.items():
-                rec = records.get(user_id)
-                if rec is not None:
-                    rec.uploaded_virtual += bw * dt
+            if self.virtual_seeds:
+                acc = store.received_virtual_acc[:n]
+                np.add(acc, store.rate_from_virtual[:n] * dt, out=acc)
+                # swarm-local rule: virtual seeds upload only while this
+                # swarm has downloaders (n > 0 here)
+                self.virtual_busy_time += dt
         self.last_update = t
+
+    # ----- deferred virtual give/take accounting ---------------------------------
+
+    def settle_virtual_seed(
+        self, user_id: int, records: Mapping[int, UserRecord] | None
+    ) -> None:
+        """Flush one virtual seed's deferred upload integral into its record.
+
+        Must run *before* the seed's bandwidth changes or the seed leaves:
+        the busy time accumulated since the last settle was served at the
+        old bandwidth.
+        """
+        seed = self.virtual_seeds.get(user_id)
+        if seed is None:
+            return
+        busy = self.virtual_busy_time
+        dt = busy - self._virtual_anchor.get(user_id, 0.0)
+        self._virtual_anchor[user_id] = busy
+        bw = seed[0]
+        if dt > 0.0 and bw > 0.0 and records is not None:
+            rec = records.get(user_id)
+            if rec is not None:
+                rec.uploaded_virtual += bw * dt
+
+    def settle_received(
+        self, entry: DownloadEntry, records: Mapping[int, UserRecord] | None
+    ) -> None:
+        """Flush one downloader's deferred received-from-virtual integral.
+
+        Window-aware: while the domain defers integration, the true
+        integral is ``stored + cap * C`` and the row is re-biased to
+        ``-cap * C`` so the eventual uniform materialise fold lands it back
+        at zero-since-this-settle.  The owner must have accumulated the
+        window to *now* first.
+        """
+        if entry._store is not self.store:
+            return
+        slot = entry._slot
+        store = self.store
+        acc = float(store.received_virtual_acc[slot])
+        win = self.win
+        rebias = 0.0
+        if win.active and win.C:
+            carried = float(store.download_cap[slot]) * win.C
+            acc += carried
+            rebias = -carried
+        if acc or rebias:
+            store.received_virtual_acc[slot] = rebias
+            if acc and records is not None:
+                rec = records.get(entry.user_id)
+                if rec is not None:
+                    rec.received_virtual += acc
+
+    def sync_virtual_accounting(
+        self, records: Mapping[int, UserRecord] | None
+    ) -> None:
+        """Flush every deferred give/take integral into the user records.
+
+        Idempotent between advances; totals match the old eager per-advance
+        accounting up to float summation order.
+        """
+        if records is None:
+            return
+        store = self.store
+        n = store.n
+        if n:
+            acc = store.received_virtual_acc[:n]
+            user_ids = store.user_id[:n]
+            for i in np.flatnonzero(acc != 0.0):
+                rec = records.get(int(user_ids[i]))
+                if rec is not None:
+                    rec.received_virtual += float(acc[i])
+            acc[:] = 0.0
+        for user_id in self.virtual_seeds:
+            self.settle_virtual_seed(user_id, records)
 
     def connected(self, a: int, b: int) -> bool:
         """Whether users ``a`` and ``b`` hold a connection (either sampled
@@ -295,29 +458,149 @@ class Swarm:
         if self.neighbor_aware:
             self._recompute_rates_neighbor_aware(eta)
             if reg.enabled:
-                reg.inc("sim.kernel.neighbor.recomputes")
+                reg.inc("sim.kernel.neighbor.full")
                 reg.inc("sim.kernel.neighbor.peers", self.store.n)
             return
         if reg.enabled:
-            reg.inc("sim.kernel.mesh.recomputes")
+            reg.inc("sim.kernel.mesh.full")
             reg.inc("sim.kernel.mesh.peers", self.store.n)
         store = self.store
         n = store.n
         if n == 0:
+            self._mesh_cache = (store.version, 0.0, None)
             return
-        caps = store.column("download_cap")
+        sv = self.virtual_seeds.total
+        sr = self.real_seeds.total
+        if n <= _SCALAR_N:
+            # scalar fast path; the cached share is kept as a list so the
+            # incremental path stays scalar for the same membership
+            caps = store.download_cap[:n].tolist()
+            tft = store.tft_upload[:n].tolist()
+            total_cap = 0.0
+            for c in caps:
+                total_cap += c
+            pool = sv + sr
+            share: "list | np.ndarray" = [0.0] * n
+            rate_l = [0.0] * n
+            rfv_l = [0.0] * n
+            for i in range(n):
+                c = caps[i]
+                s = c / total_cap if total_cap > 0.0 else 0.0
+                r = eta * tft[i] + s * pool
+                rv = s * sv
+                if r > c > 0.0:
+                    rv *= c / r
+                    r = c
+                share[i] = s
+                rate_l[i] = r
+                rfv_l[i] = rv
+            store.rate[:n] = rate_l
+            store.rate_from_virtual[:n] = rfv_l
+            self._mesh_cache = (store.version, total_cap, share)
+            return
+        caps = store.download_cap[:n]
         total_cap = float(np.sum(caps))
-        sv = self.virtual_capacity
-        sr = self.real_capacity
         if total_cap > 0:
             share = caps / total_cap
         else:
             share = np.zeros(n)
-        rate = eta * store.column("tft_upload") + share * (sv + sr)
+        rate = eta * store.tft_upload[:n] + share * (sv + sr)
         rate_from_virtual = share * sv
         _apply_download_caps(rate, rate_from_virtual, caps)
         store.rate[:n] = rate
         store.rate_from_virtual[:n] = rate_from_virtual
+        self._mesh_cache = (store.version, total_cap, share)
+
+    def recompute_rates_incremental(
+        self, eta: float, entries: "list[DownloadEntry] | None" = None
+    ) -> bool:
+        """Refresh rates reusing the cached capacity shares when possible.
+
+        Valid only while membership is unchanged since the last full pass
+        (the cached ``share = caps / total_cap`` vector depends only on
+        membership and download caps, both frozen between attach/detach):
+
+        * ``entries=None`` -- seed capacity changed: every row's rate is
+          refreshed from the cached shares and the O(1) seed totals,
+          skipping the capacity reduction and division.
+        * ``entries=[...]`` -- only those downloaders' ``tft_upload``
+          changed: just their rows are rewritten, scalar math identical
+          (bit-for-bit) to the vectorised kernel's per-element operations.
+
+        Returns ``False`` on cache miss (no pass yet, membership moved, or
+        neighbour-aware allocation, whose topology products have their own
+        cache); the caller then falls back to :meth:`recompute_rates`,
+        which is the oracle this path must match exactly.
+        """
+        if self.neighbor_aware:
+            return False
+        store = self.store
+        cache = self._mesh_cache
+        if cache is None or cache[0] != store.version:
+            return False
+        n = store.n
+        self.epoch += 1
+        reg = current_registry()
+        if n == 0:
+            if reg.enabled:
+                reg.inc("sim.kernel.mesh.incremental")
+            return True
+        share = cache[2]
+        sv = self.virtual_seeds.total
+        sr = self.real_seeds.total
+        if entries is not None and 4 * len(entries) > n:
+            entries = None  # vector pass is cheaper than many scalar rows
+        if entries is None:
+            if type(share) is list:  # small swarm: the full pass was scalar
+                caps = store.download_cap[:n].tolist()
+                tft = store.tft_upload[:n].tolist()
+                pool = sv + sr
+                rate_l = [0.0] * n
+                rfv_l = [0.0] * n
+                for i in range(n):
+                    s = share[i]
+                    r = eta * tft[i] + s * pool
+                    rv = s * sv
+                    c = caps[i]
+                    if r > c > 0.0:
+                        rv *= c / r
+                        r = c
+                    rate_l[i] = r
+                    rfv_l[i] = rv
+                store.rate[:n] = rate_l
+                store.rate_from_virtual[:n] = rfv_l
+            else:
+                caps = store.download_cap[:n]
+                rate = eta * store.tft_upload[:n] + share * (sv + sr)
+                rate_from_virtual = share * sv
+                _apply_download_caps(rate, rate_from_virtual, caps)
+                store.rate[:n] = rate
+                store.rate_from_virtual[:n] = rate_from_virtual
+            if reg.enabled:
+                reg.inc("sim.kernel.mesh.incremental")
+                reg.inc("sim.kernel.mesh.rows", n)
+            return True
+        pool = sv + sr
+        rows = 0
+        for entry in entries:
+            if entry._store is not store:
+                continue  # departed since it was marked dirty
+            i = entry._slot
+            s = float(share[i])
+            rate = eta * float(store.tft_upload[i]) + s * pool
+            rate_from_virtual = s * sv
+            cap = float(store.download_cap[i])
+            if rate > cap > 0:
+                scale = cap / rate
+                rate = cap
+                rate_from_virtual *= scale
+            store.rate[i] = rate
+            store.rate_from_virtual[i] = rate_from_virtual
+            rows += 1
+        if reg.enabled:
+            reg.inc("sim.kernel.mesh.incremental")
+            reg.inc("sim.kernel.mesh.rows", rows)
+        return True
 
     def _recompute_rates_neighbor_aware(self, eta: float) -> None:
         """Bounded-connectivity allocation as adjacency matrix + matmul.
@@ -489,21 +772,367 @@ class Swarm:
         n = store.n
         if n == 0:
             return math.inf
+        if n <= _SCALAR_N:
+            remaining_l = store.remaining[:n].tolist()
+            rate_l = store.rate[:n].tolist()
+            eta_min = math.inf
+            for i in range(n):
+                rem = remaining_l[i]
+                if rem <= 0.0:
+                    # a finished entry is due immediately regardless of rate
+                    return self.last_update
+                r = rate_l[i]
+                if r > 0.0:
+                    eta = rem / r
+                    if eta < eta_min:
+                        eta_min = eta
+            if eta_min <= 0.0:
+                return self.last_update
+            return self.last_update + eta_min
         remaining = store.remaining[:n]
         rate = store.rate[:n]
-        safe_rate = np.where(rate > 0, rate, 1.0)
+        etas = np.full(n, math.inf)
         with np.errstate(over="ignore"):  # tiny rate / huge remaining -> inf is right
-            etas = np.where(
-                remaining <= 0,
-                0.0,
-                np.where(rate > 0, remaining / safe_rate, math.inf),
-            )
-        return self.last_update + float(np.min(etas))
+            np.divide(remaining, rate, out=etas, where=rate > 0.0)
+        eta_min = float(etas.min())
+        # a finished entry is due immediately regardless of its rate
+        if eta_min <= 0.0 or bool((remaining <= 0.0).any()):
+            return self.last_update
+        return self.last_update + eta_min
 
     def due_entries(self, slack: float) -> list[DownloadEntry]:
         store = self.store
-        remaining = store.remaining[: store.n]
+        n = store.n
+        if n <= _SCALAR_N:
+            remaining = store.remaining[:n].tolist()
+            entries = store.entries
+            return [entries[i] for i in range(n) if remaining[i] <= slack]
+        remaining = store.remaining[:n]
         return [store.entries[i] for i in np.flatnonzero(remaining <= slack)]
+
+    # ----- deferred integration (swarm-local rate domain) -------------------------
+    #
+    # These drive :class:`~repro.sim.bandwidth.RateWindow` for a SUBTORRENT
+    # domain; the system only calls them on swarms that own their window
+    # (never on GLOBAL_POOL members, which share the group's).
+
+    def win_start(self, eta: float, t: float, bound: float, sync) -> bool:
+        """Open a deferred window after an exact flush (rates fresh at ``t``).
+
+        Refuses when the factorised trajectory cannot represent this state:
+        neighbour-aware allocation, a stale share cache, a zero-cap row
+        (rounds ``q_max`` down to the unusable ``-inf``) or an already
+        clipped rate.
+        """
+        if self.neighbor_aware:
+            return False
+        store = self.store
+        cache = self._mesh_cache
+        if cache is None or cache[0] != store.version:
+            return False
+        total_cap = cache[1]
+        sv = self.virtual_seeds.total
+        sr = self.real_seeds.total
+        if total_cap > 0.0:
+            q = (sv + sr) / total_cap
+            qv = sv / total_cap
+        else:
+            q = qv = 0.0
+        n = store.n
+        if n:
+            caps = store.download_cap[:n]
+            if float(caps.min()) <= 0.0:
+                return False
+            ratios = eta * (store.tft_upload[:n] / caps)
+            q_max = 1.0 - float(ratios.max())
+            if q > q_max:
+                return False
+            ratio_min = float(ratios.min())
+        else:
+            q_max = math.inf
+            ratio_min = math.inf
+        self.win.start(
+            eta=eta,
+            t=t,
+            q=q,
+            qv=qv,
+            q_max=q_max,
+            ratio_min=ratio_min,
+            total_cap=total_cap,
+            bound=bound,
+        )
+        store._sync = sync
+        return True
+
+    def win_accumulate(self, t: float) -> None:
+        """Extend the window's integrals to ``t`` (before any mutation)."""
+        dt = self.win.accumulate(t)
+        if dt > 0.0 and self.virtual_seeds and self.store.n:
+            # same rule as :meth:`advance`: swarm-local virtual seeds are
+            # busy only while this swarm has downloaders
+            self.virtual_busy_time += dt
+
+    def win_bias_attached(self, entry: DownloadEntry) -> None:
+        """Pre-charge a freshly attached row so the uniform fold is exact."""
+        _win_bias_row(self.win, self.store, entry._slot)
+
+    def win_refresh(self, joins: "list[DownloadEntry] | None" = None) -> bool:
+        """Absorb seed/join mutations into the window in O(changes).
+
+        Recomputes ``q``/``qv`` from the O(1) seed totals and the running
+        ``total_cap``, updates the completion bound, and folds each join's
+        own time-to-completion in.  ``False`` means the window cannot hold
+        the new state -- materialise and take the exact path.
+        """
+        win = self.win
+        total_cap = win.total_cap
+        sv = self.virtual_seeds.total
+        sr = self.real_seeds.total
+        if total_cap > 0.0:
+            q = (sv + sr) / total_cap
+            qv = sv / total_cap
+        else:
+            q = qv = 0.0
+        if not win.refresh(q, qv, self.store.n):
+            return False
+        if joins:
+            store = self.store
+            for entry in joins:
+                if entry._store is not store:
+                    continue  # departed again before the flush
+                win.note_row(_win_join_eta(win, store, entry._slot, q))
+        return True
+
+    def win_next_completion(self) -> "tuple[float, DownloadEntry | None]":
+        """Earliest completion under the open window, without materialising.
+
+        Exact at the window's current ``q`` (the same linear fold the
+        materialise pass applies, element-wise identical), so a completion
+        event that fired at a stale conservative bound can re-plan in one
+        vector pass and keep the window open.  The caller must have
+        accumulated the window to *now* first.  Returns ``(time, entry)``
+        of the earliest row (``(inf, None)`` when empty).
+        """
+        win = self.win
+        return _win_next_completion(win, self.store, win.t)
+
+    def win_due(self, eps: float) -> "tuple[float, list[DownloadEntry], float]":
+        """Entries due within ``eps`` of now, judged in window space.
+
+        Returns ``(t_next, due, t_rest)``: the earliest completion time
+        (``inf`` when empty), the due rows, and the earliest completion
+        among the rows that stay -- the window's next bound once the due
+        rows leave.  The caller must have accumulated the window to *now*
+        first.
+        """
+        win = self.win
+        return _win_due(win, self.store, win.t, eps)
+
+    def win_complete(self, entry: DownloadEntry, records) -> None:
+        """Retire one due row without closing the window (per-row fold)."""
+        _win_complete_row(self.win, self, records, entry)
+        if self.store.n == 0:
+            self.win.total_cap = 0.0  # resorb subtraction drift exactly
+
+    def win_materialize(self, t: float) -> None:
+        """Fold the window into per-row state; the window goes inactive.
+
+        Rates are *not* refreshed here -- every row still carries its
+        window-start rate, so the caller must follow up with a recompute
+        (or seeds-strength incremental refresh) before anything reads them.
+        """
+        win = self.win
+        if not win.active:
+            return
+        self.win_accumulate(t)
+        _win_fold_store(win, self.store)
+        self.last_update = win.t
+        win.active = False
+        self.store._sync = None
+
+
+#: shared placeholder for the cached share vector of an empty swarm
+_EMPTY_SHARE = np.zeros(0)
+
+
+def _win_bias_row(win: RateWindow, store: PeerStore, slot: int) -> None:
+    """Adopt one freshly attached row into an open window.
+
+    Pre-charges the row's stored state with the integrals accumulated
+    before it joined (so the eventual uniform fold is exact) and folds its
+    capacity and tft/cap ratio into the window's scalars.
+    """
+    tft = float(store.tft_upload[slot])
+    cap = float(store.download_cap[slot])
+    bias = win.eta * tft * (win.t - win.t_start) + cap * win.B
+    if bias:
+        store.remaining[slot] += bias
+    if win.C:
+        store.received_virtual_acc[slot] -= cap * win.C
+    win.total_cap += cap
+    if cap > 0.0:
+        ratio = win.eta * tft / cap
+        thr = 1.0 - ratio
+        if thr < win.q_max:
+            win.q_max = thr
+        if ratio < win.ratio_min:
+            win.ratio_min = ratio
+    else:
+        win.q_max = -math.inf  # zero-cap row: next refresh materialises
+
+
+def _win_join_eta(win: RateWindow, store: PeerStore, slot: int, q: float) -> float:
+    """Unclipped time-to-completion of a just-joined (biased) row."""
+    tft = float(store.tft_upload[slot])
+    cap = float(store.download_cap[slot])
+    rate = win.eta * tft + cap * q
+    if rate <= 0.0:
+        return math.inf
+    remaining = (
+        float(store.remaining[slot])
+        - win.eta * tft * (win.t - win.t_start)
+        - cap * win.B
+    )
+    return remaining / rate if remaining > 0.0 else 0.0
+
+
+def _win_fold_store(win: RateWindow, store: PeerStore) -> None:
+    """Apply the window's integrals to every row of one store, in place."""
+    n = store.n
+    if not n:
+        return
+    coef_t = win.eta * (win.t - win.t_start)
+    if coef_t or win.B:
+        remaining = store.remaining[:n]
+        np.subtract(
+            remaining,
+            coef_t * store.tft_upload[:n] + win.B * store.download_cap[:n],
+            out=remaining,
+        )
+        np.maximum(remaining, 0.0, out=remaining)
+    if win.C:
+        acc = store.received_virtual_acc[:n]
+        np.add(acc, win.C * store.download_cap[:n], out=acc)
+
+
+def _win_next_completion(
+    win: RateWindow, store: PeerStore, t: float
+) -> "tuple[float, DownloadEntry | None]":
+    """Earliest completion of one store's rows under an open window.
+
+    Uses the same per-element fold expression as :func:`_win_fold_store`,
+    so "due at materialise" and "due here" agree bit-for-bit.
+    """
+    if not store.n:
+        return math.inf, None
+    etas = _win_etas(win, store)
+    i = int(np.argmin(etas))
+    return t + float(etas[i]), store.entries[i]
+
+
+def _win_etas(win: RateWindow, store: PeerStore) -> np.ndarray:
+    """Per-row time-to-completion under the open window.
+
+    The remaining-work expression matches :func:`_win_fold_store`
+    element-wise, so every judgement made here agrees bit-for-bit with
+    what a materialise would produce.  Rates are sums of nonnegative
+    terms, so plain division suffices: a stalled positive row divides to
+    ``+inf`` and every finished row is forced due by the final mask.
+    """
+    n = store.n
+    tft = store.tft_upload[:n]
+    caps = store.download_cap[:n]
+    coef_t = win.eta * (win.t - win.t_start)
+    remaining = store.remaining[:n] - (coef_t * tft + win.B * caps)
+    rate = win.eta * tft + win.q * caps
+    with np.errstate(divide="ignore", invalid="ignore"):
+        etas = remaining / rate
+    etas[remaining <= 0.0] = 0.0  # done rows are due regardless of rate
+    return etas
+
+
+def _win_due(
+    win: RateWindow, store: PeerStore, t: float, eps: float
+) -> "tuple[float, list[DownloadEntry], float]":
+    """Earliest completion, the rows due within ``eps``, and the earliest
+    *non-due* completion (the bound the window keeps once the due rows
+    leave; ``inf`` when every row is due)."""
+    n = store.n
+    if not n:
+        return math.inf, [], math.inf
+    if n <= _SCALAR_N:
+        # scalar fast path (same cutoff as the rate kernels): python-float
+        # arithmetic with the exact expression shape of the vector pass,
+        # so the judgements agree bit-for-bit
+        eta_w = win.eta
+        q = win.q
+        B = win.B
+        coef_t = eta_w * (win.t - win.t_start)
+        tft = store.tft_upload[:n].tolist()
+        caps = store.download_cap[:n].tolist()
+        rem = store.remaining[:n].tolist()
+        entries = store.entries
+        due: list[DownloadEntry] = []
+        t_due = math.inf
+        t_rest = math.inf
+        for i in range(n):
+            tf = tft[i]
+            cp = caps[i]
+            r = rem[i] - (coef_t * tf + B * cp)
+            if r <= 0.0:
+                e = 0.0
+            else:
+                rate = eta_w * tf + q * cp
+                e = r / rate if rate > 0.0 else math.inf
+            if e <= eps:
+                due.append(entries[i])
+                if e < t_due:
+                    t_due = e
+            elif e < t_rest:
+                t_rest = e
+        t_next = t_due if t_due < t_rest else t_rest
+        return t + t_next, due, t + t_rest if t_rest < math.inf else math.inf
+    etas = _win_etas(win, store)
+    t_min = float(etas.min())
+    if t_min > eps:
+        t_next = t + t_min
+        return t_next, [], t_next
+    due_mask = etas <= eps
+    entries = store.entries
+    due = [entries[i] for i in np.flatnonzero(due_mask)]
+    rest = etas[~due_mask]
+    t_rest = t + float(rest.min()) if rest.size else math.inf
+    return t + t_min, due, t_rest
+
+
+def _win_complete_row(win: RateWindow, swarm, records, entry: DownloadEntry) -> None:
+    """Detach one due row from an open window without folding the rest.
+
+    Applies the uniform fold to just this row (same expression as
+    :func:`_win_fold_store`), settles its deferred received-from-virtual
+    integral into the user record, freezes its final (unclipped -- the
+    window invariant guarantees no row clips) rate into the detached
+    entry, and removes its capacity from the window's running total.
+    ``q_max``/``ratio_min`` are left stale-conservative: the departed row
+    can only have made them tighter than necessary, never unsafe.
+    """
+    store = swarm.store
+    # settle adds cap*C to the flushed integral and re-biases the row for a
+    # later uniform fold; the row leaves before any such fold, so zero the
+    # re-bias below rather than carrying it out on the detached entry
+    swarm.settle_received(entry, records)
+    slot = entry._slot
+    tft = float(store.tft_upload[slot])
+    cap = float(store.download_cap[slot])
+    rem = float(store.remaining[slot]) - (
+        win.eta * tft * (win.t - win.t_start) + cap * win.B
+    )
+    store.remaining[slot] = rem if rem > 0.0 else 0.0
+    store.received_virtual_acc[slot] = 0.0
+    store.rate[slot] = win.eta * tft + cap * win.q
+    store.rate_from_virtual[slot] = cap * win.qv
+    win.total_cap -= cap
+    swarm.pop_entry((entry.user_id, entry.file_id))
 
 
 def _apply_download_caps(
@@ -558,6 +1187,16 @@ class SwarmGroup:
         self.policy = policy
         self.swarms: dict[int, Swarm] = {f: Swarm(f) for f in file_ids}
         self.records = records
+        #: (per-swarm store versions, total_cap, {file_id: share}) from the
+        #: last full pool pass; see :meth:`recompute_rates_all_incremental`
+        self._pool_cache: tuple | None = None
+        #: deferred-integration window for the pooled rate domain; under
+        #: ``GLOBAL_POOL`` every member swarm aliases it so row-level hooks
+        #: (:meth:`Swarm.settle_received`) see the governing integrals
+        self.win = RateWindow()
+        if policy is SeedPolicy.GLOBAL_POOL:
+            for swarm in self.swarms.values():
+                swarm.win = self.win
 
     # ----- membership ---------------------------------------------------------
 
@@ -579,12 +1218,15 @@ class SwarmGroup:
     def remove_downloader(self, user_id: int, file_id: int) -> DownloadEntry:
         swarm = self._swarm(file_id)
         try:
-            return swarm.pop_entry((user_id, file_id))
+            entry = swarm.downloaders[(user_id, file_id)]
         except KeyError:
             raise KeyError(
                 f"no download entry (user={user_id}, file={file_id}) "
                 f"in group {self.group_id}"
             ) from None
+        # the entry's deferred received-from-virtual integral leaves with it
+        swarm.settle_received(entry, self.records)
+        return swarm.pop_entry((user_id, file_id))
 
     def get_downloader(self, user_id: int, file_id: int) -> DownloadEntry:
         return self._swarm(file_id).downloaders[(user_id, file_id)]
@@ -614,11 +1256,18 @@ class SwarmGroup:
                 f"seed on file {file_id}"
             )
         table[user_id] = (bandwidth, user_class)
+        if virtual:
+            # upload accounting starts now, not at swarm creation
+            swarm._virtual_anchor[user_id] = swarm.virtual_busy_time
 
     def remove_seed(self, user_id: int, file_id: int, *, virtual: bool) -> float:
         """Detach a seed allocation; returns the bandwidth it held."""
         swarm = self._swarm(file_id)
         table = swarm.virtual_seeds if virtual else swarm.real_seeds
+        if virtual:
+            # flush the deferred upload integral before the seed vanishes
+            swarm.settle_virtual_seed(user_id, self.records)
+            swarm._virtual_anchor.pop(user_id, None)
         try:
             bw, _ = table.pop(user_id)
         except KeyError:
@@ -638,6 +1287,9 @@ class SwarmGroup:
         table = swarm.virtual_seeds if virtual else swarm.real_seeds
         if user_id not in table:
             raise KeyError(f"user {user_id} has no seed on file {file_id}")
+        if virtual:
+            # busy time accumulated so far was served at the old bandwidth
+            swarm.settle_virtual_seed(user_id, self.records)
         _, klass = table[user_id]
         table[user_id] = (bandwidth, klass)
 
@@ -652,10 +1304,10 @@ class SwarmGroup:
         return sum(s.n_downloaders for s in self.swarms.values())
 
     def total_virtual_capacity(self) -> float:
-        return sum(s.virtual_capacity for s in self.swarms.values())
+        return sum(s.virtual_seeds.total for s in self.swarms.values())
 
     def total_real_capacity(self) -> float:
-        return sum(s.real_capacity for s in self.swarms.values())
+        return sum(s.real_seeds.total for s in self.swarms.values())
 
     # ----- group-level lazy progress (GLOBAL_POOL path) ----------------------------
 
@@ -664,10 +1316,13 @@ class SwarmGroup:
 
         Virtual-seed *give* accounting differs from the swarm-local rule:
         the pool is fully utilised whenever anyone in the group downloads,
-        so a virtual seed on an empty swarm still contributes.
+        so a virtual seed on an empty swarm still uploads -- its swarm's
+        busy-time integral advances whenever the *group* is busy.  As in
+        :meth:`Swarm.advance`, give/take lands in deferred accumulators,
+        not directly in the user records.
         """
-        records = self.records
         group_busy = self.n_downloaders > 0
+        pool_has_virtual = any(s.virtual_seeds for s in self.swarms.values())
         for swarm in self.swarms.values():
             dt = t - swarm.last_update
             if dt < -1e-9:
@@ -683,19 +1338,29 @@ class SwarmGroup:
                 remaining = store.remaining[:n]
                 np.subtract(remaining, store.rate[:n] * dt, out=remaining)
                 np.maximum(remaining, 0.0, out=remaining)
-                if records is not None:
-                    rfv = store.rate_from_virtual[:n]
-                    user_ids = store.user_id[:n]
-                    for i in np.flatnonzero(rfv > 0):
-                        rec = records.get(int(user_ids[i]))
-                        if rec is not None:
-                            rec.received_virtual += float(rfv[i]) * dt
-            if records is not None and group_busy:
-                for user_id, (bw, _) in swarm.virtual_seeds.items():
-                    rec = records.get(user_id)
-                    if rec is not None:
-                        rec.uploaded_virtual += bw * dt
+                if pool_has_virtual:
+                    acc = store.received_virtual_acc[:n]
+                    np.add(acc, store.rate_from_virtual[:n] * dt, out=acc)
+            if group_busy and swarm.virtual_seeds:
+                swarm.virtual_busy_time += dt
             swarm.last_update = t
+
+    def sync_accounting(self) -> None:
+        """Flush all deferred virtual give/take integrals into the records."""
+        for swarm in self.swarms.values():
+            swarm.sync_virtual_accounting(self.records)
+
+    def sync_user_accounting(self, user_id: int) -> None:
+        """Flush one user's deferred give/take integrals (Adapt ticks)."""
+        records = self.records
+        if records is None:
+            return
+        for swarm in self.swarms.values():
+            entry = swarm.downloaders.get((user_id, swarm.file_id))
+            if entry is not None:
+                swarm.settle_received(entry, records)
+            if user_id in swarm.virtual_seeds:
+                swarm.settle_virtual_seed(user_id, records)
 
     def recompute_rates_all(self) -> None:
         """Refresh every entry's rate from the group-wide pool.
@@ -705,33 +1370,161 @@ class SwarmGroup:
         each swarm's store is updated with vectorised operations.
         """
         eta = self.eta
+        total_n = self.n_downloaders
+        reg = current_registry()
+        if reg.enabled:
+            reg.inc("sim.kernel.pool.full")
+            reg.inc("sim.kernel.pool.peers", total_n)
+        pool_virtual = self.total_virtual_capacity()
+        pool_real = self.total_real_capacity()
+        pool = pool_virtual + pool_real
+        if total_n <= _SCALAR_N:
+            # scalar fast path for small pools; shares cached as lists so
+            # the incremental path dispatches scalar for the same state
+            caps_by_file: dict[int, list] = {}
+            total_cap = 0.0
+            for swarm in self.swarms.values():
+                caps = swarm.store.download_cap[: swarm.store.n].tolist()
+                caps_by_file[swarm.file_id] = caps
+                for c in caps:
+                    total_cap += c
+            shares: dict[int, "list | np.ndarray"] = {}
+            for swarm in self.swarms.values():
+                swarm.epoch += 1
+                store = swarm.store
+                n = store.n
+                if n == 0:
+                    shares[swarm.file_id] = []
+                    continue
+                caps = caps_by_file[swarm.file_id]
+                tft = store.tft_upload[:n].tolist()
+                share = [0.0] * n
+                rate_l = [0.0] * n
+                rfv_l = [0.0] * n
+                for i in range(n):
+                    c = caps[i]
+                    s = c / total_cap if total_cap > 0.0 else 0.0
+                    r = eta * tft[i] + s * pool
+                    rv = s * pool_virtual
+                    if r > c > 0.0:
+                        rv *= c / r
+                        r = c
+                    share[i] = s
+                    rate_l[i] = r
+                    rfv_l[i] = rv
+                store.rate[:n] = rate_l
+                store.rate_from_virtual[:n] = rfv_l
+                shares[swarm.file_id] = share
+            versions = tuple(s.store.version for s in self.swarms.values())
+            self._pool_cache = (versions, total_cap, shares)
+            return
         total_cap = 0.0
         for swarm in self.swarms.values():
             store = swarm.store
             total_cap += float(np.sum(store.download_cap[: store.n]))
-        pool_virtual = self.total_virtual_capacity()
-        pool_real = self.total_real_capacity()
-        pool = pool_virtual + pool_real
-        reg = current_registry()
-        if reg.enabled:
-            reg.inc("sim.kernel.pool.recomputes")
-            reg.inc("sim.kernel.pool.peers", self.n_downloaders)
+        shares = {}
         for swarm in self.swarms.values():
             swarm.epoch += 1
             store = swarm.store
             n = store.n
             if n == 0:
+                shares[swarm.file_id] = _EMPTY_SHARE
                 continue
-            caps = store.column("download_cap")
+            caps = store.download_cap[:n]
             if total_cap > 0:
                 share = caps / total_cap
             else:
                 share = np.zeros(n)
-            rate = eta * store.column("tft_upload") + share * pool
+            rate = eta * store.tft_upload[:n] + share * pool
             rate_from_virtual = share * pool_virtual
             _apply_download_caps(rate, rate_from_virtual, caps)
             store.rate[:n] = rate
             store.rate_from_virtual[:n] = rate_from_virtual
+            shares[swarm.file_id] = share
+        versions = tuple(s.store.version for s in self.swarms.values())
+        self._pool_cache = (versions, total_cap, shares)
+
+    def recompute_rates_all_incremental(
+        self, entries: "list[DownloadEntry] | None" = None
+    ) -> bool:
+        """Pool-coupled counterpart of :meth:`Swarm.recompute_rates_incremental`.
+
+        Reuses the per-swarm share vectors cached by the last full pass
+        while every swarm's membership is unchanged.  ``entries=None``
+        refreshes all rows from the O(1) pool totals; a list of entries
+        rewrites just those rows.  Returns ``False`` on cache miss.
+        """
+        cache = self._pool_cache
+        if cache is None:
+            return False
+        versions = tuple(s.store.version for s in self.swarms.values())
+        if versions != cache[0]:
+            return False
+        shares = cache[2]
+        pool_virtual = self.total_virtual_capacity()
+        pool_real = self.total_real_capacity()
+        pool = pool_virtual + pool_real
+        eta = self.eta
+        for swarm in self.swarms.values():
+            swarm.epoch += 1
+        reg = current_registry()
+        if entries is not None and 4 * len(entries) > self.n_downloaders:
+            entries = None  # vector pass is cheaper than many scalar rows
+        rows = 0
+        if entries is None:
+            for swarm in self.swarms.values():
+                store = swarm.store
+                n = store.n
+                if n == 0:
+                    continue
+                share = shares[swarm.file_id]
+                if type(share) is list:  # small pool: the full pass was scalar
+                    caps = store.download_cap[:n].tolist()
+                    tft = store.tft_upload[:n].tolist()
+                    rate_l = [0.0] * n
+                    rfv_l = [0.0] * n
+                    for i in range(n):
+                        s = share[i]
+                        r = eta * tft[i] + s * pool
+                        rv = s * pool_virtual
+                        c = caps[i]
+                        if r > c > 0.0:
+                            rv *= c / r
+                            r = c
+                        rate_l[i] = r
+                        rfv_l[i] = rv
+                    store.rate[:n] = rate_l
+                    store.rate_from_virtual[:n] = rfv_l
+                else:
+                    caps = store.download_cap[:n]
+                    rate = eta * store.tft_upload[:n] + share * pool
+                    rate_from_virtual = share * pool_virtual
+                    _apply_download_caps(rate, rate_from_virtual, caps)
+                    store.rate[:n] = rate
+                    store.rate_from_virtual[:n] = rate_from_virtual
+                rows += n
+        else:
+            for entry in entries:
+                swarm = self.swarms.get(entry.file_id)
+                if swarm is None or entry._store is not swarm.store:
+                    continue  # departed since it was marked dirty
+                store = swarm.store
+                i = entry._slot
+                s = float(shares[entry.file_id][i])
+                rate = eta * float(store.tft_upload[i]) + s * pool
+                rate_from_virtual = s * pool_virtual
+                cap = float(store.download_cap[i])
+                if rate > cap > 0:
+                    scale = cap / rate
+                    rate = cap
+                    rate_from_virtual *= scale
+                store.rate[i] = rate
+                store.rate_from_virtual[i] = rate_from_virtual
+                rows += 1
+        if reg.enabled:
+            reg.inc("sim.kernel.pool.incremental")
+            reg.inc("sim.kernel.pool.rows", rows)
+        return True
 
     def next_completion_time(self) -> float:
         """Earliest completion over the whole group (``inf`` if none)."""
@@ -739,3 +1532,144 @@ class SwarmGroup:
             (s.next_completion_time() for s in self.swarms.values()),
             default=math.inf,
         )
+
+    # ----- deferred integration (pooled rate domain) ------------------------------
+    #
+    # GLOBAL_POOL counterparts of the ``Swarm.win_*`` drivers: one shared
+    # window governs every member swarm's rows (they all ride the same
+    # ``q = pool / total_cap``).
+
+    def win_start(self, t: float, bound: float, sync) -> bool:
+        """Open a deferred window over the whole pool (see ``Swarm.win_start``)."""
+        cache = self._pool_cache
+        if cache is None:
+            return False
+        if tuple(s.store.version for s in self.swarms.values()) != cache[0]:
+            return False
+        total_cap = cache[1]
+        sv = self.total_virtual_capacity()
+        sr = self.total_real_capacity()
+        if total_cap > 0.0:
+            q = (sv + sr) / total_cap
+            qv = sv / total_cap
+        else:
+            q = qv = 0.0
+        eta = self.eta
+        q_max = math.inf
+        ratio_min = math.inf
+        for swarm in self.swarms.values():
+            store = swarm.store
+            n = store.n
+            if not n:
+                continue
+            caps = store.download_cap[:n]
+            if float(caps.min()) <= 0.0:
+                return False
+            ratios = eta * (store.tft_upload[:n] / caps)
+            thr = 1.0 - float(ratios.max())
+            if thr < q_max:
+                q_max = thr
+            rmin = float(ratios.min())
+            if rmin < ratio_min:
+                ratio_min = rmin
+        if q > q_max:
+            return False
+        self.win.start(
+            eta=eta,
+            t=t,
+            q=q,
+            qv=qv,
+            q_max=q_max,
+            ratio_min=ratio_min,
+            total_cap=total_cap,
+            bound=bound,
+        )
+        for swarm in self.swarms.values():
+            swarm.store._sync = sync
+        return True
+
+    def win_accumulate(self, t: float) -> None:
+        """Extend the pool window's integrals to ``t`` (before any mutation)."""
+        dt = self.win.accumulate(t)
+        if dt > 0.0 and self.n_downloaders:
+            # pool rule (see :meth:`advance_all`): virtual seeds upload
+            # whenever anyone in the group downloads
+            for swarm in self.swarms.values():
+                if swarm.virtual_seeds:
+                    swarm.virtual_busy_time += dt
+
+    def win_bias_attached(self, entry: DownloadEntry) -> None:
+        """Pre-charge a freshly attached row (see ``Swarm.win_bias_attached``)."""
+        _win_bias_row(self.win, self.swarms[entry.file_id].store, entry._slot)
+
+    def win_refresh(self, joins: "list[DownloadEntry] | None" = None) -> bool:
+        """Absorb seed/join mutations into the pool window in O(changes)."""
+        win = self.win
+        total_cap = win.total_cap
+        sv = self.total_virtual_capacity()
+        sr = self.total_real_capacity()
+        if total_cap > 0.0:
+            q = (sv + sr) / total_cap
+            qv = sv / total_cap
+        else:
+            q = qv = 0.0
+        if not win.refresh(q, qv, self.n_downloaders):
+            return False
+        if joins:
+            for entry in joins:
+                swarm = self.swarms.get(entry.file_id)
+                if swarm is None or entry._store is not swarm.store:
+                    continue  # departed again before the flush
+                win.note_row(_win_join_eta(win, swarm.store, entry._slot, q))
+        return True
+
+    def win_next_completion(self) -> "tuple[float, DownloadEntry | None]":
+        """Earliest completion across the pool under the open window
+        (see ``Swarm.win_next_completion``)."""
+        win = self.win
+        best_t = math.inf
+        best_entry = None
+        for swarm in self.swarms.values():
+            t_c, entry = _win_next_completion(win, swarm.store, win.t)
+            if t_c < best_t:
+                best_t = t_c
+                best_entry = entry
+        return best_t, best_entry
+
+    def win_due(self, eps: float) -> "tuple[float, list[DownloadEntry], float]":
+        """Rows due within ``eps`` across the pool (see ``Swarm.win_due``)."""
+        win = self.win
+        t_next = math.inf
+        t_rest = math.inf
+        due: list[DownloadEntry] = []
+        for swarm in self.swarms.values():
+            t_c, rows, t_r = _win_due(win, swarm.store, win.t, eps)
+            if t_c < t_next:
+                t_next = t_c
+            if t_r < t_rest:
+                t_rest = t_r
+            due.extend(rows)
+        return t_next, due, t_rest
+
+    def win_complete(self, entry: DownloadEntry, records=None) -> None:
+        """Retire one due row without closing the pool window."""
+        swarm = self.swarms[entry.file_id]
+        _win_complete_row(self.win, swarm, records or self.records, entry)
+        if self.n_downloaders == 0:
+            self.win.total_cap = 0.0  # resorb subtraction drift exactly
+
+    def win_materialize(self, t: float) -> None:
+        """Fold the pool window into every member store; window goes inactive.
+
+        As with ``Swarm.win_materialize``, rates stay at their window-start
+        values -- the caller must refresh them before they are read.
+        """
+        win = self.win
+        if not win.active:
+            return
+        self.win_accumulate(t)
+        for swarm in self.swarms.values():
+            _win_fold_store(win, swarm.store)
+            swarm.last_update = win.t
+            swarm.store._sync = None
+        win.active = False

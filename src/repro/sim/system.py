@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Callable
 
+from repro.obs import current_registry
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.entities import DownloadEntry, EntrySpan, UserRecord
 from repro.sim.metrics import MetricsCollector, PopulationSample
@@ -46,6 +47,30 @@ PRIORITY_SAMPLER = 9
 #: rate-domain key: (group_id, file_id) for swarm-local domains,
 #: (group_id, None) for pool-coupled groups.
 DomainKey = tuple[int, int | None]
+
+
+class _DomainDirt:
+    """What changed in one rate domain since its last flush.
+
+    The flush picks the cheapest sufficient path from this record.  While
+    the domain sits in a deferred :class:`~repro.sim.bandwidth.RateWindow`,
+    *seed* and *join* dirt is absorbed into the window scalars in O(1);
+    *entry* (tit-for-tat) and *full* dirt materialises the window first.
+    On the exact path, dirty *rows* (tit-for-tat changes) rewrite just
+    those entries from the cached capacity shares, dirty *seeds* or
+    *joins-after-materialise* refresh every row from the O(1) seed totals,
+    and ``full`` (or a join, which moves membership) falls back to the
+    full kernel -- the oracle the incremental paths must match
+    bit-for-bit.
+    """
+
+    __slots__ = ("full", "seeds", "entries", "joins")
+
+    def __init__(self) -> None:
+        self.full = False
+        self.seeds = False
+        self.entries: list[DownloadEntry] = []
+        self.joins: list[DownloadEntry] = []
 
 
 class SimulationSystem:
@@ -79,6 +104,25 @@ class SimulationSystem:
         only along sampled connections.  Only supported with
         ``SUBTORRENT`` groups (the ``GLOBAL_POOL`` policy *is* the mixing
         assumption).
+    incremental_rates:
+        When ``True`` (default) flushes reuse cached capacity shares for
+        seed-capacity and tit-for-tat changes, falling back to the full
+        kernels on membership changes or cache misses.  ``False`` forces
+        the full recompute on every flush -- the oracle mode the
+        incremental-vs-full equivalence suite compares against; both
+        modes produce bit-identical trajectories (the deferred-window
+        layer below is common to both, so it cancels out of the
+        comparison).
+    deferred_integration:
+        When ``True`` (default) each rate domain opens a
+        :class:`~repro.sim.bandwidth.RateWindow` after every exact flush:
+        seed-capacity changes and joins then update two scalars instead
+        of every row, and per-row progress is only folded in at
+        completion events (or when something reads an entry's progress).
+        ``False`` integrates eagerly on every event -- the pre-window
+        behaviour, kept for ablation and debugging.  The two settings
+        agree to float-rounding (different but equally exact summation
+        orders), not bit-for-bit.
     """
 
     def __init__(
@@ -94,6 +138,8 @@ class SimulationSystem:
         seed_lifetime_distribution: str = "exponential",
         neighbor_limit: int | None = None,
         trace: "EventTrace | None" = None,
+        incremental_rates: bool = True,
+        deferred_integration: bool = True,
     ):
         if mu <= 0 or gamma <= 0 or file_size <= 0:
             raise ValueError("mu, gamma and file_size must be positive")
@@ -115,7 +161,16 @@ class SimulationSystem:
         self.groups: dict[int, SwarmGroup] = {}
         self.file_to_group: dict[int, int] = {}
         self.behaviors: dict[int, "UserBehavior"] = {}
-        self._dirty: set[DomainKey] = set()
+        self._dirty: dict[DomainKey, _DomainDirt] = {}
+        #: when False every flush takes the full-recompute path; the
+        #: incremental-vs-full equivalence suite runs both and compares
+        self.incremental_rates = incremental_rates
+        #: when False progress integrates eagerly on every event (no
+        #: deferred windows); see the class docstring
+        self.deferred_integration = deferred_integration
+        #: per-domain materialise callbacks installed as ``store._sync``
+        #: while a window is open (cached: one closure per domain)
+        self._sync_callbacks: dict[DomainKey, Callable[[], None]] = {}
         self._epochs: dict[DomainKey, int] = {}
         self._completion_handles: dict[DomainKey, EventHandle] = {}
         self._next_user_id = 0
@@ -244,15 +299,68 @@ class SimulationSystem:
 
     # ----- mutations used by behaviours ------------------------------------------------
 
-    def _touch(self, file_id: int) -> None:
-        """Advance the file's rate domain to now and mark it dirty."""
-        key = self._domain_key(file_id)
+    def _domain(self, key: DomainKey) -> "Swarm | SwarmGroup":
+        """The object driving a rate domain (swarm, or group when pooled)."""
         group = self.groups[key[0]]
-        if key[1] is None:
-            group.advance_all(self.now)
+        return group if key[1] is None else group.swarms[key[1]]
+
+    def _dirt(self, key: DomainKey) -> _DomainDirt:
+        dirt = self._dirty.get(key)
+        if dirt is None:
+            dirt = self._dirty[key] = _DomainDirt()
+        return dirt
+
+    def _touch(
+        self,
+        file_id: int,
+        *,
+        entry: DownloadEntry | None = None,
+        seeds: bool = False,
+    ) -> None:
+        """Bring the file's rate domain up to now and mark it dirty.
+
+        The kind of dirt records *what* is about to change: a specific
+        downloader row (``entry=...``, tit-for-tat change), the seed
+        capacity (``seeds=True``), or -- the default -- membership, which
+        needs a full recompute.  :meth:`flush` picks the kernel
+        accordingly; multiple kinds accumulated between flushes degrade
+        to the strongest one needed.
+
+        While the domain holds an active deferred window, seed changes
+        only extend the window's integrals here (O(1)); per-row (tft) and
+        full changes break the factorised trajectory, so the window is
+        materialised and -- since every row still carries its
+        window-start rate -- the dirt is raised to seeds-strength to force
+        an all-row refresh on the exact path.
+        """
+        key = self._domain_key(file_id)
+        domain = self._domain(key)
+        win = domain.win
+        dirt = self._dirt(key)
+        if win.active:
+            if entry is None:
+                domain.win_accumulate(self.now)
+            else:
+                domain.win_materialize(self.now)
+                dirt.seeds = True
+        if not win.active:
+            if key[1] is None:
+                self.groups[key[0]].advance_all(self.now)
+            else:
+                domain.advance(self.now)
+        if entry is not None:
+            dirt.entries.append(entry)
+        elif seeds:
+            dirt.seeds = True
         else:
-            group.swarms[file_id].advance(self.now, self.metrics.records)
-        self._dirty.add(key)
+            dirt.full = True
+
+    def _mark_dirty_full(self, key: DomainKey) -> None:
+        """Mark an already-advanced domain for a full recompute."""
+        dirt = self._dirty.get(key)
+        if dirt is None:
+            dirt = self._dirty[key] = _DomainDirt()
+        dirt.full = True
 
     def start_download(
         self,
@@ -264,7 +372,15 @@ class SimulationSystem:
         tft_upload: float,
         download_cap: float,
     ) -> DownloadEntry:
-        self._touch(file_id)
+        key = self._domain_key(file_id)
+        domain = self._domain(key)
+        win = domain.win
+        if win.active:
+            domain.win_accumulate(self.now)
+        elif key[1] is None:
+            self.groups[key[0]].advance_all(self.now)
+        else:
+            domain.advance(self.now)
         entry = DownloadEntry(
             user_id=user_id,
             file_id=file_id,
@@ -276,6 +392,10 @@ class SimulationSystem:
             started_at=self.now,
         )
         self.group_of_file(file_id).add_downloader(entry)
+        if win.active:
+            # bias the fresh row so the window's uniform fold stays exact
+            domain.win_bias_attached(entry)
+        self._dirt(key).joins.append(entry)
         self._tracker_join(file_id, user_id, is_seeder=False)
         if self.trace is not None:
             self.trace.record(self.now, EventKind.DOWNLOAD_STARTED, user_id, file_id)
@@ -283,13 +403,14 @@ class SimulationSystem:
 
     def set_tft_upload(self, user_id: int, file_id: int, tft_upload: float) -> None:
         """Change the tit-for-tat bandwidth of an active download (Adapt)."""
-        self._touch(file_id)
-        self.group_of_file(file_id).get_downloader(user_id, file_id).tft_upload = tft_upload
+        entry = self.group_of_file(file_id).get_downloader(user_id, file_id)
+        self._touch(file_id, entry=entry)
+        entry.tft_upload = tft_upload
 
     def add_seed(
         self, user_id: int, file_id: int, bandwidth: float, user_class: int, *, virtual: bool
     ) -> None:
-        self._touch(file_id)
+        self._touch(file_id, seeds=True)
         self.group_of_file(file_id).add_seed(
             user_id, file_id, bandwidth, user_class, virtual=virtual
         )
@@ -300,7 +421,7 @@ class SimulationSystem:
             )
 
     def remove_seed(self, user_id: int, file_id: int, *, virtual: bool) -> float:
-        self._touch(file_id)
+        self._touch(file_id, seeds=True)
         bw = self.group_of_file(file_id).remove_seed(user_id, file_id, virtual=virtual)
         self._tracker_leave_if_absent(file_id, user_id)
         if self.trace is not None:
@@ -310,7 +431,7 @@ class SimulationSystem:
     def set_seed_bandwidth(
         self, user_id: int, file_id: int, bandwidth: float, *, virtual: bool
     ) -> None:
-        self._touch(file_id)
+        self._touch(file_id, seeds=True)
         self.group_of_file(file_id).set_seed_bandwidth(
             user_id, file_id, bandwidth, virtual=virtual
         )
@@ -318,20 +439,136 @@ class SimulationSystem:
     # ----- rate maintenance -----------------------------------------------------------
 
     def flush(self) -> None:
-        """Recompute rates of dirty domains and refresh completion events."""
+        """Recompute rates of dirty domains and refresh completion events.
+
+        Mutations accumulated since the previous flush are batched into
+        one pass per domain.  A domain inside an active deferred window
+        whose dirt is window-compatible (seed capacity and/or joins only)
+        is refreshed in O(changes): the window scalars absorb the new
+        pool, the completion bound is rescaled, and the pending completion
+        event is left untouched when the bound did not move.  Everything
+        else takes the exact path -- materialise the window if one is
+        open, advance, recompute (incremental against cached shares when
+        the dirt allows it and ``incremental_rates`` is on, full
+        otherwise), re-plan the completion event -- and then opens a fresh
+        window at the new rates.
+        """
+        incremental = self.incremental_rates
+        now = self.now
+        reg = current_registry()
         while self._dirty:
-            key = self._dirty.pop()
+            key, dirt = self._dirty.popitem()
             group = self.groups[key[0]]
-            if key[1] is None:
-                group.advance_all(self.now)
-                group.recompute_rates_all()
+            pooled = key[1] is None
+            domain = group if pooled else group.swarms[key[1]]
+            win = domain.win
+            if win.active:
+                if not dirt.full and not dirt.entries:
+                    old_bound = win.bound
+                    if domain.win_refresh(dirt.joins or None):
+                        if reg.enabled:
+                            reg.inc(
+                                "sim.kernel.pool.incremental"
+                                if pooled
+                                else "sim.kernel.mesh.incremental"
+                            )
+                            reg.inc("sim.window.refresh")
+                        if win.bound != old_bound:
+                            self._reschedule_completion(key, win.bound)
+                        continue
+                # either the dirt breaks the factorised trajectory, or the
+                # window cannot hold the new state (possible clipping,
+                # stalled rows under a rising pool): fold it and re-plan
+                # exactly; all rows' rates are stale, so refresh them all
+                domain.win_materialize(now)
+                dirt.seeds = True
+            use_incremental = incremental and not dirt.full and not dirt.joins
+            rows = None if dirt.seeds or dirt.joins else dirt.entries
+            if pooled:
+                group.advance_all(now)
+                if not (
+                    use_incremental
+                    and group.recompute_rates_all_incremental(entries=rows)
+                ):
+                    group.recompute_rates_all()
                 t_next = group.next_completion_time()
             else:
-                swarm = group.swarms[key[1]]
-                swarm.advance(self.now, self.metrics.records)
-                swarm.recompute_rates(self.eta)
+                swarm = domain
+                swarm.advance(now)
+                if not (
+                    use_incremental
+                    and swarm.recompute_rates_incremental(self.eta, entries=rows)
+                ):
+                    swarm.recompute_rates(self.eta)
                 t_next = swarm.next_completion_time()
             self._reschedule_completion(key, t_next)
+            if self.deferred_integration:
+                self._start_window(key, domain, t_next)
+
+    def _start_window(self, key: DomainKey, domain, bound: float) -> None:
+        """Open a deferred window at just-recomputed rates (best effort)."""
+        sync = self._sync_callbacks.get(key)
+        if sync is None:
+            sync = self._sync_callbacks[key] = self._make_sync(key)
+        if key[1] is None:
+            domain.win_start(self.now, bound, sync)
+        else:
+            domain.win_start(self.eta, self.now, bound, sync)
+
+    def _make_sync(self, key: DomainKey) -> Callable[[], None]:
+        """Materialise-on-read callback installed as the stores' ``_sync``.
+
+        Fires when an entry's time-integrated state is read (or any field
+        written) through the object API while the domain defers
+        integration -- folds the window and brings rates current so the
+        reader observes exactly what eager integration would have shown.
+        """
+        domain = self._domain(key)
+
+        def sync() -> None:
+            domain.win_materialize(self.sim.now)
+            self._refresh_rates(key)
+            reg = current_registry()
+            if reg.enabled:
+                reg.inc("sim.window.sync")
+
+        return sync
+
+    def _refresh_rates(self, key: DomainKey) -> None:
+        """Recompute a domain's rates in place (no completion re-plan)."""
+        incremental = self.incremental_rates
+        if key[1] is None:
+            group = self.groups[key[0]]
+            if not (incremental and group.recompute_rates_all_incremental()):
+                group.recompute_rates_all()
+        else:
+            swarm = self.groups[key[0]].swarms[key[1]]
+            if not (incremental and swarm.recompute_rates_incremental(self.eta)):
+                swarm.recompute_rates(self.eta)
+
+    def materialize_all(self) -> None:
+        """Fold every active deferred window and refresh its rates.
+
+        Called at the end of :meth:`run_until` and before bulk accounting
+        reads, so external observers never see deferred state.
+        """
+        for group in self.groups.values():
+            if group.policy is SeedPolicy.GLOBAL_POOL:
+                if group.win.active:
+                    group.win_materialize(self.now)
+                    self._refresh_rates((group.group_id, None))
+                else:
+                    # no window (eager mode, or win_start refused): the
+                    # domain integrates on flush, so it may lag behind
+                    # ``now`` since the last event -- bring it current
+                    group.advance_all(self.now)
+            else:
+                for file_id, swarm in group.swarms.items():
+                    if swarm.win.active:
+                        swarm.win_materialize(self.now)
+                        self._refresh_rates((group.group_id, file_id))
+                    else:
+                        swarm.advance(self.now)
 
     def _reschedule_completion(self, key: DomainKey, t_next: float) -> None:
         handle = self._completion_handles.pop(key, None)
@@ -358,34 +595,68 @@ class SimulationSystem:
             return  # a mutation re-planned this domain since scheduling
         self._completion_handles.pop(key, None)
         group = self.groups[key[0]]
+        domain = self._domain(key)
+        if domain.win.active:
+            # The event fired at the window's conservative bound.  Judge
+            # it in window space: one vector pass answers "who is actually
+            # due" exactly at the current ``q``, so a stale bound (routine
+            # after the pool shrank) re-plans without folding the window
+            # or touching any rates -- and genuinely due rows are retired
+            # by per-row folds that keep the window open for everyone else.
+            domain.win_accumulate(self.now)
+            t_next, due, t_rest = domain.win_due(1e-6)
+            if not due:
+                self._reschedule_completion(key, t_next)
+                reg = current_registry()
+                if reg.enabled:
+                    reg.inc("sim.window.refire")
+                return
+            self._complete_entries_windowed(key, group, domain, due, t_rest)
+            return
         if key[1] is None:
             group.advance_all(self.now)
         else:
-            group.swarms[key[1]].advance(self.now, self.metrics.records)
+            group.swarms[key[1]].advance(self.now)
         # One snapshot per swarm: both the due set and the fallback
         # candidate must be judged against the *same* (remaining, rate)
         # state, or a flush sneaking in between the two reads could mix
         # rates from two allocation epochs.
         snapshots = [s.work_snapshot() for s in self._domain_swarms(key)]
-        due: list[DownloadEntry] = []
+        due = []
         for snapshot in snapshots:
             due.extend(snapshot.due(self._completion_slack))
         if not due:
             # Numerical slack: the closest entry should be within float
             # error of done; force the earliest one to completion.  A
-            # genuinely early wake-up (possible only through a logic bug)
-            # falls back to re-planning.
+            # genuinely early wake-up (possible only through a logic bug
+            # while windows are off) falls back to re-planning.
             earliest = [e for s in snapshots if (e := s.earliest()) is not None]
             if not earliest:
                 return
             entry, eta = min(earliest, key=lambda pair: pair[1])
             if eta > 1e-6:
-                self._dirty.add(key)
+                self._mark_dirty_full(key)
                 self.flush()
                 return
             entry.remaining = 0.0
             due = [entry]
+        self._complete_entries(key, group, domain, due)
+
+    def _complete_entries(
+        self,
+        key: DomainKey,
+        group: SwarmGroup,
+        domain,
+        due: list[DownloadEntry],
+    ) -> None:
+        """Retire due entries and re-plan the domain (rates + completion)."""
         for entry in due:
+            if domain.win.active:
+                # a behaviour callback below can flush() and re-open this
+                # domain's window mid-loop; fold it before detaching a row
+                # behind its back (zero elapsed time, so the fold is free
+                # and the just-recomputed rates stay current)
+                domain.win_materialize(self.now)
             group.remove_downloader(entry.user_id, entry.file_id)
             self.metrics.record_span(
                 EntrySpan(
@@ -407,8 +678,69 @@ class SimulationSystem:
             if behavior is not None:
                 behavior.on_file_complete(entry)
             self._tracker_leave_if_absent(entry.file_id, entry.user_id)
-        self._dirty.add(key)
+        self._mark_dirty_full(key)
         self.flush()
+
+    def _complete_entries_windowed(
+        self,
+        key: DomainKey,
+        group: SwarmGroup,
+        domain,
+        due: list[DownloadEntry],
+        t_rest: float,
+    ) -> None:
+        """Retire due entries through the open window, keeping it open.
+
+        Each row is folded and detached individually (no store-wide
+        materialise, no full rate recompute); the window then absorbs the
+        pool change as a seeds-strength refresh.  ``t_rest`` -- the exact
+        next completion among the rows that stay, computed in the same
+        pass that judged the due set -- becomes the window's bound *before*
+        any mutation, so every subsequent refresh (behaviour callbacks may
+        flush this domain mid-loop) rescales it conservatively.  Behaviour
+        callbacks may even materialise this domain mid-loop; remaining
+        rows then detach through the ordinary exact path.
+        """
+        records = group.records
+        reg = current_registry()
+        if reg.enabled:
+            reg.inc("sim.window.complete", len(due))
+        domain.win.bound = t_rest
+        for entry in due:
+            if domain.win.active:
+                domain.win_complete(entry, records)
+            else:
+                group.remove_downloader(entry.user_id, entry.file_id)
+            self.metrics.record_span(
+                EntrySpan(
+                    user_id=entry.user_id,
+                    file_id=entry.file_id,
+                    user_class=entry.user_class,
+                    stage=entry.stage,
+                    started_at=entry.started_at,
+                    completed_at=self.now,
+                )
+            )
+            record = self.metrics.records[entry.user_id]
+            record.file_completions[entry.file_id] = self.now
+            if self.trace is not None:
+                self.trace.record(
+                    self.now, EventKind.FILE_COMPLETED, entry.user_id, entry.file_id
+                )
+            behavior = self.behaviors.get(entry.user_id)
+            if behavior is not None:
+                behavior.on_file_complete(entry)
+            self._tracker_leave_if_absent(entry.file_id, entry.user_id)
+        # the departures changed the pool ratio ``q``; a seeds-strength
+        # refresh absorbs that, rescaling the ``t_rest`` bound installed
+        # above.  The fired event is spent, so always re-arm from the
+        # post-refresh bound while the window survives (the materialise
+        # fallback plans its own exact completion inside flush).
+        self._dirt(key).seeds = True
+        self.flush()
+        win = domain.win
+        if win.active:
+            self._reschedule_completion(key, win.bound)
 
     # ----- sampling -------------------------------------------------------------------
 
@@ -445,8 +777,44 @@ class SimulationSystem:
 
         self.sim.schedule_after(interval, sample, priority=PRIORITY_SAMPLER)
 
+    # ----- deferred accounting --------------------------------------------------------
+
+    def sync_accounting(self) -> None:
+        """Flush deferred virtual give/take integrals into the user records.
+
+        Progress advancement accumulates received-from-virtual bandwidth
+        and virtual-seed busy time in per-swarm accumulators instead of
+        walking the user records on every event; call this before reading
+        ``UserRecord.uploaded_virtual`` / ``received_virtual`` in bulk
+        (:func:`repro.sim.scenarios.run_scenario` does it before
+        summarising).  Idempotent.
+        """
+        self.materialize_all()
+        for group in self.groups.values():
+            group.sync_accounting()
+
+    def sync_user_accounting(self, user_id: int) -> None:
+        """Flush one user's deferred give/take integrals (Adapt ticks).
+
+        Active windows are only *accumulated* to now (not folded): the
+        per-row settle hooks are window-aware, so one user's accounting
+        read does not force O(rows) materialisation on every Adapt tick.
+        """
+        now = self.now
+        for group in self.groups.values():
+            if group.policy is SeedPolicy.GLOBAL_POOL:
+                if group.win.active:
+                    group.win_accumulate(now)
+            else:
+                for swarm in group.swarms.values():
+                    if swarm.win.active:
+                        swarm.win_accumulate(now)
+            group.sync_user_accounting(user_id)
+
     # ----- run ------------------------------------------------------------------------
 
     def run_until(self, t_end: float, *, max_events: int | None = None) -> int:
-        """Drive the event loop to ``t_end``."""
-        return self.sim.run_until(t_end, max_events=max_events)
+        """Drive the event loop to ``t_end``; deferred state is folded on exit."""
+        result = self.sim.run_until(t_end, max_events=max_events)
+        self.materialize_all()
+        return result

@@ -173,3 +173,87 @@ class TestSimulator:
         sim.schedule_at(1.0, first)
         sim.run_until(1.0)
         assert order == ["first", "second"]
+
+
+class TestTombstoneCompaction:
+    """Cancel-heavy workloads must not grow the heap past ~2x live events."""
+
+    def test_heap_bounded_under_cancel_reschedule_churn(self):
+        q = EventQueue()
+        live = [q.schedule(1e6 + k, lambda: None) for k in range(200)]
+        peak = 0
+        for k in range(10_000):
+            h = q.schedule(10.0 + k, lambda: None)
+            q.cancel(h)
+            peak = max(peak, len(q))
+        # compaction fires once tombstones outnumber live entries, so the
+        # heap can never reach twice the live count plus the churn entry
+        assert peak <= 2 * len(live) + 2
+        assert q.compactions > 0
+        assert q.cancelled_total == 10_000
+
+    def test_compaction_preserves_surviving_events(self):
+        import random
+
+        rng = random.Random(42)
+        q = EventQueue()
+        handles = {}
+        for uid in range(300):
+            t = rng.uniform(0.0, 100.0)
+            handles[uid] = (t, q.schedule(t, lambda uid=uid: fired.append(uid)))
+        dead = set(rng.sample(sorted(handles), 200))
+        for uid in dead:
+            q.cancel(handles[uid][1])
+        assert q.compactions > 0  # 200 tombstones vs 100 live must compact
+        fired = []
+        times = []
+        while (ev := q.pop()) is not None:
+            times.append(ev[0])
+            ev[1]()
+        assert times == sorted(times)
+        assert set(fired) == set(handles) - dead
+        assert len(q) == 0
+
+    def test_no_compaction_below_floor(self):
+        from repro.sim.engine import COMPACT_MIN_TOMBSTONES
+
+        q = EventQueue()
+        handles = [
+            q.schedule(float(k), lambda: None)
+            for k in range(COMPACT_MIN_TOMBSTONES - 1)
+        ]
+        for h in handles:  # cancel *everything*: still under the floor
+            q.cancel(h)
+        assert q.compactions == 0
+        assert len(q) == len(handles)
+        assert q.next_time() == math.inf  # pop path still reclaims lazily
+        assert len(q) == 0
+
+    def test_cancel_spent_or_cancelled_handle_is_noop(self):
+        q = EventQueue()
+        h = q.schedule(1.0, lambda: None)
+        assert q.pop() is not None  # fires; handle is now spent
+        q.cancel(h)
+        assert q.cancelled_total == 0
+        h2 = q.schedule(2.0, lambda: None)
+        q.cancel(h2)
+        q.cancel(h2)  # double-cancel counts once
+        assert q.cancelled_total == 1
+
+    def test_queue_counters_surface_through_obs(self):
+        from repro.obs import capture
+
+        sim = Simulator()
+        keep = [sim.schedule_at(1e6 + k, lambda: None) for k in range(80)]
+
+        def churn() -> None:  # cancels must land during run_until to count
+            for k in range(500):
+                sim.cancel(sim.schedule_at(10.0 + k, lambda: None))
+
+        sim.schedule_at(0.5, churn)
+        with capture(trace=False) as obs:
+            sim.run_until(1.0)
+        del keep
+        counters = obs.registry.counters
+        assert counters["sim.queue.cancelled"] == 500
+        assert counters["sim.queue.compactions"] == sim.queue.compactions > 0

@@ -1,0 +1,309 @@
+"""Equivalence suite for the incremental rate paths.
+
+Three layers of guarantees, from strongest to loosest:
+
+* **Incremental vs. forced-full** (``incremental_rates`` True/False) must be
+  *bit-exact*: both modes share the deferred-integration windows and differ
+  only in which materialisation kernel refreshes rates, so every counter,
+  rate and completion time must match to the last bit.
+* **Scalar vs. vector** kernel selection is an internal cutoff
+  (``_SCALAR_N``) with expression-identical arithmetic; it is exercised
+  implicitly by running both small and large swarms through layer one.
+* **Deferred vs. eager** (``deferred_integration`` True/False) changes
+  float summation order (one fused fold vs. many per-event advances), so
+  scripted scenarios agree to tight tolerances rather than bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.adapt import AdaptPolicy
+from repro.core.correlation import CorrelationModel
+from repro.core.parameters import PAPER_PARAMETERS
+from repro.core.schemes import Scheme
+from repro.sim import SeedPolicy, SimulationSystem, make_behavior
+from repro.sim.behaviors import BehaviorKind
+from repro.sim.scenarios import ScenarioConfig, run_scenario
+
+MU, ETA, GAMMA = 0.02, 0.5, 0.05
+
+
+def assert_summary_bitexact(a, b) -> None:
+    """Field-by-field equality of two SimulationSummary objects (no rtol)."""
+    for f in dataclasses.fields(a):
+        x, y = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(x, np.ndarray):
+            assert np.array_equal(x, y, equal_nan=True), f.name
+        elif isinstance(x, dict):
+            assert x.keys() == y.keys(), f.name
+            for k in x:
+                assert np.array_equal(x[k], y[k], equal_nan=True), (f.name, k)
+        elif isinstance(x, float):
+            assert x == y or (math.isnan(x) and math.isnan(y)), f.name
+        else:
+            assert x == y, f.name
+
+
+def scenario(scheme: Scheme, *, incremental: bool, deferred: bool = True, **kw):
+    corr = CorrelationModel(num_files=PAPER_PARAMETERS.num_files, p=0.5, visit_rate=0.8)
+    return ScenarioConfig(
+        scheme=scheme,
+        params=PAPER_PARAMETERS,
+        correlation=corr,
+        t_end=700.0,
+        warmup=200.0,
+        seed=7,
+        incremental_rates=incremental,
+        deferred_integration=deferred,
+        **kw,
+    )
+
+
+class TestScenarioEquivalence:
+    """run_scenario twice -- dirty-row/windowed vs forced-full -- bit-exact."""
+
+    @pytest.mark.parametrize("scheme", [Scheme.MTCD, Scheme.MTSD, Scheme.MFCD])
+    def test_basic_schemes(self, scheme):
+        a = run_scenario(scenario(scheme, incremental=True))
+        b = run_scenario(scenario(scheme, incremental=False))
+        assert_summary_bitexact(a, b)
+
+    def test_cmfsd_global_pool(self):
+        # CMFSD defaults to GLOBAL_POOL: the mixed pool-window path
+        a = run_scenario(scenario(Scheme.CMFSD, incremental=True, rho=0.3))
+        b = run_scenario(scenario(Scheme.CMFSD, incremental=False, rho=0.3))
+        assert_summary_bitexact(a, b)
+
+    def test_cmfsd_subtorrent_policy(self):
+        a = run_scenario(
+            scenario(
+                Scheme.CMFSD,
+                incremental=True,
+                rho=0.3,
+                seed_policy=SeedPolicy.SUBTORRENT,
+            )
+        )
+        b = run_scenario(
+            scenario(
+                Scheme.CMFSD,
+                incremental=False,
+                rho=0.3,
+                seed_policy=SeedPolicy.SUBTORRENT,
+            )
+        )
+        assert_summary_bitexact(a, b)
+
+    def test_cmfsd_adapt_and_cheaters(self):
+        # Adapt touches tft mid-flight (entry-kind dirt -> window
+        # materialise); cheaters skew rho -- both must stay equivalent
+        kw = dict(rho=0.3, adapt=AdaptPolicy(), adapt_period=25.0, cheater_fraction=0.2)
+        a = run_scenario(scenario(Scheme.CMFSD, incremental=True, **kw))
+        b = run_scenario(scenario(Scheme.CMFSD, incremental=False, **kw))
+        assert_summary_bitexact(a, b)
+
+
+KINDS = (
+    (BehaviorKind.CONCURRENT, {}),
+    (BehaviorKind.SEQUENTIAL, {}),
+    (BehaviorKind.COLLABORATIVE, {"rho": 0.3}),
+)
+
+
+def _drive_pair(
+    policy: SeedPolicy,
+    *,
+    n_files=3,
+    steps=120,
+    seed=0,
+    deferred=(True, True),
+    max_advance=40.0,
+    drain=50.0,
+):
+    """Run one random action sequence through twin systems, yielding both.
+
+    The two systems differ only in their rate-path configuration; the
+    action sequence (spawns, seed pulses, time advances) is generated once
+    and applied to both, and their RNG streams start from the same seed so
+    behaviour-level randomness (seed lifetimes) matches too.
+    """
+    systems = []
+    for incremental, defer in zip((True, False), deferred):
+        system = SimulationSystem(
+            mu=MU,
+            eta=ETA,
+            gamma=GAMMA,
+            num_classes=n_files,
+            incremental_rates=incremental,
+            deferred_integration=defer,
+        )
+        system.add_group(tuple(range(n_files)), policy)
+        systems.append(system)
+
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < 0.35:
+            kind, options = KINDS[rng.randrange(len(KINDS))]
+            mask = rng.randrange(1, 2**n_files)
+            files = tuple(f for f in range(n_files) if mask & (1 << f))
+            ops.append(("spawn", kind, options, files))
+        elif roll < 0.5:
+            ops.append(("seed", rng.randrange(n_files), rng.uniform(0.005, 0.05),
+                        rng.random() < 0.5))
+        elif roll < 0.6:
+            ops.append(("unseed", rng.randrange(n_files)))
+        else:
+            ops.append(("advance", rng.uniform(0.0, max_advance)))
+
+    extra_uid = 10_000  # ids far above spawn_user's range, for seed pulses
+    for system in systems:
+        pulse_seeds: dict[int, int] = {}
+        uid = extra_uid
+        for op in ops:
+            if op[0] == "spawn":
+                _, kind, options, files = op
+                system.spawn_user(make_behavior(kind, **options), files)
+            elif op[0] == "seed":
+                _, file_id, bw, virtual = op
+                uid += 1
+                system.add_seed(uid, file_id, bw, user_class=1, virtual=virtual)
+                pulse_seeds[uid] = (file_id, virtual)
+                system.flush()
+            elif op[0] == "unseed":
+                _, file_id = op
+                hit = next(
+                    (u for u, (f, _v) in pulse_seeds.items() if f == file_id), None
+                )
+                if hit is not None:
+                    f, virtual = pulse_seeds.pop(hit)
+                    system.remove_seed(hit, f, virtual=virtual)
+                    system.flush()
+            else:
+                system.run_until(system.now + op[1])
+        system.run_until(system.now + drain)
+        system.sync_accounting()
+    return systems
+
+
+def _store_state(system):
+    """Materialised per-swarm (sorted) rate/progress state for comparison."""
+    state = {}
+    for gid, group in system.groups.items():
+        for fid, swarm in group.swarms.items():
+            store = swarm.store
+            n = store.n
+            order = np.argsort(store.user_id[:n], kind="stable")
+            state[(gid, fid)] = {
+                name: np.asarray(getattr(store, name)[:n])[order].copy()
+                for name in ("remaining", "rate", "rate_from_virtual", "tft_upload")
+            }
+            state[(gid, fid)]["seeds"] = (
+                swarm.real_seeds.total,
+                swarm.virtual_seeds.total,
+            )
+    return state
+
+
+@pytest.mark.parametrize("policy", [SeedPolicy.SUBTORRENT, SeedPolicy.GLOBAL_POOL])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestRandomizedEquivalence:
+    """Twin-system fuzz: same event sequence, both rate paths, same state."""
+
+    def test_incremental_matches_full(self, policy, seed):
+        sys_a, sys_b = _drive_pair(policy, seed=seed)
+        assert sys_a.now == sys_b.now
+        state_a, state_b = _store_state(sys_a), _store_state(sys_b)
+        assert state_a.keys() == state_b.keys()
+        for key in state_a:
+            for name in ("remaining", "rate", "rate_from_virtual", "tft_upload"):
+                assert np.array_equal(state_a[key][name], state_b[key][name]), (
+                    key,
+                    name,
+                )
+            assert state_a[key]["seeds"] == state_b[key]["seeds"], key
+        recs_a, recs_b = sys_a.metrics.records, sys_b.metrics.records
+        assert recs_a.keys() == recs_b.keys()
+        for uid in recs_a:
+            assert recs_a[uid].downloads_done_time == recs_b[uid].downloads_done_time
+            assert recs_a[uid].departure_time == recs_b[uid].departure_time
+
+    def test_windows_match_eager_integration(self, policy, seed):
+        sys_a, sys_b = _drive_pair(policy, seed=seed, deferred=(True, False))
+        assert sys_a.now == sys_b.now
+        state_a, state_b = _store_state(sys_a), _store_state(sys_b)
+        assert state_a.keys() == state_b.keys()
+        for key in state_a:
+            for name in ("remaining", "rate", "rate_from_virtual"):
+                np.testing.assert_allclose(
+                    state_a[key][name],
+                    state_b[key][name],
+                    rtol=1e-9,
+                    atol=1e-9,
+                    err_msg=f"{key} {name}",
+                )
+        for uid, rec_a in sys_a.metrics.records.items():
+            rec_b = sys_b.metrics.records[uid]
+            for attr in ("downloads_done_time", "departure_time"):
+                va, vb = getattr(rec_a, attr), getattr(rec_b, attr)
+                if va is None or vb is None:
+                    assert va == vb, (uid, attr)
+                else:
+                    assert va == pytest.approx(vb, rel=1e-9, abs=1e-9), (uid, attr)
+
+
+class TestDeferredScripted:
+    """Hand-sized scenarios: windowed integration equals the eager advance."""
+
+    @staticmethod
+    def _make(deferred: bool, policy=SeedPolicy.SUBTORRENT, n_files=2):
+        system = SimulationSystem(
+            mu=MU,
+            eta=ETA,
+            gamma=GAMMA,
+            num_classes=n_files,
+            deferred_integration=deferred,
+        )
+        system.add_group(tuple(range(n_files)), policy)
+        system.seed_lifetime = lambda: 30.0
+        return system
+
+    @pytest.mark.parametrize("policy", [SeedPolicy.SUBTORRENT, SeedPolicy.GLOBAL_POOL])
+    def test_staggered_joins_and_seed_pulse(self, policy):
+        times = {}
+        for deferred in (True, False):
+            system = self._make(deferred, policy)
+            sequential = make_behavior(BehaviorKind.SEQUENTIAL)
+            uids = [system.spawn_user(sequential, (0,))]
+            system.schedule_after(
+                40.0, lambda s=system: uids.append(s.spawn_user(sequential, (0, 1)))
+            )
+            system.schedule_after(
+                55.0, lambda s=system: s.add_seed(999, 0, 0.03, 1, virtual=True)
+            )
+            system.schedule_after(
+                90.0, lambda s=system: s.remove_seed(999, 0, virtual=True)
+            )
+            system.run_until(600.0)
+            system.sync_accounting()
+            times[deferred] = [
+                system.metrics.records[u].downloads_done_time for u in uids
+            ]
+        assert times[True] == pytest.approx(times[False], rel=1e-9)
+
+    def test_mid_window_read_sees_materialised_state(self):
+        """Reading a volatile entry field mid-window syncs it to now."""
+        system = self._make(True)
+        sequential = make_behavior(BehaviorKind.SEQUENTIAL)
+        uid = system.spawn_user(sequential, (0,))
+        entry = system.groups[0].get_downloader(uid, 0)
+        system.run_until(20.0)
+        # solo downloader at rate eta*mu = 0.01: 20 time units -> 0.2 done
+        assert entry.remaining == pytest.approx(1.0 - 20.0 * ETA * MU)
+        assert entry.rate == pytest.approx(ETA * MU)

@@ -182,6 +182,7 @@ class TestAdvance:
         g.add_seed(1, 0, 0.01, 2, virtual=True)  # user 1 virtual-seeds
         g.swarms[0].recompute_rates(0.5)
         g.swarms[0].advance(10.0, records)
+        g.sync_accounting()
         assert records[1].uploaded_virtual == pytest.approx(0.1)
         assert records[2].received_virtual == pytest.approx(0.1)
 
@@ -191,6 +192,7 @@ class TestAdvance:
         g.add_seed(1, 0, 0.01, 2, virtual=True)
         g.swarms[0].recompute_rates(0.5)
         g.swarms[0].advance(10.0, records)
+        g.sync_accounting()
         assert records[1].uploaded_virtual == 0.0
 
     def test_pool_busy_virtual_seed_gives_global(self):
@@ -205,6 +207,7 @@ class TestAdvance:
         g.add_downloader(entry(user=2, file=1, tft=0.0, cap=0.2))
         g.recompute_rates_all()
         g.advance_all(10.0)
+        g.sync_accounting()
         assert records[1].uploaded_virtual == pytest.approx(0.1)
 
 
