@@ -1,0 +1,58 @@
+"""Benchmark: scenario DSL validation + compilation overhead.
+
+The DSL sits in front of every backend, so its load/validate/compile path
+must be negligible next to any actual run.  This bench times a full
+document -> ScenarioSpec -> (fluid, sim, chunks) compile cycle in bulk and
+records the per-spec cost in BENCH_results.json; it asserts only a very
+generous ceiling (non-blocking for slow CI boxes) -- the number itself is
+the artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.obs import current_registry
+from repro.scenario import (
+    compile_chunks,
+    compile_fluid,
+    compile_sim,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+N_SPECS = 200
+
+_DOC = {
+    "name": "bench",
+    "scheme": "CMFSD",
+    "workload": {"p": 0.9, "visit_rate": 0.5},
+    "params": {"mu": 0.02, "eta": 0.5, "gamma": 0.05, "num_files": 10},
+    "behavior": {"rho": 0.2, "cheater_fraction": 0.1},
+    "chunks": {"n_chunks": 100, "n_peers": 40},
+    "sim": {"t_end": 2500.0, "warmup": 700.0, "seed": 1},
+}
+
+
+def _compile_cycle() -> float:
+    """Validate + round-trip + compile N_SPECS documents; seconds per spec."""
+    t0 = time.perf_counter()
+    for i in range(N_SPECS):
+        doc = dict(_DOC, sim=dict(_DOC["sim"], seed=i))
+        spec = spec_from_dict(doc)
+        spec_from_dict(spec_to_dict(spec))  # serialisation round trip
+        compile_fluid(spec)
+        compile_sim(spec)
+        compile_chunks(spec)
+    return (time.perf_counter() - t0) / N_SPECS
+
+
+def test_bench_scenario_compile(benchmark):
+    """Full validate/round-trip/compile cycle well under 25 ms per spec."""
+    per_spec = run_once(benchmark, _compile_cycle)
+    current_registry().observe("bench.scenario_compile_ms", per_spec * 1e3)
+    current_registry().inc("bench.scenario_specs", N_SPECS)
+    # Non-blocking sanity ceiling: the DSL must stay negligible next to a
+    # run (a single DES run at these settings takes seconds).
+    assert per_spec < 0.025, f"spec compile cycle too slow: {per_spec * 1e3:.1f} ms"

@@ -46,6 +46,12 @@ class ChunkSwarmConfig:
         When True, peers that started as seeds dole out their *least
         offered* pieces first (an approximation of the super-seeding
         feature), maximising piece diversity during the bootstrap.
+    piece_selection:
+        How a downloader picks the next fresh piece among those a link
+        offers: ``"rarest"`` (local rarest first, BitTorrent's default) or
+        ``"in_order"`` (lowest index first -- the streaming-oriented policy
+        of interactive on-demand protocols, which trades swarm-wide piece
+        diversity for sequential playback progress).
     """
 
     n_chunks: int = 100
@@ -56,12 +62,18 @@ class ChunkSwarmConfig:
     seed_stays: bool = True
     seed_unchoke: str = "random"
     super_seeding: bool = False
+    piece_selection: str = "rarest"
 
     def __post_init__(self) -> None:
         if self.seed_unchoke not in ("random", "round_robin", "fastest"):
             raise ValueError(
                 "seed_unchoke must be 'random', 'round_robin' or 'fastest', "
                 f"got {self.seed_unchoke!r}"
+            )
+        if self.piece_selection not in ("rarest", "in_order"):
+            raise ValueError(
+                "piece_selection must be 'rarest' or 'in_order', "
+                f"got {self.piece_selection!r}"
             )
         if self.n_chunks < 1:
             raise ValueError(f"n_chunks must be >= 1, got {self.n_chunks}")

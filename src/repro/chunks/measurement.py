@@ -20,7 +20,14 @@ from repro.chunks.reference import ReferenceChunkSwarm
 from repro.chunks.swarm import ChunkSwarm
 from repro.obs import current_registry
 
-__all__ = ["EtaMeasurement", "measure_eta", "OpenSwarmMeasurement", "measure_eta_open"]
+__all__ = [
+    "EtaMeasurement",
+    "measure_eta",
+    "OpenSwarmMeasurement",
+    "measure_eta_open",
+    "DeadlineMeasurement",
+    "measure_deadline_misses",
+]
 
 #: selectable engines -- "vector" is the default; "reference" runs the
 #: scalar oracle (bit-for-bit identical results, O(peers^2) per round)
@@ -239,4 +246,101 @@ def measure_eta_open(
         mean_seeds=float(np.mean(pop_seed)) if pop_seed else float("nan"),
         fluid_download_time=float(fluid_T),
         n_completed=len(completed),
+    )
+
+
+@dataclass(frozen=True)
+class DeadlineMeasurement:
+    """Piece-deadline streaming outcome of one flash-crowd swarm run.
+
+    A peer starts playback ``startup_delay`` after joining and consumes
+    pieces in index order at ``playback_rate`` files per unit time, so
+    piece ``c`` (0-based) must be complete by
+    ``joined_at + delay + (c + 1) / (n_chunks * playback_rate)``.
+    ``miss_rates[k]`` is the fraction of (peer, piece) pairs whose piece
+    completed after that instant under ``startup_delays[k]`` -- every delay
+    is evaluated against the *same* run, so sweeping delays is free.
+
+    Piece completion is observed at round ends, matching the engines' own
+    ``finished_at`` granularity.
+    """
+
+    playback_rate: float
+    startup_delays: tuple[float, ...]
+    miss_rates: tuple[float, ...]
+    mean_download_time: float
+    rounds: int
+    n_peers: int
+    n_chunks: int
+
+
+def measure_deadline_misses(
+    *,
+    n_peers: int = 40,
+    n_seeds: int = 1,
+    config: ChunkSwarmConfig | None = None,
+    playback_rate: float,
+    startup_delays: tuple[float, ...] = (0.0,),
+    seed: int = 0,
+    max_rounds: int = 100_000,
+    engine: str = "vector",
+) -> DeadlineMeasurement:
+    """Run one flash-crowd swarm and measure streaming deadline misses.
+
+    The swarm runs exactly like :func:`measure_eta` (``n_peers`` leechers
+    join ``n_seeds`` seeds at t=0); per-peer piece completion times are
+    recorded by diffing ownership bitmaps at round ends, then evaluated
+    against the playback deadlines of every requested ``startup_delay``.
+    Compare ``config.piece_selection='rarest'`` against ``'in_order'`` to
+    reproduce the classic streaming trade-off: in-order selection slashes
+    misses at small startup delays while rarest-first protects piece
+    diversity (and hence total download time).
+    """
+    if n_peers < 1:
+        raise ValueError(f"n_peers must be >= 1, got {n_peers}")
+    if n_seeds < 1:
+        raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+    if playback_rate <= 0:
+        raise ValueError(f"playback_rate must be positive, got {playback_rate}")
+    if not startup_delays:
+        raise ValueError("need at least one startup delay")
+    if any(d < 0 for d in startup_delays):
+        raise ValueError(f"startup delays must be >= 0, got {startup_delays}")
+    cfg = config if config is not None else ChunkSwarmConfig()
+    swarm = _make_swarm(engine, cfg, seed)
+    swarm.add_peers(n_seeds, is_seed=True)
+    leechers = swarm.add_peers(n_peers, is_seed=False)
+
+    C = cfg.n_chunks
+    completion = np.full((n_peers, C), np.inf)
+    prev = np.zeros((n_peers, C), dtype=bool)
+    rounds = 0
+    while not swarm.all_done:
+        if rounds >= max_rounds:
+            raise RuntimeError(f"swarm did not finish within {max_rounds} rounds")
+        swarm.run_round()
+        rounds += 1
+        own = np.stack([p.bitmap for p in leechers])
+        newly = own & ~prev
+        if newly.any():
+            completion[newly] = swarm.now
+        prev = own
+    _record_run(swarm, rounds)
+
+    piece_time = 1.0 / (C * playback_rate)
+    joined = np.array([p.joined_at for p in leechers])[:, None]
+    playback_offsets = (np.arange(C) + 1.0) * piece_time
+    miss_rates = tuple(
+        float(np.mean(completion > joined + delay + playback_offsets))
+        for delay in startup_delays
+    )
+    times = np.array([p.finished_at - p.joined_at for p in leechers])
+    return DeadlineMeasurement(
+        playback_rate=playback_rate,
+        startup_delays=tuple(float(d) for d in startup_delays),
+        miss_rates=miss_rates,
+        mean_download_time=float(times.mean()),
+        rounds=rounds,
+        n_peers=n_peers,
+        n_chunks=C,
     )

@@ -151,8 +151,12 @@ class ReferenceChunkSwarm:
             # first, maximising diversity during the bootstrap.
             offers = uploader.offered_counts[idx]
             idx = idx[offers == offers.min()]
-        rarity = availability[idx]
-        rarest = idx[rarity == rarity.min()]
+        if self.config.piece_selection == "in_order":
+            # Streaming policy: lowest index first (sequential playback).
+            rarest = idx[idx == idx.min()]
+        else:
+            rarity = availability[idx]
+            rarest = idx[rarity == rarity.min()]
         chunk = int(self.rng.choice(rarest))
         uploader.offered_counts[chunk] += 1
         return chunk

@@ -173,8 +173,12 @@ class ChunkSwarm:
             # first, maximising diversity during the bootstrap.
             offers = st.offered[u, idx]
             idx = idx[offers == offers.min()]
-        rarity = availability[idx]
-        rarest = idx[rarity == rarity.min()]
+        if self.config.piece_selection == "in_order":
+            # Streaming policy: lowest index first (sequential playback).
+            rarest = idx[idx == idx.min()]
+        else:
+            rarity = availability[idx]
+            rarest = idx[rarity == rarity.min()]
         chunk = int(self.rng.choice(rarest))
         st.offered[u, chunk] += 1
         return chunk

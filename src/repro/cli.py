@@ -23,11 +23,21 @@ Subcommands
     anyway, prints a failure table on stderr and exits 1 -- successful
     results are cached as they settle, so re-running resumes from the
     failures.
+``run --scenario <spec.yaml> [--out DIR]``
+    Run a declarative scenario document (see :mod:`repro.scenario` and
+    docs/API.md for the schema) end to end without registering it: the
+    spec is compiled to the richest backend set it supports, the report is
+    printed and CSV/figures land in ``--out`` like any experiment.
 ``params``
     Print Table 1 with the paper's evaluation values.
-``simulate <scenario.json> [--json]``
-    Run the flow-level simulator on a JSON scenario description (see
-    :mod:`repro.sim.config_io` for the schema) and print the summary.
+``simulate <scenario.json|.yaml> [--json]``
+    Run the flow-level simulator on a flat scenario description (see
+    :func:`repro.scenario.sim_config_from_dict` for the schema) and print
+    the summary.
+
+The experiment table in ``list`` and in ``run --help`` is generated from
+the registry (:func:`repro.experiments.format_experiment_table`), so the
+help can never drift from the experiments that exist.
 """
 
 from __future__ import annotations
@@ -39,7 +49,7 @@ from contextlib import contextmanager
 from pathlib import Path
 
 from repro.core.parameters import PAPER_PARAMETERS, format_table1
-from repro.experiments import list_experiments
+from repro.experiments import format_experiment_table, list_experiments
 
 __all__ = ["main", "build_parser"]
 
@@ -156,8 +166,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
-    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
-    run_p.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run_p = sub.add_parser(
+        "run",
+        help="run one experiment (or 'all'), or a scenario document",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=f"available experiments:\n{format_experiment_table()}",
+    )
+    run_p.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment id from 'list', or 'all' (omit with --scenario)",
+    )
+    run_p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="PATH",
+        help="run a declarative scenario document (YAML/JSON, see "
+        "docs/API.md) end to end instead of a registered experiment",
+    )
     run_p.add_argument(
         "--out",
         default="results",
@@ -250,8 +277,7 @@ def _report_failures(summary) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        for eid, desc in list_experiments():
-            print(f"{eid:12s} {desc}")
+        print(format_experiment_table())
         return 0
     if args.command == "params":
         print(format_table1(PAPER_PARAMETERS))
@@ -288,11 +314,11 @@ def main(argv: list[str] | None = None) -> int:
         import json as _json
 
         from repro.analysis.tables import format_table
-        from repro.sim.config_io import load_scenario, summary_to_dict
+        from repro.scenario import load_sim_config, summary_to_dict
         from repro.sim.scenarios import run_scenario
 
         try:
-            config = load_scenario(args.scenario)
+            config = load_sim_config(args.scenario)
         except (OSError, ValueError, _json.JSONDecodeError) as exc:
             print(f"bad scenario: {exc}", file=sys.stderr)
             return 2
@@ -315,9 +341,45 @@ def main(argv: list[str] | None = None) -> int:
                 )
             )
         return 0
+    if args.command == "run" and args.scenario is not None:
+        if args.experiment is not None:
+            print(
+                "pass either an experiment id or --scenario PATH, not both",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.scenario import SpecError, load_spec, run_spec, spec_experiment_id
+
+        try:
+            spec = load_spec(args.scenario)
+        except (OSError, ValueError) as exc:
+            print(f"bad scenario: {exc}", file=sys.stderr)
+            return 2
+        eid = spec_experiment_id(spec, fallback=Path(args.scenario).stem)
+        started = time.perf_counter()
+        try:
+            result = run_spec(spec, experiment_id=eid)
+        except SpecError as exc:
+            print(f"bad scenario: {exc}", file=sys.stderr)
+            return 2
+        out_dir = Path(args.out)
+        print(result.rendered)
+        csv_path = result.write_csv(out_dir)
+        elapsed = time.perf_counter() - started
+        print(f"\n[{eid}] finished in {elapsed:.1f}s; series -> {csv_path}")
+        for path in result.write_figures(out_dir):
+            print(f"[{eid}] figure -> {path}")
+        return 0
     if args.command == "run":
         from repro.runner import TaskFailedError, run_experiments
 
+        if args.experiment is None:
+            print(
+                "pass an experiment id (see 'repro-bt list'), 'all', "
+                "or --scenario PATH",
+                file=sys.stderr,
+            )
+            return 2
         out_dir = Path(args.out)
         running_all = args.experiment == "all"
         ids = (

@@ -6,17 +6,14 @@ the numeric series plus a rendered text report (tables + ASCII plots).  The
 registry maps experiment ids (``figure2``, ``figure4a``, ...) to drivers;
 ``python -m repro run <id>`` executes one end to end and writes its CSV.
 
-Experiment index (see DESIGN.md for the full mapping):
-
-========== ================================================================
-table1     Table 1 -- fluid-model parameter glossary
-figure2    Fig. 2  -- avg online time/file vs correlation p, MTCD vs MTSD
-figure3    Fig. 3  -- per-class times, MTCD vs MTSD, p in {0.1, 1.0}
-figure4a   Fig. 4a -- CMFSD avg online time/file over the (p, rho) grid
-figure4bc  Fig. 4b/c -- per-class times, CMFSD (rho in {0.1, 0.9}) vs MFCD
-adapt      Sec. 4.3 / future work -- Adapt mechanism study (fluid + sim)
-validation cross-check: simulator vs fluid predictions for all schemes
-========== ================================================================
+The experiment index is the registry itself: ``repro list`` (or
+:func:`repro.experiments.format_experiment_table`) prints the live
+id/description table, and ``repro run --help`` embeds the same table --
+both are generated from ``REGISTRY`` at call time, so they cannot drift
+from the experiments that exist.  See DESIGN.md for the paper mapping.
+Experiments can also be registered from declarative scenario documents
+with ``register_experiment(id, spec="path/to/scenario.yaml")`` (see
+:mod:`repro.scenario`).
 """
 
 from repro.experiments.base import (
@@ -27,6 +24,7 @@ from repro.experiments.base import (
 )
 from repro.experiments.registry import (
     REGISTRY,
+    format_experiment_table,
     get_experiment,
     list_experiments,
     register_experiment,
@@ -38,6 +36,7 @@ __all__ = [
     "FigureSpec",
     "HeatmapSpec",
     "REGISTRY",
+    "format_experiment_table",
     "get_experiment",
     "list_experiments",
     "register_experiment",

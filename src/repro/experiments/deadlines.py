@@ -1,0 +1,127 @@
+"""Piece-deadline streaming on the chunk engine (extension, Rodrigues 2014).
+
+BitTorrent's rarest-first piece selection maximises piece diversity but is
+oblivious to playback order; streaming derivatives pick pieces (nearly) in
+index order so the file can be consumed while downloading.  This
+experiment runs the same flash-crowd swarm under both policies (declared
+through the scenario DSL's ``chunks.piece_selection`` /  ``streaming``
+sections -- ``examples/deadlines.yaml`` is the document form) and measures
+the *deadline miss rate*: the fraction of (peer, piece) pairs whose piece
+completed after its playback instant, as a function of the startup delay.
+
+Expected shape: *strict* in-order selection serves playback order but
+collapses swarm-wide piece diversity -- everyone holds the same prefix, so
+peers have little to trade and the whole swarm slows down by several x.
+At default parameters that swamps the ordering benefit: rarest-first
+finishes so much earlier that its miss rate is lower at every startup
+delay, which is exactly why real streaming derivatives use windowed or
+probabilistic hybrids rather than strict sequential picking.  One swarm
+run answers every delay -- per-piece completion times are recorded once
+and the deadline grid is evaluated after the fact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.chunks import ChunkSwarmConfig
+from repro.chunks.measurement import measure_deadline_misses
+from repro.experiments.base import ExperimentResult, FigureSpec
+
+__all__ = ["run"]
+
+_POLICIES = ("in_order", "rarest")
+
+
+def run(
+    *,
+    n_peers: int = 20,
+    n_seeds: int = 2,
+    n_chunks: int = 60,
+    upload_rate: float = 0.02,
+    playback_rate: float = 0.004,
+    n_delays: int = 9,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Miss-rate curves for in-order vs rarest-first piece selection."""
+    if n_delays < 2:
+        raise ValueError(f"n_delays must be >= 2, got {n_delays}")
+    if playback_rate <= 0:
+        raise ValueError(f"playback_rate must be positive, got {playback_rate}")
+    # Sweep startup delays over one full playback duration: by its end a
+    # peer that finished within the playback window can never miss.
+    playback_duration = 1.0 / playback_rate
+    delays = tuple(float(d) for d in np.linspace(0.0, playback_duration, n_delays))
+
+    results = {}
+    for policy in _POLICIES:
+        results[policy] = measure_deadline_misses(
+            n_peers=n_peers,
+            n_seeds=n_seeds,
+            config=ChunkSwarmConfig(
+                n_chunks=n_chunks,
+                upload_rate=upload_rate,
+                piece_selection=policy,
+            ),
+            playback_rate=playback_rate,
+            startup_delays=delays,
+            seed=seed,
+        )
+
+    headers = ("startup_delay", *(f"miss_rate_{p}" for p in _POLICIES))
+    rows = tuple(
+        (delay, *(results[p].miss_rates[i] for p in _POLICIES))
+        for i, delay in enumerate(delays)
+    )
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            f"Deadline miss rate vs startup delay "
+            f"({n_peers} peers, {n_chunks} chunks, playback rate {playback_rate})"
+        ),
+    )
+    summary = format_table(
+        ("policy", "mean_download_time", "rounds"),
+        [
+            (p, results[p].mean_download_time, float(results[p].rounds))
+            for p in _POLICIES
+        ],
+        title="throughput cost of the piece policy",
+    )
+
+    figure = FigureSpec(
+        name="miss_rate",
+        series={p: (delays, results[p].miss_rates) for p in _POLICIES},
+        title="Streaming deadline miss rate vs startup delay",
+        xlabel="startup delay",
+        ylabel="deadline miss rate",
+    )
+
+    slowdown = (
+        results["in_order"].mean_download_time
+        / results["rarest"].mean_download_time
+    )
+    miss0 = {p: results[p].miss_rates[0] for p in _POLICIES}
+    notes = (
+        f"Strict in-order picking costs the swarm {slowdown:.2f}x in mean "
+        "download time: with every peer holding the same prefix there is "
+        "little left to trade, and the diversity collapse swamps the "
+        f"ordering benefit -- at zero startup delay in-order misses "
+        f"{miss0['in_order']:.0%} of deadlines vs {miss0['rarest']:.0%} for "
+        "rarest-first, which therefore dominates at every swept delay. "
+        "This is why real streaming derivatives use windowed or "
+        "probabilistic hybrids instead of strict sequential selection. "
+        "Scenario sections are the DSL's chunks/streaming blocks "
+        "(examples/deadlines.yaml runs the in_order side)."
+    )
+    return ExperimentResult(
+        experiment_id="deadlines",
+        title="Piece-deadline streaming: in-order vs rarest-first (extension)",
+        headers=headers,
+        rows=rows,
+        rendered=f"{table}\n\n{summary}\n\n{notes}",
+        notes=notes,
+        figures=(figure,),
+    )

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable
 
 from repro.experiments import (
     adapt_study,
     concurrency,
+    deadlines,
     eta_measurement,
     fairness,
     figure2,
@@ -20,6 +22,7 @@ from repro.experiments import (
     mixing,
     sensitivity,
     table1,
+    tiers,
     validation,
 )
 from repro.experiments.base import ExperimentResult
@@ -49,23 +52,59 @@ REGISTRY: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
     "figure2sim": (figure2sim.run, "Extension: Fig. 2 fluid curves + DES overlay points"),
     "fairness": (fairness.run, "Extension: Jain fairness vs efficiency frontier"),
     "lifetime": (lifetime.run, "Extension: torrent lifetime under decaying arrivals"),
+    "tiers": (tiers.run, "Extension: differentiated-service upload tiers (DSL scenario)"),
+    "deadlines": (deadlines.run, "Extension: streaming piece-deadline misses, in-order vs rarest"),
 }
+
+
+def _spec_driver(
+    experiment_id: str, spec_path: str | Path
+) -> tuple[Callable[..., ExperimentResult], str]:
+    """Build a driver that runs a scenario-spec document end to end.
+
+    The document is loaded (and therefore fully validated) *now*, at
+    registration time, so typos fail at ``register_experiment`` rather
+    than mid-run; the driver re-reads the file at each execution so later
+    edits take effect.  Note the result cache keys on the package source
+    only -- after editing a registered spec file, re-run with ``--force``.
+    """
+    from repro.scenario import load_spec, run_spec
+
+    path = Path(spec_path)
+    loaded = load_spec(path)
+
+    def driver() -> ExperimentResult:
+        return run_spec(load_spec(path), experiment_id=experiment_id)
+
+    return driver, loaded.description or f"scenario spec {path.name}"
 
 
 def register_experiment(
     experiment_id: str,
-    driver: Callable[..., ExperimentResult],
+    driver: Callable[..., ExperimentResult] | None = None,
     description: str = "",
     *,
+    spec: str | Path | None = None,
     replace: bool = False,
 ) -> None:
     """Register an extra driver at runtime (plugins, fault-injection tests).
+
+    Pass either a ``driver`` callable or ``spec=`` (a path to a scenario
+    DSL document, YAML or JSON -- see :mod:`repro.scenario`); a spec is
+    validated immediately and wrapped in a driver that runs it end to end
+    via :func:`repro.scenario.run_spec`.  When ``description`` is empty, a
+    spec's own ``description`` field is used.
 
     The runner's pool workers look drivers up by id inside the worker, so
     with fork-started pools a runtime-registered driver runs under
     ``--jobs N`` too.  Registering over an existing id raises unless
     ``replace=True``.
     """
+    if (driver is None) == (spec is None):
+        raise ValueError("pass exactly one of 'driver' or 'spec'")
+    if spec is not None:
+        driver, spec_description = _spec_driver(experiment_id, spec)
+        description = description or spec_description
     if not replace and experiment_id in REGISTRY:
         raise ValueError(f"experiment {experiment_id!r} is already registered")
     REGISTRY[experiment_id] = (driver, description)
@@ -84,3 +123,15 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
 def list_experiments() -> list[tuple[str, str]]:
     """``(id, description)`` pairs in registry order."""
     return [(eid, desc) for eid, (_, desc) in REGISTRY.items()]
+
+
+def format_experiment_table() -> str:
+    """The id/description table shown by ``repro list`` and ``run --help``.
+
+    Generated from the registry at call time, so the help text can never
+    drift from the experiments that actually exist (including ones added
+    via :func:`register_experiment`).
+    """
+    pairs = list_experiments()
+    width = max((len(eid) for eid, _ in pairs), default=0)
+    return "\n".join(f"{eid:<{width}}  {desc}" for eid, desc in pairs)

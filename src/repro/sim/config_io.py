@@ -1,153 +1,61 @@
-"""JSON (de)serialisation of simulation scenarios.
+"""Deprecated flat scenario (de)serialisation -- use :mod:`repro.scenario`.
 
-Lets the simulator be driven without writing Python: describe a scenario
-as a JSON document, run it with ``python -m repro simulate scenario.json``
-and get the summary as a table (and optionally JSON on stdout for
-scripting).  The schema mirrors :class:`~repro.sim.scenarios.ScenarioConfig`
-field-for-field, with nested ``params`` and ``workload`` objects:
+This module predates the declarative scenario DSL.  Its flat JSON schema
+(`scheme` + `params`/`workload` objects + scalar ``ScenarioConfig`` fields
+at the top level) is still accepted, but the validation and coercion now
+live in :mod:`repro.scenario.compat` on the same machinery as the DSL, so
+error messages are path-qualified (``scenario.params: ...``) and YAML
+documents work wherever JSON did.
 
-.. code-block:: json
-
-    {
-      "scheme": "CMFSD",
-      "params": {"mu": 0.02, "eta": 0.5, "gamma": 0.05, "num_files": 10},
-      "workload": {"p": 0.9, "visit_rate": 0.5},
-      "t_end": 2500, "warmup": 700, "rho": 0.1, "seed": 42,
-      "adapt": {"phi_increase": 0.005, "phi_decrease": -0.005,
-                "step_increase": 0.1, "step_decrease": 0.1,
-                "patience": 2, "initial_rho": 0.0},
-      "cheater_fraction": 0.25
-    }
-
-Unknown keys are rejected loudly (typos should not silently run a
-different experiment).
+New code should write :class:`repro.scenario.ScenarioSpec` documents and
+call :func:`repro.scenario.load_spec` / :func:`repro.scenario.compile_sim`
+instead; each shim below warns once per process when first used.
 """
 
 from __future__ import annotations
 
-import json
+import warnings
 from pathlib import Path
 from typing import Any, Mapping
 
-from repro.core.adapt import AdaptPolicy
-from repro.core.correlation import CorrelationModel
-from repro.core.parameters import FluidParameters
-from repro.core.schemes import Scheme
 from repro.sim.metrics import SimulationSummary
 from repro.sim.scenarios import ScenarioConfig
-from repro.sim.swarm import SeedPolicy
 
 __all__ = ["scenario_from_dict", "load_scenario", "summary_to_dict"]
 
-_PARAM_KEYS = {"mu", "eta", "gamma", "num_files", "download_bandwidth"}
-_WORKLOAD_KEYS = {"p", "visit_rate"}
-_ADAPT_KEYS = {
-    "phi_increase",
-    "phi_decrease",
-    "step_increase",
-    "step_decrease",
-    "patience",
-    "initial_rho",
-}
-_SCENARIO_KEYS = {
-    "scheme",
-    "params",
-    "workload",
-    "t_end",
-    "warmup",
-    "rho",
-    "seed",
-    "sample_interval",
-    "seed_policy",
-    "depart_together",
-    "adapt",
-    "adapt_period",
-    "cheater_fraction",
-    "initial_burst",
-    "arrivals_enabled",
-    "seed_lifetime_distribution",
-    "neighbor_limit",
-    "incremental_rates",
-}
+_warned: set[str] = set()
 
 
-def _check_keys(obj: Mapping[str, Any], allowed: set[str], where: str) -> None:
-    unknown = set(obj) - allowed
-    if unknown:
-        raise ValueError(
-            f"unknown {where} keys {sorted(unknown)}; allowed: {sorted(allowed)}"
-        )
-
-
-def scenario_from_dict(doc: Mapping[str, Any]) -> ScenarioConfig:
-    """Build a :class:`ScenarioConfig` from a plain dict (parsed JSON)."""
-    _check_keys(doc, _SCENARIO_KEYS, "scenario")
-    if "scheme" not in doc:
-        raise ValueError("scenario needs a 'scheme' (MTCD/MTSD/MFCD/CMFSD)")
-    try:
-        scheme = Scheme[str(doc["scheme"]).upper()]
-    except KeyError:
-        raise ValueError(
-            f"unknown scheme {doc['scheme']!r}; expected one of "
-            f"{[s.value for s in Scheme]}"
-        ) from None
-
-    params_doc = dict(doc.get("params", {}))
-    _check_keys(params_doc, _PARAM_KEYS, "params")
-    params = FluidParameters(**params_doc)
-
-    workload_doc = dict(doc.get("workload", {}))
-    _check_keys(workload_doc, _WORKLOAD_KEYS, "workload")
-    if "p" not in workload_doc:
-        raise ValueError("workload needs a correlation 'p'")
-    correlation = CorrelationModel(num_files=params.num_files, **workload_doc)
-
-    kwargs: dict[str, Any] = {
-        k: doc[k]
-        for k in _SCENARIO_KEYS - {"scheme", "params", "workload", "adapt", "seed_policy"}
-        if k in doc
-    }
-    if "seed_policy" in doc and doc["seed_policy"] is not None:
-        try:
-            kwargs["seed_policy"] = SeedPolicy(doc["seed_policy"])
-        except ValueError:
-            raise ValueError(
-                f"unknown seed_policy {doc['seed_policy']!r}; expected "
-                f"{[p.value for p in SeedPolicy]}"
-            ) from None
-    if "adapt" in doc and doc["adapt"] is not None:
-        adapt_doc = dict(doc["adapt"])
-        _check_keys(adapt_doc, _ADAPT_KEYS, "adapt")
-        kwargs["adapt"] = AdaptPolicy(**adapt_doc)
-    return ScenarioConfig(
-        scheme=scheme, params=params, correlation=correlation, **kwargs
+def _deprecated(name: str, replacement: str) -> None:
+    if name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(
+        f"repro.sim.config_io.{name} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
+def scenario_from_dict(doc: Mapping[str, Any]) -> ScenarioConfig:
+    """Deprecated: use :func:`repro.scenario.sim_config_from_dict`."""
+    from repro.scenario.compat import sim_config_from_dict
+
+    _deprecated("scenario_from_dict", "repro.scenario.sim_config_from_dict")
+    return sim_config_from_dict(doc)
+
+
 def load_scenario(path: str | Path) -> ScenarioConfig:
-    """Read a scenario JSON file."""
-    with Path(path).open() as fh:
-        return scenario_from_dict(json.load(fh))
+    """Deprecated: use :func:`repro.scenario.load_sim_config`."""
+    from repro.scenario.compat import load_sim_config
+
+    _deprecated("load_scenario", "repro.scenario.load_sim_config")
+    return load_sim_config(path)
 
 
 def summary_to_dict(summary: SimulationSummary) -> dict[str, Any]:
-    """Serialise a run summary for JSON output (NaNs become None)."""
+    """Deprecated: use :func:`repro.scenario.summary_to_dict`."""
+    from repro.scenario.compat import summary_to_dict as _impl
 
-    def clean(x: float) -> float | None:
-        return None if x != x else float(x)
-
-    return {
-        "n_users_completed": summary.n_users_completed,
-        "avg_online_time_per_file": clean(summary.avg_online_time_per_file),
-        "avg_download_time_per_file": clean(summary.avg_download_time_per_file),
-        "online_time_per_file_by_class": [
-            clean(v) for v in summary.online_time_per_file_by_class
-        ],
-        "download_time_per_file_by_class": [
-            clean(v) for v in summary.download_time_per_file_by_class
-        ],
-        "entry_download_time_by_class": [
-            clean(v) for v in summary.entry_download_time_by_class
-        ],
-        "class_counts": [int(v) for v in summary.class_counts],
-    }
+    _deprecated("summary_to_dict", "repro.scenario.summary_to_dict")
+    return _impl(summary)

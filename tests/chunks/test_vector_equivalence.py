@@ -162,3 +162,27 @@ def test_select_unchoked_standalone_equivalence():
                 ref.peers[pid]
             ), (policy, pid)
         assert vec.rng.bit_generator.state == ref.rng.bit_generator.state
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("policy", POLICIES)
+def test_in_order_equivalence(policy: str, seed: int):
+    """The streaming piece policy matches bit for bit too."""
+    cfg = ChunkSwarmConfig(
+        n_chunks=20, seed_unchoke=policy, piece_selection="in_order"
+    )
+    vec, ref = run_both(cfg, seed=seed, n_seeds=2, n_leech=10, max_rounds=2000)
+    assert_swarms_equal(vec, ref)
+
+
+def test_in_order_prioritizes_low_indices():
+    """Under in_order, early pieces complete (weakly) before later ones."""
+    from repro.chunks.measurement import measure_deadline_misses
+
+    cfg = ChunkSwarmConfig(n_chunks=15, piece_selection="in_order")
+    m = measure_deadline_misses(
+        n_peers=8, config=cfg, playback_rate=0.02,
+        startup_delays=(0.0, 1e9), seed=0, max_rounds=5000,
+    )
+    assert m.miss_rates[-1] == 0.0  # an infinite startup delay never misses
+    assert 0.0 <= m.miss_rates[0] <= 1.0

@@ -1,0 +1,174 @@
+"""The compile-to-each-backend contract of the scenario DSL.
+
+Everything a backend can represent is honoured identically (same values,
+same units); everything it cannot is rejected with a path-qualified
+SpecError rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heterogeneous import HeterogeneousModel
+from repro.core.schemes import Scheme
+from repro.scenario import (
+    AdaptSpec,
+    ArrivalsSpec,
+    BehaviorSpec,
+    ChunkSpec,
+    ParamsSpec,
+    ScenarioSpec,
+    SeedsSpec,
+    SimSpec,
+    SpecError,
+    StreamingSpec,
+    TierSpec,
+    WorkloadSpec,
+    compile_chunks,
+    compile_fluid,
+    compile_sim,
+    supported_backends,
+)
+from repro.sim.swarm import SeedPolicy
+
+
+def plain_spec(**overrides) -> ScenarioSpec:
+    kwargs = dict(scheme=Scheme.MTSD, workload=WorkloadSpec(p=0.6, visit_rate=0.8))
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+class TestFluid:
+    def test_homogeneous_dispatches_build_model(self):
+        model = compile_fluid(plain_spec())
+        assert type(model).__name__ == "MTSDModel"
+
+    def test_cmfsd_carries_rho(self):
+        import numpy as np
+
+        spec = plain_spec(scheme=Scheme.CMFSD, behavior=BehaviorSpec(rho=0.3))
+        model = compile_fluid(spec)
+        assert np.all(np.asarray(model.rho) == 0.3)
+
+    def test_tiers_compile_to_heterogeneous_model(self):
+        spec = plain_spec(tiers=(
+            TierSpec(name="fast", upload=0.04, download=0.2, share=0.25),
+            TierSpec(name="slow", upload=0.01, download=0.05, share=0.75),
+        ))
+        model = compile_fluid(spec)
+        assert isinstance(model, HeterogeneousModel)
+        assert model.num_classes == 2
+        # Arrival rates split the total file-request rate by share.
+        total = 0.8 * spec.params.num_files * 0.6
+        assert model.classes[0].arrival_rate == pytest.approx(0.25 * total)
+        assert model.classes[1].arrival_rate == pytest.approx(0.75 * total)
+        # seed_departure_rate defaults to params.gamma per tier.
+        assert model.classes[0].seed_departure_rate == spec.params.gamma
+
+    def test_tier_seed_departure_override(self):
+        spec = plain_spec(tiers=(
+            TierSpec(name="a", upload=0.04, download=0.2, share=0.5,
+                     seed_departure_rate=0.01),
+            TierSpec(name="b", upload=0.01, download=0.05, share=0.5),
+        ))
+        model = compile_fluid(spec)
+        assert model.classes[0].seed_departure_rate == 0.01
+
+    def test_streaming_rejected(self):
+        spec = plain_spec(
+            chunks=ChunkSpec(), streaming=StreamingSpec(playback_rate=0.01)
+        )
+        with pytest.raises(SpecError, match="streaming"):
+            compile_fluid(spec)
+
+
+class TestSim:
+    def test_every_section_lands_in_config(self):
+        spec = plain_spec(
+            scheme=Scheme.CMFSD,
+            params=ParamsSpec(mu=0.03, eta=0.6, gamma=0.04, num_files=4),
+            arrivals=ArrivalsSpec(process="poisson", initial_burst=7),
+            behavior=BehaviorSpec(
+                rho=0.2, cheater_fraction=0.1, depart_together=True,
+                adapt=AdaptSpec(phi_increase=0.01, phi_decrease=-0.01, period=15.0),
+            ),
+            seeds=SeedsSpec(policy="subtorrent"),
+            sim=SimSpec(t_end=900.0, warmup=100.0, seed=11, neighbor_limit=30),
+        )
+        config = compile_sim(spec)
+        assert config.scheme is Scheme.CMFSD
+        assert config.params.mu == 0.03
+        assert config.correlation.num_files == 4
+        assert config.correlation.p == 0.6
+        assert config.rho == 0.2
+        assert config.cheater_fraction == 0.1
+        assert config.depart_together is True
+        assert config.adapt is not None and config.adapt.phi_increase == 0.01
+        assert config.adapt_period == 15.0
+        assert config.seed_policy is SeedPolicy.SUBTORRENT
+        assert config.initial_burst == 7
+        assert config.arrivals_enabled is True
+        assert config.t_end == 900.0 and config.seed == 11
+        assert config.neighbor_limit == 30
+
+    def test_drain_arrivals(self):
+        spec = plain_spec(arrivals=ArrivalsSpec(process="none", initial_burst=50))
+        config = compile_sim(spec)
+        assert config.arrivals_enabled is False
+        assert config.initial_burst == 50
+
+    def test_tiers_rejected(self):
+        spec = plain_spec(tiers=(
+            TierSpec(name="a", upload=0.04, download=0.2, share=1.0),
+        ))
+        with pytest.raises(SpecError, match="tiers"):
+            compile_sim(spec)
+
+
+class TestChunks:
+    def test_upload_rate_defaults_to_mu(self):
+        spec = plain_spec(params=ParamsSpec(mu=0.037), chunks=ChunkSpec())
+        run = compile_chunks(spec)
+        assert run.config.upload_rate == 0.037
+
+    def test_explicit_upload_rate_wins(self):
+        spec = plain_spec(chunks=ChunkSpec(upload_rate=0.5))
+        assert compile_chunks(spec).config.upload_rate == 0.5
+
+    def test_run_shape_and_seed(self):
+        spec = plain_spec(
+            chunks=ChunkSpec(n_peers=7, n_seeds=2, max_rounds=123),
+            sim=SimSpec(seed=42),
+        )
+        run = compile_chunks(spec)
+        assert (run.n_peers, run.n_seeds, run.max_rounds, run.seed) == (7, 2, 123, 42)
+
+    def test_missing_section_rejected(self):
+        with pytest.raises(SpecError, match="chunks"):
+            compile_chunks(plain_spec())
+
+    def test_geometry_errors_are_path_qualified(self):
+        spec = plain_spec(chunks=ChunkSpec(n_chunks=0))
+        with pytest.raises(SpecError, match="chunks: n_chunks"):
+            compile_chunks(spec)
+
+
+class TestSupportMatrix:
+    def test_plain_spec_compiles_to_fluid_and_sim(self):
+        assert supported_backends(plain_spec()) == ("fluid", "sim")
+
+    def test_chunks_spec_adds_chunk_backend(self):
+        spec = plain_spec(chunks=ChunkSpec())
+        assert supported_backends(spec) == ("fluid", "sim", "chunks")
+
+    def test_streaming_is_chunks_only(self):
+        spec = plain_spec(
+            chunks=ChunkSpec(), streaming=StreamingSpec(playback_rate=0.01)
+        )
+        assert supported_backends(spec) == ("chunks",)
+
+    def test_tiers_are_fluid_only(self):
+        spec = plain_spec(tiers=(
+            TierSpec(name="a", upload=0.04, download=0.2, share=1.0),
+        ))
+        assert supported_backends(spec) == ("fluid",)

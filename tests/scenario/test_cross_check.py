@@ -1,0 +1,73 @@
+"""The acceptance cross-check: one DSL document, two backends, one answer.
+
+A plain (homogeneous, non-streaming) scenario document is compiled to the
+fluid model *and* to the discrete-event simulator; steady-state per-class
+and aggregate metrics must agree within the validation-style tolerances of
+``tests/integration/test_sim_vs_fluid.py``.  This is the tentpole contract
+of the scenario DSL -- the same YAML drives both layers of the stack and
+they describe the same system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenario import compile_fluid, compile_sim, spec_from_dict
+from repro.sim.scenarios import run_scenario
+
+#: the document form: exactly what a user would put in a YAML file
+CROSS_CHECK_DOC = {
+    "name": "cross-check",
+    "scheme": "MTSD",
+    "workload": {"p": 0.6, "visit_rate": 0.8},
+    "params": {"mu": 0.02, "eta": 0.5, "gamma": 0.05, "num_files": 4},
+    "sim": {"t_end": 2500.0, "warmup": 700.0, "seed": 17},
+}
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return spec_from_dict(CROSS_CHECK_DOC)
+
+
+@pytest.fixture(scope="module")
+def fluid(spec):
+    return compile_fluid(spec)
+
+
+@pytest.fixture(scope="module")
+def summary(spec):
+    return run_scenario(compile_sim(spec))
+
+
+class TestCrossCheck:
+    def test_aggregate_online_time(self, fluid, summary):
+        assert summary.avg_online_time_per_file == pytest.approx(
+            fluid.system_metrics().avg_online_time_per_file, rel=0.08
+        )
+
+    def test_entry_transfer_time(self, fluid, summary):
+        """Same check as the validation suite: mean per-entry transfer time
+        vs the MTSD single-download closed form."""
+        fluid_T = fluid.single_download_time()
+        sim_T = float(np.nanmean(summary.entry_download_time_by_class))
+        assert sim_T == pytest.approx(fluid_T, rel=0.08)
+
+    def test_per_class_online_times(self, spec, fluid, summary):
+        for i in range(1, spec.params.num_files + 1):
+            sim = summary.online_time_per_file_by_class[i - 1]
+            if not np.isfinite(sim):
+                continue  # class not populated in this window
+            assert sim == pytest.approx(
+                fluid.class_metrics(i).online_time_per_file, rel=0.12
+            ), f"class {i}"
+
+    def test_run_spec_reports_small_errors(self, spec):
+        """The generic driver's rel_err column stays within tolerance."""
+        from repro.scenario import run_spec
+
+        result = run_spec(spec)
+        errs = [row[3] for row in result.rows if np.isfinite(row[3])]
+        assert errs, "no finite rel_err entries"
+        assert max(errs) < 0.12

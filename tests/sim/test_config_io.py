@@ -1,4 +1,10 @@
-"""Tests for JSON scenario loading and the `simulate` CLI command."""
+"""Tests for flat scenario loading and the `simulate` CLI command.
+
+The flat simulator document format now lives in
+:mod:`repro.scenario.compat` (built on the DSL's schema machinery, so
+errors are path-qualified); :mod:`repro.sim.config_io` survives as
+deprecated shims.  Both surfaces are covered here.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +14,7 @@ import pytest
 
 from repro.cli import main
 from repro.core.schemes import Scheme
-from repro.sim.config_io import scenario_from_dict, summary_to_dict
+from repro.scenario import SpecError, sim_config_from_dict, summary_to_dict
 from repro.sim.scenarios import run_scenario
 from repro.sim.swarm import SeedPolicy
 
@@ -26,16 +32,16 @@ def minimal_doc(**overrides):
     return doc
 
 
-class TestScenarioFromDict:
+class TestSimConfigFromDict:
     def test_minimal(self):
-        config = scenario_from_dict(minimal_doc())
+        config = sim_config_from_dict(minimal_doc())
         assert config.scheme is Scheme.MTSD
         assert config.params.num_files == 3
         assert config.correlation.p == 0.6
         assert config.t_end == 800
 
     def test_scheme_case_insensitive(self):
-        config = scenario_from_dict(minimal_doc(scheme="cmfsd"))
+        config = sim_config_from_dict(minimal_doc(scheme="cmfsd"))
         assert config.scheme is Scheme.CMFSD
 
     def test_adapt_block(self):
@@ -43,44 +49,77 @@ class TestScenarioFromDict:
             scheme="CMFSD",
             adapt={"phi_increase": 0.01, "phi_decrease": -0.01, "patience": 2},
         )
-        config = scenario_from_dict(doc)
+        config = sim_config_from_dict(doc)
         assert config.adapt is not None
         assert config.adapt.patience == 2
 
     def test_seed_policy_string(self):
         doc = minimal_doc(scheme="CMFSD", seed_policy="subtorrent")
-        config = scenario_from_dict(doc)
+        config = sim_config_from_dict(doc)
         assert config.seed_policy is SeedPolicy.SUBTORRENT
 
     @pytest.mark.parametrize(
         "mutation, match",
         [
-            ({"scheme": "WARP"}, "unknown scheme"),
-            ({"bogus_key": 1}, "unknown scenario keys"),
-            ({"params": {"mu": 0.02, "warp": 9}}, "unknown params keys"),
-            ({"workload": {"p": 0.5, "warp": 9}}, "unknown workload keys"),
-            ({"seed_policy": "warp"}, "unknown seed_policy"),
-            ({"adapt": {"warp": 1}, "scheme": "CMFSD"}, "unknown adapt keys"),
+            ({"scheme": "WARP"}, r"scenario\.scheme: unknown Scheme"),
+            ({"bogus_key": 1}, r"scenario: unknown keys \['bogus_key'\]"),
+            ({"params": {"mu": 0.02, "warp": 9}}, r"scenario\.params: unknown keys"),
+            ({"workload": {"p": 0.5, "warp": 9}}, r"scenario\.workload: unknown keys"),
+            ({"seed_policy": "warp"}, r"scenario\.seed_policy: unknown SeedPolicy"),
+            ({"adapt": {"warp": 1}, "scheme": "CMFSD"}, r"scenario\.adapt: unknown keys"),
+            ({"t_end": "soon"}, r"scenario\.t_end: expected a number"),
         ],
     )
-    def test_rejects_typos_loudly(self, mutation, match):
-        with pytest.raises(ValueError, match=match):
-            scenario_from_dict(minimal_doc(**mutation))
+    def test_rejects_typos_with_paths(self, mutation, match):
+        with pytest.raises(SpecError, match=match):
+            sim_config_from_dict(minimal_doc(**mutation))
+
+    def test_allowed_keys_track_the_dataclass(self):
+        """The allowed-key set is derived from ScenarioConfig, not hardcoded."""
+        with pytest.raises(SpecError, match="deferred_integration") as err:
+            sim_config_from_dict(minimal_doc(bogus_key=1))
+        assert "allowed:" in str(err.value)
 
     def test_missing_scheme(self):
         doc = minimal_doc()
         del doc["scheme"]
-        with pytest.raises(ValueError, match="needs a 'scheme'"):
-            scenario_from_dict(doc)
+        with pytest.raises(SpecError, match="needs a 'scheme'"):
+            sim_config_from_dict(doc)
 
     def test_missing_p(self):
-        with pytest.raises(ValueError, match="correlation 'p'"):
-            scenario_from_dict(minimal_doc(workload={"visit_rate": 1.0}))
+        with pytest.raises(SpecError, match="correlation 'p'"):
+            sim_config_from_dict(minimal_doc(workload={"visit_rate": 1.0}))
+
+
+class TestDeprecatedShims:
+    def test_scenario_from_dict_warns_and_delegates(self):
+        import repro.sim.config_io as config_io
+
+        config_io._warned.discard("scenario_from_dict")
+        with pytest.deprecated_call(match="sim_config_from_dict"):
+            config = config_io.scenario_from_dict(minimal_doc())
+        assert config.scheme is Scheme.MTSD
+        # ... but only once per process
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config_io.scenario_from_dict(minimal_doc())
+
+    def test_load_scenario_warns_and_delegates(self, tmp_path):
+        import repro.sim.config_io as config_io
+
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(minimal_doc()))
+        config_io._warned.discard("load_scenario")
+        with pytest.deprecated_call(match="load_sim_config"):
+            config = config_io.load_scenario(path)
+        assert config.t_end == 800
 
 
 class TestSummaryRoundTrip:
     def test_summary_serialises_with_nans_as_none(self):
-        config = scenario_from_dict(minimal_doc())
+        config = sim_config_from_dict(minimal_doc())
         summary = run_scenario(config)
         doc = summary_to_dict(summary)
         json.dumps(doc)  # must be JSON-safe
@@ -106,6 +145,13 @@ class TestSimulateCLI:
         doc = json.loads(capsys.readouterr().out)
         assert doc["n_users_completed"] > 0
 
+    def test_yaml_scenario(self, tmp_path, capsys):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "s.yaml"
+        path.write_text(yaml.safe_dump(minimal_doc()))
+        assert main(["simulate", str(path)]) == 0
+        assert "MTSD scenario" in capsys.readouterr().out
+
     def test_missing_file(self, capsys):
         assert main(["simulate", "/no/such/file.json"]) == 2
         assert "bad scenario" in capsys.readouterr().err
@@ -119,4 +165,4 @@ class TestSimulateCLI:
         path = tmp_path / "s.json"
         path.write_text(json.dumps(minimal_doc(scheme="WARP")))
         assert main(["simulate", str(path)]) == 2
-        assert "unknown scheme" in capsys.readouterr().err
+        assert "unknown Scheme" in capsys.readouterr().err

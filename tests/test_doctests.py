@@ -12,6 +12,7 @@ import repro.core.batched
 import repro.core.correlation
 import repro.core.parameters
 import repro.core.schemes
+import repro.scenario
 
 MODULES = [
     repro.analysis.littles_law,
@@ -20,6 +21,7 @@ MODULES = [
     repro.core.correlation,
     repro.core.parameters,
     repro.core.schemes,
+    repro.scenario,
 ]
 
 
