@@ -2,9 +2,11 @@
 
 CI runs this as a non-blocking step after the benchmark job: the committed
 baseline (``git show HEAD:results/BENCH_results.json``) is diffed against
-the freshly generated file and per-benchmark wall-clock regressions beyond
-the threshold (default 25%) are printed, so the perf trajectory of every
-PR is visible without making noisy timings a merge gate.
+the freshly generated file and per-benchmark wall-clock *and* peak-memory
+regressions beyond the threshold (default 25%) are printed, so the perf
+trajectory of every PR is visible without making noisy timings a merge
+gate.  Memory rows (``max_rss_kb``) only exist in baselines produced
+after memory tracking landed; older baselines compare wall-clock only.
 
 Usage::
 
@@ -34,55 +36,103 @@ GIT_BASELINE = "HEAD:results/BENCH_results.json"
 #: jitter far beyond 25% between runs without meaning anything
 MIN_ABS_DELTA_S = 0.05
 
+#: ignore peak-RSS drifts below this many KiB (64 MiB) -- interpreter and
+#: import noise moves the high-water mark tens of MiB between runs
+MIN_ABS_DELTA_KB = 65536
+
 
 @dataclass(frozen=True)
 class Delta:
-    """Wall-clock change of one benchmark between baseline and fresh."""
+    """Change of one benchmark metric between baseline and fresh."""
 
     nodeid: str
-    baseline_s: float
-    fresh_s: float
+    baseline: float
+    fresh: float
+    metric: str = "wall_clock_s"
+
+    # Backwards-compatible aliases (wall-clock was the only metric once)
+    @property
+    def baseline_s(self) -> float:
+        return self.baseline
+
+    @property
+    def fresh_s(self) -> float:
+        return self.fresh
 
     @property
     def ratio(self) -> float:
-        """Relative change; +0.30 means 30% slower than baseline."""
-        if self.baseline_s <= 0:
+        """Relative change; +0.30 means 30% worse than baseline."""
+        if self.baseline <= 0:
             return 0.0
-        return self.fresh_s / self.baseline_s - 1.0
+        return self.fresh / self.baseline - 1.0
 
 
-def load_results(text: str) -> dict[str, float]:
-    """Map nodeid -> wall_clock_s from a BENCH_results.json payload."""
+def load_results(text: str) -> dict[str, dict[str, float]]:
+    """Map nodeid -> {wall_clock_s, max_rss_kb?} from a results payload."""
     payload = json.loads(text)
     results = payload.get("results", {})
-    return {
-        nodeid: float(record["wall_clock_s"])
-        for nodeid, record in results.items()
-        if "wall_clock_s" in record
-    }
+    out: dict[str, dict[str, float]] = {}
+    for nodeid, record in results.items():
+        if "wall_clock_s" not in record:
+            continue
+        entry = {"wall_clock_s": float(record["wall_clock_s"])}
+        if "max_rss_kb" in record:
+            entry["max_rss_kb"] = float(record["max_rss_kb"])
+        out[nodeid] = entry
+    return out
 
 
-def compare(
-    baseline: dict[str, float],
-    fresh: dict[str, float],
+def compare_metric(
+    baseline: dict[str, dict[str, float]],
+    fresh: dict[str, dict[str, float]],
     *,
-    threshold: float = 0.25,
-) -> tuple[list[Delta], list[str], list[str]]:
-    """Diff two result maps.
+    metric: str,
+    threshold: float,
+    min_abs: float,
+) -> list[Delta]:
+    """Regressions of one metric, worst first.
 
-    Returns (regressions beyond ``threshold``, benchmarks only in fresh,
-    benchmarks only in baseline).  Regressions are sorted worst first.
+    Only benchmarks carrying the metric on *both* sides compare (old
+    baselines without memory rows silently skip the memory pass).
     """
     regressions = [
         d
         for nodeid in sorted(baseline.keys() & fresh.keys())
-        if (d := Delta(nodeid, baseline[nodeid], fresh[nodeid])).ratio > threshold
-        and d.fresh_s - d.baseline_s >= MIN_ABS_DELTA_S
+        if metric in baseline[nodeid] and metric in fresh[nodeid]
+        if (
+            d := Delta(
+                nodeid, baseline[nodeid][metric], fresh[nodeid][metric], metric
+            )
+        ).ratio
+        > threshold
+        and d.fresh - d.baseline >= min_abs
     ]
     regressions.sort(key=lambda d: d.ratio, reverse=True)
+    return regressions
+
+
+def compare(
+    baseline: dict[str, dict[str, float]],
+    fresh: dict[str, dict[str, float]],
+    *,
+    threshold: float = 0.25,
+) -> tuple[list[Delta], list[Delta], list[str], list[str]]:
+    """Diff two result maps.
+
+    Returns (wall-clock regressions, peak-RSS regressions, benchmarks only
+    in fresh, benchmarks only in baseline), regressions worst first.
+    """
+    time_regs = compare_metric(
+        baseline, fresh, metric="wall_clock_s",
+        threshold=threshold, min_abs=MIN_ABS_DELTA_S,
+    )
+    mem_regs = compare_metric(
+        baseline, fresh, metric="max_rss_kb",
+        threshold=threshold, min_abs=MIN_ABS_DELTA_KB,
+    )
     added = sorted(fresh.keys() - baseline.keys())
     removed = sorted(baseline.keys() - fresh.keys())
-    return regressions, added, removed
+    return time_regs, mem_regs, added, removed
 
 
 def format_report(
@@ -92,7 +142,9 @@ def format_report(
     *,
     threshold: float,
     n_compared: int,
+    mem_regressions: list[Delta] | None = None,
 ) -> str:
+    mem_regressions = mem_regressions or []
     lines = [
         f"bench-compare: {n_compared} benchmarks compared, "
         f"threshold {threshold:.0%}"
@@ -101,11 +153,22 @@ def format_report(
         lines.append(f"{len(regressions)} regression(s) beyond threshold:")
         for d in regressions:
             lines.append(
-                f"  {d.nodeid}: {d.baseline_s:.3f}s -> {d.fresh_s:.3f}s "
+                f"  {d.nodeid}: {d.baseline:.3f}s -> {d.fresh:.3f}s "
                 f"({d.ratio:+.0%})"
             )
     else:
         lines.append("no wall-clock regressions beyond threshold")
+    if mem_regressions:
+        lines.append(
+            f"{len(mem_regressions)} memory regression(s) beyond threshold:"
+        )
+        for d in mem_regressions:
+            lines.append(
+                f"  {d.nodeid}: {d.baseline / 1024:.0f}MiB -> "
+                f"{d.fresh / 1024:.0f}MiB ({d.ratio:+.0%})"
+            )
+    else:
+        lines.append("no peak-RSS regressions beyond threshold")
     if added:
         lines.append(f"new benchmarks ({len(added)}): " + ", ".join(added))
     if removed:
@@ -166,7 +229,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench-compare: unreadable results ({exc}), skipping")
         return 0
 
-    regressions, added, removed = compare(
+    regressions, mem_regressions, added, removed = compare(
         baseline, fresh, threshold=args.threshold
     )
     print(
@@ -176,9 +239,10 @@ def main(argv: list[str] | None = None) -> int:
             removed,
             threshold=args.threshold,
             n_compared=len(baseline.keys() & fresh.keys()),
+            mem_regressions=mem_regressions,
         )
     )
-    return 1 if regressions else 0
+    return 1 if regressions or mem_regressions else 0
 
 
 if __name__ == "__main__":

@@ -8,14 +8,24 @@ and reports wall-clock timing through pytest-benchmark.  Run with::
 
 Every benchmark test additionally runs under a fresh
 :class:`repro.obs.MetricsRegistry`, and the session writes
-``results/BENCH_results.json`` -- per-test wall-clock plus every obs
-counter the run produced -- so CI can archive machine-readable evidence
-alongside the human-readable pytest-benchmark table.
+``results/BENCH_results.json`` -- per-test wall-clock, peak process RSS
+plus every obs counter the run produced -- so CI can archive
+machine-readable evidence alongside the human-readable pytest-benchmark
+table.
+
+Memory is tracked via ``getrusage`` high-water marks: ``max_rss_kb`` is
+the process peak after the test and ``rss_growth_kb`` how much this test
+raised it.  The high-water mark never falls, so growth attributes peak
+memory to the *first* test that needed it -- exactly the number a
+memory-regression gate wants (a test that newly doubles the peak shows
+up; one that reuses already-paid-for memory doesn't).
 """
 
 from __future__ import annotations
 
 import json
+import resource
+import sys
 import time
 from pathlib import Path
 
@@ -54,14 +64,24 @@ def bench_registry() -> MetricsRegistry:
         yield registry
 
 
+def max_rss_kb() -> int:
+    """Peak RSS of this process in KiB (ru_maxrss is bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak // 1024) if sys.platform == "darwin" else int(peak)
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
+    rss_before = max_rss_kb()
     started = time.perf_counter()
     yield
     elapsed = time.perf_counter() - started
+    rss_after = max_rss_kb()
     registry = item.funcargs.get("bench_registry")
     _BENCH_RECORDS[item.nodeid] = {
         "wall_clock_s": round(elapsed, 6),
+        "max_rss_kb": rss_after,
+        "rss_growth_kb": max(0, rss_after - rss_before),
         "counters": dict(sorted(registry.counters.items())) if registry else {},
     }
 

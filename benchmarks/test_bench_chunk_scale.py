@@ -1,0 +1,145 @@
+"""Benchmarks pinning the sparse chunk engine at flash-crowd scale.
+
+The dense engine's O(peers^2) tit-for-tat matrices cap it near a few
+thousand peers; the sparse neighborhood engine is O(peers * degree) and
+must stay there as the swarm grows.  Pinned here:
+
+* a 10k-peer / 400-chunk round loop with explicit time *and* memory
+  budgets (store allocation via ``SparseChunkStore.nbytes``, process peak
+  via the conftest's ``max_rss_kb`` column in BENCH_results.json);
+* a 100k-peer smoke of the same loop (``slow`` marker -- nightly CI);
+* a sharded multi-sub-swarm eta measurement run end to end.
+
+Budgets are ~5-10x the measured numbers on a 1-core dev box so they
+catch complexity regressions (an accidental O(P^2) scan), not scheduler
+jitter.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.chunks import (
+    ChunkSwarmConfig,
+    ShardRunConfig,
+    SparseChunkSwarm,
+    measure_eta_sharded,
+)
+from repro.obs import current_registry
+
+N_CHUNKS = 400
+DEGREE = 16
+
+
+def _build_sparse(n_peers: int, n_seeds: int, seed: int = 0) -> SparseChunkSwarm:
+    cfg = ChunkSwarmConfig(n_chunks=N_CHUNKS, neighbor_degree=DEGREE)
+    swarm = SparseChunkSwarm(cfg, seed=seed)
+    swarm.add_peers(n_seeds, is_seed=True)
+    swarm.add_peers(n_peers - n_seeds)
+    return swarm
+
+
+def _time_rounds(swarm: SparseChunkSwarm, rounds: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        swarm.run_round()
+    return (time.perf_counter() - t0) / rounds
+
+
+def test_bench_sparse_round_loop_10k(benchmark):
+    """10k-peer / 400-chunk sparse round loop: time and memory budgets.
+
+    The dense store would need 2 x 10k x 10k float64 tit-for-tat matrices
+    (1.6 GB) before a single round ran; the sparse store must hold the
+    whole swarm in well under 100 MB and turn rounds around in well under
+    a second each.
+    """
+    swarm = run_once(benchmark, _build_sparse, 10_000, 4)
+    store_mb = swarm.store.nbytes() / 1e6
+    for _ in range(3):  # warmup: first rounds touch cold pages
+        swarm.run_round()
+    per_round_s = _time_rounds(swarm, 10)
+
+    dense_tft_mb = 2 * 10_000 * 10_000 * 8 / 1e6
+    benchmark.extra_info["peers"] = 10_000
+    benchmark.extra_info["chunks"] = N_CHUNKS
+    benchmark.extra_info["degree"] = DEGREE
+    benchmark.extra_info["store_mb"] = round(store_mb, 1)
+    benchmark.extra_info["ms_per_round"] = round(per_round_s * 1e3, 1)
+    reg = current_registry()
+    reg.inc("bench.chunks.sparse10k.store_mb", round(store_mb))
+    reg.inc("bench.chunks.sparse10k.ms_per_round", round(per_round_s * 1e3))
+    assert per_round_s < 1.0, (
+        f"10k-peer sparse round took {per_round_s * 1e3:.0f}ms (>= 1s budget)"
+    )
+    assert store_mb < 100.0, (
+        f"10k-peer sparse store holds {store_mb:.0f}MB (>= 100MB budget)"
+    )
+    assert store_mb < dense_tft_mb / 10, "sparse store must dwarf dense TFT state"
+
+
+@pytest.mark.slow
+def test_bench_sparse_round_loop_100k(benchmark):
+    """100k-peer smoke of the sparse round loop (nightly: ~1 min).
+
+    The acceptance envelope from the scaling work: building the swarm and
+    running rounds single-process in a few hundred MB, a couple of
+    seconds per round at worst.
+    """
+    t0 = time.perf_counter()
+    swarm = run_once(benchmark, _build_sparse, 100_000, 32)
+    build_s = time.perf_counter() - t0
+    store_mb = swarm.store.nbytes() / 1e6
+    per_round_s = _time_rounds(swarm, 5)
+
+    benchmark.extra_info["peers"] = 100_000
+    benchmark.extra_info["build_s"] = round(build_s, 1)
+    benchmark.extra_info["store_mb"] = round(store_mb, 1)
+    benchmark.extra_info["s_per_round"] = round(per_round_s, 2)
+    reg = current_registry()
+    reg.inc("bench.chunks.sparse100k.store_mb", round(store_mb))
+    reg.inc("bench.chunks.sparse100k.ms_per_round", round(per_round_s * 1e3))
+    assert build_s < 120.0, f"100k-peer build took {build_s:.0f}s (>= 120s)"
+    assert per_round_s < 10.0, (
+        f"100k-peer round took {per_round_s:.1f}s (>= 10s budget)"
+    )
+    assert store_mb < 600.0, (
+        f"100k-peer sparse store holds {store_mb:.0f}MB (>= 600MB budget)"
+    )
+
+
+def test_bench_sharded_eta(benchmark):
+    """A sharded flash crowd (4 sub-swarms, availability exchange +
+    migration) runs to completion and lands in a sane eta range."""
+    t0 = time.perf_counter()
+    m = run_once(
+        benchmark,
+        lambda: measure_eta_sharded(
+            n_peers=600,
+            n_seeds=4,
+            config=ChunkSwarmConfig(n_chunks=100, neighbor_degree=DEGREE),
+            shard_config=ShardRunConfig(
+                n_shards=4, rounds_per_epoch=5, migration_fraction=0.02
+            ),
+            seed=0,
+        ),
+    )
+    elapsed = time.perf_counter() - t0
+
+    benchmark.extra_info["peers"] = m.n_peers
+    benchmark.extra_info["shards"] = m.n_shards
+    benchmark.extra_info["epochs"] = m.epochs
+    benchmark.extra_info["migrations"] = m.migrations
+    benchmark.extra_info["eta_effective"] = round(m.eta_effective, 4)
+    reg = current_registry()
+    reg.inc("bench.chunks.sharded.eta_x1000", round(m.eta_effective * 1000))
+    reg.inc("bench.chunks.sharded.epochs", m.epochs)
+    reg.inc("bench.chunks.sharded.migrations", m.migrations)
+    assert elapsed < 60.0, f"sharded eta run took {elapsed:.1f}s (>= 60s)"
+    assert 0.0 < m.eta_effective <= 1.0
+    assert m.migrations > 0, "migration waves should have moved peers"
+    assert math.isfinite(m.mean_download_time) and m.mean_download_time > 0

@@ -31,6 +31,15 @@ def test_bench_eta_measurement(benchmark, results_dir):
     slot_rows = sorted((r for r in result.rows if r[0] == "slots"), key=lambda r: r[1])
     etas = [r[2] for r in slot_rows]
     assert all(a > b for a, b in zip(etas, etas[1:]))
+    # Realistic-scale flash crowds: the 1000-peer dense point and the
+    # >= 10^4-peer sparse bounded-degree point both land in the paper's
+    # eta ~ 0.5 regime.
+    large_rows = sorted(
+        (r for r in result.rows if r[0] == "large_swarm"), key=lambda r: r[1]
+    )
+    assert large_rows[-1][1] >= 10_000, "need a >= 10^4-peer eta point"
+    for r in large_rows:
+        assert 0.3 < r[2] < 0.8, f"{r[1]}-peer eta {r[2]:.3f} off-regime"
     result.write_csv(results_dir)
     print()
     print(result.rendered)

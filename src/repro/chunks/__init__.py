@@ -12,10 +12,18 @@ downloader upload capacity that actually delivers useful bytes -- the
 quantity the fluid ``eta`` stands for.
 
 * :mod:`repro.chunks.config` -- swarm configuration.
-* :mod:`repro.chunks.store` -- structure-of-arrays swarm state.
+* :mod:`repro.chunks.store` -- structure-of-arrays swarm state (dense,
+  full mixing).
+* :mod:`repro.chunks.sparse_store` -- bounded-degree neighborhood state
+  (CSR-style adjacency, O(peers * degree) memory).
 * :mod:`repro.chunks.peer` -- per-peer piece/transfer state (scalar object
   and live store-row view).
 * :mod:`repro.chunks.swarm` -- the vectorised round-based engine.
+* :mod:`repro.chunks.sparse` -- the sparse neighborhood engine
+  (tracker-sampled bounded degrees; full-degree mode matches the oracle
+  bit for bit).
+* :mod:`repro.chunks.shard` -- sharded sub-swarm backend (multi-process
+  partitioning with tracker-mediated migration).
 * :mod:`repro.chunks.reference` -- the scalar oracle engine the vectorised
   kernels are pinned bit-for-bit against.
 * :mod:`repro.chunks.measurement` -- utilization accounting and the
@@ -25,6 +33,8 @@ quantity the fluid ``eta`` stands for.
 from repro.chunks.config import ChunkSwarmConfig
 from repro.chunks.peer import ChunkPeer, ChunkPeerView
 from repro.chunks.reference import ReferenceChunkSwarm
+from repro.chunks.sparse import PeerExport, SparseChunkSwarm
+from repro.chunks.sparse_store import SparseChunkStore
 from repro.chunks.store import ChunkStore
 from repro.chunks.swarm import ChunkSwarm
 from repro.chunks.measurement import (
@@ -34,15 +44,42 @@ from repro.chunks.measurement import (
     measure_eta_open,
 )
 
+#: lazy (PEP 562) exports: repro.chunks.shard reuses the runner's fault
+#: machinery, and repro.runner pulls in repro.experiments, which imports
+#: back into repro.chunks -- resolving the shard names on first access
+#: keeps that cycle out of package init.
+_SHARD_EXPORTS = {
+    "ShardRunConfig",
+    "ShardedSwarmRunner",
+    "ShardedEtaMeasurement",
+    "measure_eta_sharded",
+}
+
+
+def __getattr__(name: str):
+    if name in _SHARD_EXPORTS:
+        from repro.chunks import shard
+
+        return getattr(shard, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ChunkSwarmConfig",
     "ChunkPeer",
     "ChunkPeerView",
     "ChunkStore",
     "ChunkSwarm",
+    "SparseChunkStore",
+    "SparseChunkSwarm",
+    "PeerExport",
     "ReferenceChunkSwarm",
     "EtaMeasurement",
     "OpenSwarmMeasurement",
     "measure_eta",
     "measure_eta_open",
+    "ShardRunConfig",
+    "ShardedSwarmRunner",
+    "ShardedEtaMeasurement",
+    "measure_eta_sharded",
 ]

@@ -52,6 +52,14 @@ class ChunkSwarmConfig:
         ``"in_order"`` (lowest index first -- the streaming-oriented policy
         of interactive on-demand protocols, which trades swarm-wide piece
         diversity for sequential playback progress).
+    neighbor_degree:
+        ``None`` (default) keeps the full-mixing assumption of the dense
+        engines: every peer can trade with every other peer.  An integer
+        ``d`` bounds each peer to about ``d`` tracker-sampled neighbours
+        (at most ``2d`` counting connections initiated by later joiners,
+        mirroring mainline's numwant=50 / ~80-connection cap) and selects
+        the sparse O(peers * d) engine
+        (:class:`repro.chunks.sparse.SparseChunkSwarm`).
     """
 
     n_chunks: int = 100
@@ -63,6 +71,7 @@ class ChunkSwarmConfig:
     seed_unchoke: str = "random"
     super_seeding: bool = False
     piece_selection: str = "rarest"
+    neighbor_degree: int | None = None
 
     def __post_init__(self) -> None:
         if self.seed_unchoke not in ("random", "round_robin", "fastest"):
@@ -87,6 +96,11 @@ class ChunkSwarmConfig:
             )
         if self.round_length <= 0:
             raise ValueError(f"round_length must be positive, got {self.round_length}")
+        if self.neighbor_degree is not None and self.neighbor_degree < 1:
+            raise ValueError(
+                f"neighbor_degree must be >= 1 (or None for full mixing), "
+                f"got {self.neighbor_degree}"
+            )
 
     @property
     def chunk_size(self) -> float:

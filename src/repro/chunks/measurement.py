@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.chunks.config import ChunkSwarmConfig
 from repro.chunks.reference import ReferenceChunkSwarm
+from repro.chunks.sparse import SparseChunkSwarm
 from repro.chunks.swarm import ChunkSwarm
 from repro.obs import current_registry
 
@@ -29,17 +30,27 @@ __all__ = [
     "measure_deadline_misses",
 ]
 
-#: selectable engines -- "vector" is the default; "reference" runs the
-#: scalar oracle (bit-for-bit identical results, O(peers^2) per round)
-_ENGINES = {"vector": ChunkSwarm, "reference": ReferenceChunkSwarm}
+#: selectable engines -- "vector" is the dense O(peers^2) kernel engine,
+#: "reference" the scalar oracle (bit-for-bit identical results), and
+#: "sparse" the bounded-degree O(peers * d) engine.  The default
+#: ``"auto"`` resolves on the config: ``neighbor_degree=None`` -> dense,
+#: a bounded degree -> sparse.
+_ENGINES = {
+    "vector": ChunkSwarm,
+    "reference": ReferenceChunkSwarm,
+    "sparse": SparseChunkSwarm,
+}
 
 
 def _make_swarm(engine: str, cfg: ChunkSwarmConfig, seed: int):
+    if engine == "auto":
+        engine = "vector" if cfg.neighbor_degree is None else "sparse"
     try:
         cls = _ENGINES[engine]
     except KeyError:
         raise ValueError(
-            f"unknown engine {engine!r}; expected one of {sorted(_ENGINES)}"
+            f"unknown engine {engine!r}; expected one of "
+            f"{sorted(_ENGINES) + ['auto']}"
         ) from None
     return cls(cfg, seed=seed)
 
@@ -91,7 +102,7 @@ def measure_eta(
     config: ChunkSwarmConfig | None = None,
     seed: int = 0,
     max_rounds: int = 100_000,
-    engine: str = "vector",
+    engine: str = "auto",
 ) -> EtaMeasurement:
     """Run one flash-crowd swarm and measure the effective ``eta``.
 
@@ -100,8 +111,10 @@ def measure_eta(
     the whole run, so it covers the startup phase (no chunks to share --
     the main source of downloader idleness) through the endgame.
 
-    ``engine`` selects ``"vector"`` (default) or ``"reference"`` (the
-    scalar oracle); both produce bit-identical measurements.
+    ``engine`` selects ``"vector"``, ``"reference"`` (the scalar oracle;
+    bit-identical to vector), ``"sparse"`` (bounded neighborhoods) or
+    ``"auto"`` (the default: dense for ``neighbor_degree=None``, sparse
+    otherwise).
     """
     if n_peers < 1:
         raise ValueError(f"n_peers must be >= 1, got {n_peers}")
@@ -172,7 +185,7 @@ def measure_eta_open(
     t_end: float = 2500.0,
     warmup: float = 800.0,
     seed: int = 0,
-    engine: str = "vector",
+    engine: str = "auto",
 ) -> OpenSwarmMeasurement:
     """Run an open chunk-level swarm and compare with the fluid steady state.
 
@@ -283,7 +296,7 @@ def measure_deadline_misses(
     startup_delays: tuple[float, ...] = (0.0,),
     seed: int = 0,
     max_rounds: int = 100_000,
-    engine: str = "vector",
+    engine: str = "auto",
 ) -> DeadlineMeasurement:
     """Run one flash-crowd swarm and measure streaming deadline misses.
 

@@ -4,8 +4,11 @@ Two representations share one attribute vocabulary:
 
 * :class:`ChunkPeer` -- the original self-contained per-peer object, used
   by the scalar oracle engine (:mod:`repro.chunks.reference`).
-* :class:`ChunkPeerView` -- a live *view* of one row of the vectorised
-  engine's :class:`repro.chunks.store.ChunkStore`.  Attribute access
+* :class:`ChunkPeerView` -- a live *view* of one row of an array-backed
+  store (:class:`repro.chunks.store.ChunkStore` or
+  :class:`repro.chunks.sparse_store.SparseChunkStore`; both expose the
+  same row arrays plus the ``partials_dict`` / ``received_dict`` /
+  ``active_chunk_set`` reconstruction protocol).  Attribute access
   resolves the peer's current row on every read, so views stay valid
   across store compactions; when the peer leaves the swarm the view is
   detached onto a frozen :class:`ChunkPeer` snapshot and keeps answering
@@ -149,8 +152,8 @@ class ChunkPeerView:
         peer.received_last_round = st.received_dict(row, prev=True)
         peer.received_this_round = st.received_dict(row, prev=False)
         peer.partials = st.partials_dict(row)
-        peer.active_chunks = {int(c) for c in np.nonzero(st.active[row])[0]}
-        peer.offered_counts = st.offered[row].copy()
+        peer.active_chunks = st.active_chunk_set(row)
+        peer.offered_counts = np.asarray(st.offered[row]).copy()
         peer.rotation_cursor = int(st.rotation_cursor[row])
         return peer
 
@@ -209,7 +212,7 @@ class ChunkPeerView:
     def active_chunks(self) -> set[int]:
         if self._snapshot is not None:
             return self._snapshot.active_chunks
-        return {int(c) for c in np.nonzero(self._store.active[self._row])[0]}
+        return self._store.active_chunk_set(self._row)
 
     @property
     def offered_counts(self) -> np.ndarray:

@@ -54,6 +54,12 @@ class ReferenceChunkSwarm:
     """A single-file chunk-level swarm (scalar oracle engine)."""
 
     def __init__(self, config: ChunkSwarmConfig, *, seed: int = 0):
+        if config.neighbor_degree is not None:
+            raise ValueError(
+                "the reference engine assumes full mixing (neighbor_degree="
+                "None); use repro.chunks.sparse.SparseChunkSwarm for bounded "
+                "degrees"
+            )
         self.config = config
         self.rng = np.random.default_rng(seed)
         self.peers: dict[int, ChunkPeer] = {}

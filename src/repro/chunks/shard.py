@@ -1,0 +1,576 @@
+"""Sharded sub-swarm backend: one huge swarm as K coupled sparse swarms.
+
+A flash crowd of 10^6 peers does not fit one engine's Python round loop,
+but BitTorrent itself shows the way out: a tracker hands every peer a
+bounded random peer set, so the swarm *already* factorises into loosely
+coupled neighborhoods.  This module partitions the peer population into
+``n_shards`` :class:`repro.chunks.sparse.SparseChunkSwarm` sub-swarms and
+runs them epoch by epoch, coupling them through exactly two channels,
+both tracker-shaped:
+
+* **Cross-shard availability exchange** -- before each epoch the
+  coordinator sums the per-shard chunk-availability vectors and hands
+  each shard the *other* shards' counts
+  (``SparseChunkSwarm.run_round(external_availability=...)``), so local
+  rarest-first keeps optimising the global piece distribution, the way a
+  tracker-scale view of piece counts would.
+* **Tracker-mediated migration** -- after each epoch a fraction of each
+  shard's peers re-announces and is handed to a random other shard
+  (:meth:`SparseChunkSwarm.export_peers` /
+  :meth:`~repro.chunks.sparse.SparseChunkSwarm.admit_peer`).  The
+  coordinator's :class:`repro.sim.tracker.Tracker` brokers the move with
+  one registry per shard: ``STOPPED`` on the source, ``STARTED`` on the
+  destination, so ``scrape(shard)`` reads per-shard populations at any
+  time.  Migration mixes the sub-swarms (piece diversity travels with the
+  migrants' bitmaps and partials).
+
+Workers run either in-process (``n_jobs=0``, deterministic debugging) or
+as ``multiprocessing`` worker processes holding their shards' state
+(``n_jobs>=1``).  Both paths run the *same* dispatch function on
+identically seeded engines, so results are identical; the worker loop
+reuses the runner's fault machinery (:func:`repro.runner.faults.time_limit`
+for per-step SIGALRM budgets, :class:`~repro.runner.faults.TaskError` /
+:class:`~repro.runner.faults.TaskFailedError` for structured failures) --
+unlike the runner's stateless sweeps a dead stateful worker cannot be
+retried, so failures surface immediately with the worker's traceback.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chunks.config import ChunkSwarmConfig
+from repro.chunks.sparse import PeerExport, SparseChunkSwarm
+from repro.obs import current_registry
+from repro.runner.faults import (
+    TaskError,
+    TaskFailedError,
+    error_from_exception,
+    time_limit,
+)
+from repro.sim.tracker import AnnounceEvent, Tracker
+
+__all__ = [
+    "ShardRunConfig",
+    "ShardedSwarmRunner",
+    "ShardedEtaMeasurement",
+    "measure_eta_sharded",
+]
+
+#: SeedSequence stream tags (shard engine seeds, coordinator migration RNG,
+#: coordinator tracker RNG)
+_SHARD_STREAM = 2001
+_COORD_STREAM = 2002
+_TRACKER_STREAM = 2003
+
+
+@dataclass(frozen=True)
+class ShardRunConfig:
+    """Knobs of one sharded run.
+
+    Attributes
+    ----------
+    n_shards:
+        Number of sub-swarms the population is partitioned into.
+    rounds_per_epoch:
+        Choking rounds each shard runs between availability refreshes and
+        migration waves (the coupling granularity).
+    migration_fraction:
+        Fraction of each shard's live peers re-announced to a random other
+        shard after every epoch (0 disables migration).
+    max_epochs:
+        Upper bound for :meth:`ShardedSwarmRunner.run`; exceeding it
+        raises (a seedless sub-swarm can only progress once migration
+        brings it new pieces, so runaway runs should fail loudly).
+    n_jobs:
+        0 runs every shard in-process; ``k >= 1`` spreads shards over
+        ``k`` worker processes (round-robin).  Results are identical.
+    step_timeout_s:
+        Optional per-dispatch wall-clock limit enforced with
+        :func:`repro.runner.faults.time_limit` inside the executing
+        process.
+    """
+
+    n_shards: int
+    rounds_per_epoch: int = 5
+    migration_fraction: float = 0.02
+    max_epochs: int = 10_000
+    n_jobs: int = 0
+    step_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.rounds_per_epoch < 1:
+            raise ValueError(
+                f"rounds_per_epoch must be >= 1, got {self.rounds_per_epoch}"
+            )
+        if not 0.0 <= self.migration_fraction <= 0.5:
+            raise ValueError(
+                "migration_fraction must be in [0, 0.5], got "
+                f"{self.migration_fraction}"
+            )
+        if self.max_epochs < 1:
+            raise ValueError(f"max_epochs must be >= 1, got {self.max_epochs}")
+        if self.n_jobs < 0:
+            raise ValueError(f"n_jobs must be >= 0, got {self.n_jobs}")
+        if self.step_timeout_s is not None and self.step_timeout_s <= 0:
+            raise ValueError(
+                f"step_timeout_s must be positive, got {self.step_timeout_s}"
+            )
+
+
+def shard_seed(seed: int, shard_idx: int) -> int:
+    """Engine seed of sub-swarm ``shard_idx`` under root ``seed``."""
+    ss = np.random.SeedSequence((seed, _SHARD_STREAM, shard_idx))
+    return int(ss.generate_state(1)[0])
+
+
+# ----- shard-side dispatch (shared by in-process and worker paths) -----------
+
+
+def _dispatch(shards: dict[int, SparseChunkSwarm], msg: tuple):
+    """Execute one coordinator command against the local shard table."""
+    cmd, idx, payload = msg
+    if cmd == "init":
+        config, seed = payload
+        shards[idx] = SparseChunkSwarm(config, seed=seed, file_id=idx)
+        return None
+    swarm = shards[idx]
+    if cmd == "populate":
+        n_seeds, n_leech = payload
+        seeds = swarm.add_peers(n_seeds, is_seed=True)
+        leech = swarm.add_peers(n_leech, is_seed=False)
+        return [p.peer_id for p in seeds + leech]
+    if cmd == "run":
+        rounds, external = payload
+        for _ in range(rounds):
+            swarm.run_round(external_availability=external)
+        return (swarm.availability(), swarm.all_done, len(swarm.peers))
+    if cmd == "report":
+        return (swarm.availability(), swarm.all_done, len(swarm.peers))
+    if cmd == "emigrate":
+        (k,) = payload
+        pids = swarm.sample_migrants(k)
+        return (pids, swarm.export_peers(pids))
+    if cmd == "admit":
+        (exports,) = payload
+        return [swarm.admit_peer(e).peer_id for e in exports]
+    if cmd == "collect":
+        peers = [
+            (p.initially_seed, p.joined_at, p.finished_at)
+            for p in swarm.peers.values()
+        ]
+        totals = (
+            swarm.downloader_useful,
+            swarm.downloader_capacity,
+            swarm.seed_useful,
+            swarm.seed_capacity,
+            swarm.wasted_bytes,
+            swarm.rounds_run,
+        )
+        return (peers, totals)
+    raise ValueError(f"unknown shard command {cmd!r}")
+
+
+def _worker_main(conn, step_timeout_s: float | None) -> None:
+    """Worker process: own a shard table, serve dispatches until close."""
+    shards: dict[int, SparseChunkSwarm] = {}
+    while True:
+        msg = conn.recv()
+        if msg[0] == "close":
+            conn.send(("ok", None))
+            break
+        try:
+            with time_limit(step_timeout_s):
+                result = _dispatch(shards, msg)
+            conn.send(("ok", result))
+        except BaseException as exc:  # noqa: BLE001 - forwarded structurally
+            conn.send(("err", error_from_exception(exc, attempts=1)))
+
+
+# ----- the coordinator -------------------------------------------------------
+
+
+class ShardedSwarmRunner:
+    """Coordinator of one sharded swarm run.
+
+    Owns the shard handles (local engines or worker pipes), the global
+    per-shard tracker registries and the epoch loop.  Use as::
+
+        runner = ShardedSwarmRunner(cfg, ShardRunConfig(n_shards=4), seed=0)
+        runner.populate(n_seeds=4, n_peers=4000)
+        runner.run()          # epochs until every shard is all seeds
+        stats = runner.collect()
+        runner.close()
+
+    or through :func:`measure_eta_sharded` for the flash-crowd one-liner.
+    """
+
+    def __init__(
+        self,
+        config: ChunkSwarmConfig,
+        shard_config: ShardRunConfig,
+        *,
+        seed: int = 0,
+    ):
+        self.config = config
+        self.shard_config = shard_config
+        self.seed = int(seed)
+        self.epochs_run = 0
+        self.migrations = 0
+        K = shard_config.n_shards
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence((self.seed, _COORD_STREAM))
+        )
+        self.tracker = Tracker(
+            np.random.default_rng(
+                np.random.SeedSequence((self.seed, _TRACKER_STREAM))
+            )
+        )
+        #: per-shard map local peer id -> global tracker id
+        self._gid_of: list[dict[int, int]] = [{} for _ in range(K)]
+        self._next_gid = 0
+        self._avail: list[np.ndarray | None] = [None] * K
+        self._done: list[bool] = [False] * K
+        self._live: list[int] = [0] * K
+        self._closed = False
+        n_jobs = shard_config.n_jobs
+        if n_jobs == 0:
+            self._local: dict[int, SparseChunkSwarm] | None = {}
+            self._pipes = None
+            self._procs = None
+        else:
+            self._local = None
+            ctx = mp.get_context("spawn")
+            n_workers = min(n_jobs, K)
+            self._pipes = []
+            self._procs = []
+            for _ in range(n_workers):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child, shard_config.step_timeout_s),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._pipes.append(parent)
+                self._procs.append(proc)
+        for i in range(K):
+            self._call_all([(i, ("init", i, (config, shard_seed(self.seed, i))))])
+
+    # ----- transport ----------------------------------------------------------
+
+    def _worker_of(self, shard_idx: int) -> int:
+        return shard_idx % len(self._pipes)
+
+    def _call_all(self, calls: list[tuple[int, tuple]]) -> list:
+        """Dispatch ``(shard_idx, msg)`` calls and return results in order.
+
+        Worker-mode sends everything first so distinct workers execute
+        concurrently; a dead pipe or forwarded error surfaces as
+        :class:`~repro.runner.faults.TaskFailedError` with the worker's
+        traceback, mirroring the runner executor's failure contract.
+        """
+        if self._local is not None:
+            out = []
+            for _, msg in calls:
+                try:
+                    with time_limit(self.shard_config.step_timeout_s):
+                        out.append(_dispatch(self._local, msg))
+                except Exception as exc:
+                    raise TaskFailedError(
+                        f"shard-{msg[1]}/{msg[0]}",
+                        error_from_exception(exc, attempts=1),
+                    ) from exc
+            return out
+        for shard_idx, msg in calls:
+            self._pipes[self._worker_of(shard_idx)].send(msg)
+        out = []
+        for shard_idx, msg in calls:
+            pipe = self._pipes[self._worker_of(shard_idx)]
+            try:
+                status, payload = pipe.recv()
+            except (EOFError, ConnectionError) as exc:
+                raise TaskFailedError(
+                    f"shard-{msg[1]}/{msg[0]}",
+                    TaskError(
+                        type="WorkerDied",
+                        message=f"worker for shard {shard_idx} exited: {exc!r}",
+                        traceback="",
+                        attempts=1,
+                    ),
+                ) from exc
+            if status == "err":
+                raise TaskFailedError(f"shard-{msg[1]}/{msg[0]}", payload)
+            out.append(payload)
+        return out
+
+    # ----- population ---------------------------------------------------------
+
+    def populate(self, *, n_seeds: int, n_peers: int) -> None:
+        """Distribute a flash crowd round-robin across the shards.
+
+        Every sub-swarm needs at least one origin seed (availability
+        exchange moves *information*, not data -- a seedless shard could
+        only progress once migration delivers pieces), hence
+        ``n_seeds >= n_shards``.
+        """
+        K = self.shard_config.n_shards
+        if n_seeds < K:
+            raise ValueError(
+                f"need n_seeds >= n_shards ({K}) so every sub-swarm holds "
+                f"the file, got {n_seeds}"
+            )
+        if n_peers < 0:
+            raise ValueError(f"n_peers must be >= 0, got {n_peers}")
+        seeds_of = [n_seeds // K + (1 if i < n_seeds % K else 0) for i in range(K)]
+        peers_of = [n_peers // K + (1 if i < n_peers % K else 0) for i in range(K)]
+        calls = [
+            (i, ("populate", i, (seeds_of[i], peers_of[i]))) for i in range(K)
+        ]
+        for i, pids in enumerate(self._call_all(calls)):
+            for j, pid in enumerate(pids):
+                gid = self._next_gid
+                self._next_gid += 1
+                self._gid_of[i][pid] = gid
+                self.tracker.announce(
+                    gid, i, AnnounceEvent.STARTED,
+                    is_seeder=j < seeds_of[i], want_peers=False,
+                )
+        self._refresh()
+
+    def _refresh(self) -> None:
+        K = self.shard_config.n_shards
+        for i, (avail, done, live) in enumerate(
+            self._call_all([(i, ("report", i, ())) for i in range(K)])
+        ):
+            self._avail[i] = avail
+            self._done[i] = done
+            self._live[i] = live
+
+    # ----- the epoch loop -----------------------------------------------------
+
+    @property
+    def all_done(self) -> bool:
+        return all(self._done)
+
+    def scrape(self, shard_idx: int):
+        """Tracker population counters of one shard's registry."""
+        return self.tracker.scrape(shard_idx)
+
+    def run_epochs(self, n_epochs: int) -> bool:
+        """Run ``n_epochs`` (rounds + migration each); True when all done."""
+        sc = self.shard_config
+        K = sc.n_shards
+        reg = current_registry()
+        for _ in range(n_epochs):
+            if self.all_done:
+                return True
+            total = np.sum([a for a in self._avail], axis=0)
+            calls = [
+                (i, ("run", i, (sc.rounds_per_epoch, total - self._avail[i])))
+                for i in range(K)
+            ]
+            for i, (avail, done, live) in enumerate(self._call_all(calls)):
+                self._avail[i] = avail
+                self._done[i] = done
+                self._live[i] = live
+            self.epochs_run += 1
+            if reg.enabled:
+                reg.inc("chunks.shard.epochs")
+            if sc.migration_fraction > 0.0 and K > 1:
+                self._migrate()
+        return self.all_done
+
+    def _migrate(self) -> None:
+        sc = self.shard_config
+        K = sc.n_shards
+        reg = current_registry()
+        wanted = [
+            (i, math.floor(self._live[i] * sc.migration_fraction))
+            for i in range(K)
+        ]
+        sources = [(i, m) for i, m in wanted if m > 0]
+        if not sources:
+            return
+        results = self._call_all(
+            [(i, ("emigrate", i, (m,))) for i, m in sources]
+        )
+        inbound: list[list[PeerExport]] = [[] for _ in range(K)]
+        moved_gids: list[list[int]] = [[] for _ in range(K)]
+        for (i, _), (pids, exports) in zip(sources, results):
+            for pid, export in zip(pids, exports):
+                gid = self._gid_of[i].pop(pid)
+                self.tracker.announce(
+                    gid, i, AnnounceEvent.STOPPED, want_peers=False
+                )
+                dest = int(self._rng.integers(0, K - 1))
+                if dest >= i:
+                    dest += 1
+                inbound[dest].append(export)
+                moved_gids[dest].append(gid)
+        dests = [j for j in range(K) if inbound[j]]
+        admitted = self._call_all(
+            [(j, ("admit", j, (inbound[j],))) for j in dests]
+        )
+        n_moved = 0
+        for j, new_pids in zip(dests, admitted):
+            for gid, pid, export in zip(moved_gids[j], new_pids, inbound[j]):
+                self._gid_of[j][pid] = gid
+                self.tracker.announce(
+                    gid, j, AnnounceEvent.STARTED,
+                    is_seeder=export.finished_at is not None,
+                    want_peers=False,
+                )
+                n_moved += 1
+        self.migrations += n_moved
+        # Migration changes populations and piece counts; refresh the view.
+        self._refresh()
+        if reg.enabled:
+            reg.inc("chunks.shard.migrations", n_moved)
+
+    def run(self) -> int:
+        """Epochs until every sub-swarm is all seeds; returns epochs used."""
+        start = self.epochs_run
+        while not self.all_done:
+            if self.epochs_run - start >= self.shard_config.max_epochs:
+                left = [
+                    f"shard {i}: {self._live[i]} peers"
+                    for i in range(self.shard_config.n_shards)
+                    if not self._done[i]
+                ]
+                raise RuntimeError(
+                    "sharded swarm did not finish within "
+                    f"{self.shard_config.max_epochs} epochs ({'; '.join(left)})"
+                )
+            self.run_epochs(1)
+        return self.epochs_run - start
+
+    # ----- collection / teardown ---------------------------------------------
+
+    def collect(self) -> dict:
+        """Aggregate counters and per-peer times across all shards."""
+        K = self.shard_config.n_shards
+        results = self._call_all([(i, ("collect", i, ())) for i in range(K)])
+        times: list[float] = []
+        totals = np.zeros(5)
+        rounds = 0
+        for peers, (dl_u, dl_c, sd_u, sd_c, wasted, rounds_run) in results:
+            totals += (dl_u, dl_c, sd_u, sd_c, wasted)
+            rounds = max(rounds, rounds_run)
+            for initially_seed, joined_at, finished_at in peers:
+                if not initially_seed and finished_at is not None:
+                    times.append(finished_at - joined_at)
+        return {
+            "downloader_useful": float(totals[0]),
+            "downloader_capacity": float(totals[1]),
+            "seed_useful": float(totals[2]),
+            "seed_capacity": float(totals[3]),
+            "wasted_bytes": float(totals[4]),
+            "rounds": int(rounds),
+            "download_times": times,
+        }
+
+    def close(self) -> None:
+        """Shut down worker processes (idempotent; in-process is a no-op)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pipes is None:
+            return
+        for pipe in self._pipes:
+            try:
+                pipe.send(("close", -1, ()))
+            except (BrokenPipeError, OSError):
+                continue
+        for pipe, proc in zip(self._pipes, self._procs):
+            try:
+                pipe.recv()
+            except (EOFError, ConnectionError, OSError):
+                pass
+            pipe.close()
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=10)
+
+    def __enter__(self) -> "ShardedSwarmRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class ShardedEtaMeasurement:
+    """Flash-crowd eta measurement aggregated over a sharded run.
+
+    The same quantities as :class:`repro.chunks.measurement.EtaMeasurement`
+    plus the sharding diagnostics (epoch count and migrated-peer total).
+    ``rounds`` is per-shard round count (shards advance in lockstep).
+    """
+
+    eta_effective: float
+    seed_utilization: float
+    mean_download_time: float
+    max_download_time: float
+    rounds: int
+    epochs: int
+    migrations: int
+    n_peers: int
+    n_chunks: int
+    n_shards: int
+
+
+def measure_eta_sharded(
+    *,
+    n_peers: int,
+    n_seeds: int,
+    config: ChunkSwarmConfig | None = None,
+    shard_config: ShardRunConfig,
+    seed: int = 0,
+) -> ShardedEtaMeasurement:
+    """Run one sharded flash crowd to completion and measure ``eta``.
+
+    The sharded counterpart of :func:`repro.chunks.measurement.measure_eta`:
+    ``n_peers`` leechers and ``n_seeds`` seeds are spread round-robin over
+    the sub-swarms, epochs run until every downloader finishes, and the
+    per-shard eta numerators/denominators are summed before dividing (so
+    the ratio is the population-wide one, not a mean of shard ratios).
+    """
+    if n_peers < 1:
+        raise ValueError(f"n_peers must be >= 1, got {n_peers}")
+    cfg = config if config is not None else ChunkSwarmConfig()
+    with ShardedSwarmRunner(cfg, shard_config, seed=seed) as runner:
+        runner.populate(n_seeds=n_seeds, n_peers=n_peers)
+        runner.run()
+        stats = runner.collect()
+    times = np.asarray(stats["download_times"])
+    eta_eff = (
+        stats["downloader_useful"] / stats["downloader_capacity"]
+        if stats["downloader_capacity"] > 0
+        else float("nan")
+    )
+    seed_util = (
+        stats["seed_useful"] / stats["seed_capacity"]
+        if stats["seed_capacity"] > 0
+        else float("nan")
+    )
+    return ShardedEtaMeasurement(
+        eta_effective=float(eta_eff),
+        seed_utilization=float(seed_util),
+        mean_download_time=float(times.mean()) if times.size else float("nan"),
+        max_download_time=float(times.max()) if times.size else float("nan"),
+        rounds=stats["rounds"],
+        epochs=runner.epochs_run,
+        migrations=runner.migrations,
+        n_peers=n_peers,
+        n_chunks=cfg.n_chunks,
+        n_shards=shard_config.n_shards,
+    )

@@ -1,0 +1,384 @@
+"""Bounded-degree structure-of-arrays state for the sparse chunk engine.
+
+The dense :class:`repro.chunks.store.ChunkStore` keeps P x P received
+matrices and P x C partial matrices, which caps it near a few thousand
+peers.  :class:`SparseChunkStore` replaces both with neighborhood-local
+state so memory is O(P * d) in the sampled degree ``d``:
+
+* ``nbr`` / ``deg`` -- padded adjacency: row ``r`` of the P x width int32
+  matrix lists the store rows ``r`` is connected to, **sorted ascending**,
+  padded with ``-1`` beyond ``deg[r]``.  Sortedness is free to maintain
+  (new peers get the highest row index, so appends stay sorted; compaction
+  remaps rows monotonically) and load-bearing twice over: candidate lists
+  iterate in insertion == ascending-id order exactly like the scalar
+  engine's peer dict, and per-edge lookups are a ``searchsorted``.
+* ``r_prev_e`` / ``r_cur_e`` -- edge-aligned received-bytes columns:
+  ``r_cur_e[r, j]`` accumulates bytes received this round from neighbour
+  ``nbr[r, j]``.  These are the sparse replacement for the dense P x P
+  ``r_prev`` / ``r_cur`` tit-for-tat matrices.
+* ``own`` plus ``own_packed`` -- the P x C boolean ownership matrix and a
+  bit-packed uint64 shadow (``ceil(C/64)`` words per peer), maintained
+  incrementally.  The packed form makes the per-neighborhood interest
+  kernel a few-word AND instead of a C-wide row scan.
+* ``partials`` / ``active`` -- per-peer Python dict/set state exactly as
+  the scalar oracle keeps it (``chunk -> [done, credit_dl, credit_seed]``
+  in creation order, and the in-flight chunk set).  Partials are O(slots)
+  per peer in practice, so dicts beat the dense engine's P x C partial
+  matrices by orders of magnitude at scale and reproduce the oracle's
+  dict-insertion tie-breaking for free.
+* ``offered`` -- P x C int32 offer counts (super-seeding); the one
+  remaining dense per-chunk array, 4 bytes per cell.
+
+Rows stay **in peer-insertion order** exactly as in the dense store;
+removal compacts rows *and* edges (stable left-shift of surviving edges,
+monotone row remap), and capacity shrinks once fewer than a quarter of
+the allocated rows are live.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["SparseChunkStore"]
+
+_NAN = float("nan")
+
+
+class SparseChunkStore:
+    """Array-backed bounded-degree state for one chunk-level swarm."""
+
+    def __init__(self, n_chunks: int, *, capacity: int = 16, width: int = 8):
+        if n_chunks < 1:
+            raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.n_chunks = int(n_chunks)
+        self.n = 0
+        self._cap = int(capacity)
+        self._width = int(width)
+        #: peer id -> row index (rows stay in insertion == id order)
+        self.row_of: dict[int, int] = {}
+        C = self.n_chunks
+        W = (C + 63) // 64
+        self.n_words = W
+        #: per-chunk packed-word index and bit mask (chunk c lives in word
+        #: c >> 6 at bit c & 63)
+        self._bit = np.uint64(1) << (np.arange(C, dtype=np.uint64) & np.uint64(63))
+        full = np.full(W, np.iinfo(np.uint64).max, dtype=np.uint64)
+        if C % 64:
+            full[-1] = (np.uint64(1) << np.uint64(C % 64)) - np.uint64(1)
+        self._full_words = full
+        c = self._cap
+        w = self._width
+        self.own = np.zeros((c, C), dtype=bool)
+        self.own_packed = np.zeros((c, W), dtype=np.uint64)
+        self.offered = np.zeros((c, C), dtype=np.int32)
+        #: chunk -> [done, credit_downloader, credit_seed], creation order
+        self.partials: list[dict[int, list[float]]] = []
+        #: chunks some link is pumping this round (cleared at rollover)
+        self.active: list[set[int]] = []
+        self.nbr = np.full((c, w), -1, dtype=np.int32)
+        self.deg = np.zeros(c, dtype=np.int32)
+        self.r_prev_e = np.zeros((c, w), dtype=np.float64)
+        self.r_cur_e = np.zeros((c, w), dtype=np.float64)
+        self.recv_total_prev = np.zeros(c, dtype=np.float64)
+        self.recv_total_cur = np.zeros(c, dtype=np.float64)
+        self.peer_id = np.zeros(c, dtype=np.int64)
+        self.joined_at = np.zeros(c, dtype=np.float64)
+        self.finished_at = np.full(c, _NAN, dtype=np.float64)
+        self.initially_seed = np.zeros(c, dtype=bool)
+        self.uploaded_useful = np.zeros(c, dtype=np.float64)
+        self.rotation_cursor = np.zeros(c, dtype=np.int64)
+        self.n_owned = np.zeros(c, dtype=np.int64)
+
+    # ----- membership ---------------------------------------------------------
+
+    def add(self, peer_id: int, *, is_seed: bool, joined_at: float) -> int:
+        """Append a peer row (zeroed, no edges) and return its index.
+
+        ``peer_id`` must exceed every id ever added -- rows double as the
+        insertion order the round kernels rely on.
+        """
+        if self.n and peer_id <= int(self.peer_id[self.n - 1]):
+            raise ValueError(
+                f"peer ids must be strictly increasing (got {peer_id} after "
+                f"{int(self.peer_id[self.n - 1])})"
+            )
+        if self.n == self._cap:
+            self._resize(max(2 * self._cap, 16))
+        row = self.n
+        self.n += 1
+        C = self.n_chunks
+        self.own[row] = is_seed
+        self.own_packed[row] = self._full_words if is_seed else 0
+        self.offered[row] = 0
+        self.partials.append({})
+        self.active.append(set())
+        self.nbr[row] = -1
+        self.deg[row] = 0
+        self.r_prev_e[row] = 0.0
+        self.r_cur_e[row] = 0.0
+        self.recv_total_prev[row] = 0.0
+        self.recv_total_cur[row] = 0.0
+        self.peer_id[row] = peer_id
+        self.joined_at[row] = joined_at
+        self.finished_at[row] = joined_at if is_seed else _NAN
+        self.initially_seed[row] = is_seed
+        self.uploaded_useful[row] = 0.0
+        self.rotation_cursor[row] = 0
+        self.n_owned[row] = C if is_seed else 0
+        self.row_of[peer_id] = row
+        return row
+
+    def _resize(self, new_cap: int) -> None:
+        """Reallocate every row-indexed array to ``new_cap`` rows."""
+        n = self.n
+        assert new_cap >= n
+        w = self._width
+
+        def resized(old: np.ndarray, cols: int | None, fill) -> np.ndarray:
+            shape = new_cap if cols is None else (new_cap, cols)
+            arr = np.full(shape, fill, dtype=old.dtype)
+            arr[:n] = old[:n]
+            return arr
+
+        C = self.n_chunks
+        self.own = resized(self.own, C, False)
+        self.own_packed = resized(self.own_packed, self.n_words, 0)
+        self.offered = resized(self.offered, C, 0)
+        self.nbr = resized(self.nbr, w, -1)
+        self.deg = resized(self.deg, None, 0)
+        self.r_prev_e = resized(self.r_prev_e, w, 0.0)
+        self.r_cur_e = resized(self.r_cur_e, w, 0.0)
+        self.recv_total_prev = resized(self.recv_total_prev, None, 0.0)
+        self.recv_total_cur = resized(self.recv_total_cur, None, 0.0)
+        self.peer_id = resized(self.peer_id, None, 0)
+        self.joined_at = resized(self.joined_at, None, 0.0)
+        self.finished_at = resized(self.finished_at, None, _NAN)
+        self.initially_seed = resized(self.initially_seed, None, False)
+        self.uploaded_useful = resized(self.uploaded_useful, None, 0.0)
+        self.rotation_cursor = resized(self.rotation_cursor, None, 0)
+        self.n_owned = resized(self.n_owned, None, 0)
+        self._cap = new_cap
+
+    def _grow_width(self, needed: int) -> None:
+        new_w = self._width
+        while new_w < needed:
+            new_w *= 2
+        if new_w == self._width:
+            return
+        n = self.n
+
+        def widened(old: np.ndarray, fill) -> np.ndarray:
+            arr = np.full((self._cap, new_w), fill, dtype=old.dtype)
+            arr[:n, : self._width] = old[:n]
+            return arr
+
+        self.nbr = widened(self.nbr, -1)
+        self.r_prev_e = widened(self.r_prev_e, 0.0)
+        self.r_cur_e = widened(self.r_cur_e, 0.0)
+        self._width = new_w
+
+    # ----- adjacency ----------------------------------------------------------
+
+    def connect_new(self, row: int, others: np.ndarray) -> None:
+        """Connect the newest row to ``others`` (sorted ascending, all < row).
+
+        ``row`` is the highest live row index, so appending it to each
+        target's edge list keeps every adjacency row sorted; the new row's
+        own list is ``others`` verbatim.
+        """
+        others = np.asarray(others, dtype=np.int32)
+        k = others.size
+        if k == 0:
+            return
+        needed = max(k, int(self.deg[others].max()) + 1)
+        if needed > self._width:
+            self._grow_width(needed)
+        self.nbr[row, :k] = others
+        self.deg[row] = k
+        idx = self.deg[others]
+        self.nbr[others, idx] = row
+        self.r_prev_e[others, idx] = 0.0
+        self.r_cur_e[others, idx] = 0.0
+        self.deg[others] = idx + 1
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """Whether rows ``a`` and ``b`` are connected."""
+        d = int(self.deg[a])
+        j = int(np.searchsorted(self.nbr[a, :d], b))
+        return j < d and self.nbr[a, j] == b
+
+    def insert_edge(self, a: int, b: int) -> None:
+        """Connect two existing rows (sorted insert on both sides).
+
+        Unlike :meth:`connect_new` this works for any row pair -- used
+        when a stranded peer re-wires mid-run -- at O(width) per side.
+        """
+        if a == b:
+            raise ValueError("cannot connect a row to itself")
+        if max(int(self.deg[a]), int(self.deg[b])) + 1 > self._width:
+            self._grow_width(max(int(self.deg[a]), int(self.deg[b])) + 1)
+        for r, o in ((a, b), (b, a)):
+            d = int(self.deg[r])
+            j = int(np.searchsorted(self.nbr[r, :d], o))
+            if j < d and self.nbr[r, j] == o:
+                raise ValueError(f"rows {a} and {b} are already connected")
+            self.nbr[r, j + 1 : d + 1] = self.nbr[r, j:d].copy()
+            self.r_prev_e[r, j + 1 : d + 1] = self.r_prev_e[r, j:d].copy()
+            self.r_cur_e[r, j + 1 : d + 1] = self.r_cur_e[r, j:d].copy()
+            self.nbr[r, j] = o
+            self.r_prev_e[r, j] = 0.0
+            self.r_cur_e[r, j] = 0.0
+            self.deg[r] = d + 1
+
+    def neighbors(self, row: int) -> np.ndarray:
+        """Live neighbour rows of ``row``, sorted ascending."""
+        return self.nbr[row, : int(self.deg[row])]
+
+    def edge_index(self, row: int, other: int) -> int:
+        """Position of ``other`` in ``row``'s edge list (they must be
+        connected)."""
+        d = int(self.deg[row])
+        j = int(np.searchsorted(self.nbr[row, :d], other))
+        if j >= d or self.nbr[row, j] != other:
+            raise KeyError(f"rows {row} and {other} are not connected")
+        return j
+
+    # ----- removal ------------------------------------------------------------
+
+    def compact(self, drop_rows: list[int]) -> None:
+        """Remove ``drop_rows``: shift later rows down and drop their edges.
+
+        Surviving edges left-shift stably (original order preserved) and
+        their targets are remapped; the remap is monotone, so sorted
+        adjacency rows stay sorted.  As in the dense store, surviving
+        peers keep their ``recv_total_*`` contributions from dropped
+        uploaders (matching the scalar engine's per-peer dicts).
+        """
+        if not drop_rows:
+            return
+        n = self.n
+        keep = np.ones(n, dtype=bool)
+        keep[np.asarray(drop_rows, dtype=np.intp)] = False
+        m = int(keep.sum())
+        if m == n:
+            return
+        for pid in self.peer_id[:n][~keep]:
+            del self.row_of[int(pid)]
+        remap = np.full(n, -1, dtype=np.int32)
+        remap[keep] = np.arange(m, dtype=np.int32)
+        # --- edges: drop edges into dead rows, left-shift survivors ---
+        A = self.nbr[:n]
+        valid = A >= 0
+        safe = np.where(valid, A, 0)
+        keep_edge = valid & keep[safe]
+        order = np.argsort(~keep_edge, axis=1, kind="stable")
+        A2 = np.take_along_axis(A, order, axis=1)
+        rp = np.take_along_axis(self.r_prev_e[:n], order, axis=1)
+        rc = np.take_along_axis(self.r_cur_e[:n], order, axis=1)
+        new_deg = keep_edge.sum(axis=1, dtype=np.int32)
+        live = np.arange(A.shape[1], dtype=np.int32)[None, :] < new_deg[:, None]
+        A2 = np.where(live, remap[np.where(live, A2, 0)], -1)
+        self.nbr[:n] = A2
+        self.r_prev_e[:n] = np.where(live, rp, 0.0)
+        self.r_cur_e[:n] = np.where(live, rc, 0.0)
+        self.deg[:n] = new_deg
+        # --- rows ---
+        for arr in (self.own, self.own_packed, self.offered, self.nbr,
+                    self.r_prev_e, self.r_cur_e):
+            arr[:m] = arr[:n][keep]
+        for arr in (self.deg, self.recv_total_prev, self.recv_total_cur,
+                    self.peer_id, self.joined_at, self.finished_at,
+                    self.initially_seed, self.uploaded_useful,
+                    self.rotation_cursor, self.n_owned):
+            arr[:m] = arr[:n][keep]
+        self.partials = [p for i, p in enumerate(self.partials) if keep[i]]
+        self.active = [s for i, s in enumerate(self.active) if keep[i]]
+        self.n = m
+        for row, pid in enumerate(self.peer_id[:m]):
+            self.row_of[int(pid)] = row
+        if self._cap > 16 and m < self._cap // 4:
+            new_cap = self._cap
+            while new_cap > 16 and m < new_cap // 4:
+                new_cap //= 2
+            self._resize(max(new_cap, 16))
+
+    # ----- round bookkeeping --------------------------------------------------
+
+    def rollover(self) -> None:
+        """Close the round: this round's received tallies become last
+        round's, and the in-flight chunk sets clear."""
+        n = self.n
+        self.r_prev_e, self.r_cur_e = self.r_cur_e, self.r_prev_e
+        self.r_cur_e[:n] = 0.0
+        self.recv_total_prev, self.recv_total_cur = (
+            self.recv_total_cur,
+            self.recv_total_prev,
+        )
+        self.recv_total_cur[:n] = 0.0
+        for s in self.active[:n]:
+            s.clear()
+
+    def set_owned(self, row: int, chunk: int) -> None:
+        """Flip one ownership bit (bool row, packed shadow, count)."""
+        self.own[row, chunk] = True
+        self.own_packed[row, chunk >> 6] |= self._bit[chunk]
+        self.n_owned[row] += 1
+
+    def repack_row(self, row: int) -> None:
+        """Recompute the packed shadow and count from ``own[row]`` (used
+        when a whole bitmap is loaded at once, e.g. shard migration)."""
+        words = np.zeros(self.n_words, dtype=np.uint64)
+        idx = np.nonzero(self.own[row])[0]
+        np.bitwise_or.at(words, idx >> 6, self._bit[idx])
+        self.own_packed[row] = words
+        self.n_owned[row] = idx.size
+
+    # ----- per-peer reconstruction (views / snapshots) ------------------------
+
+    def partials_dict(self, row: int) -> dict[int, list[float]]:
+        """``chunk -> [done, credit_downloader, credit_seed]`` in creation
+        order (the dicts already keep it)."""
+        return {c: list(entry) for c, entry in self.partials[row].items()}
+
+    def received_dict(self, row: int, *, prev: bool) -> dict[int, float]:
+        """Per-uploader received bytes (chunk of the tit-for-tat signal)."""
+        mat = self.r_prev_e if prev else self.r_cur_e
+        d = int(self.deg[row])
+        vals = mat[row, :d]
+        cols = np.nonzero(vals > 0)[0]
+        nbrs = self.nbr[row, :d]
+        return {int(self.peer_id[nbrs[j]]): float(vals[j]) for j in cols}
+
+    def active_chunk_set(self, row: int) -> set[int]:
+        """Chunks some link is pumping to ``row`` this round."""
+        return set(self.active[row])
+
+    def clear_partials(self, row: int) -> None:
+        self.partials[row].clear()
+
+    def is_finished(self, row: int) -> bool:
+        return not math.isnan(self.finished_at[row])
+
+    # ----- introspection ------------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Bytes held by the store's NumPy arrays (allocated capacity).
+
+        The Python-side partial dicts and active sets are excluded; they
+        hold O(upload slots) entries per peer and are not what dominates
+        at scale.
+        """
+        total = 0
+        for arr in (self.own, self.own_packed, self.offered, self.nbr,
+                    self.deg, self.r_prev_e, self.r_cur_e,
+                    self.recv_total_prev, self.recv_total_cur, self.peer_id,
+                    self.joined_at, self.finished_at, self.initially_seed,
+                    self.uploaded_useful, self.rotation_cursor, self.n_owned):
+            total += arr.nbytes
+        return total

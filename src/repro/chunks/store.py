@@ -36,8 +36,11 @@ axes for the P x P matrices) rather than swap-removing; removals are rare
 (churn events, at most O(peers) per run) while rounds are many, so the
 O(P^2) compaction is off the hot path.
 
-Capacity grows by doubling; :meth:`add` zeroes the row it hands out, so
-rows freed by a compaction can be reused without leaking stale state.
+Capacity grows by doubling and shrinks when a compaction leaves fewer
+than a quarter of the allocation live (the P x P matrices dominate, so a
+mass departure would otherwise pin peak memory forever); :meth:`add`
+zeroes the row it hands out, so rows freed by a compaction can be reused
+without leaking stale state.
 """
 
 from __future__ import annotations
@@ -130,41 +133,45 @@ class ChunkStore:
         return row
 
     def _grow(self) -> None:
-        new_cap = max(2 * self._cap, 16)
-        n = self.n
+        self._resize(max(2 * self._cap, 16))
 
-        def grown_2d(old: np.ndarray, cols: int) -> np.ndarray:
+    def _resize(self, new_cap: int) -> None:
+        """Reallocate every array to ``new_cap`` rows, keeping the live ones."""
+        n = self.n
+        assert new_cap >= n
+
+        def resized_2d(old: np.ndarray, cols: int) -> np.ndarray:
             arr = np.zeros((new_cap, cols), dtype=old.dtype)
             arr[:n] = old[:n]
             return arr
 
-        def grown_1d(old: np.ndarray, fill: float = 0.0) -> np.ndarray:
+        def resized_1d(old: np.ndarray, fill: float = 0.0) -> np.ndarray:
             arr = np.full(new_cap, fill, dtype=old.dtype)
             arr[:n] = old[:n]
             return arr
 
         C = self.n_chunks
-        self.own = grown_2d(self.own, C)
-        self.partial_done = grown_2d(self.partial_done, C)
-        self.partial_dl = grown_2d(self.partial_dl, C)
-        self.partial_sc = grown_2d(self.partial_sc, C)
-        self.partial_seq = grown_2d(self.partial_seq, C)
-        self.active = grown_2d(self.active, C)
-        self.offered = grown_2d(self.offered, C)
+        self.own = resized_2d(self.own, C)
+        self.partial_done = resized_2d(self.partial_done, C)
+        self.partial_dl = resized_2d(self.partial_dl, C)
+        self.partial_sc = resized_2d(self.partial_sc, C)
+        self.partial_seq = resized_2d(self.partial_seq, C)
+        self.active = resized_2d(self.active, C)
+        self.offered = resized_2d(self.offered, C)
         for name in ("r_prev", "r_cur"):
             old = getattr(self, name)
             arr = np.zeros((new_cap, new_cap), dtype=np.float64)
             arr[:n, :n] = old[:n, :n]
             setattr(self, name, arr)
-        self.recv_total_prev = grown_1d(self.recv_total_prev)
-        self.recv_total_cur = grown_1d(self.recv_total_cur)
-        self.peer_id = grown_1d(self.peer_id)
-        self.joined_at = grown_1d(self.joined_at)
-        self.finished_at = grown_1d(self.finished_at, _NAN)
-        self.initially_seed = grown_1d(self.initially_seed)
-        self.uploaded_useful = grown_1d(self.uploaded_useful)
-        self.rotation_cursor = grown_1d(self.rotation_cursor)
-        self.n_owned = grown_1d(self.n_owned)
+        self.recv_total_prev = resized_1d(self.recv_total_prev)
+        self.recv_total_cur = resized_1d(self.recv_total_cur)
+        self.peer_id = resized_1d(self.peer_id)
+        self.joined_at = resized_1d(self.joined_at)
+        self.finished_at = resized_1d(self.finished_at, _NAN)
+        self.initially_seed = resized_1d(self.initially_seed)
+        self.uploaded_useful = resized_1d(self.uploaded_useful)
+        self.rotation_cursor = resized_1d(self.rotation_cursor)
+        self.n_owned = resized_1d(self.n_owned)
         self._cap = new_cap
 
     def compact(self, drop_rows: list[int]) -> None:
@@ -213,6 +220,16 @@ class ChunkStore:
         self.n = m
         for row, pid in enumerate(self.peer_id[:m]):
             self.row_of[int(pid)] = row
+        # Mass departures (seed_stays=False endgames, churn storms) can
+        # leave a huge allocation nearly empty; the P x P matrices make
+        # that quadratic, so reclaim once under a quarter is live.  The
+        # floor and the half-capacity target keep hysteresis: a shrink is
+        # immediately followed by neither another shrink nor a grow.
+        if self._cap > 16 and m < self._cap // 4:
+            new_cap = self._cap
+            while new_cap > 16 and m < new_cap // 4:
+                new_cap //= 2
+            self._resize(max(new_cap, 16))
 
     # ----- round bookkeeping --------------------------------------------------
 
@@ -268,6 +285,10 @@ class ChunkStore:
         seq_row = self.partial_seq[row]
         chunks = np.nonzero(seq_row > 0)[0]
         return chunks[np.argsort(seq_row[chunks], kind="stable")]
+
+    def active_chunk_set(self, row: int) -> set[int]:
+        """Chunks some link is pumping to ``row`` this round."""
+        return {int(c) for c in np.nonzero(self.active[row])[0]}
 
     def clear_partials(self, row: int) -> None:
         self.partial_done[row] = 0.0

@@ -55,22 +55,32 @@ def run(
     reference_chunks: int = 100,
     n_repeats: int = 2,
     upload_rate: float = 0.02,
-    large_swarm_peers: int | None = 1000,
+    large_swarm_peers: int | tuple[int, ...] | None = (1000, 10000),
     large_swarm_chunks: int = 400,
+    large_swarm_degree: int | None = 64,
 ) -> ExperimentResult:
     """Sweep chunk count and swarm size; measure the effective eta.
 
-    ``large_swarm_peers`` adds a single-repeat flash-crowd point at
+    ``large_swarm_peers`` adds single-repeat flash-crowd points at
     realistic scale (>= 1000 peers, ``large_swarm_chunks`` pieces -- piece
-    counts grow with file size in real swarms), reachable only by the
-    vectorised engine; pass ``None`` to skip it.
+    counts grow with file size in real swarms).  Points up to 1000 peers
+    run on the dense vectorised engine (full mixing, unchanged from
+    earlier revisions); larger points run on the sparse neighborhood
+    engine with ``large_swarm_degree`` tracker-sampled neighbours per
+    peer, the topology real swarms actually have.  Accepts a single int
+    for backward compatibility; pass ``None`` to skip the axis.
     """
     if n_repeats < 1:
         raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
-    if large_swarm_peers is not None and large_swarm_peers < 1:
-        raise ValueError(
-            f"large_swarm_peers must be >= 1 or None, got {large_swarm_peers}"
-        )
+    if large_swarm_peers is None:
+        large_points: tuple[int, ...] = ()
+    elif isinstance(large_swarm_peers, int):
+        large_points = (large_swarm_peers,)
+    else:
+        large_points = tuple(large_swarm_peers)
+    for pt in large_points:
+        if pt < 1:
+            raise ValueError(f"large_swarm_peers must be >= 1, got {pt}")
     headers = (
         "sweep",
         "value",
@@ -83,13 +93,23 @@ def run(
     rows: list[tuple] = []
 
     def _measure(
-        axis: str, value: int, n_peers: int, n_chunks: int, *, reps: int
+        axis: str,
+        value: int,
+        n_peers: int,
+        n_chunks: int,
+        *,
+        reps: int,
+        degree: int | None = None,
     ) -> tuple[float, ...]:
         etas, utils, times = [], [], []
         for r in range(reps):
             m = measure_eta(
                 n_peers=n_peers,
-                config=ChunkSwarmConfig(n_chunks=n_chunks, upload_rate=upload_rate),
+                config=ChunkSwarmConfig(
+                    n_chunks=n_chunks,
+                    upload_rate=upload_rate,
+                    neighbor_degree=degree,
+                ),
                 seed=_derive_seed(axis, value, r),
             )
             etas.append(m.eta_effective)
@@ -124,20 +144,28 @@ def run(
                 *_measure("peers", n_peers, n_peers, reference_chunks, reps=n_repeats),
             )
         )
-    if large_swarm_peers is not None:
-        # Realistic-scale flash crowd (single repeat: one run already
-        # averages ~large_swarm_peers download times).  The scalar engine
-        # cannot reach this point in reasonable time.
+    for pt in large_points:
+        # Realistic-scale flash crowds (single repeat: one run already
+        # averages ~pt download times).  The scalar engine cannot reach
+        # these points; past 1000 peers even the dense O(P^2) matrices
+        # become the bottleneck, so the sparse bounded-degree engine
+        # takes over.
+        degree = (
+            large_swarm_degree
+            if large_swarm_degree is not None and pt > 1000
+            else None
+        )
         rows.append(
             (
                 "large_swarm",
-                large_swarm_peers,
+                pt,
                 *_measure(
                     "large_swarm",
-                    large_swarm_peers,
-                    large_swarm_peers,
+                    pt,
+                    pt,
                     large_swarm_chunks,
                     reps=1,
+                    degree=degree,
                 ),
             )
         )
@@ -246,12 +274,13 @@ def run(
     large_rows = [r for r in rows if r[0] == "large_swarm"]
     notes_large = ""
     if large_rows:
-        lr = large_rows[0]
+        pts = ", ".join(f"{int(r[1])} peers -> {r[2]:.2f}" for r in large_rows)
         notes_large = (
-            f"  At realistic scale ({lr[1]} peers, {large_swarm_chunks} "
-            f"chunks; vectorised engine only) eta_eff is {lr[2]:.2f} -- the "
-            "many-chunk flash crowd lands in the paper's eta ~ 0.5 regime, "
-            "not Qiu-Srikant's eta -> 1."
+            f"  At realistic scale ({large_swarm_chunks} chunks; array "
+            f"engines, bounded degree {large_swarm_degree} past 1000 peers) "
+            f"eta_eff holds steady: {pts} -- many-chunk flash crowds land "
+            "in the paper's eta ~ 0.5 regime, not Qiu-Srikant's eta -> 1, "
+            "and a realistic sparse neighborhood does not change that."
         )
     notes = (
         f"eta_eff rises from {eta_lo:.2f} at {chunk_rows[0][1]} chunks to "

@@ -202,6 +202,7 @@ def compile_chunks(spec: ScenarioSpec) -> ChunkRun:
             seed_unchoke=ch.seed_unchoke,
             super_seeding=ch.super_seeding,
             piece_selection=ch.piece_selection,
+            neighbor_degree=ch.neighbor_degree,
         )
     except ValueError as exc:
         raise SpecError("chunks", str(exc)) from None

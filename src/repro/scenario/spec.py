@@ -236,6 +236,10 @@ class ChunkSpec:
     seed_unchoke: str = "random"
     super_seeding: bool = False
     piece_selection: str = "rarest"  #: "rarest" or "in_order" (streaming)
+    #: null = full mixing (dense vectorised engine); an integer d wires each
+    #: joining peer to d tracker-sampled neighbours (sparse O(peers * d)
+    #: engine), the knob that makes 10^5-peer scenarios tractable
+    neighbor_degree: int | None = None
     n_peers: int = 40
     n_seeds: int = 1
     max_rounds: int = 100_000

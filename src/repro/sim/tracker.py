@@ -79,12 +79,18 @@ class Tracker:
         event: AnnounceEvent,
         *,
         is_seeder: bool = False,
+        want_peers: bool = True,
     ) -> list[int]:
         """Process one announce; returns a random peer sample (others only).
 
         ``STARTED`` registers the peer (as leecher or seeder), ``COMPLETED``
         flips it to seeder and bumps the snatch counter, ``STOPPED``
         removes it.  The returned sample has at most ``numwant`` user ids.
+
+        ``want_peers=False`` (the protocol's ``numwant=0``) makes the
+        announce pure O(1) bookkeeping and returns an empty list -- large
+        swarms announce completions/departures without paying the O(swarm)
+        peer-list scan.
         """
         table = self._table(file_id)
         self.announces += 1
@@ -99,6 +105,8 @@ class Tracker:
             self._completed[file_id] = self._completed.get(file_id, 0) + 1
         elif event is AnnounceEvent.STOPPED:
             table.pop(user_id, None)
+        if not want_peers:
+            return []
         others = [uid for uid in table if uid != user_id]
         if len(others) <= self.numwant:
             return others

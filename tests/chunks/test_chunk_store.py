@@ -131,3 +131,38 @@ def test_constructor_validation():
         ChunkStore(n_chunks=0)
     with pytest.raises(ValueError, match="capacity"):
         ChunkStore(n_chunks=3, capacity=0)
+
+
+def test_compact_shrinks_capacity_when_mostly_empty():
+    """A flash crowd that drains away must give its memory back: after
+    compaction drops occupancy below a quarter of the allocation, the
+    store reallocates down (regression: capacity only ever doubled)."""
+    st = ChunkStore(n_chunks=4, capacity=16)
+    for pid in range(600):
+        st.add(pid, is_seed=False, joined_at=0.0)
+    grown_cap = st._cap
+    assert grown_cap >= 600
+    st.recv_total_cur[5] = 0.25
+    st.compact(list(range(10, 600)))
+    assert st.n == 10
+    assert st._cap < grown_cap
+    assert st.n <= st._cap
+    # the shrink is a real reallocation, not just bookkeeping
+    assert st.own.shape[0] == st._cap
+    assert st.r_cur.shape == (st._cap, st._cap)
+    # survivors keep their state and order
+    assert list(st.peer_id[: st.n]) == list(range(10))
+    assert st.recv_total_cur[5] == 0.25
+
+
+def test_compact_never_shrinks_below_floor_or_live_rows():
+    st = ChunkStore(n_chunks=2, capacity=16)
+    for pid in range(40):
+        st.add(pid, is_seed=False, joined_at=0.0)
+    st.compact(list(range(1, 40)))
+    assert st.n == 1
+    assert st._cap >= 16  # floor: small swarms shouldn't thrash
+    # dropping everyone is fine too
+    st.compact([0])
+    assert st.n == 0
+    assert st._cap >= 16

@@ -1,0 +1,207 @@
+"""Unit tests for :class:`repro.chunks.sparse_store.SparseChunkStore`.
+
+The sparse engine's bit-for-bit equivalence with the scalar oracle rests
+on store invariants that deserve direct pins: adjacency rows stay sorted
+ascending through connects and compactions (candidate order == the
+oracle's dict order), edge columns stay aligned with their received-bytes
+tallies, the packed ownership shadow never drifts from the boolean
+matrix, and capacity shrinks once the swarm drains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chunks import ChunkStore, SparseChunkStore
+
+
+def make_store(n_peers: int, *, n_chunks: int = 8, width: int = 4) -> SparseChunkStore:
+    st = SparseChunkStore(n_chunks, width=width)
+    for pid in range(n_peers):
+        st.add(pid, is_seed=False, joined_at=0.0)
+    return st
+
+
+def assert_adjacency_consistent(st: SparseChunkStore) -> None:
+    """Rows sorted ascending, no pad leakage, and every edge symmetric."""
+    for r in range(st.n):
+        nbrs = st.neighbors(r)
+        assert np.all(np.diff(nbrs) > 0), f"row {r} not strictly sorted"
+        assert np.all(nbrs >= 0) and np.all(nbrs < st.n)
+        assert np.all(st.nbr[r, int(st.deg[r]):] == -1)
+        for u in nbrs:
+            assert r in st.neighbors(int(u)), f"edge {r}-{u} not symmetric"
+
+
+def test_add_rejects_non_increasing_ids():
+    st = SparseChunkStore(4)
+    st.add(3, is_seed=False, joined_at=0.0)
+    with pytest.raises(ValueError, match="strictly increasing"):
+        st.add(3, is_seed=False, joined_at=0.0)
+
+
+def test_seed_row_packed_initialisation():
+    st = SparseChunkStore(70)  # spans two packed words, last one partial
+    st.add(0, is_seed=True, joined_at=1.0)
+    st.add(1, is_seed=False, joined_at=2.0)
+    assert st.own[0].all() and not st.own[1].any()
+    assert st.n_owned[0] == 70 and st.n_owned[1] == 0
+    # packed shadow agrees with the boolean matrix, incl. the tail word
+    assert np.array_equal(st.own_packed[0], st._full_words)
+    assert not st.own_packed[1].any()
+
+
+def test_set_owned_tracks_packed_shadow():
+    st = SparseChunkStore(130)  # three words
+    st.add(0, is_seed=False, joined_at=0.0)
+    for chunk in (0, 63, 64, 129):
+        st.set_owned(0, chunk)
+    expect = np.zeros(130, dtype=bool)
+    expect[[0, 63, 64, 129]] = True
+    assert np.array_equal(st.own[0], expect)
+    before = st.own_packed[0].copy()
+    st.repack_row(0)
+    assert np.array_equal(st.own_packed[0], before)
+    assert st.n_owned[0] == 4
+
+
+def test_connect_new_keeps_rows_sorted_and_symmetric():
+    st = make_store(6, width=2)
+    st.connect_new(3, np.array([0, 2]))
+    st.connect_new(4, np.array([0, 2, 3]))  # forces a width grow
+    st.connect_new(5, np.array([1, 4]))
+    assert_adjacency_consistent(st)
+    assert list(st.neighbors(0)) == [3, 4]
+    assert list(st.neighbors(4)) == [0, 2, 3, 5]
+    assert st._width >= 4
+
+
+def test_edge_index_round_trip_and_missing_edge():
+    st = make_store(5)
+    st.connect_new(3, np.array([0, 2]))
+    j = st.edge_index(3, 2)
+    assert st.nbr[3, j] == 2
+    assert st.edge_index(2, 3) == 0
+    with pytest.raises(KeyError):
+        st.edge_index(3, 1)
+
+
+def test_compact_drops_edges_and_remaps_survivors():
+    st = make_store(5)
+    st.connect_new(2, np.array([0, 1]))
+    st.connect_new(3, np.array([0, 2]))
+    st.connect_new(4, np.array([1, 3]))
+    # distinctive per-edge tallies: r_cur_e[r, j] identifies (r, neighbor)
+    for r in range(5):
+        for j in range(int(st.deg[r])):
+            st.r_cur_e[r, j] = 10 * r + int(st.nbr[r, j])
+    st.recv_total_cur[4] = 0.5
+    st.compact([2])
+    assert st.n == 4
+    assert list(st.peer_id[:4]) == [0, 1, 3, 4]
+    assert_adjacency_consistent(st)
+    # old row 3 (now 2) lost its edge to dropped row 2 but kept row 0 and
+    # old row 4 (now 3); surviving tally columns moved with their edges
+    assert list(st.neighbors(2)) == [0, 3]
+    assert st.r_cur_e[2, 0] == 30.0 and st.r_cur_e[2, 1] == 34.0
+    # old row 4 (now 3): neighbors 1 and 3->2, tallies follow
+    assert list(st.neighbors(3)) == [1, 2]
+    assert st.r_cur_e[3, 0] == 41.0 and st.r_cur_e[3, 1] == 43.0
+    # received totals survive the departure of their source
+    assert st.recv_total_cur[3] == 0.5
+
+
+def test_compact_shrinks_capacity_when_mostly_empty():
+    st = SparseChunkStore(4, capacity=16)
+    for pid in range(600):
+        st.add(pid, is_seed=False, joined_at=0.0)
+    grown = st._cap
+    assert grown >= 600
+    st.compact(list(range(10, 600)))
+    assert st.n == 10 and st._cap < grown
+    assert st.nbr.shape[0] == st._cap and st.own.shape[0] == st._cap
+    assert len(st.partials) == 10 and len(st.active) == 10
+
+
+def test_rollover_swaps_edge_tallies_and_clears_active():
+    st = make_store(3)
+    st.connect_new(2, np.array([0, 1]))
+    st.r_cur_e[2, 0] = 0.3
+    st.recv_total_cur[2] = 0.3
+    st.active[2].add(1)
+    st.rollover()
+    assert st.r_prev_e[2, 0] == 0.3 and st.r_cur_e[2, 0] == 0.0
+    assert st.recv_total_prev[2] == 0.3 and st.recv_total_cur[2] == 0.0
+    assert st.active_chunk_set(2) == set()
+
+
+def test_received_dict_keys_by_peer_id():
+    st = SparseChunkStore(4)
+    for pid in (5, 9, 12):
+        st.add(pid, is_seed=False, joined_at=0.0)
+    st.connect_new(2, np.array([0, 1]))
+    st.r_cur_e[2, 0] = 0.25  # from row 0 == peer 5
+    assert st.received_dict(2, prev=False) == {5: 0.25}
+    assert st.received_dict(2, prev=True) == {}
+
+
+def test_partials_dict_preserves_creation_order():
+    st = make_store(1)
+    st.partials[0][4] = [0.01, 0.01, 0.0]
+    st.partials[0][1] = [0.02, 0.0, 0.02]
+    assert list(st.partials_dict(0)) == [4, 1]
+    st.clear_partials(0)
+    assert st.partials_dict(0) == {}
+
+
+def test_nbytes_scales_with_degree_not_peers():
+    """The headline claim: per-peer state is O(chunks + degree), so a
+    bounded-degree store at P peers is far smaller than the dense
+    store's O(P) per-peer rows."""
+    P, C, d = 2048, 64, 8
+    sparse = SparseChunkStore(C, capacity=P, width=2 * d)
+    dense = ChunkStore(C, capacity=P)
+    for pid in range(P):
+        sparse.add(pid, is_seed=False, joined_at=0.0)
+        dense.add(pid, is_seed=False, joined_at=0.0)
+    # the dense TFT matrices alone (2 x P x P float64) dwarf the whole
+    # sparse allocation
+    dense_tft = dense.r_prev.nbytes + dense.r_cur.nbytes
+    assert sparse.nbytes() < dense_tft / 20
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="n_chunks"):
+        SparseChunkStore(0)
+    with pytest.raises(ValueError, match="capacity"):
+        SparseChunkStore(3, capacity=0)
+    with pytest.raises(ValueError, match="width"):
+        SparseChunkStore(3, width=0)
+
+
+def test_insert_edge_mid_table_keeps_sorted_and_rejects_duplicates():
+    st = make_store(6)
+    st.connect_new(4, np.array([0, 3]))
+    st.insert_edge(1, 4)  # both rows already exist, 1 is mid-table
+    st.insert_edge(1, 5)
+    assert list(st.neighbors(1)) == [4, 5]
+    assert list(st.neighbors(4)) == [0, 1, 3]
+    assert_adjacency_consistent(st)
+    assert st.has_edge(1, 4) and not st.has_edge(1, 3)
+    with pytest.raises(ValueError, match="already connected"):
+        st.insert_edge(4, 1)
+    with pytest.raises(ValueError, match="itself"):
+        st.insert_edge(2, 2)
+
+
+def test_insert_edge_shifts_tallies_with_edges():
+    st = make_store(5)
+    st.connect_new(3, np.array([0, 2]))
+    st.r_cur_e[3, 0] = 30.0  # edge to row 0
+    st.r_cur_e[3, 1] = 32.0  # edge to row 2
+    st.insert_edge(3, 1)  # lands between the two existing edges
+    assert list(st.neighbors(3)) == [0, 1, 2]
+    assert st.r_cur_e[3, 0] == 30.0
+    assert st.r_cur_e[3, 1] == 0.0
+    assert st.r_cur_e[3, 2] == 32.0

@@ -1,13 +1,18 @@
-"""Bit-for-bit equivalence: vectorised ``ChunkSwarm`` vs the scalar oracle.
+"""Bit-for-bit equivalence: array engines vs the scalar oracle.
 
-The vectorised engine is not "statistically similar" to
-:class:`repro.chunks.reference.ReferenceChunkSwarm` -- it replays the exact
-same RNG draw sequence and float accumulation order, so *every* observable
-must match exactly: final bitmaps, download times, the eta numerator and
-denominator, per-peer counters, the full round history, and even the
-terminal ``Generator`` state.  These tests pin that across all unchoke
-policies, super-seeding on/off, seed departure on/off and multiple seeds
-(>= 24 seeded configurations).
+Neither the vectorised ``ChunkSwarm`` nor the full-degree sparse
+``SparseChunkSwarm`` is merely "statistically similar" to
+:class:`repro.chunks.reference.ReferenceChunkSwarm` -- both replay the
+exact same RNG draw sequence and float accumulation order, so *every*
+observable must match exactly: final bitmaps, download times, the eta
+numerator and denominator, per-peer counters, the full round history, and
+even the terminal ``Generator`` state.  These tests pin that across all
+unchoke policies, super-seeding on/off, seed departure on/off and
+multiple seeds, for both engines (>= 48 seeded configurations).  For the
+sparse engine the full-degree (``neighbor_degree=None``) adjacency rows
+enumerate every other peer in ascending-id order, which is exactly the
+oracle's candidate order; its auxiliary tracker/neighbour RNG streams
+never touch the main generator.
 
 One documented representational difference: the scalar engine's
 ``received_*`` dicts keep stale entries from uploaders that have since left
@@ -22,12 +27,21 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.chunks import ChunkSwarm, ChunkSwarmConfig, ReferenceChunkSwarm
+from repro.chunks import (
+    ChunkSwarm,
+    ChunkSwarmConfig,
+    ReferenceChunkSwarm,
+    SparseChunkSwarm,
+)
 
 POLICIES = ("random", "round_robin", "fastest")
 
+#: both array engines are pinned against the oracle; the sparse one runs
+#: in its full-degree (dense-equivalent) mode here
+ENGINES = {"vector": ChunkSwarm, "sparse": SparseChunkSwarm}
 
-def assert_swarms_equal(vec: ChunkSwarm, ref: ReferenceChunkSwarm) -> None:
+
+def assert_swarms_equal(vec, ref: ReferenceChunkSwarm) -> None:
     """Every observable of the two engines matches exactly."""
     assert vec.rng.bit_generator.state == ref.rng.bit_generator.state
     assert vec.now == ref.now
@@ -57,8 +71,8 @@ def assert_swarms_equal(vec: ChunkSwarm, ref: ReferenceChunkSwarm) -> None:
 
 
 def run_both(cfg: ChunkSwarmConfig, *, seed: int, n_seeds: int, n_leech: int,
-             max_rounds: int = 400) -> tuple[ChunkSwarm, ReferenceChunkSwarm]:
-    vec = ChunkSwarm(cfg, seed=seed)
+             max_rounds: int = 400, engine: str = "vector"):
+    vec = ENGINES[engine](cfg, seed=seed)
     ref = ReferenceChunkSwarm(cfg, seed=seed)
     for s in (vec, ref):
         s.add_peers(n_seeds, is_seed=True)
@@ -67,22 +81,28 @@ def run_both(cfg: ChunkSwarmConfig, *, seed: int, n_seeds: int, n_leech: int,
     return vec, ref
 
 
+@pytest.mark.parametrize("engine", sorted(ENGINES))
 @pytest.mark.parametrize("seed", [0, 1])
 @pytest.mark.parametrize("super_seeding", [False, True])
 @pytest.mark.parametrize("policy", POLICIES)
-def test_flash_crowd_equivalence(policy: str, super_seeding: bool, seed: int):
+def test_flash_crowd_equivalence(
+    policy: str, super_seeding: bool, seed: int, engine: str
+):
     """Seeds stay: the full flash-crowd lifecycle matches bit for bit."""
     cfg = ChunkSwarmConfig(
         n_chunks=20, seed_unchoke=policy, super_seeding=super_seeding
     )
-    vec, ref = run_both(cfg, seed=seed, n_seeds=2, n_leech=12)
+    vec, ref = run_both(cfg, seed=seed, n_seeds=2, n_leech=12, engine=engine)
     assert_swarms_equal(vec, ref)
 
 
+@pytest.mark.parametrize("engine", sorted(ENGINES))
 @pytest.mark.parametrize("seed", [0, 1])
 @pytest.mark.parametrize("super_seeding", [False, True])
 @pytest.mark.parametrize("policy", POLICIES)
-def test_departing_seeds_equivalence(policy: str, super_seeding: bool, seed: int):
+def test_departing_seeds_equivalence(
+    policy: str, super_seeding: bool, seed: int, engine: str
+):
     """seed_stays=False: finished peers leave; compaction must not disturb
     the draw order of the remaining rows."""
     cfg = ChunkSwarmConfig(
@@ -91,7 +111,7 @@ def test_departing_seeds_equivalence(policy: str, super_seeding: bool, seed: int
         super_seeding=super_seeding,
         seed_stays=False,
     )
-    vec = ChunkSwarm(cfg, seed=seed)
+    vec = ENGINES[engine](cfg, seed=seed)
     ref = ReferenceChunkSwarm(cfg, seed=seed)
     for s in (vec, ref):
         s.add_peers(2, is_seed=True)
@@ -103,11 +123,12 @@ def test_departing_seeds_equivalence(policy: str, super_seeding: bool, seed: int
     assert_swarms_equal(vec, ref)
 
 
+@pytest.mark.parametrize("engine", sorted(ENGINES))
 @pytest.mark.parametrize("policy", POLICIES)
-def test_churn_equivalence(policy: str):
+def test_churn_equivalence(policy: str, engine: str):
     """Scripted joins and removals mid-download stay in lockstep."""
     cfg = ChunkSwarmConfig(n_chunks=12, seed_unchoke=policy)
-    vec = ChunkSwarm(cfg, seed=7)
+    vec = ENGINES[engine](cfg, seed=7)
     ref = ReferenceChunkSwarm(cfg, seed=7)
     for s in (vec, ref):
         s.add_peer(is_seed=True)
@@ -132,11 +153,14 @@ def test_churn_equivalence(policy: str):
     assert_swarms_equal(vec, ref)
 
 
-def test_eta_accounting_equivalence():
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_eta_accounting_equivalence(engine: str):
     """The eta numerator/denominator (the paper's measured quantity) match
     exactly on a larger config than the lifecycle tests use."""
     cfg = ChunkSwarmConfig(n_chunks=40)
-    vec, ref = run_both(cfg, seed=3, n_seeds=1, n_leech=25, max_rounds=2000)
+    vec, ref = run_both(
+        cfg, seed=3, n_seeds=1, n_leech=25, max_rounds=2000, engine=engine
+    )
     assert vec.downloader_useful == ref.downloader_useful
     assert vec.downloader_capacity == ref.downloader_capacity
     assert vec.seed_useful == ref.seed_useful
@@ -146,11 +170,12 @@ def test_eta_accounting_equivalence():
     assert times_v == times_r
 
 
-def test_select_unchoked_standalone_equivalence():
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_select_unchoked_standalone_equivalence(engine: str):
     """The public choking entry point consumes RNG identically standalone."""
     for policy in POLICIES:
         cfg = ChunkSwarmConfig(n_chunks=10, seed_unchoke=policy)
-        vec = ChunkSwarm(cfg, seed=11)
+        vec = ENGINES[engine](cfg, seed=11)
         ref = ReferenceChunkSwarm(cfg, seed=11)
         for s in (vec, ref):
             s.add_peer(is_seed=True)
@@ -164,14 +189,17 @@ def test_select_unchoked_standalone_equivalence():
         assert vec.rng.bit_generator.state == ref.rng.bit_generator.state
 
 
+@pytest.mark.parametrize("engine", sorted(ENGINES))
 @pytest.mark.parametrize("seed", [0, 1])
 @pytest.mark.parametrize("policy", POLICIES)
-def test_in_order_equivalence(policy: str, seed: int):
+def test_in_order_equivalence(policy: str, seed: int, engine: str):
     """The streaming piece policy matches bit for bit too."""
     cfg = ChunkSwarmConfig(
         n_chunks=20, seed_unchoke=policy, piece_selection="in_order"
     )
-    vec, ref = run_both(cfg, seed=seed, n_seeds=2, n_leech=10, max_rounds=2000)
+    vec, ref = run_both(
+        cfg, seed=seed, n_seeds=2, n_leech=10, max_rounds=2000, engine=engine
+    )
     assert_swarms_equal(vec, ref)
 
 

@@ -152,6 +152,38 @@ class TestChunks:
         with pytest.raises(SpecError, match="chunks: n_chunks"):
             compile_chunks(spec)
 
+    def test_neighbor_degree_defaults_to_full_mixing(self):
+        run = compile_chunks(plain_spec(chunks=ChunkSpec()))
+        assert run.config.neighbor_degree is None
+
+    def test_neighbor_degree_passes_through(self):
+        spec = plain_spec(chunks=ChunkSpec(neighbor_degree=8))
+        assert compile_chunks(spec).config.neighbor_degree == 8
+
+    def test_neighbor_degree_errors_are_path_qualified(self):
+        spec = plain_spec(chunks=ChunkSpec(neighbor_degree=0))
+        with pytest.raises(SpecError, match="chunks: neighbor_degree"):
+            compile_chunks(spec)
+
+    def test_neighbor_degree_selects_sparse_engine_end_to_end(self):
+        """DSL -> compile -> measurement: a bounded degree resolves the
+        'auto' engine to the sparse one and the run completes."""
+        from repro.chunks import SparseChunkSwarm, measure_eta
+        from repro.chunks.measurement import _make_swarm
+
+        spec = plain_spec(
+            chunks=ChunkSpec(
+                n_chunks=10, neighbor_degree=4, n_peers=12, n_seeds=1
+            ),
+        )
+        run = compile_chunks(spec)
+        assert isinstance(_make_swarm("auto", run.config, 0), SparseChunkSwarm)
+        m = measure_eta(
+            n_peers=run.n_peers, n_seeds=run.n_seeds,
+            config=run.config, seed=run.seed, max_rounds=run.max_rounds,
+        )
+        assert 0.0 < m.eta_effective <= 1.0
+
 
 class TestSupportMatrix:
     def test_plain_spec_compiles_to_fluid_and_sim(self):

@@ -101,6 +101,10 @@ class TestRejection:
             ({"workload": {"p": 0.5, "warp": 1}}, r"workload: unknown keys"),
             ({"params": {"mu": "fast"}}, r"params\.mu: expected a number"),
             ({"params": {"num_files": 2.5}}, r"params\.num_files: expected an int"),
+            (
+                {"chunks": {"neighbor_degree": "dense"}},
+                r"chunks\.neighbor_degree: expected an int",
+            ),
             ({"scheme": "WARP"}, r"scheme: unknown Scheme 'WARP'"),
             ({"chunks": {"seed_stays": 1}}, r"chunks\.seed_stays: expected a bool"),
             ({"chunks": {"n_chunks": None}}, r"chunks\.n_chunks: expected int, got null"),

@@ -18,22 +18,42 @@ sys.modules["bench_compare"] = bench_compare
 _SPEC.loader.exec_module(bench_compare)
 
 
-def _payload(results: dict[str, float]) -> str:
+def _payload(results: dict[str, float], memory: dict[str, int] | None = None) -> str:
+    memory = memory or {}
     return json.dumps(
         {
             "schema": "repro-bt/bench-results/v1",
             "results": {
-                nodeid: {"wall_clock_s": s, "counters": {}}
+                nodeid: {
+                    "wall_clock_s": s,
+                    **(
+                        {"max_rss_kb": memory[nodeid]}
+                        if nodeid in memory
+                        else {}
+                    ),
+                    "counters": {},
+                }
                 for nodeid, s in results.items()
             },
         }
     )
 
 
+def _times(results: dict[str, float]) -> dict[str, dict[str, float]]:
+    """Result maps with wall-clock only (the pre-memory baseline shape)."""
+    return {nodeid: {"wall_clock_s": s} for nodeid, s in results.items()}
+
+
 class TestLoadResults:
     def test_extracts_wall_clock(self):
         loaded = bench_compare.load_results(_payload({"a": 1.5, "b": 0.25}))
-        assert loaded == {"a": 1.5, "b": 0.25}
+        assert loaded == _times({"a": 1.5, "b": 0.25})
+
+    def test_extracts_memory_when_present(self):
+        loaded = bench_compare.load_results(
+            _payload({"a": 1.5}, memory={"a": 2048})
+        )
+        assert loaded == {"a": {"wall_clock_s": 1.5, "max_rss_kb": 2048.0}}
 
     def test_skips_records_without_wall_clock(self):
         text = json.dumps({"results": {"a": {"counters": {}}}})
@@ -42,38 +62,70 @@ class TestLoadResults:
 
 class TestCompare:
     def test_flags_regressions_beyond_threshold(self):
-        base = {"a": 1.0, "b": 1.0, "c": 1.0}
-        fresh = {"a": 1.4, "b": 1.1, "c": 0.5}
-        regs, added, removed = bench_compare.compare(base, fresh, threshold=0.25)
+        base = _times({"a": 1.0, "b": 1.0, "c": 1.0})
+        fresh = _times({"a": 1.4, "b": 1.1, "c": 0.5})
+        regs, mem, added, removed = bench_compare.compare(
+            base, fresh, threshold=0.25
+        )
         assert [d.nodeid for d in regs] == ["a"]
         assert regs[0].ratio == pytest.approx(0.4)
-        assert added == [] and removed == []
+        assert mem == [] and added == [] and removed == []
 
     def test_sorted_worst_first(self):
-        base = {"a": 1.0, "b": 1.0}
-        fresh = {"a": 1.5, "b": 2.0}
-        regs, _, _ = bench_compare.compare(base, fresh, threshold=0.25)
+        base = _times({"a": 1.0, "b": 1.0})
+        fresh = _times({"a": 1.5, "b": 2.0})
+        regs, _, _, _ = bench_compare.compare(base, fresh, threshold=0.25)
         assert [d.nodeid for d in regs] == ["b", "a"]
 
     def test_reports_added_and_removed(self):
-        regs, added, removed = bench_compare.compare(
-            {"old": 1.0}, {"new": 1.0}, threshold=0.25
+        regs, mem, added, removed = bench_compare.compare(
+            _times({"old": 1.0}), _times({"new": 1.0}), threshold=0.25
         )
-        assert regs == []
+        assert regs == [] and mem == []
         assert added == ["new"] and removed == ["old"]
 
     def test_ignores_sub_jitter_absolute_drift(self):
         """A 0.001s -> 0.002s flip is 100% 'slower' but pure noise."""
-        regs, _, _ = bench_compare.compare(
-            {"tiny": 0.001}, {"tiny": 0.002}, threshold=0.25
+        regs, _, _, _ = bench_compare.compare(
+            _times({"tiny": 0.001}), _times({"tiny": 0.002}), threshold=0.25
         )
         assert regs == []
 
     def test_improvements_never_flagged(self):
-        regs, _, _ = bench_compare.compare(
-            {"a": 10.0}, {"a": 1.0}, threshold=0.25
+        regs, _, _, _ = bench_compare.compare(
+            _times({"a": 10.0}), _times({"a": 1.0}), threshold=0.25
         )
         assert regs == []
+
+
+class TestCompareMemory:
+    @staticmethod
+    def _with_mem(times: dict[str, float], mem: dict[str, float]):
+        return {
+            n: {"wall_clock_s": t, "max_rss_kb": mem[n]}
+            for n, t in times.items()
+        }
+
+    def test_flags_large_memory_regression(self):
+        base = self._with_mem({"a": 1.0}, {"a": 200_000.0})
+        fresh = self._with_mem({"a": 1.0}, {"a": 400_000.0})
+        _, mem, _, _ = bench_compare.compare(base, fresh, threshold=0.25)
+        assert [d.nodeid for d in mem] == ["a"]
+        assert mem[0].ratio == pytest.approx(1.0)
+        assert mem[0].metric == "max_rss_kb"
+
+    def test_small_absolute_growth_is_noise(self):
+        """Doubling 10 MiB is below the 64 MiB absolute floor."""
+        base = self._with_mem({"a": 1.0}, {"a": 10_240.0})
+        fresh = self._with_mem({"a": 1.0}, {"a": 20_480.0})
+        _, mem, _, _ = bench_compare.compare(base, fresh, threshold=0.25)
+        assert mem == []
+
+    def test_baseline_without_memory_rows_skips_memory_pass(self):
+        base = _times({"a": 1.0})
+        fresh = self._with_mem({"a": 1.0}, {"a": 800_000.0})
+        regs, mem, _, _ = bench_compare.compare(base, fresh, threshold=0.25)
+        assert regs == [] and mem == []
 
 
 class TestFormatReport:
@@ -85,6 +137,15 @@ class TestFormatReport:
         assert "bench::slow" in report
         assert "+100%" in report
         assert "threshold 25%" in report
+
+    def test_memory_regressions_reported_in_mib(self):
+        d = bench_compare.Delta("bench::fat", 102_400.0, 204_800.0, "max_rss_kb")
+        report = bench_compare.format_report(
+            [], [], [], threshold=0.25, n_compared=2, mem_regressions=[d]
+        )
+        assert "bench::fat" in report
+        assert "100MiB -> 200MiB" in report
+        assert "+100%" in report
 
     def test_clean_run_message(self):
         report = bench_compare.format_report(
@@ -116,6 +177,17 @@ class TestMain:
         )
         assert rc == 1
         assert "+100%" in capsys.readouterr().out
+
+    def test_exit_one_on_memory_regression(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        base.write_text(_payload({"a": 1.0}, memory={"a": 100_000}))
+        fresh.write_text(_payload({"a": 1.0}, memory={"a": 300_000}))
+        rc = bench_compare.main(
+            ["--baseline", str(base), "--fresh", str(fresh)]
+        )
+        assert rc == 1
+        assert "memory regression" in capsys.readouterr().out
 
     def test_missing_files_skip_cleanly(self, tmp_path, capsys):
         rc = bench_compare.main(
