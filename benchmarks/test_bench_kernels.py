@@ -97,6 +97,7 @@ def test_bench_neighbor_kernel_speedup(benchmark):
 
     def cold_recompute():
         swarm._topology_cache = None  # force the adjacency rebuild
+        swarm._topo_state = None  # ... all the way, not the incremental gather
         swarm.recompute_rates(ETA)
 
     cold_s = _best_of(cold_recompute, repeats=5)

@@ -1,0 +1,130 @@
+"""Micro-bench justifying ``SCALAR_KERNEL_CUTOFF`` (the scalar/vector split).
+
+Swarms at or below the cutoff run pure-Python scalar kernel paths; above
+it they run the vectorised NumPy kernels.  The constant claims that ufunc
+launch overhead dominates the arithmetic for small swarms -- this bench
+measures both paths at the *same* sizes (by overriding the cutoff) for
+the two hottest consumers, the mesh rate kernel and the completion-time
+scan, and asserts the ordering the constant encodes:
+
+* at 16 rows the scalar path must win (launch overhead dominates);
+* at 512 rows the vectorised path must win (arithmetic dominates);
+* the measured crossover for each kernel is reported in ``extra_info``
+  so drift is visible in BENCH_results.json history.
+
+The exact crossover wobbles with hardware and NumPy version (~48-160
+rows on the reference container); the assertions bracket it loosely so
+the bench pins the *shape*, not a machine-specific number.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+import repro.sim.swarm as swarm_module
+from benchmarks.conftest import run_once
+from repro.obs import current_registry
+from repro.sim import DownloadEntry, SwarmGroup
+from repro.sim.swarm import SCALAR_KERNEL_CUTOFF
+
+ETA = 0.5
+
+SIZES = (16, 32, 64, 128, 256, 512)
+
+
+def _build_mesh_swarm(n_peers: int, seed: int):
+    rng = np.random.default_rng(seed)
+    group = SwarmGroup(0, (0,), eta=ETA)
+    swarm = group.swarms[0]
+    for uid in range(n_peers):
+        group.add_downloader(
+            DownloadEntry(
+                user_id=uid,
+                file_id=0,
+                user_class=1,
+                stage=1,
+                tft_upload=float(rng.uniform(0.005, 0.04)),
+                download_cap=float(rng.uniform(0.05, 0.5)),
+                remaining=float(rng.uniform(0.05, 1.0)),
+            )
+        )
+    group.add_seed(n_peers, 0, bandwidth=0.4, user_class=1, virtual=True)
+    group.add_seed(n_peers + 1, 0, bandwidth=0.3, user_class=1, virtual=False)
+    return group, swarm
+
+
+def _best_of(fn, repeats: int, inner: int) -> float:
+    """Best per-call seconds over ``repeats`` timed loops of ``inner`` calls."""
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / inner)
+    return best
+
+
+def _time_both_paths(fn) -> tuple[float, float]:
+    """(scalar_seconds, vector_seconds) for ``fn`` at its current size."""
+    saved = swarm_module.SCALAR_KERNEL_CUTOFF
+    try:
+        swarm_module.SCALAR_KERNEL_CUTOFF = 1 << 30  # force the scalar path
+        scalar_s = _best_of(fn, repeats=7, inner=50)
+        swarm_module.SCALAR_KERNEL_CUTOFF = 0  # force the vector path
+        vector_s = _best_of(fn, repeats=7, inner=50)
+    finally:
+        swarm_module.SCALAR_KERNEL_CUTOFF = saved
+    return scalar_s, vector_s
+
+
+def _crossover(ratios: dict[int, float]) -> int:
+    """Largest size where the scalar path still won (0 if it never did)."""
+    winning = [n for n, r in ratios.items() if r < 1.0]
+    return max(winning, default=0)
+
+
+def test_bench_scalar_cutoff(benchmark):
+    """Measure the scalar/vector crossover bracketing SCALAR_KERNEL_CUTOFF."""
+    mesh_ratio: dict[int, float] = {}  # scalar_t / vector_t per size
+    scan_ratio: dict[int, float] = {}
+    for n in SIZES:
+        _, swarm = _build_mesh_swarm(n, seed=n)
+        scalar_s, vector_s = _time_both_paths(lambda: swarm.recompute_rates(ETA))
+        mesh_ratio[n] = scalar_s / vector_s
+        swarm.recompute_rates(ETA)
+        scalar_s, vector_s = _time_both_paths(swarm.next_completion_time)
+        scan_ratio[n] = scalar_s / vector_s
+
+    _, swarm = _build_mesh_swarm(SCALAR_KERNEL_CUTOFF, seed=1)
+    run_once(benchmark, lambda: swarm.recompute_rates(ETA))
+
+    benchmark.extra_info["cutoff"] = SCALAR_KERNEL_CUTOFF
+    benchmark.extra_info["mesh_scalar_over_vector"] = {
+        n: round(r, 3) for n, r in mesh_ratio.items()
+    }
+    benchmark.extra_info["scan_scalar_over_vector"] = {
+        n: round(r, 3) for n, r in scan_ratio.items()
+    }
+    benchmark.extra_info["mesh_crossover"] = _crossover(mesh_ratio)
+    benchmark.extra_info["scan_crossover"] = _crossover(scan_ratio)
+    reg = current_registry()
+    reg.inc("bench.scalar_cutoff.mesh_crossover", _crossover(mesh_ratio))
+    reg.inc("bench.scalar_cutoff.scan_crossover", _crossover(scan_ratio))
+
+    # The constant's claim: scalar wins below the cutoff, vector wins well
+    # above it.  1.25 slack absorbs timer noise on loaded machines.
+    assert mesh_ratio[16] < 1.25, (
+        f"scalar mesh kernel should win at 16 rows, ratio {mesh_ratio[16]:.2f}"
+    )
+    assert scan_ratio[16] < 1.25, (
+        f"scalar completion scan should win at 16 rows, ratio {scan_ratio[16]:.2f}"
+    )
+    assert mesh_ratio[512] > 1.0, (
+        f"vector mesh kernel should win at 512 rows, ratio {mesh_ratio[512]:.2f}"
+    )
+    assert scan_ratio[512] > 1.0, (
+        f"vector completion scan should win at 512 rows, ratio {scan_ratio[512]:.2f}"
+    )

@@ -47,7 +47,7 @@ from repro.core import (
     evaluate_scheme,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AdaptController",

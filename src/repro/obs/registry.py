@@ -152,6 +152,29 @@ class MetricsRegistry:
             hist = self.histograms[name] = HistogramSummary()
         hist.observe(float(value))
 
+    def observe_many(
+        self, name: str, count: int, total: float, min_value: float, max_value: float
+    ) -> None:
+        """Fold a pre-aggregated batch of observations into histogram ``name``.
+
+        Equivalent to ``count`` calls to :meth:`observe` whose sum is
+        ``total`` and whose extremes are ``min_value`` / ``max_value`` --
+        hot loops (the simulator's batched event dispatcher) aggregate
+        locally and pay one registry call per batch instead of one per
+        event.  ``count == 0`` is a no-op.
+        """
+        if count <= 0:
+            return
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = HistogramSummary()
+        hist.count += int(count)
+        hist.total += float(total)
+        if min_value < hist.min:
+            hist.min = float(min_value)
+        if max_value > hist.max:
+            hist.max = float(max_value)
+
     def time(self, name: str) -> _Timer:
         """Context manager recording elapsed seconds into histogram ``name``."""
         return _Timer(self, name)
@@ -214,6 +237,11 @@ class _NullRegistry(MetricsRegistry):
         return None
 
     def observe(self, name: str, value: float) -> None:
+        return None
+
+    def observe_many(
+        self, name: str, count: int, total: float, min_value: float, max_value: float
+    ) -> None:
         return None
 
     def time(self, name: str) -> _NullTimer:  # type: ignore[override]

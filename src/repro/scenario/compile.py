@@ -155,6 +155,7 @@ def compile_sim(spec: ScenarioSpec) -> ScenarioConfig:
             seed_lifetime_distribution=spec.churn.seed_lifetime,
             neighbor_limit=sim.neighbor_limit,
             incremental_rates=sim.incremental_rates,
+            incremental_dispatch=sim.incremental_dispatch,
             deferred_integration=sim.deferred_integration,
         )
     except ValueError as exc:

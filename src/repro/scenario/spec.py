@@ -293,6 +293,7 @@ class SimSpec:
     sample_interval: float = 10.0
     neighbor_limit: int | None = None
     incremental_rates: bool = True
+    incremental_dispatch: bool = True
     deferred_integration: bool = True
 
     def __post_init__(self) -> None:

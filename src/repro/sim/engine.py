@@ -68,6 +68,11 @@ def _callback_metric(callback: Callable[[], None]) -> str:
 #: more than the dead entries they carry
 COMPACT_MIN_TOMBSTONES = 64
 
+#: how many events the batched dispatcher drains from the heap per refill;
+#: large enough to amortise the per-batch bookkeeping, small enough that the
+#: in-flight window (events popped but not yet fired) stays cache-friendly
+DISPATCH_BATCH = 128
+
 
 class EventHandle:
     """Opaque handle returned by :meth:`EventQueue.schedule`.
@@ -75,13 +80,20 @@ class EventHandle:
     ``cancelled`` is also set when the event fires (a spent handle), so
     cancelling an already-fired handle is a no-op and the queue's
     tombstone count stays exact.
+
+    ``in_flight`` marks a handle the batched dispatcher has popped off the
+    heap but not yet fired.  Cancelling an in-flight handle must still
+    suppress the callback (bit-exactness against the per-event oracle) but
+    must *not* count a tombstone -- the entry is no longer in the heap, so
+    there is nothing for :meth:`EventQueue._compact` to reclaim.
     """
 
-    __slots__ = ("time", "cancelled")
+    __slots__ = ("time", "cancelled", "in_flight")
 
     def __init__(self, time: float):
         self.time = time
         self.cancelled = False
+        self.in_flight = False
 
 
 class EventQueue:
@@ -125,8 +137,13 @@ class EventQueue:
         if handle.cancelled:
             return  # already cancelled, or already fired
         handle.cancelled = True
-        self._n_tombstones += 1
         self.cancelled_total += 1
+        if handle.in_flight:
+            # Popped by the batched dispatcher, awaiting its turn: the
+            # entry left the heap already, so it is not a tombstone.  The
+            # dispatcher sees ``cancelled`` and skips (or drops) it.
+            return
+        self._n_tombstones += 1
         if (
             self._n_tombstones >= COMPACT_MIN_TOMBSTONES
             and 2 * self._n_tombstones > len(self._heap)
@@ -134,8 +151,14 @@ class EventQueue:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without tombstones (linear-time heapify)."""
-        self._heap = [item for item in self._heap if not item[3].cancelled]
+        """Rebuild the heap without tombstones (linear-time heapify).
+
+        Mutates the heap list *in place*: the batched dispatcher binds the
+        list to a local for the duration of a run, and a compaction
+        triggered from inside a callback must not strand that binding on a
+        stale list.
+        """
+        self._heap[:] = [item for item in self._heap if not item[3].cancelled]
         heapq.heapify(self._heap)
         self._n_tombstones = 0
         self.compactions += 1
@@ -164,12 +187,28 @@ class Simulator:
     The clock only moves when events fire; schedule everything relative to
     :attr:`now`.  ``run_until`` processes events with ``time <= t_end`` and
     then sets the clock to ``t_end`` exactly.
+
+    With ``incremental_dispatch=True`` (the default) ``run_until`` drains
+    *runs* of events from the heap front in one go -- up to
+    :data:`DISPATCH_BATCH` at a time -- instead of paying the
+    peek/pop/bookkeeping cycle per event.  Fired order is identical to the
+    per-event loop: the remaining run is merged against the live heap top
+    after every callback, so an event scheduled mid-run that sorts earlier
+    than the rest of the run fires first, exactly as the oracle would.
+    ``incremental_dispatch=False`` forces the per-event oracle loop;
+    results are bit-identical by contract
+    (``tests/sim/test_incremental.py`` pins it).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, incremental_dispatch: bool = True) -> None:
         self.queue = EventQueue()
         self.now = 0.0
+        self.incremental_dispatch = incremental_dispatch
         self._events_processed = 0
+        #: batched-dispatch runs drained so far (0 under the oracle loop)
+        self.batches = 0
+        #: events dispatched through those runs (``sim.events.batched``)
+        self.batched_events = 0
 
     @property
     def events_processed(self) -> int:
@@ -208,7 +247,11 @@ class Simulator:
             raise ValueError(f"t_end={t_end} is before now={self.now}")
         reg = current_registry()
         if reg.enabled:
+            if self.incremental_dispatch:
+                return self._run_until_batched(t_end, max_events, reg)
             return self._run_until_instrumented(t_end, max_events, reg)
+        if self.incremental_dispatch:
+            return self._run_until_batched(t_end, max_events, None)
         fired = 0
         while True:
             t_next = self.queue.next_time()
@@ -229,6 +272,165 @@ class Simulator:
             fired += 1
             self._events_processed += 1
         self.now = t_end
+        return fired
+
+    def _run_until_batched(self, t_end: float, max_events: int | None, reg) -> int:
+        """``run_until`` draining batches of heap entries per refill.
+
+        The inner loop is a two-way merge between the drained run (already
+        sorted -- it came off the heap in order) and the live heap top, so
+        callbacks that schedule new events inside the run's time span keep
+        the exact oracle firing order without any push-back churn.  When
+        ``reg`` is a live registry, instrumentation is aggregated per
+        batch (one ``perf_counter`` pair and one registry call per metric
+        per run instead of several per event) with event counts preserved
+        exactly.
+        """
+        queue = self.queue
+        heap = queue._heap  # _compact mutates in place; binding stays valid
+        pop, push = heapq.heappop, heapq.heappush
+        instrumented = reg is not None
+        if instrumented:
+            tracer_span = current_tracer().span("sim.run_until", t_end=t_end)
+            tracer_span.__enter__()
+            cancelled_before = queue.cancelled_total
+            compactions_before = queue.compactions
+            started = time.perf_counter()
+            batch_t0 = started
+            depth_count = 0
+            depth_total = 0
+            depth_min = math.inf
+            depth_max = -math.inf
+            cb_counts: dict[str, int] = {}
+        fired = 0
+        batch: list = []
+        try:
+            while True:
+                # Refill: drain a run of live entries off the heap front.
+                del batch[:]
+                while heap and heap[0][0] <= t_end and len(batch) < DISPATCH_BATCH:
+                    item = pop(heap)
+                    if item[3].cancelled:
+                        queue._n_tombstones -= 1
+                        continue
+                    item[3].in_flight = True
+                    batch.append(item)
+                n = len(batch)
+                if not n:
+                    break
+                self.batches += 1
+                self.batched_events += n
+                if instrumented:
+                    reg.inc("sim.events.batched", n)
+                    reg.observe("sim.events.batch_size", n)
+                    batch_t0 = time.perf_counter()
+                i = 0
+                while i < n:
+                    # Merge against the heap: a callback may have scheduled
+                    # an event sorting before the rest of the run.  Entry
+                    # tuples start (time, priority, seq) with seq unique, so
+                    # tuple comparison never reaches the handles.
+                    if heap and heap[0] < batch[i]:
+                        item = heap[0]
+                        handle = item[3]
+                        if handle.cancelled:
+                            pop(heap)
+                            queue._n_tombstones -= 1
+                            continue
+                        if max_events is not None and fired >= max_events:
+                            raise RuntimeError(
+                                f"exceeded max_events={max_events} before "
+                                f"reaching t_end={t_end}"
+                            )
+                        pop(heap)
+                    else:
+                        item = batch[i]
+                        handle = item[3]
+                        if handle.cancelled:
+                            handle.in_flight = False
+                            i += 1
+                            continue
+                        if max_events is not None and fired >= max_events:
+                            raise RuntimeError(
+                                f"exceeded max_events={max_events} before "
+                                f"reaching t_end={t_end}"
+                            )
+                        handle.in_flight = False
+                        i += 1
+                    handle.cancelled = True  # spent: late cancels are no-ops
+                    event_time = item[0]
+                    if event_time > self.now:
+                        self.now = event_time
+                    if instrumented:
+                        depth = len(heap) + n - i
+                        depth_count += 1
+                        depth_total += depth
+                        if depth < depth_min:
+                            depth_min = depth
+                        if depth > depth_max:
+                            depth_max = depth
+                        metric = _callback_metric(item[4])
+                        cb_counts[metric] = cb_counts.get(metric, 0) + 1
+                    item[4]()
+                    fired += 1
+                if instrumented and depth_count:
+                    # Per-callback-type timing attributed evenly across the
+                    # run (one timer pair per batch, counts exact), plus
+                    # the queue-depth trace, one registry call per metric.
+                    elapsed = time.perf_counter() - batch_t0
+                    reg.observe_many(
+                        "sim.queue_depth",
+                        depth_count,
+                        depth_total,
+                        depth_min,
+                        depth_max,
+                    )
+                    mean = elapsed / depth_count
+                    for metric, count in cb_counts.items():
+                        reg.observe_many(metric, count, count * mean, mean, mean)
+                    depth_count = 0
+                    depth_total = 0
+                    depth_min = math.inf
+                    depth_max = -math.inf
+                    cb_counts.clear()
+            self.now = t_end
+        finally:
+            self._events_processed += fired
+            if instrumented:
+                if depth_count:
+                    # max_events raised mid-run: flush the partial batch so
+                    # histogram counts still total ``fired`` exactly.
+                    elapsed = time.perf_counter() - batch_t0
+                    reg.observe_many(
+                        "sim.queue_depth",
+                        depth_count,
+                        depth_total,
+                        depth_min,
+                        depth_max,
+                    )
+                    mean = elapsed / depth_count
+                    for metric, count in cb_counts.items():
+                        reg.observe_many(metric, count, count * mean, mean, mean)
+                reg.inc("sim.events", fired)
+                reg.inc("sim.run_until_calls")
+                reg.inc(
+                    "sim.queue.cancelled", queue.cancelled_total - cancelled_before
+                )
+                reg.inc(
+                    "sim.queue.compactions", queue.compactions - compactions_before
+                )
+                reg.observe("sim.run_until_seconds", time.perf_counter() - started)
+                tracer_span.__exit__(None, None, None)
+            # On a max_events raise, return unfired in-flight entries so the
+            # queue is intact for inspection (clock stays at the last fired
+            # event's time, exactly like the oracle loop).
+            if batch:
+                remaining = [it for it in batch if it[3].in_flight]
+                if remaining:
+                    for item in remaining:
+                        item[3].in_flight = False
+                        if not item[3].cancelled:
+                            push(heap, item)
         return fired
 
     def _run_until_instrumented(

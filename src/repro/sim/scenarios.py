@@ -76,6 +76,10 @@ class ScenarioConfig:
         Allow the system's incremental (dirty-row) rate recomputation path.
         Disable to force a full kernel pass on every flush -- results must
         be identical; this exists for equivalence testing and debugging.
+    incremental_dispatch:
+        Allow the simulator's batched event dispatch.  Disable to force
+        the per-event dispatch loop -- results must be identical; this
+        exists for equivalence testing and debugging.
     deferred_integration:
         Allow the system to defer per-row progress integration inside
         :class:`~repro.sim.bandwidth.RateWindow` windows.  Disable to
@@ -102,6 +106,7 @@ class ScenarioConfig:
     seed_lifetime_distribution: str = "exponential"
     neighbor_limit: int | None = None
     incremental_rates: bool = True
+    incremental_dispatch: bool = True
     deferred_integration: bool = True
 
     def __post_init__(self) -> None:
@@ -151,6 +156,7 @@ def build_simulation(
         seed_lifetime_distribution=config.seed_lifetime_distribution,
         neighbor_limit=config.neighbor_limit,
         incremental_rates=config.incremental_rates,
+        incremental_dispatch=config.incremental_dispatch,
         deferred_integration=config.deferred_integration,
     )
 

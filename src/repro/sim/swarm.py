@@ -51,16 +51,35 @@ from repro.sim.bandwidth import RateWindow
 from repro.sim.entities import DownloadEntry, UserRecord
 from repro.sim.peerstore import PeerStore
 
-__all__ = ["SeedPolicy", "Swarm", "SwarmGroup", "WorkSnapshot"]
+__all__ = [
+    "SCALAR_KERNEL_CUTOFF",
+    "SeedPolicy",
+    "Swarm",
+    "SwarmGroup",
+    "WorkSnapshot",
+]
 
-#: swarms at or below this size take scalar (pure-Python) kernel paths --
+#: Swarms at or below this size take scalar (pure-Python) kernel paths --
 #: a dozen ufunc launches cost ~40us regardless of n, which dwarfs the
 #: arithmetic for the small swarms event-driven runs are made of.  The
 #: scalar loops perform the same IEEE operations element-wise, so results
 #: are identical; only the capacity *sum* differs in rounding from NumPy's
 #: pairwise reduction, and the path choice depends only on n (part of the
 #: simulation state), so every run makes the same choice deterministically.
-_SCALAR_N = 64
+#:
+#: The value is *measured*, not guessed:
+#: ``benchmarks/test_bench_scalar_cutoff.py`` sweeps the mesh rate kernel
+#: and the completion-time scan across swarm sizes bracketing this
+#: constant and asserts the scalar path wins below it and the vectorised
+#: path wins well above it.  On the reference container (Linux x86-64,
+#: NumPy 2.x) the measured crossover is ~45 rows for the mesh kernel and
+#: ~90 for the completion scan; 64 sits between the two, so each kernel
+#: pays at most a mild loss near the boundary and never a blow-up.
+#: Re-run the micro-bench when changing it.
+SCALAR_KERNEL_CUTOFF = 64
+
+#: Backwards-compatible alias (pre-promotion name).
+_SCALAR_N = SCALAR_KERNEL_CUTOFF
 
 
 class SeedPolicy(enum.Enum):
@@ -177,6 +196,113 @@ class _SeedTable(_VersionedDict):
         return super().setdefault(key, default)
 
 
+class _TopoState:
+    """Incrementally maintained neighbour-topology matrices for one swarm.
+
+    The full :meth:`Swarm._neighbor_topology` rebuild flattens every
+    tracker sample and reconstructs the boolean adjacency and the
+    seed-reach matrix from scratch -- O(edges + n^2) per structural
+    change, which dominates tracker-limited runs (every join, leave and
+    seed transition is a structural change).  This state keeps those
+    matrices *live* instead: each mutation updates the affected row and
+    column in O(degree) (or one vectorised row/column copy), keyed to the
+    same version counters the product cache uses.
+
+    Invariants:
+
+    * ``adj[:n, :n]`` equals the full rebuild's symmetrised, zero-diagonal
+      adjacency; everything outside that block is ``False``.
+    * ``conn[i, :n]`` for ``i < len(row_users)`` equals the full rebuild's
+      reach row of seed user ``row_users[i]`` (one row per seed *user*,
+      bandwidth filtering happens at gather time); rows/columns beyond the
+      used block are ``0.0``.
+    * ``rev[v]`` is the set of users whose sample contains ``v`` (the
+      reverse of the tracker-sample dict), so ``connected(u, v)`` is
+      equivalent to ``v in neighbors[u] or v in rev_entry`` lookups in
+      O(1) without scanning the population.
+    * ``versions`` is what the four tracked version counters *should* read
+      if every mutation since the last sync was journalled through the
+      notify hooks.  Any direct mutation (tests poke the dicts) makes the
+      real counters run ahead; the mismatch is detected at the next hook
+      or gather and the state is dropped -- correctness never depends on
+      callers using the hooks.
+    """
+
+    __slots__ = (
+        "versions",
+        "slot_user",
+        "slot_of",
+        "adj",
+        "conn",
+        "seed_rows",
+        "row_users",
+        "rev",
+        "prod",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        adjacency: "np.ndarray | None",
+        user_ids: np.ndarray,
+        seed_ids: "np.ndarray | None",
+        reach: "np.ndarray | None",
+        neighbors: Mapping[int, set],
+        versions: tuple,
+    ):
+        cap = 16
+        while cap < n:
+            cap *= 2
+        self.adj = np.zeros((cap, cap), dtype=bool)
+        if n:
+            self.adj[:n, :n] = adjacency
+        self.slot_user = [int(u) for u in user_ids[:n]]
+        self.slot_of = {u: i for i, u in enumerate(self.slot_user)}
+        n_rows = 0 if seed_ids is None else int(seed_ids.size)
+        row_cap = 8
+        while row_cap < n_rows:
+            row_cap *= 2
+        self.conn = np.zeros((row_cap, cap))
+        self.row_users = [] if seed_ids is None else [int(u) for u in seed_ids]
+        self.seed_rows = {u: i for i, u in enumerate(self.row_users)}
+        if n_rows:
+            self.conn[:n_rows, :n] = reach
+        rev: dict[int, set] = {}
+        for u, sample in neighbors.items():
+            for v in sample:
+                rev.setdefault(v, set()).add(u)
+        self.rev = rev
+        #: seed-side gather plan -- ``(seed_versions, rows, bandwidth,
+        #: virtual_vec)`` -- cached across gathers because membership and
+        #: samples churn far faster than the seed tables (see
+        #: :meth:`Swarm._topo_products`)
+        self.prod: tuple | None = None
+        self.versions = list(versions)
+
+    def grow_slots(self, n: int) -> None:
+        """Double the slot capacity until ``n`` downloaders fit."""
+        cap = self.adj.shape[0]
+        new_cap = cap
+        while new_cap < n:
+            new_cap *= 2
+        adj = np.zeros((new_cap, new_cap), dtype=bool)
+        adj[:cap, :cap] = self.adj
+        self.adj = adj
+        conn = np.zeros((self.conn.shape[0], new_cap))
+        conn[:, :cap] = self.conn
+        self.conn = conn
+
+    def grow_rows(self, rows: int) -> None:
+        """Double the seed-row capacity until ``rows`` rows fit."""
+        cap = self.conn.shape[0]
+        new_cap = cap
+        while new_cap < rows:
+            new_cap *= 2
+        conn = np.zeros((new_cap, self.conn.shape[1]))
+        conn[:cap] = self.conn
+        self.conn = conn
+
+
 @dataclass(frozen=True)
 class WorkSnapshot:
     """One consistent view of a swarm's remaining work and rates.
@@ -250,6 +376,13 @@ class Swarm:
         #: (versions) -> topology-derived kernel state; see
         #: :meth:`_neighbor_topology`
         self._topology_cache: tuple | None = None
+        #: incrementally maintained adjacency / seed-reach matrices (built
+        #: lazily by the first full topology rebuild); ``None`` until then
+        #: or after a structural desync
+        self._topo_state: _TopoState | None = None
+        #: when False the topology is rebuilt from scratch on every version
+        #: change -- the forced-full oracle mode (``incremental_rates=False``)
+        self.topo_incremental = True
         #: (store.version, total_cap, share) from the last full-mesh kernel
         #: pass; reused by :meth:`recompute_rates_incremental` while swarm
         #: membership is unchanged (the share vector only depends on it)
@@ -271,8 +404,11 @@ class Swarm:
 
     @neighbors.setter
     def neighbors(self, value: Mapping[int, set[int]]) -> None:
-        # wholesale replacement (tests, scenario setup) gets a fresh counter
+        # wholesale replacement (tests, scenario setup) gets a fresh counter;
+        # the fresh counter restarts at 0, which could collide with the
+        # incremental state's expected versions, so drop the state outright
         self._neighbors = _VersionedDict(value)
+        self._topo_state = None
 
     # ----- membership (store + dict kept in lockstep) ---------------------------
 
@@ -280,11 +416,16 @@ class Swarm:
         """Insert an entry: dict membership plus a store row, atomically."""
         self.downloaders[(entry.user_id, entry.file_id)] = entry
         self.store.attach(entry)
+        if self._topo_state is not None:
+            self._topo_join(entry.user_id)
 
     def pop_entry(self, key: tuple[int, int]) -> DownloadEntry:
         """Remove and detach an entry (raises ``KeyError`` when absent)."""
         entry = self.downloaders.pop(key)
+        slot = entry._slot
         self.store.detach(entry)
+        if self._topo_state is not None:
+            self._topo_leave(key[0], slot)
         return entry
 
     @property
@@ -444,6 +585,209 @@ class Swarm:
         the other from the tracker; BitTorrent connections are mutual)."""
         return b in self.neighbors.get(a, ()) or a in self.neighbors.get(b, ())
 
+    # ----- incremental neighbour-topology maintenance ---------------------------
+    #
+    # Each hook journals one mutation into ``_topo_state`` (when it exists)
+    # so the next :meth:`_neighbor_topology` call can serve the adjacency /
+    # seed-reach matrices by gathering instead of rebuilding.  Hooks run
+    # *after* the underlying mutation; ``_topo_note`` advances the expected
+    # version by the mutation's known delta and verifies the real counters
+    # agree -- any unjournalled mutation desyncs the check and drops the
+    # state, falling back to a full rebuild.
+
+    def set_neighbor_sample(self, user_id: int, sample: set) -> None:
+        """Install a user's tracker sample (replaces any previous one)."""
+        state = self._topo_state
+        old = self._neighbors.get(user_id) if state is not None else None
+        self._neighbors[user_id] = sample
+        state = self._topo_note(0)
+        if state is not None:
+            self._topo_sample_changed(state, user_id, old or (), sample)
+
+    def drop_neighbor_sample(self, user_id: int) -> None:
+        """Remove a user's tracker sample (raises ``KeyError`` when absent)."""
+        state = self._topo_state
+        old = self._neighbors.get(user_id) if state is not None else None
+        del self._neighbors[user_id]
+        state = self._topo_note(0)
+        if state is not None:
+            self._topo_sample_changed(state, user_id, old or (), ())
+
+    def _topo_note(self, index: int) -> "_TopoState | None":
+        """Advance one expected version component; drop the state on desync."""
+        state = self._topo_state
+        if state is None:
+            return None
+        versions = state.versions
+        versions[index] += 1
+        if (
+            self._neighbors.version != versions[0]
+            or self.store.version != versions[1]
+            or self.virtual_seeds.version != versions[2]
+            or self.real_seeds.version != versions[3]
+        ):
+            self._topo_state = None
+            return None
+        return state
+
+    def _topo_partners(self, state: _TopoState, user_id: int):
+        """Users connected to ``user_id``: sampled by it or sampling it."""
+        mine = self._neighbors.get(user_id)
+        back = state.rev.get(user_id)
+        if mine and back:
+            return mine | back
+        return mine or back or ()
+
+    def _topo_join(self, user_id: int) -> None:
+        """A downloader attached at the store's last slot."""
+        state = self._topo_note(1)
+        if state is None:
+            return
+        n = self.store.n  # already includes the fresh row
+        slot = n - 1
+        if n > state.adj.shape[0]:
+            state.grow_slots(n)
+        state.slot_user.append(user_id)
+        state.slot_of[user_id] = slot
+        adj = state.adj
+        conn = state.conn
+        slot_of = state.slot_of
+        seed_rows = state.seed_rows
+        for v in self._topo_partners(state, user_id):
+            w_slot = slot_of.get(v)
+            if w_slot is not None and w_slot != slot:
+                adj[slot, w_slot] = True
+                adj[w_slot, slot] = True
+            row = seed_rows.get(v)
+            if row is not None:
+                conn[row, slot] = 1.0
+        reg = current_registry()
+        if reg.enabled:
+            reg.inc("sim.kernel.neighbor.rows")
+
+    def _topo_leave(self, user_id: int, slot: int) -> None:
+        """A downloader detached; the store swap-filled its slot."""
+        state = self._topo_note(1)
+        if state is None:
+            return
+        n_old = self.store.n + 1  # the store already dropped the row
+        last = n_old - 1
+        adj = state.adj
+        conn = state.conn
+        slot_user = state.slot_user
+        if slot != last:
+            moved = slot_user[last]
+            slot_user[slot] = moved
+            state.slot_of[moved] = slot
+            adj[slot, :n_old] = adj[last, :n_old]
+            adj[:n_old, slot] = adj[:n_old, last]
+            adj[slot, slot] = False
+            conn[:, slot] = conn[:, last]
+        slot_user.pop()
+        del state.slot_of[user_id]
+        adj[last, :n_old] = False
+        adj[:n_old, last] = False
+        conn[:, last] = 0.0
+        reg = current_registry()
+        if reg.enabled:
+            reg.inc("sim.kernel.neighbor.rows")
+
+    def _topo_sample_changed(
+        self, state: _TopoState, user_id: int, old, new
+    ) -> None:
+        """Re-derive the edges whose sample endpoint changed (O(degree))."""
+        rev = state.rev
+        for v in old:
+            if v not in new:
+                back = rev.get(v)
+                if back is not None:
+                    back.discard(user_id)
+        for v in new:
+            if v not in old:
+                rev.setdefault(v, set()).add(user_id)
+        neighbors = self._neighbors
+        slot_of = state.slot_of
+        seed_rows = state.seed_rows
+        slot_u = slot_of.get(user_id)
+        row_u = seed_rows.get(user_id)
+        adj = state.adj
+        conn = state.conn
+        changed = set(old) ^ set(new)
+        for v in changed:
+            linked = (v in new) or (user_id in neighbors.get(v, ()))
+            if v == user_id:
+                # a self-loop sample only ever shows up in the seed reach
+                # (the adjacency diagonal is cleared by construction)
+                if row_u is not None and slot_u is not None:
+                    conn[row_u, slot_u] = 1.0 if linked else 0.0
+                continue
+            slot_v = slot_of.get(v)
+            if slot_v is not None:
+                if slot_u is not None:
+                    adj[slot_u, slot_v] = linked
+                    adj[slot_v, slot_u] = linked
+                if row_u is not None:
+                    conn[row_u, slot_v] = 1.0 if linked else 0.0
+            if slot_u is not None:
+                row_v = seed_rows.get(v)
+                if row_v is not None:
+                    conn[row_v, slot_u] = 1.0 if linked else 0.0
+        reg = current_registry()
+        if reg.enabled:
+            reg.inc("sim.kernel.neighbor.rows")
+
+    def _topo_seed_added(self, user_id: int, virtual: bool) -> None:
+        """A seed allocation appeared; ensure the user has a reach row."""
+        state = self._topo_note(2 if virtual else 3)
+        if state is None:
+            return
+        if user_id in state.seed_rows:
+            return  # the other table already gave this user a row
+        row = len(state.row_users)
+        if row >= state.conn.shape[0]:
+            state.grow_rows(row + 1)
+        state.row_users.append(user_id)
+        state.seed_rows[user_id] = row
+        conn = state.conn
+        slot_of = state.slot_of
+        for v in self._topo_partners(state, user_id):
+            w_slot = slot_of.get(v)
+            if w_slot is not None:
+                conn[row, w_slot] = 1.0
+        reg = current_registry()
+        if reg.enabled:
+            reg.inc("sim.kernel.neighbor.rows")
+
+    def _topo_seed_removed(self, user_id: int, virtual: bool) -> None:
+        """A seed allocation left; drop the reach row when none remain."""
+        state = self._topo_note(2 if virtual else 3)
+        if state is None:
+            return
+        if user_id in self.virtual_seeds or user_id in self.real_seeds:
+            return  # still holds the other allocation: the row stays
+        row = state.seed_rows.pop(user_id, None)
+        if row is None:
+            return
+        row_users = state.row_users
+        last = len(row_users) - 1
+        conn = state.conn
+        if row != last:
+            moved = row_users[last]
+            row_users[row] = moved
+            state.seed_rows[moved] = row
+            conn[row] = conn[last]
+        row_users.pop()
+        conn[last] = 0.0
+        reg = current_registry()
+        if reg.enabled:
+            reg.inc("sim.kernel.neighbor.rows")
+
+    def _topo_seed_updated(self, user_id: int, virtual: bool) -> None:
+        """A seed's bandwidth changed in place: reach rows are unaffected
+        (bandwidth enters at gather time), only the version advances."""
+        del user_id
+        self._topo_note(2 if virtual else 3)
+
     def recompute_rates(self, eta: float) -> None:
         """Refresh entry rates from swarm-local allocations.
 
@@ -456,10 +800,9 @@ class Swarm:
         self.epoch += 1
         reg = current_registry()
         if self.neighbor_aware:
+            # full-vs-incremental accounting happens inside
+            # _neighbor_topology, which knows whether it rebuilt or gathered
             self._recompute_rates_neighbor_aware(eta)
-            if reg.enabled:
-                reg.inc("sim.kernel.neighbor.full")
-                reg.inc("sim.kernel.neighbor.peers", self.store.n)
             return
         if reg.enabled:
             reg.inc("sim.kernel.mesh.full")
@@ -471,7 +814,7 @@ class Swarm:
             return
         sv = self.virtual_seeds.total
         sr = self.real_seeds.total
-        if n <= _SCALAR_N:
+        if n <= SCALAR_KERNEL_CUTOFF:
             # scalar fast path; the cached share is kept as a list so the
             # incremental path stays scalar for the same membership
             caps = store.download_cap[:n].tolist()
@@ -654,11 +997,18 @@ class Swarm:
         Everything here depends only on membership (store slots), the
         tracker samples and the seed tables -- not on capacities or
         progress -- so it is cached and rebuilt only when one of those
-        version counters moves.  In the event-driven simulator a rate
-        recompute usually *follows* a membership change (cache miss), but
-        repeated recomputes between topology changes (eta sweeps, pool
-        re-flushes, benchmarks) hit the cache and reduce to two
-        matrix-vector products.
+        version counters moves.  Between full rebuilds the incrementally
+        maintained ``_topo_state`` (see :class:`_TopoState`) serves a
+        changed topology by *gathering* from its live matrices -- O(n)
+        row slices instead of the O(edges + n^2) reconstruction -- so a
+        full rebuild only happens when the state was desynced by a direct
+        (unjournalled) mutation or disabled via ``topo_incremental``.
+
+        Counters: ``sim.kernel.neighbor.incremental`` counts product-cache
+        hits and state gathers, ``sim.kernel.neighbor.full`` /
+        ``sim.kernel.neighbor.peers`` count full rebuilds and the rows
+        they touched, ``sim.kernel.neighbor.rows`` (incremented by the
+        notify hooks) counts O(degree) state maintenance operations.
         """
         neighbors = self._neighbors
         versions = (
@@ -667,12 +1017,30 @@ class Swarm:
             self.virtual_seeds.version,
             self.real_seeds.version,
         )
+        reg = current_registry()
         if self._topology_cache is not None and self._topology_cache[0] == versions:
+            if reg.enabled:
+                reg.inc("sim.kernel.neighbor.incremental")
             return self._topology_cache[1]
+
+        state = self._topo_state
+        if state is not None:
+            if tuple(state.versions) == versions:
+                topology = self._topo_products(state)
+                if topology is not None:
+                    self._topology_cache = (versions, topology)
+                    if reg.enabled:
+                        reg.inc("sim.kernel.neighbor.incremental")
+                    return topology
+            # desynced (direct mutation) or internally inconsistent: rebuild
+            self._topo_state = None
 
         store = self.store
         n = store.n
         user_ids = store.column("user_id")
+        if reg.enabled:
+            reg.inc("sim.kernel.neighbor.full")
+            reg.inc("sim.kernel.neighbor.peers", n)
 
         # Flatten the tracker samples into one (src, dst) edge array; all
         # subsequent id -> slot mapping is vectorised (searchsorted), which
@@ -719,11 +1087,14 @@ class Swarm:
             for seed_user, (bw, _) in table.items()
             if bw > 0
         ]
-        if seeds:
-            seed_ids = np.array([s for s, _, _ in seeds], dtype=np.int64)
-            # A user may hold a virtual and a real seed at once; connection
-            # rows are per *user*, then expanded back to per-allocation.
-            unique_ids, inverse = np.unique(seed_ids, return_inverse=True)
+        # Connection rows are per seed *user* (a user may hold a virtual
+        # and a real seed at once) and are built for every seed user --
+        # zero-bandwidth allocations included -- so the reconstructed
+        # incremental state stays valid when a bandwidth later turns
+        # positive.  Only positive-bandwidth rows enter the product.
+        seed_users = sorted(set(self.virtual_seeds) | set(self.real_seeds))
+        if seed_users:
+            unique_ids = np.array(seed_users, dtype=np.int64)
 
             def to_seed_row(ids: np.ndarray) -> np.ndarray:
                 if ids.size == 0:
@@ -742,15 +1113,70 @@ class Swarm:
             seed_of_src = to_seed_row(src)
             hit = (seed_of_src >= 0) & (dst_slot >= 0)
             reach[seed_of_src[hit], dst_slot[hit]] = 1.0
-            connectivity = reach[inverse]
+        else:
+            unique_ids = reach = None
+        if seeds:
+            seed_ids = np.array([s for s, _, _ in seeds], dtype=np.int64)
+            rows = np.searchsorted(unique_ids, seed_ids)
+            connectivity = reach[rows]
             bandwidth = np.array([bw for _, bw, _ in seeds])
             virtual_vec = np.array([float(v) for *_, v in seeds])
         else:
             connectivity = bandwidth = virtual_vec = None
 
+        if self.topo_incremental:
+            self._topo_state = _TopoState(
+                n, adjacency, user_ids, unique_ids, reach, neighbors, versions
+            )
+
         topology = (has_partner, connectivity, bandwidth, virtual_vec)
         self._topology_cache = (versions, topology)
         return topology
+
+    def _topo_products(self, state: "_TopoState"):
+        """Gather the topology tuple from the live incremental state.
+
+        Returns ``None`` when the state turns out internally inconsistent
+        (a seed allocation without a reach row), signalling the caller to
+        fall back to a full rebuild.  The gathered arrays are bit-exact
+        matches of the full rebuild's: boolean any() over the same
+        adjacency block, and a fancy-indexed (fresh, C-contiguous) copy
+        of the same reach rows.
+        """
+        n = self.store.n
+        has_partner = state.adj[:n, :n].any(axis=1)
+        seed_versions = (state.versions[2], state.versions[3])
+        prod = state.prod
+        if prod is None or prod[0] != seed_versions:
+            # the seed-side plan (which rows enter the product, at what
+            # bandwidth) only moves with the seed tables, which churn far
+            # slower than membership/samples -- rebuild it lazily
+            seeds = [
+                (seed_user, bw, virtual)
+                for virtual, table in (
+                    (True, self.virtual_seeds),
+                    (False, self.real_seeds),
+                )
+                for seed_user, (bw, _) in table.items()
+                if bw > 0
+            ]
+            if seeds:
+                seed_rows = state.seed_rows
+                try:
+                    rows = [seed_rows[s] for s, _, _ in seeds]
+                except KeyError:
+                    return None
+                bandwidth = np.array([bw for _, bw, _ in seeds])
+                virtual_vec = np.array([float(v) for *_, v in seeds])
+            else:
+                rows = bandwidth = virtual_vec = None
+            prod = state.prod = (seed_versions, rows, bandwidth, virtual_vec)
+        _, rows, bandwidth, virtual_vec = prod
+        if rows is not None:
+            connectivity = state.conn[:, :n][rows]
+        else:
+            connectivity = None
+        return (has_partner, connectivity, bandwidth, virtual_vec)
 
     # ----- completion queries (one shared snapshot) -----------------------------
 
@@ -772,7 +1198,7 @@ class Swarm:
         n = store.n
         if n == 0:
             return math.inf
-        if n <= _SCALAR_N:
+        if n <= SCALAR_KERNEL_CUTOFF:
             remaining_l = store.remaining[:n].tolist()
             rate_l = store.rate[:n].tolist()
             eta_min = math.inf
@@ -803,7 +1229,7 @@ class Swarm:
     def due_entries(self, slack: float) -> list[DownloadEntry]:
         store = self.store
         n = store.n
-        if n <= _SCALAR_N:
+        if n <= SCALAR_KERNEL_CUTOFF:
             remaining = store.remaining[:n].tolist()
             entries = store.entries
             return [entries[i] for i in range(n) if remaining[i] <= slack]
@@ -1060,7 +1486,7 @@ def _win_due(
     n = store.n
     if not n:
         return math.inf, [], math.inf
-    if n <= _SCALAR_N:
+    if n <= SCALAR_KERNEL_CUTOFF:
         # scalar fast path (same cutoff as the rate kernels): python-float
         # arithmetic with the exact expression shape of the vector pass,
         # so the judgements agree bit-for-bit
@@ -1256,6 +1682,8 @@ class SwarmGroup:
                 f"seed on file {file_id}"
             )
         table[user_id] = (bandwidth, user_class)
+        if swarm._topo_state is not None:
+            swarm._topo_seed_added(user_id, virtual)
         if virtual:
             # upload accounting starts now, not at swarm creation
             swarm._virtual_anchor[user_id] = swarm.virtual_busy_time
@@ -1275,6 +1703,8 @@ class SwarmGroup:
                 f"user {user_id} has no {'virtual' if virtual else 'real'} seed "
                 f"on file {file_id}"
             ) from None
+        if swarm._topo_state is not None:
+            swarm._topo_seed_removed(user_id, virtual)
         return bw
 
     def set_seed_bandwidth(
@@ -1292,6 +1722,8 @@ class SwarmGroup:
             swarm.settle_virtual_seed(user_id, self.records)
         _, klass = table[user_id]
         table[user_id] = (bandwidth, klass)
+        if swarm._topo_state is not None:
+            swarm._topo_seed_updated(user_id, virtual)
 
     # ----- queries --------------------------------------------------------------
 
@@ -1378,7 +1810,7 @@ class SwarmGroup:
         pool_virtual = self.total_virtual_capacity()
         pool_real = self.total_real_capacity()
         pool = pool_virtual + pool_real
-        if total_n <= _SCALAR_N:
+        if total_n <= SCALAR_KERNEL_CUTOFF:
             # scalar fast path for small pools; shares cached as lists so
             # the incremental path dispatches scalar for the same state
             caps_by_file: dict[int, list] = {}

@@ -112,7 +112,17 @@ class SimulationSystem:
         incremental-vs-full equivalence suite compares against; both
         modes produce bit-identical trajectories (the deferred-window
         layer below is common to both, so it cancels out of the
-        comparison).
+        comparison).  Also gates the incremental neighbour-topology
+        state on tracker-limited swarms: ``False`` forces a full
+        ``_neighbor_topology`` rebuild on every structural change (the
+        forced-full oracle of the neighbour twin suite).
+    incremental_dispatch:
+        When ``True`` (default) :meth:`Simulator.run_until` drains events
+        in batches (see ``DISPATCH_BATCH``), amortising per-event Python
+        and instrumentation bookkeeping; firing order and simulation
+        results are identical.  ``False`` forces the per-event dispatch
+        loop -- the oracle mode the batched-vs-per-event equivalence
+        suite compares against.
     deferred_integration:
         When ``True`` (default) each rate domain opens a
         :class:`~repro.sim.bandwidth.RateWindow` after every exact flush:
@@ -139,6 +149,7 @@ class SimulationSystem:
         neighbor_limit: int | None = None,
         trace: "EventTrace | None" = None,
         incremental_rates: bool = True,
+        incremental_dispatch: bool = True,
         deferred_integration: bool = True,
     ):
         if mu <= 0 or gamma <= 0 or file_size <= 0:
@@ -156,7 +167,7 @@ class SimulationSystem:
         self.download_cap = download_cap if download_cap is not None else 10.0 * mu
         self.num_classes = num_classes
         self.rng = rng if rng is not None else RandomStreams(0)
-        self.sim = Simulator()
+        self.sim = Simulator(incremental_dispatch=incremental_dispatch)
         self.metrics = MetricsCollector(num_classes=num_classes)
         self.groups: dict[int, SwarmGroup] = {}
         self.file_to_group: dict[int, int] = {}
@@ -203,6 +214,8 @@ class SimulationSystem:
         if self.tracker is not None:
             for swarm in group.swarms.values():
                 swarm.neighbor_aware = True
+                # the forced-full oracle disables topology maintenance too
+                swarm.topo_incremental = self.incremental_rates
         self.groups[group_id] = group
         for f in file_ids:
             self.file_to_group[f] = group_id
@@ -285,7 +298,7 @@ class SimulationSystem:
         sample = self.tracker.announce(
             user_id, file_id, AnnounceEvent.STARTED, is_seeder=is_seeder
         )
-        swarm.neighbors[user_id] = set(sample)
+        swarm.set_neighbor_sample(user_id, set(sample))
 
     def _tracker_leave_if_absent(self, file_id: int, user_id: int) -> None:
         if self.tracker is None:
@@ -294,7 +307,7 @@ class SimulationSystem:
         if self._user_in_swarm(swarm, user_id):
             return
         if user_id in swarm.neighbors:
-            del swarm.neighbors[user_id]
+            swarm.drop_neighbor_sample(user_id)
             self.tracker.announce(user_id, file_id, AnnounceEvent.STOPPED)
 
     # ----- mutations used by behaviours ------------------------------------------------

@@ -257,3 +257,157 @@ class TestTombstoneCompaction:
         counters = obs.registry.counters
         assert counters["sim.queue.cancelled"] == 500
         assert counters["sim.queue.compactions"] == sim.queue.compactions > 0
+
+
+def _live_tombstones(q: EventQueue) -> int:
+    """Ground truth the ``_n_tombstones`` counter must always equal."""
+    return sum(1 for item in q._heap if item[3].cancelled)
+
+
+class TestBatchedDispatchCancelExactness:
+    """The batched dispatcher pops runs of events off the heap *before*
+    firing them, so a callback can cancel an event that is no longer in
+    the heap (in-flight).  These pin the audit of that path: the callback
+    must still be suppressed, exactly as the per-event oracle would, and
+    the tombstone accounting must never count an entry the heap no longer
+    holds (which would let ``_compact`` run with a phantom count and
+    under- or over-reclaim).
+    """
+
+    def test_cancel_of_in_flight_event_suppresses_callback(self):
+        sim = Simulator()
+        fired = []
+        # Same batch: both drain in one refill, so b is in-flight when
+        # a's callback cancels it.
+        hb = sim.schedule_at(2.0, lambda: fired.append("b"))
+        sim.schedule_at(1.0, lambda: (fired.append("a"), sim.cancel(hb)))
+        assert sim.run_until(3.0) == 1
+        assert fired == ["a"]
+        assert hb.cancelled
+        # The entry left the heap when it was drained and must not come
+        # back: no tombstone, nothing left to pop.
+        assert len(sim.queue) == 0
+        assert sim.queue._n_tombstones == 0
+        assert sim.queue.cancelled_total == 1
+
+    def test_cancel_in_flight_at_same_timestamp(self):
+        # The satellite-audit case: the cancelled handle sits at the same
+        # timestamp as the cancelling callback, so under per-event dispatch
+        # it would be a heap tombstone but under batched dispatch it is
+        # already in flight.  Both must suppress it identically.
+        for incremental in (False, True):
+            sim = Simulator(incremental_dispatch=incremental)
+            fired = []
+            handles = [
+                sim.schedule_at(1.0, lambda k=k: fired.append(k)) for k in range(6)
+            ]
+
+            def killer():
+                fired.append("killer")
+                for h in handles[3:]:
+                    sim.cancel(h)
+
+            sim.schedule_at(1.0, killer, priority=-1)  # fires first at t=1
+            sim.run_until(2.0)
+            assert fired == ["killer", 0, 1, 2], fired
+            assert len(sim.queue) == 0
+            assert sim.queue._n_tombstones == _live_tombstones(sim.queue) == 0
+
+    def test_cancel_then_reschedule_same_timestamp_keeps_oracle_order(self):
+        def run(incremental: bool) -> list:
+            sim = Simulator(incremental_dispatch=incremental)
+            fired = []
+            hc = sim.schedule_at(1.0, lambda: fired.append("stale"))
+
+            def replace():
+                fired.append("replace")
+                sim.cancel(hc)
+                sim.schedule_at(1.0, lambda: fired.append("fresh"))
+
+            sim.schedule_at(1.0, replace, priority=-1)
+            sim.schedule_at(1.5, lambda: fired.append("later"))
+            sim.run_until(2.0)
+            return fired
+
+        oracle = run(False)
+        batched = run(True)
+        assert oracle == batched == ["replace", "fresh", "later"]
+
+    def test_tombstone_count_stays_exact_through_compaction_in_batch(self):
+        from repro.sim.engine import COMPACT_MIN_TOMBSTONES
+
+        sim = Simulator()
+        q = sim.queue
+        fired = []
+        # Far-future events the callback cancels: real heap tombstones,
+        # enough to trip compaction from inside the batch.
+        far = [sim.schedule_at(1e6 + k, lambda: None) for k in range(COMPACT_MIN_TOMBSTONES)]
+        # Same-batch events the callback also cancels: in-flight, NOT
+        # tombstones; miscounting them as such would corrupt _compact.
+        near = [sim.schedule_at(1.0, lambda k=k: fired.append(k)) for k in range(4)]
+
+        def cancel_everything():
+            fired.append("cancel")
+            for h in far:
+                sim.cancel(h)
+            for h in near:
+                sim.cancel(h)
+            assert q._n_tombstones == _live_tombstones(q)
+
+        sim.schedule_at(1.0, cancel_everything, priority=-1)
+        survivors = [sim.schedule_at(1e6 + 9999, lambda: None)]
+        sim.run_until(2.0)
+        assert fired == ["cancel"]
+        assert q._n_tombstones == _live_tombstones(q)
+        assert len(q) >= len(survivors)
+        # Every far-future tombstone was reclaimed either by the in-batch
+        # compaction or remains correctly counted; popping to the end must
+        # find exactly the survivor.
+        q.cancel(survivors[0])
+        assert q.next_time() == math.inf
+
+    def test_max_events_raise_returns_unfired_in_flight_events(self):
+        sim = Simulator()
+        fired = []
+        for k in range(6):
+            sim.schedule_at(float(k), lambda k=k: fired.append(k))
+        with pytest.raises(RuntimeError, match="max_events=3"):
+            sim.run_until(10.0, max_events=3)
+        assert fired == [0, 1, 2]
+        assert sim.events_processed == 3
+        # The three unfired events went back on the heap and still fire.
+        assert sim.run_until(10.0) == 3
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert sim.queue._n_tombstones == _live_tombstones(sim.queue)
+
+    def test_randomized_dispatch_equivalence_with_cancel_churn(self):
+        import random
+
+        def run(incremental: bool) -> tuple:
+            rng = random.Random(7)
+            sim = Simulator(incremental_dispatch=incremental)
+            log = []
+            handles = []
+
+            def act(uid):
+                log.append((round(sim.now, 9), uid))
+                r = rng.random()
+                if r < 0.45:
+                    handles.append(
+                        sim.schedule_after(rng.uniform(0.0, 2.0), lambda u=uid * 31 + 1: act(u))
+                    )
+                elif r < 0.65 and handles:
+                    sim.cancel(handles.pop(rng.randrange(len(handles))))
+
+            for uid in range(40):
+                handles.append(
+                    sim.schedule_at(rng.uniform(0.0, 5.0), lambda u=uid: act(u))
+                )
+            fired = sim.run_until(8.0)
+            return fired, log, sim.events_processed, len(sim.queue._heap)
+
+        oracle = run(False)
+        batched = run(True)
+        assert oracle[1] == batched[1]  # identical firing sequence
+        assert oracle[0] == batched[0]
+        assert oracle[2] == batched[2]

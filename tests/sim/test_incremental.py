@@ -7,8 +7,13 @@ Three layers of guarantees, from strongest to loosest:
   only in which materialisation kernel refreshes rates, so every counter,
   rate and completion time must match to the last bit.
 * **Scalar vs. vector** kernel selection is an internal cutoff
-  (``_SCALAR_N``) with expression-identical arithmetic; it is exercised
-  implicitly by running both small and large swarms through layer one.
+  (``SCALAR_KERNEL_CUTOFF``) with expression-identical arithmetic; it is
+  exercised implicitly by running both small and large swarms through
+  layer one.
+* **Batched vs. per-event dispatch** (``incremental_dispatch`` True/False)
+  only changes how events are popped off the queue, never what fires or
+  in what order, so it is held to the same bit-exact standard as layer
+  one (see :class:`TestDispatchEquivalence`).
 * **Deferred vs. eager** (``deferred_integration`` True/False) changes
   float summation order (one fused fold vs. many per-event advances), so
   scripted scenarios agree to tight tolerances rather than bit-for-bit.
@@ -121,26 +126,32 @@ def _drive_pair(
     n_files=3,
     steps=120,
     seed=0,
+    incremental=(True, False),
     deferred=(True, True),
+    dispatch=(True, True),
+    neighbor_limit=None,
     max_advance=40.0,
     drain=50.0,
 ):
     """Run one random action sequence through twin systems, yielding both.
 
-    The two systems differ only in their rate-path configuration; the
-    action sequence (spawns, seed pulses, time advances) is generated once
-    and applied to both, and their RNG streams start from the same seed so
-    behaviour-level randomness (seed lifetimes) matches too.
+    The two systems differ only in their rate/dispatch-path configuration;
+    the action sequence (spawns, seed pulses, time advances) is generated
+    once and applied to both, and their RNG streams start from the same
+    seed so behaviour-level randomness (seed lifetimes, tracker samples)
+    matches too.
     """
     systems = []
-    for incremental, defer in zip((True, False), deferred):
+    for index in range(2):
         system = SimulationSystem(
             mu=MU,
             eta=ETA,
             gamma=GAMMA,
             num_classes=n_files,
-            incremental_rates=incremental,
-            deferred_integration=defer,
+            incremental_rates=incremental[index],
+            deferred_integration=deferred[index],
+            incremental_dispatch=dispatch[index],
+            neighbor_limit=neighbor_limit,
         )
         system.add_group(tuple(range(n_files)), policy)
         systems.append(system)
@@ -211,6 +222,25 @@ def _store_state(system):
     return state
 
 
+def _assert_twin_bitexact(sys_a, sys_b) -> None:
+    """Bit-exact store/record equality of two driven twin systems."""
+    assert sys_a.now == sys_b.now
+    state_a, state_b = _store_state(sys_a), _store_state(sys_b)
+    assert state_a.keys() == state_b.keys()
+    for key in state_a:
+        for name in ("remaining", "rate", "rate_from_virtual", "tft_upload"):
+            assert np.array_equal(state_a[key][name], state_b[key][name]), (
+                key,
+                name,
+            )
+        assert state_a[key]["seeds"] == state_b[key]["seeds"], key
+    recs_a, recs_b = sys_a.metrics.records, sys_b.metrics.records
+    assert recs_a.keys() == recs_b.keys()
+    for uid in recs_a:
+        assert recs_a[uid].downloads_done_time == recs_b[uid].downloads_done_time
+        assert recs_a[uid].departure_time == recs_b[uid].departure_time
+
+
 @pytest.mark.parametrize("policy", [SeedPolicy.SUBTORRENT, SeedPolicy.GLOBAL_POOL])
 @pytest.mark.parametrize("seed", [0, 1, 2])
 class TestRandomizedEquivalence:
@@ -218,21 +248,14 @@ class TestRandomizedEquivalence:
 
     def test_incremental_matches_full(self, policy, seed):
         sys_a, sys_b = _drive_pair(policy, seed=seed)
-        assert sys_a.now == sys_b.now
-        state_a, state_b = _store_state(sys_a), _store_state(sys_b)
-        assert state_a.keys() == state_b.keys()
-        for key in state_a:
-            for name in ("remaining", "rate", "rate_from_virtual", "tft_upload"):
-                assert np.array_equal(state_a[key][name], state_b[key][name]), (
-                    key,
-                    name,
-                )
-            assert state_a[key]["seeds"] == state_b[key]["seeds"], key
-        recs_a, recs_b = sys_a.metrics.records, sys_b.metrics.records
-        assert recs_a.keys() == recs_b.keys()
-        for uid in recs_a:
-            assert recs_a[uid].downloads_done_time == recs_b[uid].downloads_done_time
-            assert recs_a[uid].departure_time == recs_b[uid].departure_time
+        _assert_twin_bitexact(sys_a, sys_b)
+
+    def test_batched_dispatch_matches_per_event(self, policy, seed):
+        sys_a, sys_b = _drive_pair(
+            policy, seed=seed, incremental=(True, True), dispatch=(True, False)
+        )
+        _assert_twin_bitexact(sys_a, sys_b)
+        assert sys_a.sim.events_processed == sys_b.sim.events_processed
 
     def test_windows_match_eager_integration(self, policy, seed):
         sys_a, sys_b = _drive_pair(policy, seed=seed, deferred=(True, False))
@@ -256,6 +279,144 @@ class TestRandomizedEquivalence:
                     assert va == vb, (uid, attr)
                 else:
                     assert va == pytest.approx(vb, rel=1e-9, abs=1e-9), (uid, attr)
+
+
+@pytest.mark.parametrize("limit", [3, 8])
+@pytest.mark.parametrize("seed", [0, 1])
+class TestNeighborRandomizedEquivalence:
+    """Twin fuzz for the neighbor-aware kernel.
+
+    ``incremental_rates=False`` also sets ``topo_incremental=False`` on
+    tracker swarms, so the oracle twin rebuilds the adjacency/reach
+    matrices from the tracker samples on every epoch while the other twin
+    serves gathers from the incrementally maintained ``_TopoState``.  The
+    gathered arrays are bit-exact copies of the rebuilt ones, so the twin
+    trajectories must match to the last bit.
+    """
+
+    def test_incremental_topology_matches_full(self, limit, seed):
+        sys_a, sys_b = _drive_pair(
+            SeedPolicy.SUBTORRENT, seed=seed, neighbor_limit=limit
+        )
+        _assert_twin_bitexact(sys_a, sys_b)
+
+    def test_batched_dispatch_with_neighbors(self, limit, seed):
+        sys_a, sys_b = _drive_pair(
+            SeedPolicy.SUBTORRENT,
+            seed=seed,
+            neighbor_limit=limit,
+            incremental=(True, True),
+            dispatch=(True, False),
+        )
+        _assert_twin_bitexact(sys_a, sys_b)
+
+
+class TestNeighborTopologyState:
+    """Direct audits of the maintained ``_TopoState`` matrices."""
+
+    def test_maintained_state_matches_fresh_rebuild_midrun(self):
+        """At random checkpoints the gathered topology must equal a full
+        rebuild from the live tracker samples, array for array."""
+        system = SimulationSystem(
+            mu=MU, eta=ETA, gamma=GAMMA, num_classes=2, neighbor_limit=3
+        )
+        system.add_group((0, 1), SeedPolicy.SUBTORRENT)
+        rng = random.Random(42)
+        behaviors = [
+            make_behavior(BehaviorKind.SEQUENTIAL),
+            make_behavior(BehaviorKind.CONCURRENT),
+        ]
+        checked = 0
+        for _ in range(12):
+            for _ in range(rng.randrange(1, 4)):
+                files = ((0,), (1,), (0, 1))[rng.randrange(3)]
+                system.spawn_user(behaviors[rng.randrange(2)], files)
+            system.run_until(system.now + rng.uniform(5.0, 40.0))
+            system.flush()
+            for group in system.groups.values():
+                for swarm in group.swarms.values():
+                    state = swarm._topo_state
+                    if state is None:
+                        continue
+                    gathered = swarm._topo_products(state)
+                    assert gathered is not None
+                    swarm._topo_state = None
+                    swarm._topology_cache = None
+                    rebuilt = swarm._neighbor_topology()
+                    for got, want in zip(gathered, rebuilt):
+                        if got is None or want is None:
+                            assert got is None and want is None
+                        else:
+                            assert np.array_equal(np.asarray(got), np.asarray(want))
+                    checked += 1
+        assert checked >= 8  # the drive must actually exercise live states
+
+    def test_kernel_counters_full_vs_incremental(self):
+        """The maintained state eliminates full rebuilds: one per swarm to
+        build it, gathers thereafter; the oracle rebuilds every epoch."""
+        from repro.obs import capture
+
+        K = PAPER_PARAMETERS.num_files
+        counters = {}
+        for incremental in (True, False):
+            with capture(trace=False) as obs:
+                run_scenario(
+                    scenario(Scheme.MTSD, incremental=incremental, neighbor_limit=5)
+                )
+            counters[incremental] = dict(obs.registry.counters)
+        fast, oracle = counters[True], counters[False]
+        assert fast.get("sim.kernel.neighbor.full", 0) <= K
+        assert oracle["sim.kernel.neighbor.full"] > 10 * K
+        assert fast["sim.kernel.neighbor.incremental"] > fast.get(
+            "sim.kernel.neighbor.full", 0
+        )
+        assert fast["sim.kernel.neighbor.rows"] > 0
+        # the oracle never maintains state, so it never counts row updates
+        assert "sim.kernel.neighbor.rows" not in oracle
+
+
+class TestDispatchEquivalence:
+    """Batched dispatch vs. the per-event oracle across full scenarios."""
+
+    @pytest.mark.parametrize("scheme", [Scheme.MTCD, Scheme.MTSD, Scheme.MFCD])
+    def test_basic_schemes(self, scheme):
+        a = run_scenario(scenario(scheme, incremental=True))
+        b = run_scenario(
+            scenario(scheme, incremental=True, incremental_dispatch=False)
+        )
+        assert_summary_bitexact(a, b)
+
+    def test_cmfsd_global_pool(self):
+        a = run_scenario(scenario(Scheme.CMFSD, incremental=True, rho=0.3))
+        b = run_scenario(
+            scenario(
+                Scheme.CMFSD, incremental=True, rho=0.3, incremental_dispatch=False
+            )
+        )
+        assert_summary_bitexact(a, b)
+
+    def test_event_counts_and_batching_counters(self):
+        from repro.obs import capture
+
+        from repro.sim.scenarios import build_simulation
+
+        stats = {}
+        for dispatch in (True, False):
+            config = scenario(
+                Scheme.MTSD, incremental=True, incremental_dispatch=dispatch
+            )
+            system, arrivals = build_simulation(config)
+            with capture(trace=False) as obs:
+                arrivals.start()
+                system.run_until(config.t_end)
+            system.sync_accounting()
+            stats[dispatch] = (
+                system.sim.events_processed,
+                dict(obs.registry.counters),
+            )
+        assert stats[True][0] == stats[False][0]
+        assert stats[True][1].get("sim.events.batched", 0) > 0
+        assert stats[False][1].get("sim.events.batched", 0) == 0
 
 
 class TestDeferredScripted:
