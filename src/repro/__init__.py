@@ -12,6 +12,9 @@ Downloading in BitTorrent* (ICPP 2006).  The package provides:
   terminal plots.
 * :mod:`repro.experiments` -- drivers that regenerate every figure and
   table of the paper (run ``python -m repro list``).
+* :mod:`repro.service` -- a live asyncio swarm service over the simulator:
+  streaming event ingestion with a deterministic record/replay journal
+  (``repro-bt serve`` / ``repro-bt replay``).
 
 Quickstart::
 
@@ -47,7 +50,7 @@ from repro.core import (
     evaluate_scheme,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "AdaptController",

@@ -34,6 +34,16 @@ Subcommands
     Run the flow-level simulator on a flat scenario description (see
     :func:`repro.scenario.sim_config_from_dict` for the schema) and print
     the summary.
+``serve --scenario <spec.yaml> [--port N] [--duration S] [--journal PATH]``
+    Run a scenario as a live swarm service (:mod:`repro.service`): events
+    stream in over a line-JSON TCP protocol, virtual time tracks the wall
+    clock (``--time-scale``), and every applied operation is journaled so
+    the run can be replayed exactly.  Flags override the spec's
+    ``service:`` section.
+``replay <journal> [--json]``
+    Re-execute a service journal deterministically as a batch run and
+    verify the summary digest sealed into it -- the replayed summary is
+    bit-identical to what the live run reported.
 
 The experiment table in ``list`` and in ``run --help`` is generated from
 the registry (:func:`repro.experiments.format_experiment_table`), so the
@@ -216,6 +226,60 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument(
         "--json", action="store_true", help="emit the summary as JSON on stdout"
     )
+
+    serve_p = sub.add_parser(
+        "serve", help="run a scenario as a live swarm service (record/replay)"
+    )
+    serve_p.add_argument(
+        "--scenario",
+        required=True,
+        metavar="PATH",
+        help="scenario document (YAML/JSON); its service: section supplies "
+        "defaults for every flag below",
+    )
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="listen for line-JSON event/query clients on this TCP port",
+    )
+    serve_p.add_argument(
+        "--host", default=None, metavar="ADDR", help="bind address (default: 127.0.0.1)"
+    )
+    serve_p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock seconds to serve before a clean shutdown "
+        "(default: until Ctrl-C)",
+    )
+    serve_p.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append every applied operation to this NDJSON journal "
+        "(replayable with 'replay')",
+    )
+    serve_p.add_argument(
+        "--time-scale",
+        type=float,
+        default=None,
+        metavar="X",
+        help="virtual seconds per wall-clock second (default: 1)",
+    )
+    serve_p.add_argument(
+        "--json", action="store_true", help="emit the final summary as JSON"
+    )
+
+    replay_p = sub.add_parser(
+        "replay", help="re-execute a service journal deterministically"
+    )
+    replay_p.add_argument("journal", help="journal path written by 'serve'")
+    replay_p.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON on stdout"
+    )
     return parser
 
 
@@ -272,6 +336,146 @@ def _report_failures(summary) -> int:
         file=sys.stderr,
     )
     return 1
+
+
+def _print_summary_table(summary, title: str) -> None:
+    from repro.analysis.tables import format_table
+
+    rows = [
+        ["users completed", float(summary.n_users_completed)],
+        ["avg online time / file", summary.avg_online_time_per_file],
+        ["avg download time / file", summary.avg_download_time_per_file],
+    ]
+    print(format_table(["metric", "value"], rows, title=title))
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import json as _json
+
+    from repro.scenario import SpecError, load_spec, summary_to_dict
+    from repro.service import SwarmService
+
+    try:
+        spec = load_spec(args.scenario)
+    except (OSError, ValueError) as exc:
+        print(f"bad scenario: {exc}", file=sys.stderr)
+        return 2
+    svc = spec.service
+    host = args.host or (svc.host if svc is not None else "127.0.0.1")
+    port = args.port if args.port is not None else (svc.port if svc is not None else None)
+    duration = (
+        args.duration
+        if args.duration is not None
+        else (svc.duration if svc is not None else None)
+    )
+
+    async def _serve():
+        try:
+            service = SwarmService(
+                spec, journal_path=args.journal, time_scale=args.time_scale
+            )
+        except SpecError as exc:
+            print(f"bad scenario: {exc}", file=sys.stderr)
+            return None, 2
+        await service.start()
+        server = None
+        if port is not None:
+            server = await service.serve_tcp(host, port)
+            bound = server.sockets[0].getsockname()
+            print(f"[serve] listening on {bound[0]}:{bound[1]}", file=sys.stderr)
+        try:
+            if duration is not None:
+                await asyncio.sleep(duration)
+            else:
+                await asyncio.Event().wait()  # until Ctrl-C
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+            await service.stop()
+        return service, 0
+
+    try:
+        service, code = asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print(
+            "[serve] interrupted; an unsealed journal still replays "
+            "(without digest verification)",
+            file=sys.stderr,
+        )
+        return 130
+    if service is None:
+        return code
+    summary = service.core.summary
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "summary": summary_to_dict(summary),
+                    "digest": service.digest,
+                    "ingest": service.counters,
+                    "final_t": service.core.now,
+                },
+                indent=2,
+            )
+        )
+    else:
+        _print_summary_table(
+            summary,
+            f"live {spec.scheme.value} service (t={service.core.now:.1f} virtual)",
+        )
+        print(f"\n[serve] ingest: {service.counters}; digest {service.digest[:16]}...")
+        if args.journal:
+            print(f"[serve] journal -> {args.journal} (replay with 'repro-bt replay')")
+    return code
+
+
+def _cmd_replay(args) -> int:
+    import json as _json
+
+    from repro.scenario import summary_to_dict
+    from repro.service import JournalError, ReplayMismatchError, replay_journal
+
+    started = time.perf_counter()
+    try:
+        result = replay_journal(args.journal)
+    except JournalError as exc:
+        print(f"bad journal: {exc}", file=sys.stderr)
+        return 2
+    except ReplayMismatchError as exc:
+        print(f"replay mismatch: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "summary": summary_to_dict(result.summary),
+                    "digest": result.digest,
+                    "verified": result.verified,
+                    "events_applied": result.events_applied,
+                    "final_t": result.final_t,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    _print_summary_table(
+        result.summary,
+        f"replayed journal ({result.events_applied} events, "
+        f"t={result.final_t:.1f}, {elapsed:.1f}s)",
+    )
+    if result.recorded_digest is None:
+        print(
+            "\n[replay] journal was never sealed (service did not shut down "
+            "cleanly); summary is deterministic but unverified"
+        )
+    else:
+        print(f"\n[replay] digest {result.digest[:16]}... verified against journal")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -341,6 +545,10 @@ def main(argv: list[str] | None = None) -> int:
                 )
             )
         return 0
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "run" and args.scenario is not None:
         if args.experiment is not None:
             print(

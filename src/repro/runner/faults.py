@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 import signal
 import threading
+import time
 import traceback as _tb
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -135,6 +136,12 @@ def time_limit(seconds: float | None) -> Iterator[None]:
     given, the platform has ``setitimer`` and we are on the main thread
     of the process (pool workers run tasks there); otherwise a no-op.
     The previous handler/timer is restored on exit.
+
+    Nests correctly: entering captures any already-armed ITIMER_REAL
+    (``setitimer`` returns it) and exiting re-arms the *remaining* outer
+    time, so an inner ``time_limit`` -- or any task arming its own alarm
+    -- cannot silently disarm an enclosing limit.  An outer deadline that
+    elapsed entirely inside the inner block fires immediately on exit.
     """
     if (
         not seconds
@@ -149,9 +156,18 @@ def time_limit(seconds: float | None) -> Iterator[None]:
         raise TaskTimeoutError(f"exceeded the {seconds:g}s task time limit")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    outer_delay, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    armed_at = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_delay > 0.0:
+            # An enclosing limit was ticking when we armed ours: re-arm
+            # whatever is left of it.  A non-positive remainder means the
+            # outer deadline passed while ours was installed -- arm an
+            # epsilon so the outer handler still fires (asap) instead of
+            # the limit silently vanishing.
+            remaining = outer_delay - (time.monotonic() - armed_at)
+            signal.setitimer(signal.ITIMER_REAL, max(remaining, 1e-6))

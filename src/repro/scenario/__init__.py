@@ -36,6 +36,7 @@ from repro.scenario.spec import (
     ParamsSpec,
     ScenarioSpec,
     SeedsSpec,
+    ServiceSpec,
     SimSpec,
     StreamingSpec,
     TierSpec,
@@ -71,6 +72,7 @@ __all__ = [
     "ParamsSpec",
     "ScenarioSpec",
     "SeedsSpec",
+    "ServiceSpec",
     "SimSpec",
     "SpecError",
     "StreamingSpec",

@@ -38,6 +38,7 @@ __all__ = [
     "ParamsSpec",
     "ScenarioSpec",
     "SeedsSpec",
+    "ServiceSpec",
     "SimSpec",
     "StreamingSpec",
     "TierSpec",
@@ -312,6 +313,49 @@ class SimSpec:
 
 
 @dataclass(frozen=True)
+class ServiceSpec:
+    """Live-service orchestration: how ``repro serve`` runs this scenario.
+
+    Consumed by :class:`repro.service.SwarmService`, not by any backend
+    compiler -- the section configures the daemon around the simulation
+    (clock mapping, ingest backpressure, journal), never the simulation
+    itself, so specs with and without it compile identically.
+    """
+
+    time_scale: float = 1.0  #: virtual seconds per wall-clock second
+    duration: float | None = None  #: wall seconds to serve (None = until stopped)
+    host: str = "127.0.0.1"
+    port: int | None = None  #: TCP listener port (None = no network face)
+    queue_capacity: int = 1024  #: bounded ingest queue length
+    overflow: str = "shed"  #: full-queue policy: "shed" drops, "block" awaits
+    journal: str | None = None  #: journal path (None = record nothing)
+    journal_rotate_bytes: int | None = None  #: segment size bound
+
+    def __post_init__(self) -> None:
+        if self.time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {self.time_scale}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(
+                f"duration must be positive or null, got {self.duration}"
+            )
+        if self.port is not None and not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535] or null, got {self.port}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.overflow not in ("shed", "block"):
+            raise ValueError(
+                f"overflow must be 'shed' or 'block', got {self.overflow!r}"
+            )
+        if self.journal_rotate_bytes is not None and self.journal_rotate_bytes < 1024:
+            raise ValueError(
+                f"journal_rotate_bytes must be >= 1024 or null, "
+                f"got {self.journal_rotate_bytes}"
+            )
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One declarative scenario, compilable to every backend that fits it."""
 
@@ -328,6 +372,7 @@ class ScenarioSpec:
     chunks: ChunkSpec | None = None
     streaming: StreamingSpec | None = None
     sim: SimSpec = SimSpec()
+    service: ServiceSpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tiers", tuple(self.tiers))

@@ -1,0 +1,54 @@
+"""Live swarm service: streaming event ingestion over the batch engines.
+
+The paper's experiments are batch runs, but its subject -- trackers
+mediating multi-file swarms under flash crowds and churn -- is an online
+system.  This package turns the discrete-event backend into one:
+
+* :class:`LiveEvent` / :class:`LiveEventKind` -- the external event
+  vocabulary (arrival, request, departure, rho_change);
+* :class:`ServiceCore` -- the synchronous heart: one live
+  :class:`~repro.sim.system.SimulationSystem` built from a
+  :class:`~repro.scenario.ScenarioSpec`, advanced in virtual time between
+  real events, answering online queries from its metrics without pausing;
+* :class:`SwarmService` -- the asyncio shell: a bounded ingest queue with
+  shed/block backpressure, an optional line-JSON TCP listener, and
+  ``service.ingest.{events,dropped,queue_depth}`` observability counters;
+* :class:`JournalWriter` / :func:`read_journal` -- every live run appends
+  an NDJSON journal (with size-based rotation) of exactly the operations
+  it applied;
+* :func:`replay_journal` -- re-executes any journal deterministically as
+  a batch experiment, reproducing the live run's
+  :class:`~repro.sim.metrics.SimulationSummary` bit for bit (verified
+  against the digest the live run sealed into the journal).
+
+The record/replay loop is the point: a live run is wall-clock driven and
+therefore unrepeatable, but the journal captures the only nondeterministic
+input -- the interleaving of virtual-time advances and applied events --
+so replaying it against the same seeded spec is exact.
+"""
+
+from repro.service.events import LiveEvent, LiveEventKind
+from repro.service.journal import (
+    JOURNAL_VERSION,
+    JournalError,
+    JournalWriter,
+    read_journal,
+)
+from repro.service.core import ServiceCore, summary_digest
+from repro.service.live import SwarmService
+from repro.service.replay import ReplayMismatchError, ReplayResult, replay_journal
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalError",
+    "JournalWriter",
+    "LiveEvent",
+    "LiveEventKind",
+    "ReplayMismatchError",
+    "ReplayResult",
+    "ServiceCore",
+    "SwarmService",
+    "read_journal",
+    "replay_journal",
+    "summary_digest",
+]

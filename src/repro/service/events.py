@@ -1,0 +1,125 @@
+"""The external event vocabulary of the live swarm service.
+
+A :class:`LiveEvent` is one request from the outside world -- a tracker
+frontend, a load generator, a test -- asking the service to mutate its
+live swarm state.  Four kinds exist:
+
+``arrival``
+    A user visits the indexing server.  With explicit ``files`` the user
+    requests exactly those; without, the file set is drawn from the
+    scenario's correlation workload (consuming the system's seeded RNG, so
+    replays draw identically).
+``request``
+    Like ``arrival`` but ``files`` is mandatory -- the caller knows the
+    exact multi-file request (e.g. a real tracker log being streamed in).
+``departure``
+    Cut short the lingering seed phase of user ``user_id``: every pending
+    lifecycle timer fires now, so the user stops seeding and departs at
+    the current virtual time.  Users still mid-download are unaffected
+    (the fluid model has no mid-download aborts either); unknown or
+    already-departed users make the event stale, counted but harmless.
+``rho_change``
+    Set the collaboration ratio of CMFSD user ``user_id`` to ``rho``
+    (stale for non-collaborative users).
+
+Events serialise to flat JSON-safe dicts (the journal's and the TCP
+protocol's wire form); :meth:`LiveEvent.from_dict` is the strict inverse.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["LiveEvent", "LiveEventKind"]
+
+
+class LiveEventKind(enum.Enum):
+    """What the outside world can ask of the live service."""
+
+    ARRIVAL = "arrival"
+    REQUEST = "request"
+    DEPARTURE = "departure"
+    RHO_CHANGE = "rho_change"
+
+
+@dataclass(frozen=True)
+class LiveEvent:
+    """One external request to the service (see module docstring)."""
+
+    kind: LiveEventKind
+    files: tuple[int, ...] | None = None  #: explicit file set (arrival/request)
+    user_id: int | None = None  #: target user (departure/rho_change)
+    rho: float | None = None  #: new collaboration ratio (rho_change)
+
+    def __post_init__(self) -> None:
+        if self.files is not None:
+            object.__setattr__(self, "files", tuple(int(f) for f in self.files))
+            if not self.files:
+                raise ValueError("files must be non-empty when given")
+        if self.kind is LiveEventKind.REQUEST and self.files is None:
+            raise ValueError("a request event needs an explicit file set")
+        if self.kind in (LiveEventKind.DEPARTURE, LiveEventKind.RHO_CHANGE):
+            if self.user_id is None:
+                raise ValueError(f"a {self.kind.value} event needs user_id")
+        if self.kind is LiveEventKind.RHO_CHANGE:
+            if self.rho is None or not 0.0 <= self.rho <= 1.0:
+                raise ValueError(f"rho must be in [0, 1], got {self.rho}")
+
+    # ----- wire form --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Flat JSON-safe dict; ``None`` fields are omitted."""
+        out: dict = {"kind": self.kind.value}
+        if self.files is not None:
+            out["files"] = list(self.files)
+        if self.user_id is not None:
+            out["user_id"] = self.user_id
+        if self.rho is not None:
+            out["rho"] = self.rho
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "LiveEvent":
+        """Strict inverse of :meth:`to_dict` (unknown keys rejected)."""
+        known = {"kind", "files", "user_id", "rho"}
+        extra = set(payload) - known
+        if extra:
+            raise ValueError(f"unknown event field(s): {sorted(extra)}")
+        try:
+            kind = LiveEventKind(payload["kind"])
+        except KeyError:
+            raise ValueError("event is missing 'kind'") from None
+        except ValueError:
+            raise ValueError(
+                f"unknown event kind {payload['kind']!r}; expected one of "
+                f"{[k.value for k in LiveEventKind]}"
+            ) from None
+        files = payload.get("files")
+        user_id = payload.get("user_id")
+        rho = payload.get("rho")
+        return cls(
+            kind=kind,
+            files=tuple(files) if files is not None else None,
+            user_id=int(user_id) if user_id is not None else None,
+            rho=float(rho) if rho is not None else None,
+        )
+
+    # ----- convenience constructors -----------------------------------------------
+
+    @classmethod
+    def arrival(cls, files: tuple[int, ...] | None = None) -> "LiveEvent":
+        return cls(kind=LiveEventKind.ARRIVAL, files=files)
+
+    @classmethod
+    def request(cls, files: tuple[int, ...]) -> "LiveEvent":
+        return cls(kind=LiveEventKind.REQUEST, files=files)
+
+    @classmethod
+    def departure(cls, user_id: int) -> "LiveEvent":
+        return cls(kind=LiveEventKind.DEPARTURE, user_id=user_id)
+
+    @classmethod
+    def rho_change(cls, user_id: int, rho: float) -> "LiveEvent":
+        return cls(kind=LiveEventKind.RHO_CHANGE, user_id=user_id, rho=rho)

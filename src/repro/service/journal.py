@@ -1,0 +1,171 @@
+"""NDJSON journal of a live service run, with size-based rotation.
+
+The journal records exactly the operations the live service applied, in
+order -- the only nondeterministic input of a run.  Everything else (the
+scenario, its seeds, every internal simulation event) is derived
+deterministically from them, which is what makes
+:func:`repro.service.replay.replay_journal` exact.
+
+Record vocabulary (one JSON object per line, ``sort_keys`` for byte
+stability):
+
+``{"op": "header", "version": 1, "spec": {...}}``
+    First record of a journal: the full scenario document, so a journal
+    file is self-contained.
+``{"op": "advance", "t": T}``
+    The simulator was advanced to virtual time ``T`` (one ``run_until``
+    call; Python's shortest-repr floats round-trip exactly through JSON).
+``{"op": "event", "t": T, "event": {...}}``
+    One :class:`~repro.service.events.LiveEvent` applied at virtual time
+    ``T`` (the current time after the preceding advance).
+``{"op": "close", "t": T, "digest": "...", "events": N}``
+    Final record: the virtual horizon reached, a SHA-256 digest of the
+    run's summary (replay verifies against it) and the number of events
+    applied.
+
+Rotation keeps unbounded runs bounded on disk: when the active segment
+exceeds ``rotate_bytes`` it is renamed to ``<path>.<n>`` (``n`` counting
+up from 1 in rotation order) and writing continues on a fresh ``<path>``.
+:func:`read_journal` stitches the segments back together transparently,
+so readers never care whether rotation happened.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.service.events import LiveEvent
+
+__all__ = ["JOURNAL_VERSION", "JournalError", "JournalWriter", "read_journal"]
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(ValueError):
+    """A journal file is malformed, truncated or version-incompatible."""
+
+
+def _segment_paths(path: Path) -> list[Path]:
+    """All segments of a journal, oldest first (rotated then active)."""
+    rotated = []
+    n = 1
+    while (seg := path.with_name(f"{path.name}.{n}")).exists():
+        rotated.append(seg)
+        n += 1
+    return rotated + [path]
+
+
+class JournalWriter:
+    """Append-only NDJSON journal with size-based rotation.
+
+    Usable as a context manager; :meth:`close` seals the journal with the
+    final record and is idempotent.  Every record is flushed as written --
+    a crashed service loses at most the record being written, and a
+    headerless or unsealed journal is detected on read.
+    """
+
+    def __init__(self, path: str | Path, *, rotate_bytes: int | None = None):
+        if rotate_bytes is not None and rotate_bytes < 1024:
+            raise ValueError(f"rotate_bytes must be >= 1024, got {rotate_bytes}")
+        self.path = Path(path)
+        self.rotate_bytes = rotate_bytes
+        self.segments = 0  #: rotations performed so far
+        self.records = 0  #: records written (all segments)
+        self._fh = self.path.open("w")
+        self._closed = False
+
+    # ----- record writers ---------------------------------------------------------
+
+    def write_header(self, spec_mapping: Mapping) -> None:
+        self._write({"op": "header", "version": JOURNAL_VERSION, "spec": dict(spec_mapping)})
+
+    def advance(self, t: float) -> None:
+        self._write({"op": "advance", "t": t})
+
+    def event(self, t: float, event: LiveEvent) -> None:
+        self._write({"op": "event", "t": t, "event": event.to_dict()})
+
+    def close(
+        self, *, final_t: float | None = None, digest: str | None = None, events: int = 0
+    ) -> None:
+        """Seal with a close record (when given a digest) and close the file."""
+        if self._closed:
+            return
+        if digest is not None:
+            self._write({"op": "close", "t": final_t, "digest": digest, "events": events})
+        self._fh.close()
+        self._closed = True
+
+    def flush(self) -> None:
+        if not self._closed:
+            self._fh.flush()
+
+    # ----- plumbing ---------------------------------------------------------------
+
+    def _write(self, record: dict) -> None:
+        if self._closed:
+            raise JournalError(f"journal {self.path} is already closed")
+        self._maybe_rotate()
+        self._fh.write(json.dumps(record, sort_keys=True))
+        self._fh.write("\n")
+        self._fh.flush()
+        self.records += 1
+
+    def _maybe_rotate(self) -> None:
+        if self.rotate_bytes is None or self._fh.tell() < self.rotate_bytes:
+            return
+        self._fh.close()
+        self.segments += 1
+        self.path.rename(self.path.with_name(f"{self.path.name}.{self.segments}"))
+        self._fh = self.path.open("w")
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(path: str | Path) -> Iterator[dict]:
+    """Yield every record of a journal, stitching rotated segments.
+
+    Validates shape as it goes: the first record must be a version-
+    compatible header, every record needs an ``op``.  Raises
+    :class:`JournalError` on malformed input (including a missing file).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise JournalError(f"no journal at {path}")
+    first = True
+    for segment in _segment_paths(path):
+        with segment.open() as fh:
+            for lineno, line in enumerate(fh, 1):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise JournalError(
+                        f"{segment}:{lineno}: malformed journal line: {exc}"
+                    ) from None
+                if not isinstance(record, dict) or "op" not in record:
+                    raise JournalError(
+                        f"{segment}:{lineno}: journal records need an 'op' field"
+                    )
+                if first:
+                    if record["op"] != "header":
+                        raise JournalError(
+                            f"{segment}:{lineno}: journal must start with a "
+                            f"header record, got op={record['op']!r}"
+                        )
+                    if record.get("version") != JOURNAL_VERSION:
+                        raise JournalError(
+                            f"journal version {record.get('version')!r} is not "
+                            f"supported (expected {JOURNAL_VERSION})"
+                        )
+                    first = False
+                yield record
+    if first:
+        raise JournalError(f"journal {path} is empty")

@@ -1,0 +1,97 @@
+"""Deterministic re-execution of a live-service journal.
+
+A journal's records are the only nondeterministic input a live run had:
+the scenario (seeds included) is in the header, and internal simulation
+events are derived from it deterministically.  :func:`replay_journal`
+therefore rebuilds the same :class:`~repro.service.core.ServiceCore` from
+the header spec and replays the recorded advance/event sequence verbatim
+-- producing the live run's :class:`~repro.sim.metrics.SimulationSummary`
+bit for bit, and verifying it against the digest the live run sealed into
+its close record.
+
+Replay is a batch computation: no event loop, no wall clock, no queue.
+A journal recorded under heavy load replays as fast as the simulator can
+go.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.scenario.spec import spec_from_dict
+from repro.service.core import ServiceCore, summary_digest
+from repro.service.events import LiveEvent
+from repro.service.journal import JournalError, read_journal
+from repro.sim.metrics import SimulationSummary
+
+__all__ = ["ReplayMismatchError", "ReplayResult", "replay_journal"]
+
+
+class ReplayMismatchError(RuntimeError):
+    """Replay produced a different summary than the journal's close record.
+
+    Either the journal was edited, or determinism broke -- both are
+    worth failing loudly over.
+    """
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """What one replay produced (and what the journal claimed)."""
+
+    summary: SimulationSummary
+    digest: str  #: digest of the replayed summary
+    recorded_digest: str | None  #: digest from the close record (None if unsealed)
+    events_applied: int
+    final_t: float
+
+    @property
+    def verified(self) -> bool:
+        """Replay matched a sealed journal's digest."""
+        return self.recorded_digest is not None and self.digest == self.recorded_digest
+
+
+def replay_journal(path: str | Path, *, verify: bool = True) -> ReplayResult:
+    """Re-execute a journal as a batch run (see module docstring).
+
+    With ``verify`` (the default), a sealed journal whose replay diverges
+    raises :class:`ReplayMismatchError`; an unsealed journal -- the
+    service crashed before :meth:`~repro.service.core.ServiceCore.finish`
+    -- replays fine but reports ``recorded_digest=None``.
+    """
+    core: ServiceCore | None = None
+    recorded_digest: str | None = None
+    for record in read_journal(path):
+        op = record["op"]
+        if op == "header":
+            if core is not None:
+                raise JournalError("journal has more than one header record")
+            core = ServiceCore(spec_from_dict(record["spec"]))
+            core.start()
+        elif core is None:
+            raise JournalError("journal records precede the header")
+        elif op == "advance":
+            core.advance(float(record["t"]))
+        elif op == "event":
+            core.apply(LiveEvent.from_dict(record["event"]))
+        elif op == "close":
+            recorded_digest = record["digest"]
+        else:
+            raise JournalError(f"unknown journal op {op!r}")
+    assert core is not None  # read_journal rejects headerless journals
+    summary = core.finish()
+    result = ReplayResult(
+        summary=summary,
+        digest=core.digest,
+        recorded_digest=recorded_digest,
+        events_applied=core.events_applied,
+        final_t=core.now,
+    )
+    if verify and recorded_digest is not None and result.digest != recorded_digest:
+        raise ReplayMismatchError(
+            f"replayed digest {result.digest[:16]}... does not match the "
+            f"journal's recorded {recorded_digest[:16]}...; the journal was "
+            "edited or determinism broke"
+        )
+    return result

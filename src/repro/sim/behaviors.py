@@ -81,6 +81,9 @@ class UserBehavior(ABC):
             files=self.files,
             scheme=self.scheme_label,
         )
+        #: live ``[handle, callback]`` pairs from :meth:`_later`, so the
+        #: service's forced-departure hook can fire them early
+        self._pending_timers: list[list] = []
 
     @property
     def user_class(self) -> int:
@@ -88,12 +91,35 @@ class UserBehavior(ABC):
 
     def _later(self, delay: float, fn: Callable[[], None]) -> None:
         """Schedule a timer whose handler also flushes pending rate updates."""
+        entry: list = []
 
         def wrapped() -> None:
+            if entry in self._pending_timers:
+                self._pending_timers.remove(entry)
             fn()
             self.system.flush()
 
-        self.system.schedule_after(delay, wrapped)
+        handle = self.system.schedule_after(delay, wrapped)
+        entry.extend((handle, wrapped))
+        self._pending_timers.append(entry)
+
+    def expire_timers_now(self) -> int:
+        """Fire every pending lifecycle timer immediately, in schedule order.
+
+        The live-service hook behind ``departure`` events: a user lingering
+        as a seed has its seed-expiry / departure timers pending, and firing
+        them now cuts the linger short so the user leaves at the current
+        time.  A user still mid-download has no pending timers and is left
+        alone (the fluid model has no mid-download aborts either).  Returns
+        the number of timers fired.
+        """
+        fired = 0
+        while self._pending_timers:
+            handle, wrapped = self._pending_timers.pop(0)
+            self.system.sim.cancel(handle)
+            wrapped()
+            fired += 1
+        return fired
 
     @abstractmethod
     def on_arrival(self) -> None:

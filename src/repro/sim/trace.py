@@ -18,8 +18,11 @@ Enable by constructing the system with ``trace=EventTrace()``::
 from __future__ import annotations
 
 import enum
+import json
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterator
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
 
 __all__ = ["EventKind", "TraceEvent", "EventTrace"]
 
@@ -50,16 +53,45 @@ class TraceEvent:
     file_id: int | None = None
     detail: float | None = None
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (inverse of :meth:`from_dict`)."""
+        return {
+            "time": self.time,
+            "kind": self.kind.value,
+            "user_id": self.user_id,
+            "file_id": self.file_id,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TraceEvent":
+        file_id = payload.get("file_id")
+        detail = payload.get("detail")
+        return cls(
+            time=float(payload["time"]),
+            kind=EventKind(payload["kind"]),
+            user_id=int(payload["user_id"]),
+            file_id=int(file_id) if file_id is not None else None,
+            detail=float(detail) if detail is not None else None,
+        )
+
 
 class EventTrace:
-    """Append-only event log with simple query helpers."""
+    """Append-only event log with simple query helpers.
+
+    Storage is a ``collections.deque`` so a bounded trace evicts its
+    oldest event in O(1) per append -- the unbounded-list eviction it
+    replaces cost O(n) per append once at capacity, quadratic over
+    exactly the long-running service workloads that keep a trace pinned
+    at capacity for millions of events.
+    """
 
     def __init__(self, *, capacity: int | None = None):
         """``capacity`` bounds memory: oldest events are dropped beyond it."""
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self.capacity = capacity
-        self._events: list[TraceEvent] = []
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self.dropped = 0
 
     def __len__(self) -> int:
@@ -73,11 +105,10 @@ class EventTrace:
         file_id: int | None = None,
         detail: float | None = None,
     ) -> None:
-        self._events.append(TraceEvent(time, kind, user_id, file_id, detail))
-        if self.capacity is not None and len(self._events) > self.capacity:
-            overflow = len(self._events) - self.capacity
-            del self._events[:overflow]
-            self.dropped += overflow
+        events = self._events
+        if events.maxlen is not None and len(events) == events.maxlen:
+            self.dropped += 1  # append below evicts the oldest event
+        events.append(TraceEvent(time, kind, user_id, file_id, detail))
 
     # ----- queries ---------------------------------------------------------------
 
@@ -108,3 +139,47 @@ class EventTrace:
             (e.time, e.kind.value, e.user_id, e.file_id, e.detail)
             for e in self._events
         ]
+
+    # ----- serialisation ----------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        """All retained events as JSON-safe dicts, in order."""
+        return [e.to_dict() for e in self._events]
+
+    @classmethod
+    def from_dicts(
+        cls,
+        payloads: Iterable[Mapping],
+        *,
+        capacity: int | None = None,
+        dropped: int = 0,
+    ) -> "EventTrace":
+        """Rebuild a trace from :meth:`to_dicts` output (exact inverse)."""
+        trace = cls(capacity=capacity)
+        for payload in payloads:
+            event = TraceEvent.from_dict(payload)
+            trace.record(
+                event.time, event.kind, event.user_id, event.file_id, event.detail
+            )
+        trace.dropped += dropped
+        return trace
+
+    def dump_ndjson(self, path: str | Path) -> Path:
+        """Write the retained events to ``path``, one JSON object per line."""
+        path = Path(path)
+        with path.open("w") as fh:
+            for e in self._events:
+                fh.write(json.dumps(e.to_dict(), sort_keys=True))
+                fh.write("\n")
+        return path
+
+    @classmethod
+    def load_ndjson(
+        cls, path: str | Path, *, capacity: int | None = None
+    ) -> "EventTrace":
+        """Read a trace written by :meth:`dump_ndjson` (round-trips exactly)."""
+        with Path(path).open() as fh:
+            return cls.from_dicts(
+                (json.loads(line) for line in fh if line.strip()),
+                capacity=capacity,
+            )

@@ -227,6 +227,44 @@ class TestTimeouts:
             with time_limit(0.05):
                 _time.sleep(5.0)
 
+    def test_nested_time_limit_rearms_outer(self):
+        # Regression: the inner limit's exit used to zero the itimer
+        # unconditionally, silently disarming the outer limit -- the
+        # sleep below would then run its full 5 seconds.
+        import time as _time
+
+        with pytest.raises(TaskTimeoutError):
+            with time_limit(0.3):
+                with time_limit(5.0):
+                    pass  # returns instantly, well inside both limits
+                _time.sleep(5.0)  # outer limit must still be ticking
+
+    def test_nested_time_limit_inner_still_fires(self):
+        import time as _time
+
+        fired_outer = False
+        with pytest.raises(TaskTimeoutError):
+            with time_limit(30.0):
+                with time_limit(0.05):
+                    _time.sleep(5.0)
+                fired_outer = True  # pragma: no cover - inner must raise
+        assert not fired_outer
+
+    def test_nested_time_limit_outer_expired_inside_inner_fires_on_exit(self):
+        # The outer deadline elapses entirely inside the inner block: exit
+        # re-arms an epsilon so the outer handler fires (asap) instead of
+        # the limit vanishing.
+        import time as _time
+
+        with pytest.raises(TaskTimeoutError):
+            with time_limit(0.05):
+                try:
+                    with time_limit(30.0):
+                        _time.sleep(0.2)  # outer expires here, inner armed
+                finally:
+                    # the epsilon re-arm delivers SIGALRM momentarily
+                    _time.sleep(0.2)
+
 
 @needs_fork
 class TestWorkerCrash:

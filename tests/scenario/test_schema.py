@@ -93,6 +93,26 @@ class TestRoundTrip:
             dump_spec(spec, fmt="toml")
 
 
+class TestServiceSection:
+    def test_round_trips_and_does_not_affect_compilation(self):
+        with_service = spec_from_dict(
+            minimal_doc(
+                service={
+                    "time_scale": 60.0,
+                    "port": 7070,
+                    "journal": "run.ndjson",
+                    "overflow": "block",
+                }
+            )
+        )
+        assert spec_from_dict(spec_to_dict(with_service)) == with_service
+        assert with_service.service.time_scale == 60.0
+        # Orchestration-only: backends compile identically with and without.
+        bare = spec_from_dict(minimal_doc())
+        assert compile_sim(with_service) == compile_sim(bare)
+        assert supported_backends(with_service) == supported_backends(bare)
+
+
 class TestRejection:
     @pytest.mark.parametrize(
         "mutation, path_prefix",
@@ -119,6 +139,10 @@ class TestRejection:
             ({"streaming": {"playback_rate": 0.1}}, "streaming deadlines need"),
             ({"behavior": {"rho": 1.7}}, r"behavior: rho must be in \[0, 1\]"),
             ({"behavior": 7}, r"behavior: expected a mapping"),
+            ({"service": {"overflow": "panic"}}, r"service: overflow must be"),
+            ({"service": {"time_scale": 0}}, r"service: time_scale must be"),
+            ({"service": {"queue_capacity": 0}}, r"service: queue_capacity"),
+            ({"service": {"warp": 1}}, r"service: unknown keys"),
         ],
     )
     def test_path_qualified_errors(self, mutation, path_prefix):

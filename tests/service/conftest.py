@@ -1,0 +1,54 @@
+"""Shared fixtures for the live-service tests.
+
+``make_spec`` builds a small CMFSD scenario (collaborative behaviour, so
+``rho_change`` events are live) with a short horizon; ``ticking_clock``
+gives services a deterministic virtual clock, keeping every test
+wall-clock free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Scheme
+from repro.scenario import (
+    ArrivalsSpec,
+    BehaviorSpec,
+    ParamsSpec,
+    ScenarioSpec,
+    SimSpec,
+    WorkloadSpec,
+)
+
+
+def make_spec(**sim_overrides) -> ScenarioSpec:
+    # Warmup is short so even brief live runs produce summaries with real
+    # content (completed users, post-warmup population samples) -- an
+    # all-NaN summary would make bit-identicality tests vacuous.
+    sim = dict(t_end=3000.0, warmup=50.0, seed=11)
+    sim.update(sim_overrides)
+    return ScenarioSpec(
+        name="service-test",
+        scheme=Scheme.CMFSD,
+        workload=WorkloadSpec(p=0.4, visit_rate=0.5),
+        params=ParamsSpec(num_files=4),
+        behavior=BehaviorSpec(rho=0.5),
+        arrivals=ArrivalsSpec(initial_burst=5),
+        sim=SimSpec(**sim),
+    )
+
+
+def ticking_clock(step: float = 1.5):
+    """A virtual clock advancing ``step`` per call (deterministic)."""
+    t = [0.0]
+
+    def clock() -> float:
+        t[0] += step
+        return t[0]
+
+    return clock
+
+
+@pytest.fixture
+def spec() -> ScenarioSpec:
+    return make_spec()

@@ -1,0 +1,55 @@
+"""Tests for the live-event vocabulary and its wire form."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import LiveEvent, LiveEventKind
+
+
+class TestLiveEvent:
+    def test_round_trip_every_kind(self):
+        events = [
+            LiveEvent.arrival(),
+            LiveEvent.arrival((0, 2)),
+            LiveEvent.request((1,)),
+            LiveEvent.departure(7),
+            LiveEvent.rho_change(3, 0.25),
+        ]
+        for ev in events:
+            assert LiveEvent.from_dict(ev.to_dict()) == ev
+
+    def test_to_dict_omits_none_fields(self):
+        assert LiveEvent.arrival().to_dict() == {"kind": "arrival"}
+        assert LiveEvent.departure(4).to_dict() == {"kind": "departure", "user_id": 4}
+
+    def test_request_needs_files(self):
+        with pytest.raises(ValueError, match="file set"):
+            LiveEvent(kind=LiveEventKind.REQUEST)
+
+    def test_empty_files_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            LiveEvent.arrival(())
+
+    def test_departure_needs_user(self):
+        with pytest.raises(ValueError, match="user_id"):
+            LiveEvent(kind=LiveEventKind.DEPARTURE)
+
+    def test_rho_validated(self):
+        with pytest.raises(ValueError, match="rho"):
+            LiveEvent.rho_change(1, 1.5)
+        with pytest.raises(ValueError, match="rho"):
+            LiveEvent(kind=LiveEventKind.RHO_CHANGE, user_id=1)
+
+    def test_from_dict_rejects_unknown_kind_and_fields(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            LiveEvent.from_dict({"kind": "teleport"})
+        with pytest.raises(ValueError, match="unknown event field"):
+            LiveEvent.from_dict({"kind": "arrival", "speed": 9})
+        with pytest.raises(ValueError, match="missing 'kind'"):
+            LiveEvent.from_dict({"user_id": 1})
+
+    def test_files_coerced_to_int_tuple(self):
+        ev = LiveEvent.from_dict({"kind": "request", "files": [2, 0]})
+        assert ev.files == (2, 0)
+        assert isinstance(ev.files, tuple)

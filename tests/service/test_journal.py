@@ -1,0 +1,118 @@
+"""Tests for the NDJSON journal writer/reader and its rotation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import JOURNAL_VERSION, JournalError, JournalWriter, read_journal
+from repro.service.events import LiveEvent
+
+
+def write_small_journal(path, n_events=3, rotate_bytes=None):
+    with JournalWriter(path, rotate_bytes=rotate_bytes) as journal:
+        journal.write_header({"name": "j"})
+        t = 0.0
+        for k in range(n_events):
+            t += 1.0
+            journal.advance(t)
+            journal.event(t, LiveEvent.arrival((k % 2,)))
+        journal.close(final_t=t, digest="d" * 64, events=n_events)
+    return journal
+
+
+class TestJournalWriter:
+    def test_records_round_trip_in_order(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        write_small_journal(path, n_events=2)
+        records = list(read_journal(path))
+        assert [r["op"] for r in records] == [
+            "header", "advance", "event", "advance", "event", "close",
+        ]
+        assert records[0]["version"] == JOURNAL_VERSION
+        assert records[0]["spec"] == {"name": "j"}
+        assert records[2]["t"] == 1.0
+        assert records[2]["event"] == {"kind": "arrival", "files": [0]}
+        assert records[-1]["digest"] == "d" * 64
+        assert records[-1]["events"] == 2
+
+    def test_close_is_idempotent_and_seals(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        journal = JournalWriter(path)
+        journal.write_header({})
+        journal.close(final_t=0.0, digest="x", events=0)
+        journal.close(final_t=9.0, digest="y", events=9)  # no second close record
+        with pytest.raises(JournalError, match="closed"):
+            journal.advance(1.0)
+        closes = [r for r in read_journal(path) if r["op"] == "close"]
+        assert len(closes) == 1 and closes[0]["digest"] == "x"
+
+    def test_float_times_round_trip_exactly(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        t = 341.69999999999874  # a real accumulated virtual-time value
+        with JournalWriter(path) as journal:
+            journal.write_header({})
+            journal.advance(t)
+        advance = [r for r in read_journal(path) if r["op"] == "advance"][0]
+        assert advance["t"] == t  # bit-exact, not approximately
+
+    def test_rotate_bytes_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="rotate_bytes"):
+            JournalWriter(tmp_path / "j", rotate_bytes=10)
+
+
+class TestRotation:
+    def test_rotation_is_transparent_to_readers(self, tmp_path):
+        plain = tmp_path / "plain.ndjson"
+        rotated = tmp_path / "rotated.ndjson"
+        write_small_journal(plain, n_events=200)
+        journal = write_small_journal(rotated, n_events=200, rotate_bytes=1024)
+        assert journal.segments > 1  # rotation actually happened
+        assert rotated.with_name("rotated.ndjson.1").exists()
+        assert list(read_journal(rotated)) == list(read_journal(plain))
+
+    def test_active_segment_is_always_the_bare_path(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        journal = write_small_journal(path, n_events=200, rotate_bytes=1024)
+        # The close record lands in the unrotated active segment.
+        last = json.loads(path.read_text().strip().splitlines()[-1])
+        assert last["op"] == "close"
+        # Segments stitch oldest-first: record count is conserved.
+        assert len(list(read_journal(path))) == journal.records
+
+
+class TestReaderValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(JournalError, match="no journal"):
+            list(read_journal(tmp_path / "nope.ndjson"))
+
+    def test_empty_journal(self, tmp_path):
+        path = tmp_path / "empty.ndjson"
+        path.write_text("")
+        with pytest.raises(JournalError, match="empty"):
+            list(read_journal(path))
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"op": "advance", "t": 1.0}\n')
+        with pytest.raises(JournalError, match="header"):
+            list(read_journal(path))
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"op": "header", "version": 1, "spec": {}}\nnot json\n')
+        with pytest.raises(JournalError, match="malformed"):
+            list(read_journal(path))
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"op": "header", "version": 99, "spec": {}}\n')
+        with pytest.raises(JournalError, match="version"):
+            list(read_journal(path))
+
+    def test_record_without_op(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"op": "header", "version": 1, "spec": {}}\n{"t": 1.0}\n')
+        with pytest.raises(JournalError, match="'op'"):
+            list(read_journal(path))

@@ -411,3 +411,86 @@ class TestBatchedDispatchCancelExactness:
         assert oracle[1] == batched[1]  # identical firing sequence
         assert oracle[0] == batched[0]
         assert oracle[2] == batched[2]
+
+
+class TestResumeAfterRaiseExactness:
+    """A long-lived service holds one simulator across many ``run_until``
+    calls and bounds each advance with ``max_events``, so the engine is
+    routinely interrupted *mid-batch* and resumed.  These pin the audit of
+    that path: every unfired in-flight event must go back on the heap with
+    its accounting intact, so the resumed run fires the exact sequence the
+    per-event oracle would, and the tombstone counter never drifts from
+    the heap's ground truth across any number of raises.
+    """
+
+    @staticmethod
+    def _churn_workload(sim, rng, log, handles):
+        def act(uid):
+            log.append((round(sim.now, 9), uid))
+            r = rng.random()
+            if r < 0.45:
+                handles.append(
+                    sim.schedule_after(rng.uniform(0.0, 2.0), lambda u=uid * 31 + 1: act(u))
+                )
+            elif r < 0.75 and handles:
+                # Cancel a random pending event -- under batched dispatch
+                # this regularly hits an in-flight entry of the current
+                # batch, the case resume-after-raise must keep exact.
+                sim.cancel(handles.pop(rng.randrange(len(handles))))
+
+        for uid in range(40):
+            handles.append(sim.schedule_at(rng.uniform(0.0, 5.0), lambda u=uid: act(u)))
+
+    def _run(self, incremental: bool, max_events: int | None):
+        import random
+
+        rng = random.Random(1234)
+        sim = Simulator(incremental_dispatch=incremental)
+        log: list = []
+        handles: list = []
+        self._churn_workload(sim, rng, log, handles)
+        raises = 0
+        while True:
+            try:
+                sim.run_until(8.0, max_events=max_events)
+            except RuntimeError:
+                raises += 1
+                # The raise unwound mid-batch: nothing may be left marked
+                # in-flight, and the tombstone counter must equal the
+                # number of cancelled entries actually in the heap.
+                assert not any(item[3].in_flight for item in sim.queue._heap)
+                assert sim.queue._n_tombstones == _live_tombstones(sim.queue)
+                continue
+            break
+        return log, sim.events_processed, raises
+
+    def test_resumed_batched_run_matches_per_event_oracle(self):
+        oracle_log, oracle_fired, _ = self._run(incremental=False, max_events=None)
+        for max_events in (1, 7, 37):
+            log, fired, raises = self._run(incremental=True, max_events=max_events)
+            assert raises > 0  # the workload genuinely exercised resume
+            assert log == oracle_log
+            assert fired == oracle_fired
+
+    def test_resume_interleaved_with_new_work_and_cancels(self):
+        # Between raises the service keeps mutating the queue (new events,
+        # cancels of events pushed back by the unwind); accounting must
+        # stay exact through that interleaving too.
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule_at(1.0 + 0.001 * k, lambda k=k: fired.append(k))
+            for k in range(10)
+        ]
+        with pytest.raises(RuntimeError, match="max_events=4"):
+            sim.run_until(2.0, max_events=4)
+        assert fired == [0, 1, 2, 3]
+        # Cancel two events the unwind just pushed back, then add one more.
+        sim.cancel(handles[5])
+        sim.cancel(handles[8])
+        sim.schedule_at(1.5, lambda: fired.append("late"))
+        assert sim.queue._n_tombstones == _live_tombstones(sim.queue)
+        sim.run_until(2.0)
+        assert fired == [0, 1, 2, 3, 4, 6, 7, 9, "late"]
+        assert len(sim.queue) == 0
+        assert sim.queue._n_tombstones == _live_tombstones(sim.queue) == 0

@@ -55,6 +55,78 @@ class TestEventTrace:
         trace.record(1.0, EventKind.SEED_ADDED, 1, 0, 0.02)
         assert trace.to_rows() == [(1.0, "seed_added", 1, 0, 0.02)]
 
+    def test_capacity_eviction_is_constant_time(self):
+        # Regression: eviction used to be ``del list[:overflow]`` -- O(n)
+        # per append once at capacity, quadratic over a long run.  The
+        # deque storage must keep per-append cost independent of how far
+        # past capacity the trace has gone, so appending N events into a
+        # full small trace scales like N, not N * capacity.
+        import time as _time
+
+        def appends_per_second(capacity: int, n: int) -> float:
+            trace = EventTrace(capacity=capacity)
+            for k in range(capacity):  # fill to the brim first
+                trace.record(float(k), EventKind.USER_ARRIVED, k)
+            t0 = _time.perf_counter()
+            for k in range(n):
+                trace.record(float(k), EventKind.USER_ARRIVED, k)
+            return n / (_time.perf_counter() - t0)
+
+        small = appends_per_second(capacity=100, n=20_000)
+        large = appends_per_second(capacity=50_000, n=20_000)
+        # With O(1) eviction the two rates are comparable; the old code
+        # was ~500x slower at the large capacity.  Allow a wide margin
+        # for CI noise -- the quadratic regression fails this by orders
+        # of magnitude.
+        assert large > small / 20
+
+    def test_capacity_eviction_semantics_match_unbounded_tail(self):
+        bounded = EventTrace(capacity=7)
+        unbounded = EventTrace()
+        for k in range(40):
+            bounded.record(float(k), EventKind.USER_ARRIVED, k, k % 3, float(k))
+            unbounded.record(float(k), EventKind.USER_ARRIVED, k, k % 3, float(k))
+        assert bounded.events() == unbounded.events()[-7:]
+        assert bounded.dropped == 40 - 7
+        assert bounded.counts()[EventKind.USER_ARRIVED] == 7
+        assert bounded.to_rows() == unbounded.to_rows()[-7:]
+
+
+class TestTraceSerialization:
+    def _sample_trace(self) -> EventTrace:
+        trace = EventTrace()
+        trace.record(1.0, EventKind.USER_ARRIVED, 1)
+        trace.record(2.0, EventKind.DOWNLOAD_STARTED, 1, 0)
+        trace.record(2.5, EventKind.SEED_ADDED, 2, 1, 0.02)
+        trace.record(3.0, EventKind.RHO_CHANGED, 1, None, 0.75)
+        return trace
+
+    def test_dict_round_trip(self):
+        trace = self._sample_trace()
+        rebuilt = EventTrace.from_dicts(trace.to_dicts())
+        assert rebuilt.events() == trace.events()
+        assert rebuilt.dropped == 0
+
+    def test_ndjson_round_trip(self, tmp_path):
+        trace = self._sample_trace()
+        path = trace.dump_ndjson(tmp_path / "trace.ndjson")
+        rebuilt = EventTrace.load_ndjson(path)
+        assert rebuilt.events() == trace.events()
+        # byte-stable: dumping the rebuilt trace reproduces the file
+        again = rebuilt.dump_ndjson(tmp_path / "trace2.ndjson")
+        assert again.read_bytes() == path.read_bytes()
+
+    def test_round_trip_preserves_capacity_and_dropped(self):
+        trace = EventTrace(capacity=2)
+        for k in range(5):
+            trace.record(float(k), EventKind.USER_ARRIVED, k)
+        rebuilt = EventTrace.from_dicts(
+            trace.to_dicts(), capacity=trace.capacity, dropped=trace.dropped
+        )
+        assert rebuilt.events() == trace.events()
+        assert rebuilt.capacity == 2
+        assert rebuilt.dropped == 3
+
 
 class TestSystemTracing:
     def test_full_lifecycle_sequence(self):
