@@ -141,7 +141,8 @@ def time_limit(seconds: float | None) -> Iterator[None]:
     (``setitimer`` returns it) and exiting re-arms the *remaining* outer
     time, so an inner ``time_limit`` -- or any task arming its own alarm
     -- cannot silently disarm an enclosing limit.  An outer deadline that
-    elapsed entirely inside the inner block fires immediately on exit.
+    elapsed entirely inside the inner block fires *synchronously* on exit
+    (chained onto any exception already unwinding) instead of vanishing.
     """
     if (
         not seconds
@@ -166,8 +167,19 @@ def time_limit(seconds: float | None) -> Iterator[None]:
         if outer_delay > 0.0:
             # An enclosing limit was ticking when we armed ours: re-arm
             # whatever is left of it.  A non-positive remainder means the
-            # outer deadline passed while ours was installed -- arm an
-            # epsilon so the outer handler still fires (asap) instead of
-            # the limit silently vanishing.
+            # outer deadline passed while ours was installed.
             remaining = outer_delay - (time.monotonic() - armed_at)
-            signal.setitimer(signal.ITIMER_REAL, max(remaining, 1e-6))
+            if remaining > 0.0:
+                signal.setitimer(signal.ITIMER_REAL, remaining)
+            elif callable(previous):
+                # Invoke the restored handler synchronously rather than
+                # arming an epsilon timer: an async SIGALRM would land at
+                # a nondeterministic bytecode boundary and could mask an
+                # exception already unwinding out of the inner block,
+                # whereas raising here is deterministic and chains onto
+                # any in-flight exception.
+                previous(signal.SIGALRM, None)
+            else:
+                # SIG_DFL / SIG_IGN / non-Python handler: can only be
+                # honoured by a real signal delivery, asap.
+                signal.setitimer(signal.ITIMER_REAL, 1e-6)

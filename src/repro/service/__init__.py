@@ -12,7 +12,8 @@ system.  This package turns the discrete-event backend into one:
   real events, answering online queries from its metrics without pausing;
 * :class:`SwarmService` -- the asyncio shell: a bounded ingest queue with
   shed/block backpressure, an optional line-JSON TCP listener, and
-  ``service.ingest.{events,dropped,queue_depth}`` observability counters;
+  ``service.ingest.{events,dropped,stale,errors,queue_depth}``
+  observability counters;
 * :class:`JournalWriter` / :func:`read_journal` -- every live run appends
   an NDJSON journal (with size-based rotation) of exactly the operations
   it applied;

@@ -143,6 +143,22 @@ class ServiceCore:
             self.journal.advance(t)
         return True
 
+    def check_event(self, event: LiveEvent) -> None:
+        """Validate ``event`` against scenario bounds; raises ``ValueError``.
+
+        Shared by :meth:`apply` and the service's ``ingest`` path: the
+        asyncio shell rejects out-of-range events *before* acknowledging
+        or queueing them, so a malformed request over the wire can never
+        reach the pump task.
+        """
+        if event.files is not None:
+            bad = [f for f in event.files if not 0 <= f < self.config.params.num_files]
+            if bad:
+                raise ValueError(
+                    f"unknown file id(s) {bad}; this scenario has "
+                    f"{self.config.params.num_files} files"
+                )
+
     def apply(self, event: LiveEvent) -> dict:
         """Apply one external event at the current virtual time.
 
@@ -154,13 +170,7 @@ class ServiceCore:
         self._check_live()
         t = self.now
         ack: dict = {"t": t, "kind": event.kind.value}
-        if event.files is not None:
-            bad = [f for f in event.files if not 0 <= f < self.config.params.num_files]
-            if bad:
-                raise ValueError(
-                    f"unknown file id(s) {bad}; this scenario has "
-                    f"{self.config.params.num_files} files"
-                )
+        self.check_event(event)
         if self.journal is not None:
             self.journal.event(t, event)
         system = self.system

@@ -73,6 +73,12 @@ class JournalWriter:
         self.rotate_bytes = rotate_bytes
         self.segments = 0  #: rotations performed so far
         self.records = 0  #: records written (all segments)
+        # Opening "w" truncates the active file, but rotated ``<path>.N``
+        # segments from a previous run at this path would survive -- and
+        # read_journal stitches any existing segments oldest-first, so they
+        # would silently corrupt this run's replay.  Remove them up front.
+        for stale in _segment_paths(self.path)[:-1]:
+            stale.unlink()
         self._fh = self.path.open("w")
         self._closed = False
 

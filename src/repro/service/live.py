@@ -12,8 +12,9 @@ Backpressure is explicit rather than silent: the ingest queue is bounded
 means -- ``"shed"`` drops the new event and counts it (a tracker that
 would rather stay current than stall), ``"block"`` makes ``ingest()``
 await space (a log replayer that must not lose events).  The counters
-``service.ingest.{events,dropped,queue_depth}`` mirror into the ambient
-:mod:`repro.obs` registry, and exact plain-int copies live on
+``service.ingest.{events,dropped,stale,errors}`` and the gauge
+``service.ingest.queue_depth`` mirror into the ambient :mod:`repro.obs`
+registry, and exact plain-int copies live on
 :attr:`SwarmService.counters` for tests and status endpoints.
 
 Wall clock maps to virtual time via ``time_scale`` (virtual seconds per
@@ -27,6 +28,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import time
 from typing import Callable
 
@@ -38,6 +40,8 @@ from repro.service.journal import JournalWriter
 from repro.sim.metrics import SimulationSummary
 
 __all__ = ["SwarmService"]
+
+_log = logging.getLogger(__name__)
 
 _STOP = object()  # pump-loop sentinel; never journaled
 
@@ -86,9 +90,11 @@ class SwarmService:
         self.core = ServiceCore(spec, journal=journal)
         self.journal = journal
         self._clock = clock
-        #: exact ingest accounting: accepted, shed, applied-but-stale
-        self.counters = {"events": 0, "dropped": 0, "stale": 0}
+        #: exact ingest accounting: accepted, shed, applied-but-stale,
+        #: failed-to-apply (accepted events whose apply raised)
+        self.counters = {"events": 0, "dropped": 0, "stale": 0, "errors": 0}
         self._queue: asyncio.Queue | None = None
+        self._pending_puts = 0  #: block-mode ingests parked in queue.put()
         self._pump_task: asyncio.Task | None = None
         self._t0 = 0.0
         self._stopping = False
@@ -109,8 +115,10 @@ class SwarmService:
         """Drain the ingest queue, seal the journal, return the summary.
 
         Idempotent.  The stop sentinel queues FIFO behind every accepted
-        event, so everything ingested before ``stop()`` is applied before
-        the journal closes -- the clean-shutdown guarantee the tests pin.
+        event, and the pump keeps draining past the sentinel until no
+        block-mode ``ingest()`` is still parked in ``put()`` -- so every
+        event acknowledged as accepted is applied before the journal
+        closes, the clean-shutdown guarantee the tests pin.
         """
         if self._summary is not None:
             return self._summary
@@ -148,9 +156,17 @@ class SwarmService:
             raise RuntimeError("service is stopping; no further ingestion")
         if not isinstance(event, LiveEvent):
             raise TypeError(f"expected a LiveEvent, got {type(event).__name__}")
+        # Reject out-of-range events here, before they are acknowledged or
+        # queued: an accepted event that raised inside the pump task would
+        # otherwise be a remotely deliverable way to wedge the service.
+        self.core.check_event(event)
         registry = current_registry()
         if self.overflow == "block":
-            await self._queue.put(event)
+            self._pending_puts += 1
+            try:
+                await self._queue.put(event)
+            finally:
+                self._pending_puts -= 1
         else:
             try:
                 self._queue.put_nowait(event)
@@ -171,13 +187,50 @@ class SwarmService:
             item = await queue.get()
             if item is _STOP:
                 queue.task_done()
+                await self._drain_remaining(queue, registry)
                 return
+            self._apply_one(item, registry)
+            queue.task_done()
+
+    def _apply_one(self, event: LiveEvent, registry) -> None:
+        """Advance-then-apply one event; a failure never kills the pump.
+
+        Ingest-time validation makes apply failures unexpected, but an
+        accepted event must not be able to take the service down: the
+        failure is counted (``counters["errors"]``,
+        ``service.ingest.errors``), logged, and the pump keeps draining.
+        """
+        try:
             self.core.advance(self.virtual_now())
-            ack = self.core.apply(item)
+            ack = self.core.apply(event)
+        except Exception:
+            self.counters["errors"] += 1
+            registry.inc("service.ingest.errors")
+            _log.exception("failed to apply ingested event %r; skipped", event)
+        else:
             if ack.get("stale"):
                 self.counters["stale"] += 1
                 registry.inc("service.ingest.stale")
-            registry.set_gauge("service.ingest.queue_depth", queue.qsize())
+        registry.set_gauge("service.ingest.queue_depth", self._queue.qsize())
+
+    async def _drain_remaining(self, queue: asyncio.Queue, registry) -> None:
+        """Apply events that landed at/after the stop sentinel.
+
+        Block-mode shutdown race: a producer that passed the ``_stopping``
+        check can be parked in ``put()`` on a full queue while ``stop()``'s
+        sentinel slips into the slot the pump just freed -- that event then
+        lands *after* the sentinel, yet it was acknowledged and counted.
+        Keep draining until the queue is empty and no ``put()`` is still in
+        flight, so the clean-shutdown guarantee covers late racers too.
+        """
+        while self._pending_puts or not queue.empty():
+            try:
+                item = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                await asyncio.sleep(0)  # let a parked put() land
+                continue
+            if item is not _STOP:  # concurrent stop() may double the sentinel
+                self._apply_one(item, registry)
             queue.task_done()
 
     # ----- online queries (pure reads, served inline) -----------------------------

@@ -252,18 +252,31 @@ class TestTimeouts:
 
     def test_nested_time_limit_outer_expired_inside_inner_fires_on_exit(self):
         # The outer deadline elapses entirely inside the inner block: exit
-        # re-arms an epsilon so the outer handler fires (asap) instead of
-        # the limit vanishing.
+        # invokes the restored outer handler synchronously, so the limit
+        # fires deterministically at the inner exit instead of vanishing.
         import time as _time
 
-        with pytest.raises(TaskTimeoutError):
+        with pytest.raises(TaskTimeoutError, match="0.05"):
             with time_limit(0.05):
-                try:
-                    with time_limit(30.0):
-                        _time.sleep(0.2)  # outer expires here, inner armed
-                finally:
-                    # the epsilon re-arm delivers SIGALRM momentarily
-                    _time.sleep(0.2)
+                with time_limit(30.0):
+                    _time.sleep(0.2)  # outer expires here, inner armed
+                raise AssertionError("outer limit must fire at inner exit")
+
+    def test_outer_expiry_during_inner_unwind_is_synchronous_and_chained(self):
+        # Regression: the old epsilon re-arm delivered the outer SIGALRM
+        # asynchronously an instant after the inner exit, landing at a
+        # nondeterministic bytecode boundary that could mask an exception
+        # already unwinding out of the inner block.  Now the outer error
+        # is raised synchronously, chained onto the in-flight inner one.
+        import time as _time
+
+        with pytest.raises(TaskTimeoutError, match="0.05") as exc_info:
+            with time_limit(0.05):
+                with time_limit(0.2):
+                    _time.sleep(5.0)  # inner fires at 0.2s; outer already expired
+        context = exc_info.value.__context__
+        assert isinstance(context, TaskTimeoutError)
+        assert "0.2" in str(context)  # the inner timeout is preserved as context
 
 
 @needs_fork

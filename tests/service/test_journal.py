@@ -72,6 +72,22 @@ class TestRotation:
         assert rotated.with_name("rotated.ndjson.1").exists()
         assert list(read_journal(rotated)) == list(read_journal(plain))
 
+    def test_reusing_a_rotated_path_discards_stale_segments(self, tmp_path):
+        # Regression: a fresh writer truncates the active file but used to
+        # leave <path>.N segments from the previous run behind, and
+        # read_journal stitches any existing segments oldest-first -- so
+        # re-serving with the same --journal path mixed stale records into
+        # the new journal.
+        path = tmp_path / "run.ndjson"
+        first = write_small_journal(path, n_events=200, rotate_bytes=1024)
+        assert first.segments > 1  # the old run really left rotated segments
+        second = write_small_journal(path, n_events=2)
+        assert second.segments == 0
+        assert not path.with_name("run.ndjson.1").exists()
+        records = list(read_journal(path))
+        assert len(records) == second.records  # only the new run's records
+        assert sum(r["op"] == "event" for r in records) == 2
+
     def test_active_segment_is_always_the_bare_path(self, tmp_path):
         path = tmp_path / "run.ndjson"
         journal = write_small_journal(path, n_events=200, rotate_bytes=1024)

@@ -36,7 +36,7 @@ class TestLifecycle:
 
         svc = asyncio.run(run())
         assert svc.core.events_applied == 50  # every accepted event applied
-        assert svc.counters == {"events": 50, "dropped": 0, "stale": 0}
+        assert svc.counters == {"events": 50, "dropped": 0, "stale": 0, "errors": 0}
         records = list(read_journal(path))
         assert records[-1]["op"] == "close"  # sealed
         assert records[-1]["events"] == 50
@@ -94,7 +94,7 @@ class TestBackpressure:
 
         with use_registry(registry):
             svc = asyncio.run(run())
-        assert svc.counters == {"events": 8, "dropped": 12, "stale": 0}
+        assert svc.counters == {"events": 8, "dropped": 12, "stale": 0, "errors": 0}
         assert svc.core.events_applied == 8  # dropped events never reach the core
         assert registry.counters["service.ingest.events"] == 8
         assert registry.counters["service.ingest.dropped"] == 12
@@ -111,8 +111,35 @@ class TestBackpressure:
             return svc
 
         svc = asyncio.run(run())
-        assert svc.counters == {"events": 40, "dropped": 0, "stale": 0}
+        assert svc.counters == {"events": 40, "dropped": 0, "stale": 0, "errors": 0}
         assert svc.core.events_applied == 40
+
+    def test_block_mode_late_put_racer_is_still_applied_on_stop(self, spec):
+        # Shutdown race regression: a producer that passed the _stopping
+        # check can be parked in put() on a full queue while stop()'s
+        # sentinel slips into the slot the pump just freed -- its event
+        # then lands *after* the sentinel.  It was acknowledged as
+        # accepted and counted, so the shutdown drain must still apply it.
+        async def run():
+            svc = SwarmService(spec, queue_capacity=1, overflow="block",
+                               clock=ticking_clock())
+            await svc.start()
+            await svc.ingest(LiveEvent.arrival())  # queue full, pump asleep
+            await asyncio.sleep(0)  # pump drains it and idles on get()
+            r1 = asyncio.create_task(svc.ingest(LiveEvent.arrival()))
+            r2 = asyncio.create_task(svc.ingest(LiveEvent.arrival()))
+            await asyncio.sleep(0)  # r1's event lands; r2 parks in put()
+            # One more tick: the pump drains r1's event and wakes r2, but
+            # r2 has not resumed yet -- so stop()'s sentinel finds the
+            # freed slot and slips in ahead of r2's event.
+            await asyncio.sleep(0)
+            await svc.stop()
+            assert (await r1) is True and (await r2) is True  # both acked
+            return svc
+
+        svc = asyncio.run(run())
+        assert svc.counters["events"] == 3
+        assert svc.core.events_applied == 3  # the late racer was not lost
 
 
 class TestEventSemantics:
@@ -142,6 +169,53 @@ class TestEventSemantics:
 
         asyncio.run(run())
         assert not any(r["op"] == "event" for r in read_journal(path))
+
+    def test_unknown_file_ids_rejected_at_ingest_never_accepted(self, spec):
+        # Regression: file-id range errors used to surface only inside the
+        # pump's core.apply(), *after* the event was accepted -- killing
+        # the pump task and silently wedging the service.  ingest() now
+        # rejects them up front, before acknowledging or queueing.
+        async def run():
+            svc = SwarmService(spec, clock=ticking_clock())
+            await svc.start()
+            with pytest.raises(ValueError, match="unknown file"):
+                await svc.ingest(LiveEvent.request((0, 99)))
+            assert (await svc.ingest(LiveEvent.arrival())) is True  # still up
+            await svc.stop()
+            return svc
+
+        svc = asyncio.run(run())
+        assert svc.counters == {"events": 1, "dropped": 0, "stale": 0, "errors": 0}
+        assert svc.core.events_applied == 1
+
+    def test_pump_survives_unexpected_apply_failure(self, spec):
+        # Defence in depth behind ingest-time validation: an accepted
+        # event whose apply raises is counted and skipped; the pump keeps
+        # draining instead of dying with the queue backing up forever.
+        registry = MetricsRegistry()
+
+        async def run():
+            svc = SwarmService(spec, clock=ticking_clock())
+            await svc.start()
+            boom = LiveEvent.arrival()
+            original_apply = svc.core.apply
+
+            def apply(event):
+                if event is boom:
+                    raise RuntimeError("injected apply failure")
+                return original_apply(event)
+
+            svc.core.apply = apply
+            await svc.ingest(boom)
+            await svc.ingest(LiveEvent.arrival())
+            await svc.stop()
+            return svc
+
+        with use_registry(registry):
+            svc = asyncio.run(run())
+        assert svc.counters["errors"] == 1
+        assert svc.core.events_applied == 1  # the later event still applied
+        assert registry.counters["service.ingest.errors"] == 1
 
     def test_queries_are_live_and_pure(self, spec):
         async def run():
@@ -224,6 +298,11 @@ class TestTCP:
             assert summary["ok"] and "n_users_completed" in summary["summary"]
             bad = await rpc({"op": "event", "event": {"kind": "bogus"}})
             assert not bad["ok"] and "unknown event kind" in bad["error"]
+            # Out-of-range file ids are rejected at ingest -- the client
+            # gets an error instead of a poisoned ack, and the pump stays
+            # alive (events_applied below proves later traffic still runs).
+            oob = await rpc({"kind": "request", "files": [0, 99]})
+            assert not oob["ok"] and "unknown file" in oob["error"]
             worse = await rpc({"op": "explode"})
             assert not worse["ok"] and "unknown op" in worse["error"]
             writer.close()
